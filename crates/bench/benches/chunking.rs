@@ -1,0 +1,117 @@
+//! Criterion bench for E7: point-lookup latency by physical design —
+//! unindexed scan vs per-chunk index, per encoding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use smdb_common::{ChunkColumnRef, ColumnId};
+use smdb_storage::value::ColumnValues;
+use smdb_storage::{
+    ColumnDef, ConfigAction, DataType, EncodingKind, IndexKind, ScanPredicate, Schema,
+    StorageEngine, Table,
+};
+
+fn engine_with(enc: Option<EncodingKind>, indexed: bool) -> StorageEngine {
+    let schema = Schema::new(vec![ColumnDef::new("k", DataType::Int)]).expect("valid");
+    let table = Table::from_columns(
+        "t",
+        schema,
+        vec![ColumnValues::Int((0..32_000).map(|i| i % 800).collect())],
+        4_000,
+    )
+    .expect("builds");
+    let mut engine = StorageEngine::default();
+    let t = engine.create_table(table).expect("unique");
+    for chunk in 0..8u32 {
+        let target = ChunkColumnRef::new(t.0, 0, chunk);
+        if let Some(kind) = enc {
+            engine
+                .apply_action(&ConfigAction::SetEncoding { target, kind })
+                .expect("encodes");
+        }
+        if indexed {
+            engine
+                .apply_action(&ConfigAction::CreateIndex {
+                    target,
+                    kind: IndexKind::Hash,
+                })
+                .expect("indexes");
+        }
+    }
+    engine
+}
+
+fn bench_chunking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chunking");
+    let pred = [ScanPredicate::eq(ColumnId(0), 97i64)];
+    for (name, enc, indexed) in [
+        ("scan_raw", None, false),
+        ("scan_dict", Some(EncodingKind::Dictionary), false),
+        ("scan_rle", Some(EncodingKind::RunLength), false),
+        ("probe_hash", None, true),
+        ("probe_hash_on_dict", Some(EncodingKind::Dictionary), true),
+    ] {
+        let engine = engine_with(enc, indexed);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    engine
+                        .scan(smdb_common::TableId(0), &pred, None)
+                        .unwrap()
+                        .rows_matched,
+                )
+            })
+        });
+    }
+
+    // Composite (multi-attribute) probe vs single-column probe + refine
+    // on a conjunctive two-column equality query.
+    {
+        let schema = Schema::new(vec![
+            ColumnDef::new("a", DataType::Int),
+            ColumnDef::new("b", DataType::Int),
+        ])
+        .expect("valid");
+        let table = Table::from_columns(
+            "t2",
+            schema,
+            vec![
+                ColumnValues::Int((0..32_000).map(|i| i % 800).collect()),
+                ColumnValues::Int((0..32_000).map(|i| (i * 7) % 900).collect()),
+            ],
+            4_000,
+        )
+        .expect("builds");
+        let preds = [
+            ScanPredicate::eq(ColumnId(0), 97i64),
+            ScanPredicate::eq(ColumnId(1), 679i64),
+        ];
+        for (name, kind) in [
+            ("pair_single_hash", IndexKind::Hash),
+            (
+                "pair_composite_hash",
+                IndexKind::CompositeHash {
+                    second: ColumnId(1),
+                },
+            ),
+        ] {
+            let mut engine = StorageEngine::default();
+            let t = engine.create_table(table.clone()).expect("unique");
+            for chunk in 0..8u32 {
+                engine
+                    .apply_action(&ConfigAction::CreateIndex {
+                        target: ChunkColumnRef::new(t.0, 0, chunk),
+                        kind,
+                    })
+                    .expect("indexes");
+            }
+            group.bench_function(name, |b| {
+                b.iter(|| black_box(engine.scan(t, &preds, None).unwrap().rows_matched))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chunking);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion bench for E8: k-means template clustering and forecast
+//! generation with and without workload compression.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use smdb_common::{Cost, LogicalTime, TableId};
+use smdb_forecast::analyzers::MovingAverage;
+use smdb_forecast::cluster::cluster_templates;
+use smdb_forecast::{PredictorConfig, WorkloadHistory, WorkloadPredictor};
+use smdb_query::{PlanCache, Query};
+use smdb_storage::ScanPredicate;
+
+fn history(templates: usize, buckets: u64) -> WorkloadHistory {
+    let mut cache = PlanCache::new(templates * 2);
+    let mut hist = WorkloadHistory::new();
+    for bucket in 0..buckets {
+        for t in 0..templates {
+            let q = Query::new(
+                TableId((t % 5) as u32),
+                format!("t{}", t % 5),
+                vec![ScanPredicate::eq(
+                    smdb_common::ColumnId((t % 7) as u16),
+                    t as i64,
+                )],
+                None,
+                format!("q{t}"),
+            );
+            for _ in 0..(1 + t % 4) {
+                cache.record(&q, Cost(1.0), LogicalTime(bucket));
+            }
+        }
+        hist.observe(LogicalTime(bucket), &cache.snapshot());
+    }
+    hist
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering");
+    let hist = history(200, 10);
+
+    for k in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::new("kmeans", k), &k, |b, &k| {
+            b.iter(|| black_box(cluster_templates(&hist, k, 42)));
+        });
+    }
+    group.bench_function("predict_uncompressed", |b| {
+        let p = WorkloadPredictor::new(
+            Box::new(MovingAverage::new(4)),
+            PredictorConfig {
+                clusters: None,
+                samples: 0,
+                ..PredictorConfig::default()
+            },
+        );
+        b.iter(|| black_box(p.predict(&hist)));
+    });
+    group.bench_function("predict_compressed_16", |b| {
+        let p = WorkloadPredictor::new(
+            Box::new(MovingAverage::new(4)),
+            PredictorConfig {
+                clusters: Some(16),
+                samples: 0,
+                ..PredictorConfig::default()
+            },
+        );
+        b.iter(|| black_box(p.predict(&hist)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench for E9: cost-model hot paths — feature extraction,
+//! what-if estimates, online regression updates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use smdb_bench::setup::{build_engine, train_calibrated, DEFAULT_SEED};
+use smdb_common::seeded_rng;
+use smdb_cost::features::{extract_features, ConfigContext};
+use smdb_cost::regression::OnlineRegression;
+use smdb_cost::{CostEstimator, LogicalCostModel, NUM_FEATURES};
+
+fn bench_cost_models(c: &mut Criterion) {
+    let (engine, templates) = build_engine(20_000, 2_000, DEFAULT_SEED);
+    let calibrated = train_calibrated(&engine, &templates, 120, DEFAULT_SEED).unwrap();
+    let logical = LogicalCostModel::default();
+    let config = engine.current_config();
+    let ctx = ConfigContext::new(&engine, &config);
+    let mut rng = seeded_rng(1);
+    let query = templates.sample(1, &mut rng); // q6-style multi-predicate scan
+
+    let mut group = c.benchmark_group("cost_models");
+    group.bench_function("extract_features", |b| {
+        b.iter(|| black_box(extract_features(&engine, &ctx, &query, &config).unwrap()));
+    });
+    group.bench_function("logical_query_cost", |b| {
+        b.iter(|| black_box(logical.query_cost(&engine, &ctx, &query, &config).unwrap()));
+    });
+    group.bench_function("calibrated_query_cost", |b| {
+        b.iter(|| {
+            black_box(
+                calibrated
+                    .query_cost(&engine, &ctx, &query, &config)
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("config_context_build", |b| {
+        b.iter(|| black_box(ConfigContext::new(&engine, &config)));
+    });
+    group.bench_function("regression_observe", |b| {
+        let mut reg = OnlineRegression::new(NUM_FEATURES, 1e-6).unwrap();
+        let x = [1.0; NUM_FEATURES];
+        b.iter(|| {
+            reg.observe(&x, 2.0).unwrap();
+            black_box(reg.observations())
+        });
+    });
+    group.bench_function("regression_fit", |b| {
+        let mut reg = OnlineRegression::new(NUM_FEATURES, 1e-6).unwrap();
+        let mut rng = seeded_rng(2);
+        use rand::RngExt;
+        for _ in 0..256 {
+            let x: Vec<f64> = (0..NUM_FEATURES).map(|_| rng.random::<f64>()).collect();
+            let y = x.iter().sum::<f64>();
+            reg.observe(&x, y).unwrap();
+        }
+        b.iter(|| black_box(reg.fit().unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_models);
+criterion_main!(benches);

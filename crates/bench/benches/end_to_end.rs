@@ -1,0 +1,43 @@
+//! Criterion bench for E1: the full self-management pipeline — bucket
+//! ingestion (observe) and a complete multi-feature tuning pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use smdb_bench::setup::{build_database, sample_queries, DEFAULT_SEED};
+use smdb_core::driver::Driver;
+use smdb_core::FeatureKind;
+use smdb_cost::CalibratedCostModel;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+
+    group.bench_function("observe_bucket_100q", |b| {
+        let (db, templates) = build_database(8_000, 1_000, DEFAULT_SEED);
+        let driver = Driver::builder(db)
+            .features(vec![FeatureKind::Indexing])
+            .build();
+        let mix = vec![1.0; smdb_workload::tpch::NUM_TEMPLATES];
+        let queries = sample_queries(&templates, &mix, 100, DEFAULT_SEED);
+        b.iter(|| black_box(driver.run_bucket(&queries).unwrap()));
+    });
+
+    group.bench_function("full_tuning_pass", |b| {
+        let (db, templates) = build_database(8_000, 1_000, DEFAULT_SEED);
+        let model = Arc::new(CalibratedCostModel::new());
+        let driver = Driver::builder(db)
+            .learned_estimator(model)
+            .features(vec![FeatureKind::Indexing, FeatureKind::Compression])
+            .build();
+        let mix = vec![1.0; smdb_workload::tpch::NUM_TEMPLATES];
+        let queries = sample_queries(&templates, &mix, 100, DEFAULT_SEED);
+        driver.run_bucket(&queries).unwrap();
+        b.iter(|| black_box(driver.force_tune().unwrap()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

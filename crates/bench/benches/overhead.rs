@@ -1,0 +1,47 @@
+//! Criterion bench for E2: per-query cost with and without monitoring
+//! (plan-cache recording + KPI collection).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use smdb_bench::setup::{build_database, sample_queries, DEFAULT_SEED};
+
+fn bench_overhead(c: &mut Criterion) {
+    let (db, templates) = build_database(20_000, 2_000, DEFAULT_SEED);
+    let mix = smdb_workload::generators::point_heavy_mix();
+    let queries = sample_queries(&templates, &mix, 256, DEFAULT_SEED);
+
+    let mut group = c.benchmark_group("overhead");
+    group.bench_function("query_monitoring_off", |b| {
+        db.set_monitoring(false);
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(db.run_query(q).unwrap())
+        });
+    });
+    group.bench_function("query_monitoring_on", |b| {
+        db.set_monitoring(true);
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(db.run_query(q).unwrap())
+        });
+    });
+    group.bench_function("plan_cache_record_only", |b| {
+        let mut cache = smdb_query::PlanCache::default();
+        let mut i = 0;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            cache.record(q, smdb_common::Cost(1.0), smdb_common::LogicalTime(0));
+            black_box(cache.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

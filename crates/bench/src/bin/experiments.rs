@@ -1,0 +1,31 @@
+//! Experiment harness: regenerates every experiment table (E1–E10).
+//!
+//! ```text
+//! cargo run --release -p smdb-bench --bin experiments            # all
+//! cargo run --release -p smdb-bench --bin experiments e4 e5     # subset
+//! ```
+
+use smdb_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        experiments::ALL.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+    let mut unknown = Vec::new();
+    for id in &ids {
+        if !experiments::run(id) {
+            unknown.push(id.clone());
+        }
+    }
+    if !unknown.is_empty() {
+        eprintln!(
+            "unknown experiment id(s): {} (valid: {} or 'all')",
+            unknown.join(", "),
+            experiments::ALL.join(", ")
+        );
+        std::process::exit(2);
+    }
+}

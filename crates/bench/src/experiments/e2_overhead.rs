@@ -1,0 +1,100 @@
+//! E2 — the ≤1 % overhead requirement (Section I).
+//!
+//! Industry interviews demanded "a maximum of 1 % of additional runtime
+//! introduced by such capabilities". Our monitoring path is one
+//! plan-cache record (hash-map update keyed by a precomputed fingerprint)
+//! plus a KPI ring-buffer push per query; this experiment measures its
+//! wall-clock share on a mixed workload.
+
+use std::time::Instant;
+
+use crate::setup::{build_database, sample_queries, DEFAULT_SEED};
+use crate::table::{f2, f3, TableBuilder};
+
+pub fn run() {
+    println!("\n=== E2: self-management runtime overhead (target <= 1%) ===\n");
+
+    let mut table = TableBuilder::new(&[
+        "workload",
+        "queries",
+        "monitoring OFF (µs/q)",
+        "monitoring ON (µs/q)",
+        "overhead %",
+        "meets <=1%?",
+    ]);
+
+    for (name, mix, rows) in [
+        (
+            "point-heavy",
+            smdb_workload::generators::point_heavy_mix(),
+            40_000usize,
+        ),
+        (
+            "scan-heavy",
+            smdb_workload::generators::scan_heavy_mix(),
+            40_000,
+        ),
+        (
+            "uniform",
+            vec![1.0; smdb_workload::tpch::NUM_TEMPLATES],
+            40_000,
+        ),
+    ] {
+        let (db, templates) = build_database(rows, 4_000, DEFAULT_SEED);
+        let n = 6_000usize;
+        let queries = sample_queries(&templates, &mix, n, DEFAULT_SEED ^ 77);
+
+        // Warm up caches and branch predictors.
+        for q in queries.iter().take(1_000) {
+            db.run_query(q).unwrap();
+        }
+
+        // Interleave many small OFF/ON blocks and compare medians: block
+        // pairs run back to back, so slow drift (frequency scaling,
+        // allocator state) cancels and outlier blocks do not dominate.
+        let block = 200usize;
+        let mut off_blocks: Vec<f64> = Vec::new();
+        let mut on_blocks: Vec<f64> = Vec::new();
+        for round in 0..3 {
+            for (b, chunk) in queries.chunks(block).enumerate() {
+                // Alternate which mode goes first per block to cancel
+                // ordering effects.
+                let order = if (b + round) % 2 == 0 {
+                    [false, true]
+                } else {
+                    [true, false]
+                };
+                for monitoring in order {
+                    db.set_monitoring(monitoring);
+                    let start = Instant::now();
+                    for q in chunk {
+                        db.run_query(q).unwrap();
+                    }
+                    let ns_per_q = start.elapsed().as_nanos() as f64 / chunk.len() as f64;
+                    if monitoring {
+                        on_blocks.push(ns_per_q);
+                    } else {
+                        off_blocks.push(ns_per_q);
+                    }
+                }
+            }
+        }
+        let median = |v: &mut Vec<f64>| -> f64 {
+            v.sort_by(f64::total_cmp);
+            v[v.len() / 2]
+        };
+        let off_us = median(&mut off_blocks) / 1000.0;
+        let on_us = median(&mut on_blocks) / 1000.0;
+        let overhead = (on_us - off_us) / off_us * 100.0;
+        table.row(vec![
+            name.into(),
+            (6 * n).to_string(),
+            f3(off_us),
+            f3(on_us),
+            f2(overhead),
+            (overhead <= 1.0).to_string(),
+        ]);
+    }
+    table.print();
+    println!("\n(Overhead = plan-cache recording + KPI ring-buffer push per query.)");
+}

@@ -1,0 +1,125 @@
+//! E3 — automatic dependence analysis (Section III-A): impact ratios
+//! `W∅/W_A` and the dependence matrix `d_{A,B}`, determined automatically
+//! from what-if workload costs.
+
+use smdb_core::tuner::standard_tuner;
+use smdb_core::{ConstraintSet, FeatureKind, MultiFeatureTuner};
+use smdb_cost::WhatIf;
+
+use crate::setup::{
+    build_engine, forecast_from_mix, train_calibrated, DEFAULT_CHUNK, DEFAULT_ROWS, DEFAULT_SEED,
+};
+use crate::table::{f2, f3, TableBuilder};
+
+pub fn run() {
+    println!("\n=== E3: automatic impact & dependence analysis (Section III-A) ===\n");
+    let (mut engine, templates) = build_engine(DEFAULT_ROWS, DEFAULT_CHUNK, DEFAULT_SEED);
+    let hot_capacity = crate::setup::apply_pressure(&mut engine, &templates);
+    let model = train_calibrated(&engine, &templates, 240, DEFAULT_SEED ^ 3).unwrap();
+    let what_if = WhatIf::new(model);
+
+    let features = [
+        FeatureKind::Indexing,
+        FeatureKind::Compression,
+        FeatureKind::Placement,
+        FeatureKind::BufferPool,
+    ];
+    let tuners = features
+        .iter()
+        .map(|&f| standard_tuner(f, what_if.clone()))
+        .collect();
+    let multi = MultiFeatureTuner::new(tuners, what_if);
+
+    // Blended HTAP mix: analytic scans (compression / placement /
+    // buffer work) plus selective point lookups (index work).
+    let mix: Vec<f64> = smdb_workload::generators::scan_heavy_mix()
+        .iter()
+        .zip(&smdb_workload::generators::point_heavy_mix())
+        .map(|(a, b)| a + b)
+        .collect();
+    let forecast = forecast_from_mix(&templates, &mix, 300.0, DEFAULT_SEED ^ 9);
+    let constraints = ConstraintSet {
+        index_memory_bytes: Some(8 * 1024 * 1024),
+        hot_tier_bytes: Some(hot_capacity),
+        ..ConstraintSet::default()
+    };
+
+    // The "unoptimized" reference is the inherited (pressured) state.
+    let base = engine.current_config();
+    let report = multi
+        .analyze(&engine, &forecast, &base, &constraints)
+        .unwrap();
+
+    println!("W_empty (no optimization): {:.2} ms\n", report.w_empty.ms());
+
+    let mut t1 = TableBuilder::new(&["feature A", "W_A (ms)", "impact W_empty/W_A"]);
+    for (i, f) in report.features.iter().enumerate() {
+        t1.row(vec![
+            f.to_string(),
+            f2(report.w_single[i].ms()),
+            f3(report.impact[i]),
+        ]);
+    }
+    t1.print();
+
+    println!("\nPairwise workload costs W_A,B (tune row feature first, column second):");
+    let mut t2 = TableBuilder::new(
+        &std::iter::once("A \\ B")
+            .chain(report.features.iter().map(|f| f.label()))
+            .collect::<Vec<_>>(),
+    );
+    for (a, fa) in report.features.iter().enumerate() {
+        let mut row = vec![fa.to_string()];
+        for b in 0..report.features.len() {
+            row.push(if a == b {
+                "-".into()
+            } else {
+                f2(report.w_pair[a][b].ms())
+            });
+        }
+        t2.row(row);
+    }
+    t2.print();
+
+    println!("\nDependence ratios d_A,B = W_B,A / W_A,B (> 1: tune A before B):");
+    let mut t3 = TableBuilder::new(
+        &std::iter::once("A \\ B")
+            .chain(report.features.iter().map(|f| f.label()))
+            .collect::<Vec<_>>(),
+    );
+    for (a, fa) in report.features.iter().enumerate() {
+        let mut row = vec![fa.to_string()];
+        for b in 0..report.features.len() {
+            row.push(if a == b {
+                "-".into()
+            } else {
+                f3(report.dependence[a][b])
+            });
+        }
+        t3.row(row);
+    }
+    t3.print();
+
+    println!("\nDetected order preferences (|d - 1| > 0.02):");
+    for a in 0..report.features.len() {
+        for b in (a + 1)..report.features.len() {
+            let d = report.dependence[a][b];
+            if (d - 1.0).abs() > 0.02 {
+                let (first, second) = if d > 1.0 { (a, b) } else { (b, a) };
+                println!(
+                    "  {} before {}  (d_{{{},{}}} = {:.3})",
+                    report.features[first],
+                    report.features[second],
+                    report.features[a].label(),
+                    report.features[b].label(),
+                    d
+                );
+            } else {
+                println!(
+                    "  {} and {} are order-insensitive (d = {:.3})",
+                    report.features[a], report.features[b], d
+                );
+            }
+        }
+    }
+}

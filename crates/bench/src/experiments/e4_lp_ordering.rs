@@ -1,0 +1,171 @@
+//! E4 — LP-based order optimization (Section III-B): model sizes match
+//! the paper's `2|S|²−|S|` / `2|S|²` formulas, the ILP solves in
+//! interactive time ("viable"), attains the brute-force optimum, and the
+//! optimized order beats naive orders on realized workload cost.
+
+use std::time::Instant;
+
+use rand::RngExt;
+use smdb_common::seeded_rng;
+use smdb_core::tuner::standard_tuner;
+use smdb_core::{ConstraintSet, FeatureKind, MultiFeatureTuner};
+use smdb_cost::WhatIf;
+use smdb_lp::branch_bound::IlpOptions;
+use smdb_lp::ordering::OrderingProblem;
+use smdb_lp::permutation::brute_force_order;
+
+use crate::setup::{
+    build_engine, forecast_from_mix, train_calibrated, DEFAULT_CHUNK, DEFAULT_ROWS, DEFAULT_SEED,
+};
+use crate::table::{f2, f3, TableBuilder};
+
+pub fn run() {
+    println!("\n=== E4: LP-based feature-order optimization (Section III-B) ===\n");
+    sizes_and_scaling();
+    real_feature_ordering();
+}
+
+/// Part 1: model sizes vs the paper's formulas + solve-time scaling on
+/// synthetic dependence matrices, with brute-force verification.
+fn sizes_and_scaling() {
+    println!("Model sizes and solve times (synthetic d matrices):\n");
+    let mut table = TableBuilder::new(&[
+        "|S|",
+        "vars (model)",
+        "vars (2n^2-n)",
+        "constraints (model)",
+        "constraints (2n^2)",
+        "B&B nodes",
+        "LP solve (ms)",
+        "brute force (ms)",
+        "permutations",
+        "objective LP == brute?",
+    ]);
+    for n in 2..=8usize {
+        let mut rng = seeded_rng(DEFAULT_SEED + n as u64);
+        let mut d = vec![vec![1.0; n]; n];
+        let mut w = vec![vec![1.0; n]; n];
+        for a in 0..n {
+            for b in 0..n {
+                if a != b && a < b {
+                    let v: f64 = 0.5 + rng.random::<f64>() * 1.5;
+                    d[a][b] = v;
+                    d[b][a] = 1.0 / v;
+                }
+                if a != b {
+                    w[a][b] = 1.0 + rng.random::<f64>();
+                }
+            }
+        }
+        let problem = OrderingProblem::new(d, w).unwrap();
+        let model = problem.build_model();
+
+        let start = Instant::now();
+        let lp = problem.solve(&IlpOptions::default()).unwrap();
+        let lp_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+        let start = Instant::now();
+        let brute = brute_force_order(&problem).unwrap();
+        let brute_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+        table.row(vec![
+            n.to_string(),
+            model.num_vars().to_string(),
+            OrderingProblem::paper_variable_count(n).to_string(),
+            model.num_constraints().to_string(),
+            OrderingProblem::paper_constraint_count(n).to_string(),
+            lp.nodes.to_string(),
+            f3(lp_ms),
+            f3(brute_ms),
+            brute.evaluated.to_string(),
+            ((lp.objective - brute.objective).abs() < 1e-6).to_string(),
+        ]);
+    }
+    table.print();
+}
+
+/// Part 2: order quality on the real four-feature system — LP order vs
+/// brute-force, impact order, registration order and the worst order,
+/// judged by the estimated workload cost after recursive tuning.
+fn real_feature_ordering() {
+    println!("\nRealized tuning quality by feature order (4 real features):\n");
+    let (mut engine, templates) = build_engine(DEFAULT_ROWS, DEFAULT_CHUNK, DEFAULT_SEED);
+    let hot_capacity = crate::setup::apply_pressure(&mut engine, &templates);
+    let model = train_calibrated(&engine, &templates, 240, DEFAULT_SEED ^ 4).unwrap();
+    let what_if = WhatIf::new(model);
+    let features = [
+        FeatureKind::Indexing,
+        FeatureKind::Compression,
+        FeatureKind::Placement,
+        FeatureKind::BufferPool,
+    ];
+    let tuners = features
+        .iter()
+        .map(|&f| standard_tuner(f, what_if.clone()))
+        .collect();
+    let multi = MultiFeatureTuner::new(tuners, what_if.clone());
+
+    // Blended HTAP mix: analytic scans (compression / placement /
+    // buffer work) plus selective point lookups (index work).
+    let mix: Vec<f64> = smdb_workload::generators::scan_heavy_mix()
+        .iter()
+        .zip(&smdb_workload::generators::point_heavy_mix())
+        .map(|(a, b)| a + b)
+        .collect();
+    let forecast = forecast_from_mix(&templates, &mix, 300.0, DEFAULT_SEED ^ 11);
+    let constraints = ConstraintSet {
+        index_memory_bytes: Some(8 * 1024 * 1024),
+        hot_tier_bytes: Some(hot_capacity),
+        ..ConstraintSet::default()
+    };
+    let base = engine.current_config();
+
+    let report = multi
+        .analyze(&engine, &forecast, &base, &constraints)
+        .unwrap();
+    let problem = report.ordering_problem().unwrap();
+    let lp = multi.lp_order(&report).unwrap();
+    let brute = brute_force_order(&problem).unwrap();
+
+    // Evaluate orders by tuning recursively and estimating final cost.
+    let orders: Vec<(String, Vec<usize>)> = vec![
+        ("LP-optimized".into(), lp.order.clone()),
+        ("brute-force".into(), brute.order.clone()),
+        ("impact-ranked".into(), report.impact_order()),
+        ("registration".into(), (0..4).collect()),
+        ("reversed".into(), (0..4).rev().collect()),
+    ];
+
+    let expected = forecast.expected().unwrap().workload.clone();
+    let w_empty = report.w_empty;
+    let mut table = TableBuilder::new(&[
+        "order policy",
+        "order",
+        "objective",
+        "est. final cost (ms)",
+        "improvement vs W_empty",
+    ]);
+    for (name, order) in orders {
+        let run = multi
+            .tune_in_order(&engine, &forecast, &base, &constraints, &order)
+            .unwrap();
+        let final_cost = what_if
+            .workload_cost(&engine, &expected, &run.final_config)
+            .unwrap();
+        let order_str: Vec<&str> = order.iter().map(|&i| features[i].label()).collect();
+        table.row(vec![
+            name,
+            order_str.join(" -> "),
+            f3(problem.order_objective(&order)),
+            f2(final_cost.ms()),
+            format!("{:.2}x", w_empty.ms() / final_cost.ms().max(1e-9)),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nLP objective {:.3} == brute-force objective {:.3}: {}",
+        lp.objective,
+        brute.objective,
+        (lp.objective - brute.objective).abs() < 1e-6
+    );
+}

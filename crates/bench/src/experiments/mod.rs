@@ -1,0 +1,35 @@
+//! The experiment suite E1–E10 (see `DESIGN.md` §5 and
+//! `EXPERIMENTS.md`). Each module prints the table(s) for one
+//! experiment; `run` dispatches by id.
+
+pub mod e10_stability;
+pub mod e1_end_to_end;
+pub mod e2_overhead;
+pub mod e3_dependence;
+pub mod e4_lp_ordering;
+pub mod e5_selectors;
+pub mod e6_robustness;
+pub mod e7_chunking;
+pub mod e8_clustering;
+pub mod e9_cost_models;
+
+/// All experiment ids in order.
+pub const ALL: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+
+/// Runs one experiment by id. Returns `false` for unknown ids.
+pub fn run(id: &str) -> bool {
+    match id {
+        "e1" => e1_end_to_end::run(),
+        "e2" => e2_overhead::run(),
+        "e3" => e3_dependence::run(),
+        "e4" => e4_lp_ordering::run(),
+        "e5" => e5_selectors::run(),
+        "e6" => e6_robustness::run(),
+        "e7" => e7_chunking::run(),
+        "e8" => e8_clustering::run(),
+        "e9" => e9_cost_models::run(),
+        "e10" => e10_stability::run(),
+        _ => return false,
+    }
+    true
+}

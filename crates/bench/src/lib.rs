@@ -1,0 +1,12 @@
+//! # smdb-bench — experiment harness and benchmarks
+//!
+//! Shared setup for the `experiments` binary (which regenerates every
+//! experiment table E1–E10 listed in `DESIGN.md` §5) and for the
+//! Criterion benches.
+
+pub mod experiments;
+pub mod setup;
+pub mod table;
+
+pub use setup::*;
+pub use table::TableBuilder;

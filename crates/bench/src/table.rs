@@ -1,0 +1,126 @@
+//! Fixed-width ASCII table printing for experiment output.
+
+/// Builds and renders a padded ASCII table.
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableBuilder {
+    /// Starts a table with column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TableBuilder {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let sep: String = {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s
+        };
+        let fmt_row = |cells: &[String]| {
+            let mut s = String::from("|");
+            for (i, cell) in cells.iter().enumerate() {
+                s.push(' ');
+                s.push_str(cell);
+                s.push_str(&" ".repeat(widths[i] - cell.len() + 1));
+                s.push('|');
+            }
+            s
+        };
+        let mut out = String::new();
+        out.push_str(&sep);
+        out.push('\n');
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        let _ = cols;
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats a float with 3 significant decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats bytes as KiB/MiB.
+pub fn bytes_h(b: u64) -> String {
+    if b >= 1024 * 1024 {
+        format!("{:.1} MiB", b as f64 / (1024.0 * 1024.0))
+    } else if b >= 1024 {
+        format!("{:.1} KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TableBuilder::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long_name".into(), "1234".into()]);
+        let s = t.render();
+        assert!(s.contains("| name"));
+        assert!(s.contains("| long_name |"));
+        let widths: std::collections::HashSet<usize> = s.lines().map(|l| l.len()).collect();
+        assert_eq!(widths.len(), 1, "all lines same width:\n{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        TableBuilder::new(&["a"]).row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f2(1.238), "1.24");
+        assert_eq!(bytes_h(512), "512 B");
+        assert_eq!(bytes_h(2048), "2.0 KiB");
+        assert_eq!(bytes_h(3 * 1024 * 1024), "3.0 MiB");
+    }
+}

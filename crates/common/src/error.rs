@@ -1,0 +1,79 @@
+//! The crate-spanning error type.
+//!
+//! A single enum keeps error plumbing between the substrate crates and the
+//! framework simple; variants carry enough context to be actionable in
+//! tests and experiment output.
+
+use std::fmt;
+
+/// Errors produced anywhere in the smdb stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A named catalog entity (table, column) does not exist.
+    NotFound { entity: &'static str, name: String },
+    /// A value or argument was outside its legal domain.
+    InvalidArgument(String),
+    /// A configuration action could not be applied (e.g. duplicate index).
+    Configuration(String),
+    /// An optimization model was infeasible or unbounded.
+    Optimization(String),
+    /// A numeric routine failed to converge or hit a singularity.
+    Numeric(String),
+    /// A constraint set was violated or self-contradictory.
+    Constraint(String),
+}
+
+impl Error {
+    /// Convenience constructor for [`Error::NotFound`].
+    pub fn not_found(entity: &'static str, name: impl Into<String>) -> Self {
+        Error::NotFound {
+            entity,
+            name: name.into(),
+        }
+    }
+
+    /// Convenience constructor for [`Error::InvalidArgument`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        Error::InvalidArgument(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotFound { entity, name } => write!(f, "{entity} not found: {name}"),
+            Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Error::Configuration(m) => write!(f, "configuration error: {m}"),
+            Error::Optimization(m) => write!(f, "optimization error: {m}"),
+            Error::Numeric(m) => write!(f, "numeric error: {m}"),
+            Error::Constraint(m) => write!(f, "constraint error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias used across all smdb crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = Error::not_found("table", "lineitem");
+        assert_eq!(e.to_string(), "table not found: lineitem");
+        let e = Error::invalid("k must be > 0");
+        assert!(e.to_string().contains("k must be > 0"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            Error::not_found("table", "x"),
+            Error::not_found("table", "x")
+        );
+        assert_ne!(Error::invalid("a"), Error::invalid("b"));
+    }
+}

@@ -1,0 +1,27 @@
+//! Shared primitives for the `smdb` self-managing database framework.
+//!
+//! This crate is the bottom of the dependency graph. It provides the
+//! vocabulary types that every other crate speaks:
+//!
+//! * [`Cost`] — the single cost unit (abstract milliseconds of runtime) the
+//!   paper requires so that decisions are "comparable across different
+//!   features" (Section II-A(d)),
+//! * identifier newtypes for tables, columns and chunks,
+//! * [`ChunkColumnRef`], the per-chunk tuning target of Hyrise-style
+//!   chunked physical design (Section II-B),
+//! * [`LogicalTime`], the discrete clock the workload history and the
+//!   organizer run on,
+//! * [`Error`] / [`Result`], the crate-spanning error type,
+//! * deterministic RNG construction helpers.
+
+pub mod cost;
+pub mod error;
+pub mod ids;
+pub mod rng;
+pub mod time;
+
+pub use cost::Cost;
+pub use error::{Error, Result};
+pub use ids::{ChunkColumnRef, ChunkId, ColumnId, TableId};
+pub use rng::{derive_seed, seeded_rng};
+pub use time::LogicalTime;

@@ -1,0 +1,99 @@
+//! The discrete logical clock.
+//!
+//! The workload history, the forecasting analyzers and the organizer all
+//! operate on discrete time *buckets* (e.g. "one bucket = one minute of
+//! production time"). Using a logical clock keeps every experiment
+//! deterministic and independent of wall time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A discrete point in logical time (a bucket index).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LogicalTime(pub u64);
+
+impl LogicalTime {
+    /// Time zero.
+    pub const ZERO: LogicalTime = LogicalTime(0);
+
+    /// Advances the clock by one bucket and returns the *previous* value,
+    /// i.e. post-increment semantics.
+    pub fn tick(&mut self) -> LogicalTime {
+        let now = *self;
+        self.0 += 1;
+        now
+    }
+
+    /// The raw bucket index.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Buckets elapsed since `earlier`, saturating at zero.
+    #[inline]
+    pub fn since(self, earlier: LogicalTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for LogicalTime {
+    type Output = LogicalTime;
+    #[inline]
+    fn add(self, rhs: u64) -> LogicalTime {
+        LogicalTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for LogicalTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for LogicalTime {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: LogicalTime) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl fmt::Display for LogicalTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_is_post_increment() {
+        let mut t = LogicalTime::ZERO;
+        assert_eq!(t.tick(), LogicalTime(0));
+        assert_eq!(t.tick(), LogicalTime(1));
+        assert_eq!(t, LogicalTime(2));
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        assert_eq!(LogicalTime(3) - LogicalTime(5), 0);
+        assert_eq!(LogicalTime(5) - LogicalTime(3), 2);
+        assert_eq!(LogicalTime(5).since(LogicalTime(2)), 3);
+    }
+
+    #[test]
+    fn addition_advances() {
+        assert_eq!(LogicalTime(1) + 4, LogicalTime(5));
+        let mut t = LogicalTime(1);
+        t += 2;
+        assert_eq!(t, LogicalTime(3));
+    }
+}

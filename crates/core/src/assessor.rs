@@ -1,0 +1,407 @@
+//! Candidate assessors (Section II-D(b)).
+//!
+//! An assessor attaches to every candidate a per-scenario desirability,
+//! a confidence, a permanent (memory) cost and a one-time
+//! (reconfiguration) cost. The default implementation is what-if based:
+//! it evaluates the forecast workload cost with and without the candidate
+//! using an exchangeable cost estimator. Candidate assessment is
+//! embarrassingly parallel and fans out over scoped threads.
+
+use smdb_common::{Cost, Result};
+use smdb_cost::features::ConfigContext;
+use smdb_cost::what_if::estimate_action_cost;
+use smdb_cost::{sizes, WhatIf};
+use smdb_forecast::ForecastSet;
+use smdb_storage::{ConfigAction, ConfigInstance, StorageEngine};
+
+use crate::candidate::{Assessment, Candidate};
+
+/// Assesses candidates against a forecast.
+pub trait Assessor: Send + Sync {
+    /// Human-readable name.
+    fn name(&self) -> &str;
+
+    /// Estimated workload cost of each scenario under `config` (ms,
+    /// aligned with the scenario order). The tuner uses this to price
+    /// whole configurations (combined benefit), not just per-candidate
+    /// deltas.
+    fn scenario_costs(
+        &self,
+        engine: &StorageEngine,
+        config: &ConfigInstance,
+        scenarios: &ForecastSet,
+    ) -> Result<Vec<f64>>;
+
+    /// Assesses all candidates relative to `base`.
+    fn assess(
+        &self,
+        engine: &StorageEngine,
+        base: &ConfigInstance,
+        scenarios: &ForecastSet,
+        candidates: &[Candidate],
+    ) -> Result<Vec<Assessment>>;
+
+    /// Re-assesses a subset of candidates against an updated base
+    /// configuration — the paper's "selectors can also request
+    /// re-assessments … to reflect changed circumstances or incorporate
+    /// interaction between candidates".
+    fn reassess(
+        &self,
+        engine: &StorageEngine,
+        base: &ConfigInstance,
+        scenarios: &ForecastSet,
+        candidates: &[Candidate],
+        subset: &[usize],
+    ) -> Result<Vec<Assessment>> {
+        let picked: Vec<Candidate> = subset.iter().map(|&i| candidates[i].clone()).collect();
+        let mut assessments = self.assess(engine, base, scenarios, &picked)?;
+        for (a, &original) in assessments.iter_mut().zip(subset) {
+            a.candidate = original;
+        }
+        Ok(assessments)
+    }
+}
+
+/// The what-if assessor: desirability = estimated workload cost without
+/// candidate − with candidate, per scenario.
+pub struct WhatIfAssessor {
+    what_if: WhatIf,
+    /// Reported assessment confidence (a property of the underlying cost
+    /// model: logical models are less trustworthy than calibrated ones).
+    pub confidence: f64,
+    /// Number of worker threads for candidate fan-out (1 = sequential).
+    pub threads: usize,
+}
+
+impl WhatIfAssessor {
+    /// Creates an assessor over a cost estimator.
+    pub fn new(what_if: WhatIf, confidence: f64) -> Self {
+        WhatIfAssessor {
+            what_if,
+            confidence,
+            threads: 4,
+        }
+    }
+
+    /// Assesses one candidate given precomputed per-scenario base costs.
+    fn assess_one(
+        &self,
+        engine: &StorageEngine,
+        base: &ConfigInstance,
+        scenarios: &ForecastSet,
+        base_costs: &[f64],
+        index: usize,
+        candidate: &Candidate,
+    ) -> Result<Assessment> {
+        let mut hypo = base.clone();
+        hypo.apply(&candidate.action);
+
+        let estimator = self.what_if.estimator();
+        let ctx = ConfigContext::new(engine, &hypo);
+        let mut per_scenario = Vec::with_capacity(scenarios.len());
+        let mut probabilities = Vec::with_capacity(scenarios.len());
+        for (s, &base_cost) in scenarios.iter().zip(base_costs) {
+            let mut cost = Cost::ZERO;
+            for wq in s.workload.queries() {
+                cost += estimator.query_cost(engine, &ctx, &wq.query, &hypo)? * wq.weight;
+            }
+            per_scenario.push(base_cost - cost.ms());
+            probabilities.push(s.probability);
+        }
+
+        let permanent_bytes = estimate_permanent_bytes(engine, base, &candidate.action)?;
+        let one_time_cost = estimate_action_cost(engine, base, &candidate.action)?;
+        Ok(Assessment {
+            candidate: index,
+            per_scenario,
+            probabilities,
+            confidence: self.confidence,
+            permanent_bytes,
+            one_time_cost,
+        })
+    }
+}
+
+impl Assessor for WhatIfAssessor {
+    fn name(&self) -> &str {
+        "what_if"
+    }
+
+    fn scenario_costs(
+        &self,
+        engine: &StorageEngine,
+        config: &ConfigInstance,
+        scenarios: &ForecastSet,
+    ) -> Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(scenarios.len());
+        for s in scenarios.iter() {
+            out.push(
+                self.what_if
+                    .workload_cost(engine, &s.workload, config)?
+                    .ms(),
+            );
+        }
+        Ok(out)
+    }
+
+    fn assess(
+        &self,
+        engine: &StorageEngine,
+        base: &ConfigInstance,
+        scenarios: &ForecastSet,
+        candidates: &[Candidate],
+    ) -> Result<Vec<Assessment>> {
+        // Base cost per scenario, computed once.
+        let base_costs = self.scenario_costs(engine, base, scenarios)?;
+
+        let threads = self.threads.max(1).min(candidates.len().max(1));
+        if threads == 1 || candidates.len() < 8 {
+            return candidates
+                .iter()
+                .enumerate()
+                .map(|(i, c)| self.assess_one(engine, base, scenarios, &base_costs, i, c))
+                .collect();
+        }
+
+        // Scoped fan-out; results keep candidate order via indexed slots.
+        let mut slots: Vec<Option<Result<Assessment>>> = Vec::new();
+        slots.resize_with(candidates.len(), || None);
+        let chunk = candidates.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (t, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
+                let base_costs = &base_costs;
+                scope.spawn(move |_| {
+                    for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                        let i = t * chunk + off;
+                        *slot = Some(self.assess_one(
+                            engine,
+                            base,
+                            scenarios,
+                            base_costs,
+                            i,
+                            &candidates[i],
+                        ));
+                    }
+                });
+            }
+        })
+        .expect("assessment workers must not panic");
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
+    }
+}
+
+/// Memory delta of applying an action: estimated footprint after − before.
+fn estimate_permanent_bytes(
+    engine: &StorageEngine,
+    base: &ConfigInstance,
+    action: &ConfigAction,
+) -> Result<i64> {
+    Ok(match action {
+        ConfigAction::CreateIndex { target, kind } => {
+            let new = sizes::estimate_target_index_bytes(engine, *target, *kind)? as i64;
+            let old = match base.index_of(*target) {
+                Some(old_kind) => {
+                    sizes::estimate_target_index_bytes(engine, *target, old_kind)? as i64
+                }
+                None => 0,
+            };
+            new - old
+        }
+        ConfigAction::DropIndex { target } => match base.index_of(*target) {
+            Some(kind) => -(sizes::estimate_target_index_bytes(engine, *target, kind)? as i64),
+            None => 0,
+        },
+        ConfigAction::SetEncoding { target, kind } => {
+            let new = sizes::estimate_target_bytes(engine, *target, *kind)? as i64;
+            let old =
+                sizes::estimate_target_bytes(engine, *target, base.encoding_of(*target))? as i64;
+            new - old
+        }
+        // Placement: the "permanent cost" is hot-tier residency — moving
+        // a chunk to the hot tier consumes hot capacity, moving it away
+        // frees it (total footprint is unchanged, but the hot tier is the
+        // constrained resource).
+        ConfigAction::SetPlacement { table, chunk, tier } => {
+            let bytes = sizes::estimate_chunk_bytes(engine, base, *table, *chunk)? as i64;
+            let was_hot = base.tier_of(*table, *chunk) == smdb_storage::Tier::Hot;
+            let is_hot = *tier == smdb_storage::Tier::Hot;
+            match (was_hot, is_hot) {
+                (false, true) => bytes,
+                (true, false) => -bytes,
+                _ => 0,
+            }
+        }
+        // The buffer pool reserves its capacity.
+        ConfigAction::SetKnob { knob, value } => match knob {
+            smdb_storage::KnobKind::BufferPoolMb => {
+                ((value - base.knobs.buffer_pool_mb) * 1024.0 * 1024.0) as i64
+            }
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smdb_common::{ChunkColumnRef, ColumnId, TableId};
+    use smdb_cost::LogicalCostModel;
+    use smdb_forecast::{ScenarioKind, WorkloadScenario};
+    use smdb_query::{Query, Workload};
+    use smdb_storage::value::ColumnValues;
+    use smdb_storage::{
+        ColumnDef, DataType, EncodingKind, IndexKind, ScanPredicate, Schema, Table,
+    };
+    use std::sync::Arc;
+
+    fn setup() -> (StorageEngine, TableId) {
+        let schema = Schema::new(vec![ColumnDef::new("k", DataType::Int)]).unwrap();
+        let table = Table::from_columns(
+            "t",
+            schema,
+            vec![ColumnValues::Int((0..800).map(|i| i % 40).collect())],
+            200,
+        )
+        .unwrap();
+        let mut engine = StorageEngine::default();
+        let id = engine.create_table(table).unwrap();
+        (engine, id)
+    }
+
+    fn forecast(t: TableId) -> ForecastSet {
+        let q = Query::new(
+            t,
+            "t",
+            vec![ScanPredicate::eq(ColumnId(0), 7i64)],
+            None,
+            "pt",
+        );
+        ForecastSet {
+            scenarios: vec![
+                WorkloadScenario {
+                    kind: ScenarioKind::Expected,
+                    name: "expected".into(),
+                    probability: 0.7,
+                    workload: Workload::new(vec![smdb_query::WeightedQuery::new(q.clone(), 10.0)]),
+                },
+                WorkloadScenario {
+                    kind: ScenarioKind::WorstCase,
+                    name: "worst".into(),
+                    probability: 0.3,
+                    workload: Workload::new(vec![smdb_query::WeightedQuery::new(q, 30.0)]),
+                },
+            ],
+        }
+    }
+
+    fn assessor() -> WhatIfAssessor {
+        WhatIfAssessor::new(WhatIf::new(Arc::new(LogicalCostModel::default())), 0.6)
+    }
+
+    #[test]
+    fn useful_index_gets_positive_desirability() {
+        let (engine, t) = setup();
+        let base = ConfigInstance::default();
+        let candidates = vec![Candidate::new(
+            ConfigAction::CreateIndex {
+                target: ChunkColumnRef::new(t.0, 0, 0),
+                kind: IndexKind::Hash,
+            },
+            None,
+        )];
+        let a = assessor()
+            .assess(&engine, &base, &forecast(t), &candidates)
+            .unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].per_scenario.len(), 2);
+        assert!(a[0].expected_desirability() > 0.0);
+        // Worst-case scenario has 3× the weight → 3× the benefit.
+        assert!(a[0].per_scenario[1] > a[0].per_scenario[0] * 2.5);
+        assert!(a[0].permanent_bytes > 0);
+        assert!(a[0].one_time_cost.ms() > 0.0);
+        assert_eq!(a[0].confidence, 0.6);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let (engine, t) = setup();
+        let base = ConfigInstance::default();
+        let mut candidates = Vec::new();
+        for chunk in 0..4u32 {
+            for kind in IndexKind::ALL {
+                candidates.push(Candidate::new(
+                    ConfigAction::CreateIndex {
+                        target: ChunkColumnRef::new(t.0, 0, chunk),
+                        kind,
+                    },
+                    None,
+                ));
+            }
+        }
+        let mut seq = assessor();
+        seq.threads = 1;
+        let mut par = assessor();
+        par.threads = 4;
+        let f = forecast(t);
+        let a = seq.assess(&engine, &base, &f, &candidates).unwrap();
+        let b = par.assess(&engine, &base, &f, &candidates).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.candidate, y.candidate);
+            assert_eq!(x.per_scenario, y.per_scenario);
+        }
+    }
+
+    #[test]
+    fn encoding_saves_memory_as_negative_permanent_bytes() {
+        let (engine, t) = setup();
+        let base = ConfigInstance::default();
+        let candidates = vec![Candidate::new(
+            ConfigAction::SetEncoding {
+                target: ChunkColumnRef::new(t.0, 0, 0),
+                kind: EncodingKind::Dictionary,
+            },
+            None,
+        )];
+        let a = assessor()
+            .assess(&engine, &base, &forecast(t), &candidates)
+            .unwrap();
+        assert!(a[0].permanent_bytes < 0, "dict should shrink: {a:?}");
+    }
+
+    #[test]
+    fn reassess_keeps_original_indices() {
+        let (engine, t) = setup();
+        let base = ConfigInstance::default();
+        let candidates: Vec<Candidate> = (0..4u32)
+            .map(|chunk| {
+                Candidate::new(
+                    ConfigAction::CreateIndex {
+                        target: ChunkColumnRef::new(t.0, 0, chunk),
+                        kind: IndexKind::Hash,
+                    },
+                    None,
+                )
+            })
+            .collect();
+        let a = assessor()
+            .reassess(&engine, &base, &forecast(t), &candidates, &[2, 3])
+            .unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].candidate, 2);
+        assert_eq!(a[1].candidate, 3);
+    }
+
+    #[test]
+    fn drop_index_frees_memory() {
+        let (engine, t) = setup();
+        let target = ChunkColumnRef::new(t.0, 0, 0);
+        let mut base = ConfigInstance::default();
+        base.indexes.insert(target, IndexKind::BTree);
+        let bytes =
+            estimate_permanent_bytes(&engine, &base, &ConfigAction::DropIndex { target }).unwrap();
+        assert!(bytes < 0);
+    }
+}

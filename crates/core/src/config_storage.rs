@@ -1,0 +1,218 @@
+//! Configuration-instance storage — the feedback loop.
+//!
+//! "When the configuration is adjusted, former configuration instances
+//! are stored. This storing is central to establish a feedback loop for
+//! past decisions by enabling the assessment of the impact of past tuning
+//! decisions." (Section II-A(b))
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use smdb_common::{Cost, LogicalTime, Result};
+use smdb_storage::{ConfigAction, ConfigInstance, ConfigSnapshot};
+
+use crate::feature::FeatureKind;
+
+/// One stored (applied) configuration instance with its tuning context.
+#[derive(Debug, Clone)]
+pub struct StoredInstance {
+    pub applied_at: LogicalTime,
+    /// The feature whose tuning produced this instance (None for
+    /// multi-feature runs).
+    pub feature: Option<FeatureKind>,
+    /// The configuration after application.
+    pub config: ConfigInstance,
+    /// The actions that realised it.
+    pub actions: Vec<ConfigAction>,
+    /// What the tuner predicted the workload would cost afterwards.
+    pub predicted_cost: Cost,
+    /// Measured reconfiguration cost.
+    pub reconfiguration_cost: Cost,
+    /// Mean observed response time before the change.
+    pub observed_before: Cost,
+    /// Mean observed response time after the change (filled by the
+    /// feedback pass once enough post-change queries ran).
+    pub observed_after: Option<Cost>,
+}
+
+/// Assessment of one past decision, produced by the feedback loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionFeedback {
+    pub applied_at: LogicalTime,
+    pub feature: Option<FeatureKind>,
+    /// Observed mean-response improvement (before − after); negative
+    /// means the decision hurt.
+    pub observed_improvement: Cost,
+}
+
+/// Thread-safe storage of applied configuration instances.
+#[derive(Debug, Default)]
+pub struct ConfigStorage {
+    instances: Mutex<Vec<StoredInstance>>,
+}
+
+impl ConfigStorage {
+    /// Creates empty storage.
+    pub fn new() -> Self {
+        ConfigStorage::default()
+    }
+
+    /// Stores a newly applied instance.
+    pub fn store(&self, instance: StoredInstance) {
+        self.instances.lock().push(instance);
+    }
+
+    /// Number of stored instances.
+    pub fn len(&self) -> usize {
+        self.instances.lock().len()
+    }
+
+    /// Whether no instance has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.instances.lock().is_empty()
+    }
+
+    /// Fills `observed_after` of the most recent instance that still
+    /// lacks it (called once post-change KPIs are stable).
+    pub fn complete_latest(&self, observed_after: Cost) -> bool {
+        let mut instances = self.instances.lock();
+        for inst in instances.iter_mut().rev() {
+            if inst.observed_after.is_none() {
+                inst.observed_after = Some(observed_after);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// A clone of all stored instances (most recent last).
+    pub fn snapshot(&self) -> Vec<StoredInstance> {
+        self.instances.lock().clone()
+    }
+
+    /// Feedback on every decision whose after-measurement exists.
+    pub fn feedback(&self) -> Vec<DecisionFeedback> {
+        self.instances
+            .lock()
+            .iter()
+            .filter_map(|inst| {
+                inst.observed_after.map(|after| DecisionFeedback {
+                    applied_at: inst.applied_at,
+                    feature: inst.feature,
+                    observed_improvement: inst.observed_before - after,
+                })
+            })
+            .collect()
+    }
+
+    /// The configuration in effect after the latest stored instance.
+    pub fn latest_config(&self) -> Option<ConfigInstance> {
+        self.instances.lock().last().map(|i| i.config.clone())
+    }
+
+    /// Exports the whole decision history as JSON — the durable audit
+    /// trail of the feedback loop (what was applied when, what it was
+    /// predicted to do, and what it actually did).
+    pub fn export_json(&self) -> Result<String> {
+        #[derive(Serialize)]
+        struct Exported {
+            applied_at: u64,
+            feature: Option<String>,
+            config: ConfigSnapshot,
+            actions: Vec<String>,
+            predicted_cost_ms: f64,
+            reconfiguration_cost_ms: f64,
+            observed_before_ms: f64,
+            observed_after_ms: Option<f64>,
+        }
+        let instances = self.instances.lock();
+        let rows: Vec<Exported> = instances
+            .iter()
+            .map(|i| Exported {
+                applied_at: i.applied_at.raw(),
+                feature: i.feature.map(|f| f.label().to_string()),
+                config: ConfigSnapshot::from(&i.config),
+                actions: i.actions.iter().map(|a| a.to_string()).collect(),
+                predicted_cost_ms: i.predicted_cost.ms(),
+                reconfiguration_cost_ms: i.reconfiguration_cost.ms(),
+                observed_before_ms: i.observed_before.ms(),
+                observed_after_ms: i.observed_after.map(|c| c.ms()),
+            })
+            .collect();
+        serde_json::to_string_pretty(&rows)
+            .map_err(|e| smdb_common::Error::invalid(format!("JSON export failed: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance(at: u64, before: f64) -> StoredInstance {
+        StoredInstance {
+            applied_at: LogicalTime(at),
+            feature: Some(FeatureKind::Indexing),
+            config: ConfigInstance::default(),
+            actions: vec![],
+            predicted_cost: Cost(10.0),
+            reconfiguration_cost: Cost(1.0),
+            observed_before: Cost(before),
+            observed_after: None,
+        }
+    }
+
+    #[test]
+    fn store_and_feedback_loop() {
+        let storage = ConfigStorage::new();
+        assert!(storage.is_empty());
+        storage.store(instance(1, 20.0));
+        assert!(storage.complete_latest(Cost(12.0)));
+        storage.store(instance(5, 12.0));
+        // Second instance not yet measured → one feedback entry.
+        let fb = storage.feedback();
+        assert_eq!(fb.len(), 1);
+        assert_eq!(fb[0].observed_improvement, Cost(8.0));
+        assert!(storage.complete_latest(Cost(15.0)));
+        let fb = storage.feedback();
+        assert_eq!(fb.len(), 2);
+        // The second decision made things worse: negative improvement.
+        assert!(fb[1].observed_improvement.ms() < 0.0);
+        // Nothing left to complete.
+        assert!(!storage.complete_latest(Cost(1.0)));
+    }
+
+    #[test]
+    fn export_json_roundtrips_structured_fields() {
+        let storage = ConfigStorage::new();
+        let mut inst = instance(3, 9.0);
+        inst.config.indexes.insert(
+            smdb_common::ChunkColumnRef::new(0, 1, 2),
+            smdb_storage::IndexKind::Hash,
+        );
+        inst.actions = vec![ConfigAction::DropIndex {
+            target: smdb_common::ChunkColumnRef::new(0, 0, 0),
+        }];
+        storage.store(inst);
+        storage.complete_latest(Cost(4.5));
+        let json = storage.export_json().unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.as_array().unwrap().len(), 1);
+        let row = &parsed[0];
+        assert_eq!(row["applied_at"], 3);
+        assert_eq!(row["feature"], "indexing");
+        assert_eq!(row["observed_after_ms"], 4.5);
+        assert_eq!(row["config"]["indexes"].as_array().unwrap().len(), 1);
+        assert!(row["actions"][0].as_str().unwrap().contains("DROP INDEX"));
+    }
+
+    #[test]
+    fn latest_config_follows_stores() {
+        let storage = ConfigStorage::new();
+        assert!(storage.latest_config().is_none());
+        let mut inst = instance(1, 5.0);
+        inst.config.knobs.buffer_pool_mb = 512.0;
+        storage.store(inst);
+        assert_eq!(storage.latest_config().unwrap().knobs.buffer_pool_mb, 512.0);
+        assert_eq!(storage.len(), 1);
+        assert_eq!(storage.snapshot().len(), 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Constraints on the tuning process (Section II-A(c)).
+//!
+//! Constraints are either DBMS-related (SLAs, index memory budgets set by
+//! users or management software) or derived from hardware resources.
+//! "Both types of constraints could conflict. In such cases, available
+//! hardware resources overwrite externally specified ones."
+
+use smdb_common::Cost;
+
+/// The constraint set the organizer enforces during tuning.
+#[derive(Debug, Clone, Default)]
+pub struct ConstraintSet {
+    /// DBMS-related: memory budget for indexes, bytes.
+    pub index_memory_bytes: Option<i64>,
+    /// DBMS-related: service-level agreement on mean query response time.
+    pub sla_mean_response: Option<Cost>,
+    /// Hardware: total memory available to the system, bytes. On
+    /// conflict this overrides DBMS-related budgets.
+    pub hardware_memory_bytes: Option<i64>,
+    /// Hardware: capacity of the hot tier, bytes (drives placement).
+    pub hot_tier_bytes: Option<i64>,
+}
+
+impl ConstraintSet {
+    /// An unconstrained set.
+    pub fn none() -> Self {
+        ConstraintSet::default()
+    }
+
+    /// The index memory budget actually in effect: the DBMS budget capped
+    /// by what the hardware can hold beyond the current data footprint.
+    /// Hardware wins conflicts.
+    pub fn effective_index_budget(&self, data_bytes_in_use: i64) -> Option<i64> {
+        let hardware_headroom = self
+            .hardware_memory_bytes
+            .map(|hw| (hw - data_bytes_in_use).max(0));
+        match (self.index_memory_bytes, hardware_headroom) {
+            (Some(dbms), Some(hw)) => Some(dbms.min(hw)),
+            (Some(dbms), None) => Some(dbms),
+            (None, Some(hw)) => Some(hw),
+            (None, None) => None,
+        }
+    }
+
+    /// Whether a mean response time violates the SLA.
+    pub fn violates_sla(&self, mean_response: Cost) -> bool {
+        self.sla_mean_response
+            .is_some_and(|sla| mean_response.ms() > sla.ms())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardware_overrides_dbms_budget() {
+        let c = ConstraintSet {
+            index_memory_bytes: Some(1000),
+            hardware_memory_bytes: Some(1200),
+            ..ConstraintSet::default()
+        };
+        // 800 bytes of data leave 400 of hardware headroom < 1000 DBMS.
+        assert_eq!(c.effective_index_budget(800), Some(400));
+        // Plenty of hardware: DBMS budget binds.
+        assert_eq!(c.effective_index_budget(0), Some(1000));
+    }
+
+    #[test]
+    fn missing_constraints_propagate() {
+        assert_eq!(ConstraintSet::none().effective_index_budget(0), None);
+        let hw_only = ConstraintSet {
+            hardware_memory_bytes: Some(100),
+            ..ConstraintSet::default()
+        };
+        assert_eq!(hw_only.effective_index_budget(40), Some(60));
+        // Headroom never negative.
+        assert_eq!(hw_only.effective_index_budget(150), Some(0));
+    }
+
+    #[test]
+    fn sla_detection() {
+        let c = ConstraintSet {
+            sla_mean_response: Some(Cost(5.0)),
+            ..ConstraintSet::default()
+        };
+        assert!(c.violates_sla(Cost(6.0)));
+        assert!(!c.violates_sla(Cost(4.0)));
+        assert!(!ConstraintSet::none().violates_sla(Cost(100.0)));
+    }
+}

@@ -1,0 +1,605 @@
+//! The driver: "the central entity encapsulating all the other
+//! components that are responsible for adding self-management
+//! capabilities" (Section II-A).
+//!
+//! The driver owns the workload predictor, the multi-feature tuner, the
+//! organizer, the KPI collector, the configuration-instance storage and
+//! the constraint set, and mediates their access to the database (plan
+//! cache, engine, cost estimators).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use smdb_common::{Cost, Result};
+use smdb_cost::{CalibratedCostModel, CostEstimator, WhatIf};
+use smdb_forecast::{
+    ForecastSet, PredictorConfig, WorkloadAnalyzer, WorkloadHistory, WorkloadPredictor,
+};
+use smdb_query::{Database, Query};
+
+use crate::config_storage::{ConfigStorage, StoredInstance};
+use crate::constraints::ConstraintSet;
+use crate::executor::{Executor, SequentialExecutor};
+use crate::feature::FeatureKind;
+use crate::kpi::KpiCollector;
+use crate::multi::MultiFeatureTuner;
+use crate::organizer::{Organizer, OrganizerConfig, TuningTrigger};
+use crate::tuner::{standard_tuner, TuningProposal};
+
+/// How the driver orders features in a multi-feature tuning run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderingPolicy {
+    /// Registration order (no analysis).
+    Registration,
+    /// Descending single-feature impact `W∅/W_A`.
+    Impact,
+    /// The paper's LP-based order optimization (Section III-B).
+    LpOptimized,
+}
+
+/// Report of one driver-run bucket.
+#[derive(Debug, Clone)]
+pub struct BucketReport {
+    pub queries_run: usize,
+    pub bucket_cost: Cost,
+    pub now: smdb_common::LogicalTime,
+}
+
+/// Report of one tuning run.
+#[derive(Debug)]
+pub struct TuningRunReport {
+    pub trigger: TuningTrigger,
+    pub order: Vec<FeatureKind>,
+    pub proposals: Vec<TuningProposal>,
+    pub applied_actions: usize,
+    pub reconfiguration_cost: Cost,
+}
+
+/// The central self-management entity.
+pub struct Driver {
+    db: Arc<Database>,
+    history: Mutex<WorkloadHistory>,
+    predictor: WorkloadPredictor,
+    multi: MultiFeatureTuner,
+    organizer: Organizer,
+    kpis: KpiCollector,
+    storage: ConfigStorage,
+    constraints: ConstraintSet,
+    executor: Box<dyn Executor>,
+    /// Online-learning cost model fed by every monitored execution.
+    calibrated: Option<Arc<CalibratedCostModel>>,
+    ordering_policy: OrderingPolicy,
+    /// Rolling observed workload cost of the last closed bucket.
+    last_bucket_cost: Mutex<Cost>,
+    /// Actions a utilization-gated executor deferred; retried each bucket
+    /// ("the executor can access runtime KPIs to determine favorable
+    /// points in time for applying the choices", Section II-D(d)).
+    pending_actions: Mutex<Vec<smdb_storage::ConfigAction>>,
+}
+
+impl Driver {
+    /// Starts building a driver for a database.
+    pub fn builder(db: Arc<Database>) -> DriverBuilder {
+        DriverBuilder::new(db)
+    }
+
+    /// The database handle.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The KPI collector.
+    pub fn kpis(&self) -> &KpiCollector {
+        &self.kpis
+    }
+
+    /// The configuration-instance storage (feedback loop).
+    pub fn config_storage(&self) -> &ConfigStorage {
+        &self.storage
+    }
+
+    /// The constraint set.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
+    }
+
+    /// The multi-feature tuner.
+    pub fn multi(&self) -> &MultiFeatureTuner {
+        &self.multi
+    }
+
+    /// Runs one bucket of queries through the database: executes each
+    /// query (monitoring feeds the plan cache), records KPIs, optionally
+    /// trains the calibrated cost model, snapshots the plan cache into
+    /// the workload history, and advances the logical clock.
+    pub fn run_bucket(&self, queries: &[Query]) -> Result<BucketReport> {
+        let mut bucket_cost = Cost::ZERO;
+        let config = self.db.engine().current_config();
+        for q in queries {
+            let result = self.db.run_query(q)?;
+            bucket_cost += result.output.sim_cost;
+            self.kpis.record_query(result.output.sim_cost);
+            if let Some(model) = &self.calibrated {
+                let engine = self.db.engine();
+                model.observe(&engine, q, &config, result.output.sim_cost)?;
+            }
+        }
+        let now = self.db.now();
+        {
+            let engine = self.db.engine();
+            self.kpis
+                .record_memory(engine.memory_report().total_bytes());
+        }
+        self.history
+            .lock()
+            .observe(now, &self.db.plan_cache().snapshot());
+        self.kpis.end_bucket(bucket_cost);
+        *self.last_bucket_cost.lock() = bucket_cost;
+        self.db.advance_time();
+        // Retry actions a utilization-gated executor deferred earlier;
+        // the bucket just closed, so the KPI window is fresh.
+        self.drain_pending()?;
+        Ok(BucketReport {
+            queries_run: queries.len(),
+            bucket_cost,
+            now,
+        })
+    }
+
+    /// Attempts to apply deferred actions (no-op when none are pending or
+    /// the executor still defers). Returns how many were applied.
+    pub fn drain_pending(&self) -> Result<usize> {
+        let actions: Vec<smdb_storage::ConfigAction> = {
+            let mut pending = self.pending_actions.lock();
+            if pending.is_empty() {
+                return Ok(0);
+            }
+            std::mem::take(&mut *pending)
+        };
+        let report = self.executor.execute(&self.db, &self.kpis, &actions)?;
+        if report.deferred > 0 {
+            // Still not a favorable point in time; keep them queued.
+            *self.pending_actions.lock() = actions;
+            return Ok(0);
+        }
+        Ok(report.applied)
+    }
+
+    /// Number of actions currently deferred by the executor.
+    pub fn pending_actions(&self) -> usize {
+        self.pending_actions.lock().len()
+    }
+
+    /// Produces the current forecast from the observed history.
+    pub fn forecast(&self) -> ForecastSet {
+        self.predictor.predict(&self.history.lock())
+    }
+
+    /// Checks the organizer and, when it fires, runs a full tuning pass.
+    pub fn maybe_tune(&self) -> Result<Option<TuningRunReport>> {
+        let forecast = self.forecast();
+        let Some(expected) = forecast.expected() else {
+            return Ok(None);
+        };
+        let forecast_cost = {
+            let engine = self.db.engine();
+            let config = engine.current_config();
+            self.multi
+                .what_if()
+                .workload_cost(&engine, &expected.workload, &config)?
+        };
+        let observed = *self.last_bucket_cost.lock();
+        let now = self.db.now();
+        let Some(trigger) =
+            self.organizer
+                .should_tune(now, observed, forecast_cost, &self.kpis, &self.constraints)
+        else {
+            return Ok(None);
+        };
+        self.tune_with_trigger(trigger, forecast).map(Some)
+    }
+
+    /// Forces a tuning pass now (Manual trigger).
+    pub fn force_tune(&self) -> Result<TuningRunReport> {
+        let forecast = self.forecast();
+        self.tune_with_trigger(TuningTrigger::Manual, forecast)
+    }
+
+    fn tune_with_trigger(
+        &self,
+        trigger: TuningTrigger,
+        forecast: ForecastSet,
+    ) -> Result<TuningRunReport> {
+        if forecast.expected().is_none() {
+            return Err(smdb_common::Error::invalid(
+                "cannot tune without an expected forecast",
+            ));
+        }
+        let (order_idx, proposals, final_config, base_config) = {
+            let engine = self.db.engine();
+            let base = engine.current_config();
+            let n = self.multi.features().len();
+            let order_idx: Vec<usize> = match self.ordering_policy {
+                OrderingPolicy::Registration => (0..n).collect(),
+                OrderingPolicy::Impact => {
+                    let report =
+                        self.multi
+                            .analyze(&engine, &forecast, &base, &self.constraints)?;
+                    report.impact_order()
+                }
+                OrderingPolicy::LpOptimized => {
+                    let report =
+                        self.multi
+                            .analyze(&engine, &forecast, &base, &self.constraints)?;
+                    self.multi.lp_order(&report)?.order
+                }
+            };
+            let run = self.multi.tune_in_order(
+                &engine,
+                &forecast,
+                &base,
+                &self.constraints,
+                &order_idx,
+            )?;
+            (order_idx, run.proposals, run.final_config, base)
+        };
+
+        // Execute the combined action list.
+        let actions = base_config.diff(&final_config);
+        let report = self.executor.execute(&self.db, &self.kpis, &actions)?;
+        if report.deferred > 0 {
+            // Utilization-gated executor postponed the change; queue it
+            // for the next low-utilization window.
+            self.pending_actions.lock().extend(actions.iter().cloned());
+        }
+        let now = self.db.now();
+        self.organizer.record_tuning(now);
+
+        // Feedback loop: complete the previous instance, store this one.
+        let observed_before = self.kpis.mean_response();
+        self.storage.complete_latest(observed_before);
+        if report.applied > 0 {
+            let predicted_cost = {
+                let engine = self.db.engine();
+                let expected = forecast.expected().expect("checked above");
+                self.multi
+                    .what_if()
+                    .workload_cost(&engine, &expected.workload, &final_config)?
+            };
+            self.storage.store(StoredInstance {
+                applied_at: now,
+                feature: None,
+                config: final_config,
+                actions: actions.clone(),
+                predicted_cost,
+                reconfiguration_cost: report.reconfiguration_cost,
+                observed_before,
+                observed_after: None,
+            });
+            self.kpis.reset_latencies();
+        }
+
+        let order: Vec<FeatureKind> = {
+            let features = self.multi.features();
+            order_idx.iter().map(|&i| features[i]).collect()
+        };
+        Ok(TuningRunReport {
+            trigger,
+            order,
+            proposals,
+            applied_actions: report.applied,
+            reconfiguration_cost: report.reconfiguration_cost,
+        })
+    }
+}
+
+/// Builder wiring the driver's exchangeable components.
+pub struct DriverBuilder {
+    db: Arc<Database>,
+    analyzer: Box<dyn WorkloadAnalyzer>,
+    predictor_config: PredictorConfig,
+    estimator: Option<Arc<dyn CostEstimator>>,
+    calibrated: Option<Arc<CalibratedCostModel>>,
+    features: Vec<FeatureKind>,
+    organizer_config: OrganizerConfig,
+    constraints: ConstraintSet,
+    executor: Option<Box<dyn Executor>>,
+    ordering_policy: OrderingPolicy,
+    kpi_bucket_capacity: Cost,
+}
+
+impl DriverBuilder {
+    fn new(db: Arc<Database>) -> Self {
+        DriverBuilder {
+            db,
+            analyzer: Box::new(smdb_forecast::analyzers::MovingAverage::new(4)),
+            predictor_config: PredictorConfig::default(),
+            estimator: None,
+            calibrated: None,
+            features: vec![FeatureKind::Indexing, FeatureKind::Compression],
+            organizer_config: OrganizerConfig::default(),
+            constraints: ConstraintSet::none(),
+            executor: None,
+            ordering_policy: OrderingPolicy::Registration,
+            kpi_bucket_capacity: Cost(1000.0),
+        }
+    }
+
+    /// Sets the workload analyzer.
+    pub fn analyzer(mut self, analyzer: Box<dyn WorkloadAnalyzer>) -> Self {
+        self.analyzer = analyzer;
+        self
+    }
+
+    /// Sets the predictor configuration.
+    pub fn predictor_config(mut self, config: PredictorConfig) -> Self {
+        self.predictor_config = config;
+        self
+    }
+
+    /// Uses a fixed cost estimator (e.g. the logical model).
+    pub fn estimator(mut self, estimator: Arc<dyn CostEstimator>) -> Self {
+        self.estimator = Some(estimator);
+        self
+    }
+
+    /// Uses a calibrated cost model that keeps learning online from every
+    /// monitored execution (the paper's adaptive cost estimation).
+    pub fn learned_estimator(mut self, model: Arc<CalibratedCostModel>) -> Self {
+        self.calibrated = Some(model.clone());
+        self.estimator = Some(model);
+        self
+    }
+
+    /// Sets the managed features (one tuner per feature).
+    pub fn features(mut self, features: Vec<FeatureKind>) -> Self {
+        self.features = features;
+        self
+    }
+
+    /// Sets organizer thresholds.
+    pub fn organizer(mut self, config: OrganizerConfig) -> Self {
+        self.organizer_config = config;
+        self
+    }
+
+    /// Sets constraints.
+    pub fn constraints(mut self, constraints: ConstraintSet) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Sets the executor.
+    pub fn executor(mut self, executor: Box<dyn Executor>) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// Sets the feature-ordering policy.
+    pub fn ordering_policy(mut self, policy: OrderingPolicy) -> Self {
+        self.ordering_policy = policy;
+        self
+    }
+
+    /// Sets the KPI bucket capacity (ms of work per bucket at 100 %).
+    pub fn kpi_bucket_capacity(mut self, capacity: Cost) -> Self {
+        self.kpi_bucket_capacity = capacity;
+        self
+    }
+
+    /// Assembles the driver.
+    pub fn build(self) -> Driver {
+        let estimator = self.estimator.unwrap_or_else(|| {
+            Arc::new(smdb_cost::LogicalCostModel::default()) as Arc<dyn CostEstimator>
+        });
+        let what_if = WhatIf::new(estimator);
+        let tuners = self
+            .features
+            .iter()
+            .map(|&f| standard_tuner(f, what_if.clone()))
+            .collect();
+        Driver {
+            db: self.db,
+            history: Mutex::new(WorkloadHistory::new()),
+            predictor: WorkloadPredictor::new(self.analyzer, self.predictor_config),
+            multi: MultiFeatureTuner::new(tuners, what_if),
+            organizer: Organizer::new(self.organizer_config),
+            kpis: KpiCollector::new(self.kpi_bucket_capacity, 0.3),
+            storage: ConfigStorage::new(),
+            constraints: self.constraints,
+            executor: self
+                .executor
+                .unwrap_or_else(|| Box::new(SequentialExecutor::immediate())),
+            calibrated: self.calibrated,
+            ordering_policy: self.ordering_policy,
+            last_bucket_cost: Mutex::new(Cost::ZERO),
+            pending_actions: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smdb_common::{ColumnId, TableId};
+    use smdb_storage::value::ColumnValues;
+    use smdb_storage::{ColumnDef, DataType, ScanPredicate, Schema, StorageEngine, Table};
+
+    fn database() -> Arc<Database> {
+        let schema = Schema::new(vec![ColumnDef::new("k", DataType::Int)]).unwrap();
+        let table = Table::from_columns(
+            "t",
+            schema,
+            vec![ColumnValues::Int((0..2000).map(|i| i % 50).collect())],
+            500,
+        )
+        .unwrap();
+        let mut engine = StorageEngine::default();
+        engine.create_table(table).unwrap();
+        Database::new(engine)
+    }
+
+    fn queries(n: usize) -> Vec<Query> {
+        (0..n)
+            .map(|i| {
+                Query::new(
+                    TableId(0),
+                    "t",
+                    vec![ScanPredicate::eq(ColumnId(0), (i % 50) as i64)],
+                    None,
+                    "pt",
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bucket_lifecycle_feeds_history_and_kpis() {
+        let db = database();
+        let driver = Driver::builder(db).build();
+        let report = driver.run_bucket(&queries(20)).unwrap();
+        assert_eq!(report.queries_run, 20);
+        assert!(report.bucket_cost.ms() > 0.0);
+        assert_eq!(driver.kpis().queries_total(), 20);
+        let forecast = driver.forecast();
+        assert!(!forecast.is_empty());
+        assert!(forecast.expected().unwrap().workload.total_weight() > 0.0);
+    }
+
+    #[test]
+    fn end_to_end_tuning_improves_workload() {
+        let db = database();
+        let driver = Driver::builder(db.clone()).build();
+        // Observe a few buckets of a stable point-lookup workload.
+        for _ in 0..3 {
+            driver.run_bucket(&queries(30)).unwrap();
+        }
+        let before: Cost = queries(30)
+            .iter()
+            .map(|q| db.run_query(q).unwrap().output.sim_cost)
+            .sum();
+        let report = driver.force_tune().unwrap();
+        assert!(report.applied_actions > 0, "{report:?}");
+        assert_eq!(driver.config_storage().len(), 1);
+        let after: Cost = queries(30)
+            .iter()
+            .map(|q| db.run_query(q).unwrap().output.sim_cost)
+            .sum();
+        assert!(
+            after.ms() < before.ms() * 0.8,
+            "before {before} after {after}"
+        );
+    }
+
+    #[test]
+    fn organizer_gates_tuning() {
+        let db = database();
+        let driver = Driver::builder(db).build();
+        // Stable workload: the moving-average forecast matches what is
+        // being observed, so the organizer stays quiet.
+        for _ in 0..3 {
+            driver.run_bucket(&queries(10)).unwrap();
+        }
+        // A sudden surge: the lagging forecast deviates from the observed
+        // bucket cost by far more than the threshold → trigger.
+        driver.run_bucket(&queries(80)).unwrap();
+        let first = driver.maybe_tune().unwrap();
+        assert!(first.is_some());
+        assert!(matches!(
+            first.unwrap().trigger,
+            crate::organizer::TuningTrigger::ForecastShift { .. }
+        ));
+        // Immediately after: rate-limited.
+        let second = driver.maybe_tune().unwrap();
+        assert!(second.is_none());
+    }
+
+    #[test]
+    fn feedback_loop_completes_instances() {
+        let db = database();
+        let driver = Driver::builder(db).build();
+        for _ in 0..3 {
+            driver.run_bucket(&queries(30)).unwrap();
+        }
+        driver.force_tune().unwrap();
+        // Run more traffic, then a second tuning completes the first
+        // instance's after-measurement.
+        for _ in 0..3 {
+            driver.run_bucket(&queries(30)).unwrap();
+        }
+        driver.force_tune().unwrap();
+        let feedback = driver.config_storage().feedback();
+        assert_eq!(feedback.len(), 1);
+        assert!(feedback[0].observed_improvement.ms() > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod deferred_tests {
+    use super::*;
+    use crate::executor::SequentialExecutor;
+    use smdb_common::{ColumnId, TableId};
+    use smdb_query::Query;
+    use smdb_storage::value::ColumnValues;
+    use smdb_storage::{ColumnDef, DataType, ScanPredicate, Schema, StorageEngine, Table};
+
+    fn database() -> Arc<Database> {
+        let schema = Schema::new(vec![ColumnDef::new("k", DataType::Int)]).unwrap();
+        let table = Table::from_columns(
+            "t",
+            schema,
+            vec![ColumnValues::Int((0..2000).map(|i| i % 50).collect())],
+            500,
+        )
+        .unwrap();
+        let mut engine = StorageEngine::default();
+        engine.create_table(table).unwrap();
+        Database::new(engine)
+    }
+
+    fn queries(n: usize) -> Vec<Query> {
+        (0..n)
+            .map(|i| {
+                Query::new(
+                    TableId(0),
+                    "t",
+                    vec![ScanPredicate::eq(ColumnId(0), (i % 50) as i64)],
+                    None,
+                    "pt",
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tuning_defers_under_load_and_applies_when_idle() {
+        let db = database();
+        let driver = Driver::builder(db.clone())
+            .features(vec![FeatureKind::Indexing])
+            .executor(Box::new(SequentialExecutor::during_low_utilization()))
+            // Tiny bucket capacity: the observation buckets count as busy.
+            .kpi_bucket_capacity(Cost(1.0))
+            .build();
+        for _ in 0..3 {
+            driver.run_bucket(&queries(100)).unwrap();
+        }
+        // The system is "busy" (bucket cost >> capacity): tuning defers.
+        let report = driver.force_tune().unwrap();
+        assert_eq!(report.applied_actions, 0, "{report:?}");
+        assert!(driver.pending_actions() > 0);
+        assert!(db.engine().current_config().indexes.is_empty());
+
+        // An idle bucket closes → the deferred actions drain.
+        driver.run_bucket(&[]).unwrap();
+        assert_eq!(driver.pending_actions(), 0);
+        assert!(!db.engine().current_config().indexes.is_empty());
+    }
+
+    #[test]
+    fn drain_pending_is_noop_without_queue() {
+        let db = database();
+        let driver = Driver::builder(db).build();
+        assert_eq!(driver.drain_pending().unwrap(), 0);
+        assert_eq!(driver.pending_actions(), 0);
+    }
+}

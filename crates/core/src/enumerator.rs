@@ -1,0 +1,472 @@
+//! Candidate enumerators (Section II-D(a)).
+//!
+//! "An enumerator is responsible for providing a list of candidates … The
+//! size of the candidate set is typically a significant contributor to
+//! the execution time of optimization algorithms." Each feature has an
+//! exhaustive enumerator and (for indexing) a heuristic one that
+//! restricts the set workload-drivenly; the framework can "fall back to
+//! restrictive enumerators when necessary".
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{Hash, Hasher};
+
+use smdb_common::{ChunkColumnRef, Result};
+use smdb_forecast::ForecastSet;
+use smdb_storage::{
+    ConfigAction, ConfigInstance, EncodingKind, IndexKind, KnobKind, StorageEngine, Tier,
+};
+
+use crate::candidate::Candidate;
+
+/// Produces the candidate list for one tuning run.
+pub trait Enumerator: Send + Sync {
+    /// Human-readable name.
+    fn name(&self) -> &str;
+
+    /// Enumerates candidates relative to `base` under the forecast.
+    fn enumerate(
+        &self,
+        engine: &StorageEngine,
+        base: &ConfigInstance,
+        scenarios: &ForecastSet,
+    ) -> Result<Vec<Candidate>>;
+}
+
+fn group_of(target: ChunkColumnRef, salt: u64) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    target.hash(&mut h);
+    salt.hash(&mut h);
+    h.finish()
+}
+
+/// Columns referenced by predicates in any scenario, with their summed
+/// query weight (used for workload-driven restriction) and whether range
+/// operators occur.
+fn predicate_columns(
+    scenarios: &ForecastSet,
+) -> BTreeMap<(smdb_common::TableId, smdb_common::ColumnId), (f64, bool)> {
+    let mut out: BTreeMap<_, (f64, bool)> = BTreeMap::new();
+    for scenario in scenarios.iter() {
+        for wq in scenario.workload.queries() {
+            for p in wq.query.predicates() {
+                let entry = out
+                    .entry((wq.query.table(), p.column))
+                    .or_insert((0.0, false));
+                entry.0 += wq.weight * scenario.probability;
+                entry.1 |= p.op.is_range();
+            }
+        }
+    }
+    out
+}
+
+/// Index candidates on every `(predicate column, chunk)` pair seen in the
+/// forecast: hash where only point predicates occur, hash + B-tree where
+/// ranges occur, plus **multi-attribute** composite candidates for every
+/// ordered pair of equality predicates co-occurring in a query (the
+/// paper's "set of lists (to support multi-attribute indexes) of
+/// attributes"). Optionally capped to the `max_candidates` heaviest
+/// targets (the heuristic, Chaudhuri-&-Narasayya-style restriction).
+#[derive(Debug, Clone, Default)]
+pub struct IndexEnumerator {
+    pub max_candidates: Option<usize>,
+}
+
+/// Ordered `(table, leading, second)` column pairs that co-occur as
+/// equality predicates within single forecast queries.
+fn composite_pairs(
+    scenarios: &ForecastSet,
+) -> BTreeSet<(
+    smdb_common::TableId,
+    smdb_common::ColumnId,
+    smdb_common::ColumnId,
+)> {
+    let mut out = BTreeSet::new();
+    for scenario in scenarios.iter() {
+        for wq in scenario.workload.queries() {
+            let eq_cols: Vec<_> = wq
+                .query
+                .predicates()
+                .iter()
+                .filter(|p| matches!(p.op, smdb_storage::PredicateOp::Eq))
+                .map(|p| p.column)
+                .collect();
+            for (i, &a) in eq_cols.iter().enumerate() {
+                for (j, &b) in eq_cols.iter().enumerate() {
+                    if i != j {
+                        out.insert((wq.query.table(), a, b));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Enumerator for IndexEnumerator {
+    fn name(&self) -> &str {
+        "index"
+    }
+
+    fn enumerate(
+        &self,
+        engine: &StorageEngine,
+        base: &ConfigInstance,
+        scenarios: &ForecastSet,
+    ) -> Result<Vec<Candidate>> {
+        // Rank referenced columns by workload weight (heaviest first).
+        let mut columns: Vec<_> = predicate_columns(scenarios).into_iter().collect();
+        columns.sort_by(|a, b| b.1 .0.total_cmp(&a.1 .0));
+
+        let pairs = composite_pairs(scenarios);
+        let mut out = Vec::new();
+        'outer: for ((table_id, column), (_, has_range)) in columns {
+            let table = engine.table(table_id)?;
+            for (chunk_id, _) in table.chunks() {
+                let target = ChunkColumnRef {
+                    table: table_id,
+                    column,
+                    chunk: chunk_id,
+                };
+                let group = group_of(target, 0xA11);
+                let mut kinds: Vec<IndexKind> = if has_range {
+                    vec![IndexKind::BTree, IndexKind::Hash]
+                } else {
+                    vec![IndexKind::Hash]
+                };
+                // Multi-attribute candidates led by this column.
+                for &(t, a, b) in &pairs {
+                    if t == table_id && a == column {
+                        kinds.push(IndexKind::CompositeHash { second: b });
+                    }
+                }
+                for kind in kinds {
+                    if base.index_of(target) == Some(kind) {
+                        continue; // already in effect
+                    }
+                    out.push(Candidate::new(
+                        ConfigAction::CreateIndex { target, kind },
+                        Some(group),
+                    ));
+                    if let Some(cap) = self.max_candidates {
+                        if out.len() >= cap {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Encoding candidates: every alternative encoding for every segment a
+/// forecast query touches.
+#[derive(Debug, Clone, Default)]
+pub struct EncodingEnumerator;
+
+impl Enumerator for EncodingEnumerator {
+    fn name(&self) -> &str {
+        "encoding"
+    }
+
+    fn enumerate(
+        &self,
+        engine: &StorageEngine,
+        base: &ConfigInstance,
+        scenarios: &ForecastSet,
+    ) -> Result<Vec<Candidate>> {
+        // Tables touched by the forecast.
+        let mut touched: BTreeSet<smdb_common::TableId> = BTreeSet::new();
+        for s in scenarios.iter() {
+            for wq in s.workload.queries() {
+                touched.insert(wq.query.table());
+            }
+        }
+        let mut out = Vec::new();
+        for table_id in touched {
+            let table = engine.table(table_id)?;
+            for (chunk_id, _) in table.chunks() {
+                for (column, _) in table.schema().iter() {
+                    let target = ChunkColumnRef {
+                        table: table_id,
+                        column,
+                        chunk: chunk_id,
+                    };
+                    let current = base.encoding_of(target);
+                    let group = group_of(target, 0xE4C);
+                    for kind in EncodingKind::ALL {
+                        if kind == current {
+                            continue;
+                        }
+                        out.push(Candidate::new(
+                            ConfigAction::SetEncoding { target, kind },
+                            Some(group),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Placement candidates: every alternative tier for every chunk of the
+/// touched tables.
+#[derive(Debug, Clone, Default)]
+pub struct PlacementEnumerator;
+
+impl Enumerator for PlacementEnumerator {
+    fn name(&self) -> &str {
+        "placement"
+    }
+
+    fn enumerate(
+        &self,
+        engine: &StorageEngine,
+        base: &ConfigInstance,
+        scenarios: &ForecastSet,
+    ) -> Result<Vec<Candidate>> {
+        let mut touched: BTreeSet<smdb_common::TableId> = BTreeSet::new();
+        for s in scenarios.iter() {
+            for wq in s.workload.queries() {
+                touched.insert(wq.query.table());
+            }
+        }
+        let mut out = Vec::new();
+        for table_id in touched {
+            let table = engine.table(table_id)?;
+            for (chunk_id, _) in table.chunks() {
+                let current = base.tier_of(table_id, chunk_id);
+                let group = group_of(
+                    ChunkColumnRef {
+                        table: table_id,
+                        column: smdb_common::ColumnId(0),
+                        chunk: chunk_id,
+                    },
+                    0x97ACE,
+                );
+                for tier in Tier::ALL {
+                    if tier == current {
+                        continue;
+                    }
+                    out.push(Candidate::new(
+                        ConfigAction::SetPlacement {
+                            table: table_id,
+                            chunk: chunk_id,
+                            tier,
+                        },
+                        Some(group),
+                    ));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Knob candidates for the buffer pool: the paper's continuous-range
+/// shape — "the start and the end of a range, e.g., 1.0 GB to 100.0 GB
+/// and the smallest available intervals to pick in this range".
+#[derive(Debug, Clone)]
+pub struct BufferPoolEnumerator {
+    pub min_mb: f64,
+    pub max_mb: f64,
+    pub step_mb: f64,
+}
+
+impl Default for BufferPoolEnumerator {
+    fn default() -> Self {
+        BufferPoolEnumerator {
+            min_mb: 0.0,
+            max_mb: 1024.0,
+            step_mb: 64.0,
+        }
+    }
+}
+
+impl Enumerator for BufferPoolEnumerator {
+    fn name(&self) -> &str {
+        "buffer_pool"
+    }
+
+    fn enumerate(
+        &self,
+        _engine: &StorageEngine,
+        base: &ConfigInstance,
+        _scenarios: &ForecastSet,
+    ) -> Result<Vec<Candidate>> {
+        let mut out = Vec::new();
+        let group = Some(0xB0FFu64);
+        let mut value = self.min_mb;
+        while value <= self.max_mb + 1e-9 {
+            if (value - base.knobs.buffer_pool_mb).abs() > 1e-9 {
+                out.push(Candidate::new(
+                    ConfigAction::SetKnob {
+                        knob: KnobKind::BufferPoolMb,
+                        value,
+                    },
+                    group,
+                ));
+            }
+            value += self.step_mb.max(1e-9);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smdb_forecast::{ScenarioKind, WorkloadScenario};
+    use smdb_query::{Query, Workload};
+    use smdb_storage::value::ColumnValues;
+    use smdb_storage::{ColumnDef, DataType, ScanPredicate, Schema, Table};
+
+    fn setup() -> (StorageEngine, smdb_common::TableId) {
+        let schema = Schema::new(vec![
+            ColumnDef::new("a", DataType::Int),
+            ColumnDef::new("b", DataType::Int),
+        ])
+        .unwrap();
+        let table = Table::from_columns(
+            "t",
+            schema,
+            vec![
+                ColumnValues::Int((0..400).collect()),
+                ColumnValues::Int((0..400).map(|i| i % 7).collect()),
+            ],
+            100,
+        )
+        .unwrap();
+        let mut engine = StorageEngine::default();
+        let id = engine.create_table(table).unwrap();
+        (engine, id)
+    }
+
+    fn forecast(queries: Vec<Query>) -> ForecastSet {
+        ForecastSet {
+            scenarios: vec![WorkloadScenario {
+                kind: ScenarioKind::Expected,
+                name: "expected".into(),
+                probability: 1.0,
+                workload: Workload::uniform(queries),
+            }],
+        }
+    }
+
+    fn point_query(t: smdb_common::TableId, col: u16) -> Query {
+        Query::new(
+            t,
+            "t",
+            vec![ScanPredicate::eq(smdb_common::ColumnId(col), 3i64)],
+            None,
+            "pt",
+        )
+    }
+
+    #[test]
+    fn index_enumerator_targets_predicate_columns_only() {
+        let (engine, t) = setup();
+        let base = ConfigInstance::default();
+        let f = forecast(vec![point_query(t, 1)]);
+        let candidates = IndexEnumerator::default()
+            .enumerate(&engine, &base, &f)
+            .unwrap();
+        // 4 chunks × 1 column × 1 kind (only Eq seen → hash only).
+        assert_eq!(candidates.len(), 4);
+        for c in &candidates {
+            match &c.action {
+                ConfigAction::CreateIndex { target, kind } => {
+                    assert_eq!(target.column.0, 1);
+                    assert_eq!(*kind, IndexKind::Hash);
+                }
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn range_predicates_add_btree_candidates() {
+        let (engine, t) = setup();
+        let base = ConfigInstance::default();
+        let q = Query::new(
+            t,
+            "t",
+            vec![ScanPredicate::between(smdb_common::ColumnId(0), 1i64, 9i64)],
+            None,
+            "rng",
+        );
+        let candidates = IndexEnumerator::default()
+            .enumerate(&engine, &base, &forecast(vec![q]))
+            .unwrap();
+        // 4 chunks × {btree, hash}.
+        assert_eq!(candidates.len(), 8);
+    }
+
+    #[test]
+    fn heuristic_cap_limits_candidates() {
+        let (engine, t) = setup();
+        let base = ConfigInstance::default();
+        let f = forecast(vec![point_query(t, 0), point_query(t, 1)]);
+        let capped = IndexEnumerator {
+            max_candidates: Some(3),
+        }
+        .enumerate(&engine, &base, &f)
+        .unwrap();
+        assert_eq!(capped.len(), 3);
+    }
+
+    #[test]
+    fn existing_indexes_not_recandidated() {
+        let (engine, t) = setup();
+        let mut base = ConfigInstance::default();
+        base.indexes
+            .insert(ChunkColumnRef::new(t.0, 1, 0), IndexKind::Hash);
+        let f = forecast(vec![point_query(t, 1)]);
+        let candidates = IndexEnumerator::default()
+            .enumerate(&engine, &base, &f)
+            .unwrap();
+        assert_eq!(candidates.len(), 3);
+    }
+
+    #[test]
+    fn encoding_enumerator_covers_all_segments() {
+        let (engine, t) = setup();
+        let base = ConfigInstance::default();
+        let f = forecast(vec![point_query(t, 0)]);
+        let candidates = EncodingEnumerator.enumerate(&engine, &base, &f).unwrap();
+        // 4 chunks × 2 columns × 3 alternative encodings.
+        assert_eq!(candidates.len(), 24);
+        // Exclusive per segment.
+        let groups: std::collections::HashSet<_> =
+            candidates.iter().map(|c| c.exclusive_group).collect();
+        assert_eq!(groups.len(), 8);
+    }
+
+    #[test]
+    fn placement_enumerator_offers_other_tiers() {
+        let (engine, t) = setup();
+        let base = ConfigInstance::default();
+        let f = forecast(vec![point_query(t, 0)]);
+        let candidates = PlacementEnumerator.enumerate(&engine, &base, &f).unwrap();
+        // 4 chunks × 2 non-current tiers.
+        assert_eq!(candidates.len(), 8);
+    }
+
+    #[test]
+    fn buffer_enumerator_spans_range_excluding_current() {
+        let (engine, _) = setup();
+        let base = ConfigInstance::default(); // 64 MB default
+        let candidates = BufferPoolEnumerator {
+            min_mb: 0.0,
+            max_mb: 256.0,
+            step_mb: 64.0,
+        }
+        .enumerate(&engine, &base, &ForecastSet::default())
+        .unwrap();
+        // {0, 64, 128, 192, 256} minus current 64 → 4 candidates, one group.
+        assert_eq!(candidates.len(), 4);
+        assert!(candidates.iter().all(|c| c.exclusive_group == Some(0xB0FF)));
+    }
+}

@@ -1,0 +1,187 @@
+//! Runtime KPI collection (Section II-A(e)).
+//!
+//! "Runtime KPIs … are necessary for determining the impact of adjusted
+//! configurations … can disclose when the configuration should be
+//! adjusted … and help to identify phases of low resource utilization
+//! that can be used to run resource-intensive tunings."
+//!
+//! DBMS KPIs here: query response times (simulated cost). System KPIs:
+//! memory usage and utilization (busy time per bucket capacity).
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+use smdb_common::Cost;
+
+const LATENCY_WINDOW: usize = 4096;
+const BUCKET_WINDOW: usize = 256;
+
+#[derive(Debug, Default)]
+struct Inner {
+    latencies: VecDeque<f64>,
+    utilization: VecDeque<f64>,
+    memory: VecDeque<usize>,
+    queries_total: u64,
+}
+
+/// Thread-safe runtime KPI collector.
+#[derive(Debug)]
+pub struct KpiCollector {
+    inner: Mutex<Inner>,
+    /// Work capacity of one bucket, in ms of query runtime. Utilization
+    /// of a bucket = busy ms / capacity.
+    pub bucket_capacity: Cost,
+    /// Utilization below which the system counts as idle enough for
+    /// resource-intensive tunings.
+    pub low_utilization_threshold: f64,
+}
+
+impl Default for KpiCollector {
+    fn default() -> Self {
+        KpiCollector {
+            inner: Mutex::new(Inner::default()),
+            bucket_capacity: Cost(1000.0),
+            low_utilization_threshold: 0.3,
+        }
+    }
+}
+
+impl KpiCollector {
+    /// Creates a collector with the given bucket capacity.
+    pub fn new(bucket_capacity: Cost, low_utilization_threshold: f64) -> Self {
+        KpiCollector {
+            inner: Mutex::new(Inner::default()),
+            bucket_capacity,
+            low_utilization_threshold,
+        }
+    }
+
+    /// Records one query's response time.
+    pub fn record_query(&self, latency: Cost) {
+        let mut inner = self.inner.lock();
+        if inner.latencies.len() == LATENCY_WINDOW {
+            inner.latencies.pop_front();
+        }
+        inner.latencies.push_back(latency.ms());
+        inner.queries_total += 1;
+    }
+
+    /// Records a memory usage sample.
+    pub fn record_memory(&self, bytes: usize) {
+        let mut inner = self.inner.lock();
+        if inner.memory.len() == BUCKET_WINDOW {
+            inner.memory.pop_front();
+        }
+        inner.memory.push_back(bytes);
+    }
+
+    /// Closes a time bucket that spent `busy` ms executing queries.
+    pub fn end_bucket(&self, busy: Cost) {
+        let utilization = (busy.ms() / self.bucket_capacity.ms().max(1e-9)).max(0.0);
+        let mut inner = self.inner.lock();
+        if inner.utilization.len() == BUCKET_WINDOW {
+            inner.utilization.pop_front();
+        }
+        inner.utilization.push_back(utilization);
+    }
+
+    /// Mean response time over the rolling latency window.
+    pub fn mean_response(&self) -> Cost {
+        let inner = self.inner.lock();
+        if inner.latencies.is_empty() {
+            return Cost::ZERO;
+        }
+        Cost(inner.latencies.iter().sum::<f64>() / inner.latencies.len() as f64)
+    }
+
+    /// 95th-percentile response time over the rolling window.
+    pub fn p95_response(&self) -> Cost {
+        let inner = self.inner.lock();
+        if inner.latencies.is_empty() {
+            return Cost::ZERO;
+        }
+        let mut v: Vec<f64> = inner.latencies.iter().copied().collect();
+        v.sort_by(f64::total_cmp);
+        let idx = ((v.len() as f64 * 0.95).ceil() as usize).min(v.len()) - 1;
+        Cost(v[idx])
+    }
+
+    /// Most recent bucket utilization (`None` before the first bucket).
+    pub fn current_utilization(&self) -> Option<f64> {
+        self.inner.lock().utilization.back().copied()
+    }
+
+    /// Whether the system is idle enough for expensive tunings. Before
+    /// any bucket closes the system counts as idle (startup window).
+    pub fn is_low_utilization(&self) -> bool {
+        match self.current_utilization() {
+            None => true,
+            Some(u) => u < self.low_utilization_threshold,
+        }
+    }
+
+    /// Latest memory sample.
+    pub fn current_memory(&self) -> Option<usize> {
+        self.inner.lock().memory.back().copied()
+    }
+
+    /// Total queries observed.
+    pub fn queries_total(&self) -> u64 {
+        self.inner.lock().queries_total
+    }
+
+    /// Clears the latency window (used after reconfigurations so the
+    /// feedback loop compares before/after cleanly).
+    pub fn reset_latencies(&self) {
+        self.inner.lock().latencies.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_time_statistics() {
+        let k = KpiCollector::default();
+        for i in 1..=100 {
+            k.record_query(Cost(i as f64));
+        }
+        assert!((k.mean_response().ms() - 50.5).abs() < 1e-9);
+        assert_eq!(k.p95_response().ms(), 95.0);
+        assert_eq!(k.queries_total(), 100);
+        k.reset_latencies();
+        assert_eq!(k.mean_response(), Cost::ZERO);
+        assert_eq!(k.queries_total(), 100);
+    }
+
+    #[test]
+    fn utilization_tracks_buckets() {
+        let k = KpiCollector::new(Cost(100.0), 0.3);
+        assert!(k.is_low_utilization(), "startup counts as idle");
+        k.end_bucket(Cost(90.0));
+        assert_eq!(k.current_utilization(), Some(0.9));
+        assert!(!k.is_low_utilization());
+        k.end_bucket(Cost(10.0));
+        assert!(k.is_low_utilization());
+    }
+
+    #[test]
+    fn memory_samples() {
+        let k = KpiCollector::default();
+        assert_eq!(k.current_memory(), None);
+        k.record_memory(1000);
+        k.record_memory(2000);
+        assert_eq!(k.current_memory(), Some(2000));
+    }
+
+    #[test]
+    fn windows_are_bounded() {
+        let k = KpiCollector::default();
+        for i in 0..(LATENCY_WINDOW + 10) {
+            k.record_query(Cost(i as f64));
+        }
+        let inner_len = k.inner.lock().latencies.len();
+        assert_eq!(inner_len, LATENCY_WINDOW);
+    }
+}

@@ -1,0 +1,55 @@
+//! # smdb-core — the self-management framework
+//!
+//! The paper's contribution (Sections II and III): a component-based
+//! framework that adds self-management capabilities to a database system
+//! with a strict separation of concerns. Components are trait objects
+//! with narrow interfaces, so every one of them is exchangeable and
+//! reusable — the property the paper's architecture diagram (Figure 1)
+//! promises.
+//!
+//! * [`driver`] — the central entity encapsulating all components and
+//!   the interface to the database (plan cache, cost estimators, KPIs,
+//!   configuration).
+//! * [`tuner`] — the per-feature tuning pipeline:
+//!   [`enumerator`] → [`assessor`] → [`selectors`] → [`executor`].
+//! * [`organizer`] — orchestration: when to tune, which features, in
+//!   what order; enforces constraints and reacts to runtime KPIs.
+//! * [`multi`] — combined tuning of multiple features (Section III):
+//!   automatic dependence ratios `d_{A,B}`, impact ratios `W∅/W_A`, and
+//!   the LP-based order optimization.
+//! * [`constraints`] — DBMS-related and hardware constraints, with
+//!   hardware taking precedence on conflict (Section II-A(c)).
+//! * [`kpi`] — runtime KPI collection (response times, memory,
+//!   utilization) driving tuning triggers and low-utilization windows.
+//! * [`config_storage`] — the configuration-instance history enabling
+//!   the feedback loop on past tuning decisions.
+
+pub mod assessor;
+pub mod candidate;
+pub mod config_storage;
+pub mod constraints;
+pub mod driver;
+pub mod enumerator;
+pub mod executor;
+pub mod feature;
+pub mod kpi;
+pub mod multi;
+pub mod organizer;
+pub mod plugin;
+pub mod selectors;
+pub mod tuner;
+
+pub use assessor::{Assessor, WhatIfAssessor};
+pub use candidate::{Assessment, Candidate, SelectionInput};
+pub use config_storage::{ConfigStorage, StoredInstance};
+pub use constraints::ConstraintSet;
+pub use driver::{Driver, DriverBuilder};
+pub use enumerator::Enumerator;
+pub use executor::{ExecutionStrategy, Executor};
+pub use feature::FeatureKind;
+pub use kpi::KpiCollector;
+pub use multi::{DependencyReport, MultiFeatureTuner};
+pub use organizer::{Organizer, OrganizerConfig};
+pub use plugin::{PluginHost, SelfDrivingPlugin, SelfManagementPlugin};
+pub use selectors::Selector;
+pub use tuner::{Tuner, TuningProposal};

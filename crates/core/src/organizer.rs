@@ -1,0 +1,241 @@
+//! The organizer (Section II-E).
+//!
+//! "The organizer is responsible for orchestrating the whole
+//! self-managing process. It identifies convenient points in time for
+//! tuning by constantly monitoring runtime KPIs and taking workload
+//! forecasts into account. The organizer also decides whether changes
+//! observed in workload forecasts are significant enough to justify
+//! possibly expensive tunings."
+
+use parking_lot::Mutex;
+use smdb_common::{Cost, LogicalTime};
+
+use crate::constraints::ConstraintSet;
+use crate::kpi::KpiCollector;
+
+/// Why the organizer triggered a tuning run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TuningTrigger {
+    /// The forecast workload's estimated cost under the current
+    /// configuration deviates from the recently observed cost by more
+    /// than the threshold: the workload changed.
+    ForecastShift { ratio: f64 },
+    /// The SLA on mean response time is being violated.
+    SlaViolation { mean_response: Cost },
+    /// The caller forced a run.
+    Manual,
+}
+
+/// Organizer thresholds.
+#[derive(Debug, Clone)]
+pub struct OrganizerConfig {
+    /// Relative cost-delta above which a forecast shift justifies tuning
+    /// (`|forecast − observed| / observed`).
+    pub cost_delta_threshold: f64,
+    /// Minimum buckets between tuning runs.
+    pub min_interval: u64,
+    /// Whether expensive tunings must wait for low utilization.
+    pub require_low_utilization: bool,
+}
+
+impl Default for OrganizerConfig {
+    fn default() -> Self {
+        OrganizerConfig {
+            cost_delta_threshold: 0.25,
+            min_interval: 2,
+            require_low_utilization: false,
+        }
+    }
+}
+
+/// The organizer component.
+#[derive(Debug)]
+pub struct Organizer {
+    pub config: OrganizerConfig,
+    last_tuning: Mutex<Option<LogicalTime>>,
+}
+
+impl Organizer {
+    /// Creates an organizer.
+    pub fn new(config: OrganizerConfig) -> Self {
+        Organizer {
+            config,
+            last_tuning: Mutex::new(None),
+        }
+    }
+
+    /// When the last tuning ran.
+    pub fn last_tuning(&self) -> Option<LogicalTime> {
+        *self.last_tuning.lock()
+    }
+
+    /// Records that a tuning ran at `now`.
+    pub fn record_tuning(&self, now: LogicalTime) {
+        *self.last_tuning.lock() = Some(now);
+    }
+
+    /// Decides whether to tune now.
+    ///
+    /// * `observed_cost` — recently observed per-horizon workload cost,
+    /// * `forecast_cost_current_config` — estimated cost of the forecast
+    ///   workload *under the current configuration* (the paper's
+    ///   trigger signal).
+    pub fn should_tune(
+        &self,
+        now: LogicalTime,
+        observed_cost: Cost,
+        forecast_cost_current_config: Cost,
+        kpis: &KpiCollector,
+        constraints: &ConstraintSet,
+    ) -> Option<TuningTrigger> {
+        // Rate limit.
+        if let Some(last) = self.last_tuning() {
+            if now.since(last) < self.config.min_interval {
+                return None;
+            }
+        }
+        // Utilization gate for the *decision* (the executor has its own).
+        if self.config.require_low_utilization && !kpis.is_low_utilization() {
+            return None;
+        }
+        // SLA violations always justify tuning.
+        let mean = kpis.mean_response();
+        if constraints.violates_sla(mean) {
+            return Some(TuningTrigger::SlaViolation {
+                mean_response: mean,
+            });
+        }
+        // Forecast shift.
+        if observed_cost.ms() > 0.0 {
+            let ratio =
+                (forecast_cost_current_config.ms() - observed_cost.ms()).abs() / observed_cost.ms();
+            if ratio > self.config.cost_delta_threshold {
+                return Some(TuningTrigger::ForecastShift { ratio });
+            }
+        } else if forecast_cost_current_config.ms() > 0.0 {
+            // Nothing observed yet but work is forecast: bootstrap.
+            return Some(TuningTrigger::ForecastShift {
+                ratio: f64::INFINITY,
+            });
+        }
+        None
+    }
+}
+
+impl Default for Organizer {
+    fn default() -> Self {
+        Organizer::new(OrganizerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn organizer() -> Organizer {
+        Organizer::default()
+    }
+
+    #[test]
+    fn forecast_shift_triggers() {
+        let o = organizer();
+        let k = KpiCollector::default();
+        let t = o.should_tune(
+            LogicalTime(10),
+            Cost(100.0),
+            Cost(140.0),
+            &k,
+            &ConstraintSet::none(),
+        );
+        assert!(matches!(t, Some(TuningTrigger::ForecastShift { .. })));
+        // Small shift: no trigger.
+        let t = o.should_tune(
+            LogicalTime(10),
+            Cost(100.0),
+            Cost(110.0),
+            &k,
+            &ConstraintSet::none(),
+        );
+        assert!(t.is_none());
+    }
+
+    #[test]
+    fn sla_violation_triggers() {
+        let o = organizer();
+        let k = KpiCollector::default();
+        for _ in 0..10 {
+            k.record_query(Cost(50.0));
+        }
+        let constraints = ConstraintSet {
+            sla_mean_response: Some(Cost(10.0)),
+            ..ConstraintSet::default()
+        };
+        let t = o.should_tune(LogicalTime(5), Cost(100.0), Cost(100.0), &k, &constraints);
+        assert!(matches!(t, Some(TuningTrigger::SlaViolation { .. })));
+    }
+
+    #[test]
+    fn rate_limit_enforced() {
+        let o = organizer();
+        let k = KpiCollector::default();
+        o.record_tuning(LogicalTime(10));
+        let t = o.should_tune(
+            LogicalTime(11),
+            Cost(100.0),
+            Cost(500.0),
+            &k,
+            &ConstraintSet::none(),
+        );
+        assert!(t.is_none(), "within min_interval");
+        let t = o.should_tune(
+            LogicalTime(12),
+            Cost(100.0),
+            Cost(500.0),
+            &k,
+            &ConstraintSet::none(),
+        );
+        assert!(t.is_some());
+    }
+
+    #[test]
+    fn utilization_gate() {
+        let config = OrganizerConfig {
+            require_low_utilization: true,
+            ..OrganizerConfig::default()
+        };
+        let o = Organizer::new(config);
+        let k = KpiCollector::new(Cost(100.0), 0.3);
+        k.end_bucket(Cost(90.0)); // busy
+        let t = o.should_tune(
+            LogicalTime(5),
+            Cost(100.0),
+            Cost(500.0),
+            &k,
+            &ConstraintSet::none(),
+        );
+        assert!(t.is_none());
+        k.end_bucket(Cost(5.0)); // idle
+        let t = o.should_tune(
+            LogicalTime(5),
+            Cost(100.0),
+            Cost(500.0),
+            &k,
+            &ConstraintSet::none(),
+        );
+        assert!(t.is_some());
+    }
+
+    #[test]
+    fn bootstrap_with_no_observations() {
+        let o = organizer();
+        let k = KpiCollector::default();
+        let t = o.should_tune(
+            LogicalTime(0),
+            Cost::ZERO,
+            Cost(50.0),
+            &k,
+            &ConstraintSet::none(),
+        );
+        assert!(matches!(t, Some(TuningTrigger::ForecastShift { .. })));
+    }
+}

@@ -1,0 +1,255 @@
+//! Plugin-style deployment (Section II-B, "Implementation Strategies").
+//!
+//! The paper weighs integrating self-management *inside the database
+//! core* (tight coupling) against running it as a *standalone
+//! application* (interface overhead), and picks a third way: Hyrise's
+//! plugin infrastructure — "direct access to database core methods
+//! without implementation or performance overhead … while the database
+//! system remains independent".
+//!
+//! This module mirrors that deployment shape: a [`SelfManagementPlugin`]
+//! is loaded into a [`PluginHost`] at runtime, receives the database
+//! handle on load, gets ticked by the host's maintenance cycle, and can
+//! be unloaded at any time leaving the database untouched. The default
+//! plugin wraps a [`Driver`]; alternative plugins (e.g. monitoring-only)
+//! implement the same trait.
+
+use std::sync::Arc;
+
+use smdb_common::Result;
+use smdb_query::{Database, Query};
+
+use crate::driver::{Driver, TuningRunReport};
+
+/// A dynamically loadable self-management component.
+///
+/// Plugins are developed "identical to the development of the database
+/// core, but plugin code is not compiled with the database system
+/// itself" — here: they only see the public [`Database`] surface.
+pub trait SelfManagementPlugin: Send + Sync {
+    /// Plugin name (for host listings).
+    fn name(&self) -> &str;
+
+    /// Called once when the plugin is loaded; receives the database
+    /// handle the plugin is allowed to manage.
+    fn on_load(&mut self, db: Arc<Database>) -> Result<()>;
+
+    /// Called by the host's maintenance cycle (e.g. once per bucket).
+    fn on_tick(&mut self) -> Result<()>;
+
+    /// Called when the plugin is unloaded; must leave the database in a
+    /// consistent state.
+    fn on_unload(&mut self) -> Result<()>;
+}
+
+/// Loads and drives self-management plugins against one database.
+pub struct PluginHost {
+    db: Arc<Database>,
+    plugins: Vec<Box<dyn SelfManagementPlugin>>,
+}
+
+impl PluginHost {
+    /// Creates a host for a database.
+    pub fn new(db: Arc<Database>) -> Self {
+        PluginHost {
+            db,
+            plugins: Vec::new(),
+        }
+    }
+
+    /// Loads a plugin (calls its `on_load`).
+    pub fn load(&mut self, mut plugin: Box<dyn SelfManagementPlugin>) -> Result<()> {
+        plugin.on_load(self.db.clone())?;
+        self.plugins.push(plugin);
+        Ok(())
+    }
+
+    /// Unloads a plugin by name; returns whether one was found.
+    pub fn unload(&mut self, name: &str) -> Result<bool> {
+        if let Some(pos) = self.plugins.iter().position(|p| p.name() == name) {
+            let mut plugin = self.plugins.remove(pos);
+            plugin.on_unload()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Names of loaded plugins.
+    pub fn loaded(&self) -> Vec<&str> {
+        self.plugins.iter().map(|p| p.name()).collect()
+    }
+
+    /// Ticks every loaded plugin (one maintenance cycle).
+    pub fn tick(&mut self) -> Result<()> {
+        for plugin in &mut self.plugins {
+            plugin.on_tick()?;
+        }
+        Ok(())
+    }
+}
+
+/// The default plugin: wraps a [`Driver`] and lets the organizer decide
+/// on every tick whether tuning is justified.
+pub struct SelfDrivingPlugin {
+    build: Option<Box<dyn FnOnce(Arc<Database>) -> Driver + Send + Sync>>,
+    driver: Option<Driver>,
+    /// Reports of tuning runs triggered by ticks.
+    pub tuning_runs: Vec<TuningRunReport>,
+}
+
+impl SelfDrivingPlugin {
+    /// Creates the plugin from a driver factory (the driver needs the
+    /// database handle, which only arrives at load time).
+    pub fn new(build: impl FnOnce(Arc<Database>) -> Driver + Send + Sync + 'static) -> Self {
+        SelfDrivingPlugin {
+            build: Some(Box::new(build)),
+            driver: None,
+            tuning_runs: Vec::new(),
+        }
+    }
+
+    /// Runs a bucket of queries through the managed driver (applications
+    /// would normally talk to the database directly; this helper exists
+    /// for hosts that route traffic through the plugin).
+    pub fn run_bucket(&self, queries: &[Query]) -> Result<()> {
+        let driver = self
+            .driver
+            .as_ref()
+            .ok_or_else(|| smdb_common::Error::invalid("plugin not loaded"))?;
+        driver.run_bucket(queries)?;
+        Ok(())
+    }
+
+    /// The wrapped driver, when loaded.
+    pub fn driver(&self) -> Option<&Driver> {
+        self.driver.as_ref()
+    }
+}
+
+impl SelfManagementPlugin for SelfDrivingPlugin {
+    fn name(&self) -> &str {
+        "self_driving"
+    }
+
+    fn on_load(&mut self, db: Arc<Database>) -> Result<()> {
+        let build = self
+            .build
+            .take()
+            .ok_or_else(|| smdb_common::Error::invalid("plugin already loaded once"))?;
+        self.driver = Some(build(db));
+        Ok(())
+    }
+
+    fn on_tick(&mut self) -> Result<()> {
+        let Some(driver) = &self.driver else {
+            return Ok(());
+        };
+        if let Some(report) = driver.maybe_tune()? {
+            self.tuning_runs.push(report);
+        }
+        Ok(())
+    }
+
+    fn on_unload(&mut self) -> Result<()> {
+        // Dropping the driver detaches all self-management state; the
+        // database (and its tuned configuration) remains as-is, exactly
+        // like unloading a Hyrise plugin.
+        self.driver = None;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::FeatureKind;
+    use smdb_common::{ColumnId, TableId};
+    use smdb_storage::value::ColumnValues;
+    use smdb_storage::{ColumnDef, DataType, ScanPredicate, Schema, StorageEngine, Table};
+
+    fn database() -> Arc<Database> {
+        let schema = Schema::new(vec![ColumnDef::new("k", DataType::Int)]).unwrap();
+        let table = Table::from_columns(
+            "t",
+            schema,
+            vec![ColumnValues::Int((0..1000).map(|i| i % 50).collect())],
+            250,
+        )
+        .unwrap();
+        let mut engine = StorageEngine::default();
+        engine.create_table(table).unwrap();
+        Database::new(engine)
+    }
+
+    fn queries(n: usize) -> Vec<Query> {
+        (0..n)
+            .map(|i| {
+                Query::new(
+                    TableId(0),
+                    "t",
+                    vec![ScanPredicate::eq(ColumnId(0), (i % 50) as i64)],
+                    None,
+                    "pt",
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plugin_lifecycle() {
+        let db = database();
+        let mut host = PluginHost::new(db.clone());
+        assert!(host.loaded().is_empty());
+        host.load(Box::new(SelfDrivingPlugin::new(|db| {
+            Driver::builder(db)
+                .features(vec![FeatureKind::Indexing])
+                .build()
+        })))
+        .unwrap();
+        assert_eq!(host.loaded(), vec!["self_driving"]);
+        host.tick().unwrap();
+        assert!(host.unload("self_driving").unwrap());
+        assert!(!host.unload("self_driving").unwrap());
+        assert!(host.loaded().is_empty());
+    }
+
+    #[test]
+    fn unloading_leaves_tuned_configuration_in_place() {
+        let db = database();
+        let mut host = PluginHost::new(db.clone());
+        let plugin = SelfDrivingPlugin::new(|db| {
+            Driver::builder(db)
+                .features(vec![FeatureKind::Indexing])
+                .build()
+        });
+        host.load(Box::new(plugin)).unwrap();
+
+        // Route traffic + force a tuning through the database directly:
+        // simulate by constructing a driver the same way and tuning.
+        // Simpler: drive ticks after traffic so the organizer fires.
+        for _ in 0..3 {
+            for q in queries(40) {
+                db.run_query(&q).unwrap();
+            }
+            db.advance_time();
+        }
+        // Apply an index directly to verify unload does not revert config.
+        db.apply_config(&[smdb_storage::ConfigAction::CreateIndex {
+            target: smdb_common::ChunkColumnRef::new(0, 0, 0),
+            kind: smdb_storage::IndexKind::Hash,
+        }])
+        .unwrap();
+        assert!(host.unload("self_driving").unwrap());
+        // The database keeps its configuration after unload.
+        assert_eq!(db.engine().current_config().indexes.len(), 1);
+    }
+
+    #[test]
+    fn double_load_rejected() {
+        let db = database();
+        let mut plugin = SelfDrivingPlugin::new(|db| Driver::builder(db).build());
+        plugin.on_load(db.clone()).unwrap();
+        assert!(plugin.on_load(db).is_err());
+    }
+}

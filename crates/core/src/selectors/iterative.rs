@@ -1,0 +1,312 @@
+//! Interaction-aware iterative greedy selection.
+//!
+//! "Selectors can also request re-assessments of certain candidates from
+//! the assessors. This is useful to reflect changed circumstances or
+//! incorporate interaction between candidates." (Section II-D(c))
+//!
+//! Plain one-shot selectors price every candidate against the *same*
+//! base configuration, double-counting overlapping benefits (two indexes
+//! that would each accelerate the same query are both credited with the
+//! full speedup). The iterative greedy picks one candidate, asks the
+//! assessor to re-assess the remainder against the updated configuration,
+//! and repeats until nothing improves — trading extra assessment rounds
+//! for interaction-correct benefits.
+
+use std::collections::HashSet;
+
+use smdb_common::Result;
+use smdb_forecast::ForecastSet;
+use smdb_storage::{ConfigInstance, StorageEngine};
+
+use crate::assessor::Assessor;
+use crate::candidate::Candidate;
+
+/// Interaction-aware greedy selection via assessor round-trips.
+#[derive(Debug, Clone)]
+pub struct IterativeGreedy {
+    /// Safety cap on rounds (each round selects one candidate).
+    pub max_rounds: usize,
+}
+
+impl Default for IterativeGreedy {
+    fn default() -> Self {
+        IterativeGreedy { max_rounds: 256 }
+    }
+}
+
+impl IterativeGreedy {
+    /// Selects candidates one at a time, re-assessing the remainder
+    /// against the configuration built so far. Respects the memory
+    /// budget (positive permanent bytes accumulate) and exclusivity
+    /// groups. Returns chosen indices in pick order.
+    pub fn select(
+        &self,
+        engine: &StorageEngine,
+        assessor: &dyn Assessor,
+        base: &ConfigInstance,
+        scenarios: &ForecastSet,
+        candidates: &[Candidate],
+        memory_budget_bytes: Option<i64>,
+    ) -> Result<Vec<usize>> {
+        let mut chosen: Vec<usize> = Vec::new();
+        let mut working = base.clone();
+        let mut remaining: Vec<usize> = (0..candidates.len()).collect();
+        let mut used_groups: HashSet<u64> = HashSet::new();
+        let mut used_bytes = 0.0f64;
+        let budget = memory_budget_bytes.map(|b| b as f64);
+
+        for _round in 0..self.max_rounds {
+            if remaining.is_empty() {
+                break;
+            }
+            // Re-assess the survivors against the *current* configuration.
+            let assessments =
+                assessor.reassess(engine, &working, scenarios, candidates, &remaining)?;
+            // Best feasible candidate by desirability-per-byte.
+            let mut best: Option<(usize, f64)> = None; // (pos in remaining, score)
+            for (pos, a) in assessments.iter().enumerate() {
+                let d = a.expected_desirability();
+                if d <= 0.0 {
+                    continue;
+                }
+                let i = remaining[pos];
+                if let Some(g) = candidates[i].exclusive_group {
+                    if used_groups.contains(&g) {
+                        continue;
+                    }
+                }
+                let w = a.budget_weight();
+                if let Some(b) = budget {
+                    if used_bytes + w > b + 1e-6 {
+                        continue;
+                    }
+                }
+                let ratio = if w > 0.0 { d / w } else { f64::INFINITY };
+                if best.is_none_or(|(_, s)| ratio > s) {
+                    best = Some((pos, ratio));
+                }
+            }
+            let Some((pos, _)) = best else {
+                break; // nothing improves any more
+            };
+            let pick = remaining.swap_remove(pos);
+            let assessment = assessments
+                .iter()
+                .find(|a| a.candidate == pick)
+                .expect("assessment for picked candidate exists");
+            if let Some(g) = candidates[pick].exclusive_group {
+                used_groups.insert(g);
+            }
+            used_bytes += assessment.budget_weight();
+            working.apply(&candidates[pick].action);
+            chosen.push(pick);
+        }
+        Ok(chosen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assessor::WhatIfAssessor;
+    use crate::enumerator::{Enumerator, IndexEnumerator};
+    use crate::selectors::{greedy_by_score, Selector};
+    use smdb_common::{ColumnId, TableId};
+    use smdb_cost::{CalibratedCostModel, WhatIf};
+    use smdb_forecast::{ScenarioKind, WorkloadScenario};
+    use smdb_query::{Query, Workload};
+    use smdb_storage::value::ColumnValues;
+    use smdb_storage::{ColumnDef, DataType, ScanPredicate, Schema, Table};
+    use std::sync::Arc;
+
+    /// Table with two columns; queries filter on BOTH columns, so an
+    /// index on either column alone captures (almost) the whole benefit —
+    /// the classic overlapping-benefit interaction.
+    fn setup() -> (StorageEngine, TableId) {
+        let schema = Schema::new(vec![
+            ColumnDef::new("a", DataType::Int),
+            ColumnDef::new("b", DataType::Int),
+        ])
+        .unwrap();
+        let table = Table::from_columns(
+            "t",
+            schema,
+            vec![
+                ColumnValues::Int((0..4000).map(|i| i % 100).collect()),
+                ColumnValues::Int((0..4000).map(|i| (i * 7) % 100).collect()),
+            ],
+            1000,
+        )
+        .unwrap();
+        let mut engine = StorageEngine::default();
+        let id = engine.create_table(table).unwrap();
+        (engine, id)
+    }
+
+    fn forecast(t: TableId) -> ForecastSet {
+        // Every query constrains both columns with equal selectivity.
+        let mut w = Workload::default();
+        for v in 0..10 {
+            w.push(
+                Query::new(
+                    t,
+                    "t",
+                    vec![
+                        ScanPredicate::eq(ColumnId(0), v),
+                        ScanPredicate::eq(ColumnId(1), v),
+                    ],
+                    None,
+                    "two_col",
+                ),
+                10.0,
+            );
+        }
+        ForecastSet {
+            scenarios: vec![WorkloadScenario {
+                kind: ScenarioKind::Expected,
+                name: "expected".into(),
+                probability: 1.0,
+                workload: w,
+            }],
+        }
+    }
+
+    fn trained(engine: &StorageEngine, t: TableId) -> WhatIf {
+        let model = Arc::new(CalibratedCostModel::new());
+        // Train on plain and single-index variants.
+        let mut variant = engine.clone();
+        variant
+            .apply_action(&smdb_storage::ConfigAction::CreateIndex {
+                target: smdb_common::ChunkColumnRef::new(t.0, 0, 0),
+                kind: smdb_storage::IndexKind::Hash,
+            })
+            .unwrap();
+        for eng in [engine, &variant] {
+            let config = eng.current_config();
+            for v in 0..60 {
+                let q = Query::new(
+                    t,
+                    "t",
+                    vec![
+                        ScanPredicate::eq(ColumnId(0), v % 100),
+                        ScanPredicate::eq(ColumnId(1), (v * 3) % 100),
+                    ],
+                    None,
+                    "train",
+                );
+                let out = eng.scan(t, q.predicates(), None).unwrap();
+                model.observe(eng, &q, &config, out.sim_cost).unwrap();
+            }
+        }
+        model.refit().unwrap();
+        WhatIf::new(model)
+    }
+
+    #[test]
+    fn iterative_avoids_redundant_overlapping_indexes() {
+        let (engine, t) = setup();
+        let what_if = trained(&engine, t);
+        let assessor = WhatIfAssessor::new(what_if, 0.9);
+        let base = ConfigInstance::default();
+        let scenarios = forecast(t);
+        let mut candidates = IndexEnumerator::default()
+            .enumerate(&engine, &base, &scenarios)
+            .unwrap();
+        // Restrict to single-attribute candidates: this test isolates the
+        // overlap interaction (either column alone suffices); composite
+        // upgrades are covered separately.
+        candidates.retain(|c| {
+            !matches!(
+                c.action,
+                smdb_storage::ConfigAction::CreateIndex {
+                    kind: smdb_storage::IndexKind::CompositeHash { .. },
+                    ..
+                }
+            )
+        });
+        assert!(candidates.len() >= 8, "both columns × 4 chunks");
+
+        // One-shot greedy double-counts: it takes indexes on BOTH columns
+        // of each chunk, although the second adds almost nothing.
+        let assessments = assessor
+            .assess(&engine, &base, &scenarios, &candidates)
+            .unwrap();
+        let input = crate::candidate::SelectionInput {
+            candidates: &candidates,
+            assessments: &assessments,
+            memory_budget_bytes: None,
+            scenario_base_costs: None,
+        };
+        let one_shot = crate::selectors::GreedySelector.select(&input).unwrap();
+
+        let iterative = IterativeGreedy::default()
+            .select(&engine, &assessor, &base, &scenarios, &candidates, None)
+            .unwrap();
+
+        assert!(
+            iterative.len() < one_shot.len(),
+            "iterative {} vs one-shot {}",
+            iterative.len(),
+            one_shot.len()
+        );
+        // The iterative pick still covers every chunk once (4 indexes).
+        assert_eq!(iterative.len(), 4, "{iterative:?}");
+        // And each chunk is indexed on exactly one column.
+        let mut chunks = std::collections::HashSet::new();
+        for &i in &iterative {
+            if let smdb_storage::ConfigAction::CreateIndex { target, .. } = candidates[i].action {
+                assert!(
+                    chunks.insert(target.chunk),
+                    "duplicate chunk in {iterative:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn iterative_respects_budget_and_groups() {
+        let (engine, t) = setup();
+        let what_if = trained(&engine, t);
+        let assessor = WhatIfAssessor::new(what_if, 0.9);
+        let base = ConfigInstance::default();
+        let scenarios = forecast(t);
+        let candidates = IndexEnumerator::default()
+            .enumerate(&engine, &base, &scenarios)
+            .unwrap();
+        // Tiny budget: at most one index fits.
+        let one_index_bytes =
+            smdb_cost::sizes::estimate_index_bytes(1000, 100, smdb_storage::IndexKind::Hash);
+        let chosen = IterativeGreedy::default()
+            .select(
+                &engine,
+                &assessor,
+                &base,
+                &scenarios,
+                &candidates,
+                Some(one_index_bytes as i64 + 8),
+            )
+            .unwrap();
+        assert_eq!(chosen.len(), 1, "{chosen:?}");
+    }
+
+    #[test]
+    fn round_cap_bounds_work() {
+        let (engine, t) = setup();
+        let what_if = trained(&engine, t);
+        let assessor = WhatIfAssessor::new(what_if, 0.9);
+        let base = ConfigInstance::default();
+        let scenarios = forecast(t);
+        let candidates = IndexEnumerator::default()
+            .enumerate(&engine, &base, &scenarios)
+            .unwrap();
+        let capped = IterativeGreedy { max_rounds: 2 }
+            .select(&engine, &assessor, &base, &scenarios, &candidates, None)
+            .unwrap();
+        assert!(capped.len() <= 2);
+    }
+
+    // `greedy_by_score` is exercised via GreedySelector above; silence the
+    // unused-import lint if the helper is not referenced directly.
+    #[allow(unused_imports)]
+    use greedy_by_score as _greedy_by_score;
+}

@@ -1,0 +1,96 @@
+//! The cost-estimator interface.
+
+use smdb_common::{Cost, Result};
+use smdb_query::{Query, Workload};
+use smdb_storage::{ConfigInstance, StorageEngine};
+
+use crate::features::ConfigContext;
+
+/// What-if cost estimation: the cost of queries under *hypothetical*
+/// configurations, computed from catalog statistics without executing or
+/// mutating anything.
+///
+/// "The system can contain different assessors that reflect the use of
+/// different cost models" (Section II-D(b)) — estimators are exchanged by
+/// swapping trait objects.
+pub trait CostEstimator: Send + Sync {
+    /// Human-readable name, used in experiment tables.
+    fn name(&self) -> &str;
+
+    /// Estimated cost of one query under `config`.
+    fn query_cost(
+        &self,
+        engine: &StorageEngine,
+        ctx: &ConfigContext,
+        query: &Query,
+        config: &ConfigInstance,
+    ) -> Result<Cost>;
+
+    /// Estimated weighted cost of a workload under `config`. The default
+    /// builds one [`ConfigContext`]-shared sum over all queries.
+    fn workload_cost(
+        &self,
+        engine: &StorageEngine,
+        workload: &Workload,
+        config: &ConfigInstance,
+    ) -> Result<Cost> {
+        let ctx = ConfigContext::new(engine, config);
+        let mut total = Cost::ZERO;
+        for wq in workload.queries() {
+            total += self.query_cost(engine, &ctx, &wq.query, config)? * wq.weight;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smdb_common::{ColumnId, TableId};
+    use smdb_storage::value::ColumnValues;
+    use smdb_storage::{ColumnDef, DataType, ScanPredicate, Schema, Table};
+
+    /// A constant-cost estimator exercising the default workload sum.
+    struct Fixed(f64);
+
+    impl CostEstimator for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn query_cost(
+            &self,
+            _: &StorageEngine,
+            _: &ConfigContext,
+            _: &Query,
+            _: &ConfigInstance,
+        ) -> Result<Cost> {
+            Ok(Cost(self.0))
+        }
+    }
+
+    #[test]
+    fn default_workload_cost_weights_queries() {
+        let schema = Schema::new(vec![ColumnDef::new("k", DataType::Int)]).unwrap();
+        let table =
+            Table::from_columns("t", schema, vec![ColumnValues::Int(vec![1, 2, 3])], 10).unwrap();
+        let mut engine = StorageEngine::default();
+        let t = engine.create_table(table).unwrap();
+        let q = |v: i64| {
+            Query::new(
+                TableId(t.0),
+                "t",
+                vec![ScanPredicate::eq(ColumnId(0), v)],
+                None,
+                "q",
+            )
+        };
+        let mut workload = Workload::default();
+        workload.push(q(1), 2.0);
+        workload.push(q(2), 3.0);
+        let est = Fixed(4.0);
+        let total = est
+            .workload_cost(&engine, &workload, &ConfigInstance::default())
+            .unwrap();
+        assert_eq!(total, Cost(20.0));
+    }
+}

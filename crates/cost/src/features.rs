@@ -1,0 +1,443 @@
+//! Execution-profile feature extraction.
+//!
+//! For a `(query, config)` pair the extractor predicts — from statistics
+//! only, without executing anything — how much work of each kind the
+//! engine would perform: rows scanned per encoding, index probes and
+//! matches, refinement and aggregation rows, all weighted by the
+//! estimated tier multiplier. The engine's true cost is (close to) linear
+//! in these features, so the calibrated regression model can learn the
+//! "hardware" coefficients from observations (Section II-A(d)).
+
+use smdb_common::{ChunkColumnRef, Result};
+use smdb_query::Query;
+use smdb_storage::{ConfigInstance, EncodingKind, ScanPredicate, StorageEngine, Tier};
+
+/// Number of features (keep in sync with [`extract_features`]).
+pub const NUM_FEATURES: usize = 11;
+
+/// Feature indices, for readability.
+pub mod fi {
+    pub const INTERCEPT: usize = 0;
+    pub const CHUNKS_VISITED: usize = 1;
+    pub const SCAN_RAW: usize = 2;
+    pub const SCAN_DICT: usize = 3;
+    pub const SCAN_RLE: usize = 4;
+    pub const SCAN_FOR: usize = 5;
+    pub const INDEX_PROBES: usize = 6;
+    pub const INDEX_MATCHES: usize = 7;
+    pub const REFINE_ROWS: usize = 8;
+    pub const AGG_ROWS: usize = 9;
+    pub const GROUP_ROWS: usize = 10;
+}
+
+/// An extracted feature vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryFeatures(pub [f64; NUM_FEATURES]);
+
+impl QueryFeatures {
+    /// The raw feature slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+}
+
+/// Per-configuration context precomputed once and shared across the
+/// queries of a workload: the non-hot footprint that determines
+/// buffer-pool hit rates under the hypothetical configuration.
+#[derive(Debug, Clone)]
+pub struct ConfigContext {
+    pub nonhot_bytes: u64,
+}
+
+impl ConfigContext {
+    /// Computes the context by walking the catalog under `config`.
+    pub fn new(engine: &StorageEngine, config: &ConfigInstance) -> ConfigContext {
+        let mut nonhot = 0u64;
+        for (tid, table) in engine.tables() {
+            for (cid, chunk) in table.chunks() {
+                if config.tier_of(tid, cid) == Tier::Hot {
+                    continue;
+                }
+                for (col, def) in table.schema().iter() {
+                    let target = ChunkColumnRef {
+                        table: tid,
+                        column: col,
+                        chunk: cid,
+                    };
+                    let stats = chunk.stats(col).expect("stats exist for schema column");
+                    nonhot += crate::sizes::estimate_segment_bytes(
+                        def.data_type,
+                        stats.rows,
+                        stats.distinct,
+                        stats.runs,
+                        config.encoding_of(target),
+                    );
+                }
+            }
+        }
+        ConfigContext {
+            nonhot_bytes: nonhot,
+        }
+    }
+
+    /// Estimated effective tier multiplier under `config` — mirrors the
+    /// engine's buffer-pool model structurally (raw tier penalties are
+    /// public hardware documentation; what the estimator does *not* know
+    /// are the per-operation millisecond coefficients, which the
+    /// calibrated model learns).
+    pub fn tier_multiplier(&self, tier: Tier, buffer_pool_mb: f64) -> f64 {
+        if tier == Tier::Hot || self.nonhot_bytes == 0 {
+            return 1.0;
+        }
+        let raw = tier.latency_multiplier();
+        let buffer = buffer_pool_mb.max(0.0) * 1024.0 * 1024.0;
+        let hit = (buffer / self.nonhot_bytes as f64).clamp(0.0, 1.0);
+        1.0 + (raw - 1.0) * (1.0 - hit)
+    }
+}
+
+/// Extracts the estimated execution profile of `query` under `config`.
+pub fn extract_features(
+    engine: &StorageEngine,
+    ctx: &ConfigContext,
+    query: &Query,
+    config: &ConfigInstance,
+) -> Result<QueryFeatures> {
+    let mut f = [0.0f64; NUM_FEATURES];
+    f[fi::INTERCEPT] = 1.0;
+
+    let table = engine.table(query.table())?;
+    let preds = query.predicates();
+
+    for (cid, chunk) in table.chunks() {
+        // Pruning mirror: skip chunks no predicate can match.
+        let mut pruned = false;
+        for p in preds {
+            if !chunk.stats(p.column)?.can_match(p) {
+                pruned = true;
+                break;
+            }
+        }
+        if pruned {
+            continue;
+        }
+        f[fi::CHUNKS_VISITED] += 1.0;
+        let tier = config.tier_of(query.table(), cid);
+        let mult = ctx.tier_multiplier(tier, config.knobs.buffer_pool_mb);
+        let rows = chunk.rows() as f64;
+
+        let selectivity = |p: &ScanPredicate| -> Result<f64> {
+            Ok(chunk.stats(p.column)?.estimate_selectivity(p))
+        };
+
+        // Composite-index fast path mirror: a pair of equality
+        // predicates answered by one multi-attribute probe.
+        let composite = preds.iter().enumerate().find_map(|(i, p)| {
+            if !matches!(p.op, smdb_storage::PredicateOp::Eq) {
+                return None;
+            }
+            let target = ChunkColumnRef {
+                table: query.table(),
+                column: p.column,
+                chunk: cid,
+            };
+            let Some(smdb_storage::IndexKind::CompositeHash { second }) = config.index_of(target)
+            else {
+                return None;
+            };
+            preds
+                .iter()
+                .enumerate()
+                .find(|(j, q)| {
+                    *j != i && q.column == second && matches!(q.op, smdb_storage::PredicateOp::Eq)
+                })
+                .map(|(j, _)| (i, j))
+        });
+        let composite = match composite {
+            Some((i, j)) => {
+                // Access-path rule mirror on the combined selectivity.
+                let sel = selectivity(&preds[i])? * selectivity(&preds[j])?;
+                (sel <= smdb_storage::scan::INDEX_SELECTIVITY_THRESHOLD).then_some((i, j))
+            }
+            None => None,
+        };
+        if let Some((i, j)) = composite {
+            let sel_i = selectivity(&preds[i])?;
+            let sel_j = selectivity(&preds[j])?;
+            let mut est_count = rows * sel_i * sel_j;
+            f[fi::INDEX_PROBES] += mult;
+            f[fi::INDEX_MATCHES] += est_count * mult;
+            for (k, p) in preds.iter().enumerate() {
+                if k == i || k == j {
+                    continue;
+                }
+                f[fi::REFINE_ROWS] += est_count * mult;
+                est_count *= selectivity(p)?;
+            }
+            if query.aggregate().is_some() {
+                f[fi::AGG_ROWS] += est_count;
+                if query.group_by().is_some() {
+                    f[fi::GROUP_ROWS] += est_count;
+                }
+            }
+            continue;
+        }
+
+        let mut est_count: f64;
+        // Scan work units mirror the engine: rows for positional
+        // encodings, measured runs for RLE.
+        let scan_units = |col: smdb_common::ColumnId, enc: EncodingKind| -> Result<f64> {
+            Ok(match enc {
+                EncodingKind::RunLength => chunk.stats(col)?.runs as f64,
+                _ => rows,
+            })
+        };
+        if preds.is_empty() {
+            // Full-chunk selection over column 0's encoding.
+            let target = ChunkColumnRef {
+                table: query.table(),
+                column: smdb_common::ColumnId(0),
+                chunk: cid,
+            };
+            let enc = config.encoding_of(target);
+            f[scan_slot(enc)] += scan_units(smdb_common::ColumnId(0), enc)? * mult;
+            est_count = rows;
+        } else {
+            // Driving predicate: first with a config-supported index that
+            // passes the engine's access-path selectivity rule.
+            let drive_pos = preds
+                .iter()
+                .position(|p| {
+                    let target = ChunkColumnRef {
+                        table: query.table(),
+                        column: p.column,
+                        chunk: cid,
+                    };
+                    config.index_of(target).is_some_and(|kind| {
+                        !matches!(kind, smdb_storage::IndexKind::CompositeHash { .. })
+                            && kind.supports(p.op)
+                            && chunk
+                                .stats(p.column)
+                                .map(|s| {
+                                    s.estimate_selectivity(p)
+                                        <= smdb_storage::scan::INDEX_SELECTIVITY_THRESHOLD
+                                })
+                                .unwrap_or(false)
+                    })
+                })
+                .unwrap_or(0);
+            let driving = &preds[drive_pos];
+            let target = ChunkColumnRef {
+                table: query.table(),
+                column: driving.column,
+                chunk: cid,
+            };
+            let drive_sel = selectivity(driving)?;
+            let indexed = config.index_of(target).is_some_and(|kind| {
+                !matches!(kind, smdb_storage::IndexKind::CompositeHash { .. })
+                    && kind.supports(driving.op)
+                    && drive_sel <= smdb_storage::scan::INDEX_SELECTIVITY_THRESHOLD
+            });
+            est_count = rows * drive_sel;
+            if indexed {
+                f[fi::INDEX_PROBES] += mult;
+                f[fi::INDEX_MATCHES] += est_count * mult;
+            } else {
+                let enc = config.encoding_of(target);
+                f[scan_slot(enc)] += scan_units(driving.column, enc)? * mult;
+            }
+            for (i, p) in preds.iter().enumerate() {
+                if i == drive_pos {
+                    continue;
+                }
+                f[fi::REFINE_ROWS] += est_count * mult;
+                est_count *= selectivity(p)?;
+            }
+        }
+        if query.aggregate().is_some() {
+            f[fi::AGG_ROWS] += est_count;
+            if query.group_by().is_some() {
+                f[fi::GROUP_ROWS] += est_count;
+            }
+        }
+    }
+    Ok(QueryFeatures(f))
+}
+
+fn scan_slot(enc: EncodingKind) -> usize {
+    match enc {
+        EncodingKind::Unencoded => fi::SCAN_RAW,
+        EncodingKind::Dictionary => fi::SCAN_DICT,
+        EncodingKind::RunLength => fi::SCAN_RLE,
+        EncodingKind::FrameOfReference => fi::SCAN_FOR,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smdb_common::{ColumnId, TableId};
+    use smdb_storage::value::ColumnValues;
+    use smdb_storage::{Aggregate, ColumnDef, ConfigAction, DataType, IndexKind, Schema, Table};
+
+    fn setup() -> (StorageEngine, TableId) {
+        let schema = Schema::new(vec![
+            ColumnDef::new("k", DataType::Int),
+            ColumnDef::new("v", DataType::Float),
+        ])
+        .unwrap();
+        let table = Table::from_columns(
+            "t",
+            schema,
+            vec![
+                ColumnValues::Int((0..1000).map(|i| i % 100).collect()),
+                ColumnValues::Float((0..1000).map(|i| i as f64).collect()),
+            ],
+            250,
+        )
+        .unwrap();
+        let mut engine = StorageEngine::default();
+        let id = engine.create_table(table).unwrap();
+        (engine, id)
+    }
+
+    fn point_query(t: TableId) -> Query {
+        Query::new(
+            t,
+            "t",
+            vec![ScanPredicate::eq(ColumnId(0), 7i64)],
+            Some(Aggregate::count()),
+            "point",
+        )
+    }
+
+    #[test]
+    fn scan_path_fills_raw_bucket() {
+        let (engine, t) = setup();
+        let config = ConfigInstance::default();
+        let ctx = ConfigContext::new(&engine, &config);
+        let f = extract_features(&engine, &ctx, &point_query(t), &config).unwrap();
+        assert_eq!(f.0[fi::CHUNKS_VISITED], 4.0);
+        assert_eq!(f.0[fi::SCAN_RAW], 1000.0);
+        assert_eq!(f.0[fi::INDEX_PROBES], 0.0);
+        // 1% selectivity estimate: ~10 matching rows aggregated.
+        assert!((f.0[fi::AGG_ROWS] - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn hypothetical_index_moves_work_to_probe_buckets() {
+        let (engine, t) = setup();
+        let mut config = ConfigInstance::default();
+        for chunk in 0..4 {
+            config
+                .indexes
+                .insert(ChunkColumnRef::new(t.0, 0, chunk), IndexKind::Hash);
+        }
+        let ctx = ConfigContext::new(&engine, &config);
+        let f = extract_features(&engine, &ctx, &point_query(t), &config).unwrap();
+        assert_eq!(f.0[fi::SCAN_RAW], 0.0);
+        assert_eq!(f.0[fi::INDEX_PROBES], 4.0);
+        assert!(f.0[fi::INDEX_MATCHES] > 0.0);
+    }
+
+    #[test]
+    fn hypothetical_encoding_moves_bucket_without_touching_engine() {
+        let (engine, t) = setup();
+        let mut config = ConfigInstance::default();
+        for chunk in 0..4 {
+            config
+                .encodings
+                .insert(ChunkColumnRef::new(t.0, 0, chunk), EncodingKind::Dictionary);
+        }
+        let ctx = ConfigContext::new(&engine, &config);
+        let f = extract_features(&engine, &ctx, &point_query(t), &config).unwrap();
+        assert_eq!(f.0[fi::SCAN_RAW], 0.0);
+        assert_eq!(f.0[fi::SCAN_DICT], 1000.0);
+        // Engine itself unchanged.
+        assert!(engine.current_config().encodings.is_empty());
+    }
+
+    #[test]
+    fn placement_scales_features_and_buffer_hides_it() {
+        let (engine, t) = setup();
+        let mut config = ConfigInstance::default();
+        for chunk in 0..4 {
+            config
+                .placements
+                .insert((t, smdb_common::ChunkId(chunk)), Tier::Cold);
+        }
+        config.knobs.buffer_pool_mb = 0.0;
+        let ctx = ConfigContext::new(&engine, &config);
+        let cold = extract_features(&engine, &ctx, &point_query(t), &config).unwrap();
+        assert!(cold.0[fi::SCAN_RAW] > 1000.0 * 20.0);
+        config.knobs.buffer_pool_mb = 1024.0;
+        let buffered = extract_features(&engine, &ctx, &point_query(t), &config).unwrap();
+        assert!((buffered.0[fi::SCAN_RAW] - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pruning_mirrors_engine() {
+        // Sorted key column: point predicate prunes 3 of 4 chunks.
+        let schema = Schema::new(vec![ColumnDef::new("k", DataType::Int)]).unwrap();
+        let table = Table::from_columns(
+            "sorted",
+            schema,
+            vec![ColumnValues::Int((0..1000).collect())],
+            250,
+        )
+        .unwrap();
+        let mut engine = StorageEngine::default();
+        let t = engine.create_table(table).unwrap();
+        let q = Query::new(
+            t,
+            "sorted",
+            vec![ScanPredicate::eq(ColumnId(0), 10i64)],
+            None,
+            "pt",
+        );
+        let config = ConfigInstance::default();
+        let ctx = ConfigContext::new(&engine, &config);
+        let f = extract_features(&engine, &ctx, &q, &config).unwrap();
+        assert_eq!(f.0[fi::CHUNKS_VISITED], 1.0);
+        assert_eq!(f.0[fi::SCAN_RAW], 250.0);
+    }
+
+    #[test]
+    fn residual_predicates_fill_refine_bucket() {
+        let (engine, t) = setup();
+        let q = Query::new(
+            t,
+            "t",
+            vec![
+                ScanPredicate::eq(ColumnId(0), 7i64),
+                ScanPredicate::cmp(ColumnId(1), smdb_storage::PredicateOp::Lt, 500.0),
+            ],
+            None,
+            "two_preds",
+        );
+        let config = ConfigInstance::default();
+        let ctx = ConfigContext::new(&engine, &config);
+        let f = extract_features(&engine, &ctx, &q, &config).unwrap();
+        assert!(f.0[fi::REFINE_ROWS] > 0.0);
+    }
+
+    #[test]
+    fn context_counts_nonhot_bytes() {
+        let (mut engine, t) = setup();
+        let config = ConfigInstance::default();
+        assert_eq!(ConfigContext::new(&engine, &config).nonhot_bytes, 0);
+        let mut cold = ConfigInstance::default();
+        cold.placements
+            .insert((t, smdb_common::ChunkId(0)), Tier::Cold);
+        assert!(ConfigContext::new(&engine, &cold).nonhot_bytes > 0);
+        // Actual engine placement does not matter — only the hypothesis.
+        engine
+            .apply_action(&ConfigAction::SetPlacement {
+                table: t,
+                chunk: smdb_common::ChunkId(1),
+                tier: Tier::Warm,
+            })
+            .unwrap();
+        assert_eq!(ConfigContext::new(&engine, &config).nonhot_bytes, 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # smdb-cost — cost estimation for self-management decisions
+//!
+//! "Cost estimation must be involved at every stage of the tuning
+//! process" (Section II-A(d)). This crate supplies it:
+//!
+//! * [`estimator::CostEstimator`] — the estimator interface: the cost of
+//!   one query under a *hypothetical* `ConfigInstance` (what-if
+//!   optimization in the sense of Chaudhuri & Narasayya), never mutating
+//!   the engine,
+//! * [`logical::LogicalCostModel`] — a simple analytic model that ignores
+//!   encodings, tiers and index kinds; the paper argues such models are
+//!   "not capable of representing the interplay of, e.g., data types,
+//!   encodings, and coprocessors" — experiment E9 quantifies exactly that,
+//! * [`calibrated::CalibratedCostModel`] — the paper's proposed
+//!   hardware-dependent model "created adaptively by learning from
+//!   observed query execution costs": an online least-squares regression
+//!   over execution features,
+//! * [`features`] — the feature extraction shared by the calibrated model
+//!   and its training pipeline,
+//! * [`what_if`] — workload-level what-if costing and reconfiguration
+//!   cost estimation,
+//! * [`sizes`] — memory-footprint estimation for hypothetical encodings
+//!   and indexes (permanent costs of candidates),
+//! * [`regression`] — the in-repo ordinary-least-squares solver.
+
+pub mod calibrated;
+pub mod estimator;
+pub mod features;
+pub mod logical;
+pub mod regression;
+pub mod sizes;
+pub mod what_if;
+
+pub use calibrated::CalibratedCostModel;
+pub use estimator::CostEstimator;
+pub use features::{extract_features, QueryFeatures, NUM_FEATURES};
+pub use logical::LogicalCostModel;
+pub use what_if::WhatIf;

@@ -1,0 +1,223 @@
+//! Memory-footprint estimation for hypothetical physical designs.
+//!
+//! Assessors must attach a *permanent cost* (memory) to every candidate
+//! (Section II-D(b)) without applying it. These estimators derive
+//! footprints from segment statistics only.
+
+use smdb_common::{ChunkColumnRef, Result};
+use smdb_storage::{DataType, EncodingKind, IndexKind, StorageEngine};
+
+/// Estimated bytes of a segment of `rows` rows / `distinct` values of
+/// type `dt` under `encoding`.
+///
+/// Heuristics mirror the storage layer's actual layouts: raw = 8 B/row
+/// (24 + len for text, approximated at 32 B/row), dictionary = dictionary
+/// entries + 4 B codes, RLE = one entry per run (the `runs` statistic is
+/// exact, measured at chunk build time), frame-of-reference = 4 B/row.
+pub fn estimate_segment_bytes(
+    dt: DataType,
+    rows: u64,
+    distinct: u64,
+    runs: u64,
+    encoding: EncodingKind,
+) -> u64 {
+    let value_bytes: u64 = match dt {
+        DataType::Int | DataType::Float => 8,
+        DataType::Text => 32,
+    };
+    match encoding {
+        EncodingKind::Unencoded => rows * value_bytes,
+        EncodingKind::Dictionary => match dt {
+            DataType::Float => rows * value_bytes, // falls back to raw
+            _ => distinct * value_bytes + rows * 4,
+        },
+        EncodingKind::RunLength => runs.max(1).min(rows.max(1)) * (value_bytes + 8),
+        EncodingKind::FrameOfReference => match dt {
+            DataType::Int => 8 + rows * 4,
+            _ => rows * value_bytes, // falls back to raw
+        },
+    }
+}
+
+/// Estimated bytes of an index of `kind` over `rows` rows / `distinct`
+/// values (for composite indexes `distinct` should be the estimated
+/// number of distinct *pairs*).
+pub fn estimate_index_bytes(rows: u64, distinct: u64, kind: IndexKind) -> u64 {
+    let per_key: u64 = match kind {
+        IndexKind::Hash => 48,
+        IndexKind::BTree => 64,
+        IndexKind::CompositeHash { .. } => 72,
+    };
+    distinct * per_key + rows * 4
+}
+
+/// Estimated bytes of a segment identified by `target` under a
+/// hypothetical `encoding`, pulling rows/distinct from live statistics.
+pub fn estimate_target_bytes(
+    engine: &StorageEngine,
+    target: ChunkColumnRef,
+    encoding: EncodingKind,
+) -> Result<u64> {
+    let table = engine.table(target.table)?;
+    let chunk = table.chunk(target.chunk)?;
+    let stats = chunk.stats(target.column)?;
+    let dt = table.schema().column(target.column)?.data_type;
+    Ok(estimate_segment_bytes(
+        dt,
+        stats.rows,
+        stats.distinct,
+        stats.runs,
+        encoding,
+    ))
+}
+
+/// Estimated bytes resident on the hot tier under a hypothetical
+/// configuration: hot-placed data (at its configured encoding) plus all
+/// indexes (indexes are always hot). Drives the hot-tier capacity
+/// constraint of the placement feature.
+pub fn estimate_hot_bytes(
+    engine: &StorageEngine,
+    config: &smdb_storage::ConfigInstance,
+) -> Result<u64> {
+    let mut hot = 0u64;
+    for (tid, table) in engine.tables() {
+        for (cid, chunk) in table.chunks() {
+            let on_hot = config.tier_of(tid, cid) == smdb_storage::Tier::Hot;
+            for (col, def) in table.schema().iter() {
+                let target = ChunkColumnRef {
+                    table: tid,
+                    column: col,
+                    chunk: cid,
+                };
+                let stats = chunk.stats(col)?;
+                if on_hot {
+                    hot += estimate_segment_bytes(
+                        def.data_type,
+                        stats.rows,
+                        stats.distinct,
+                        stats.runs,
+                        config.encoding_of(target),
+                    );
+                }
+                if let Some(kind) = config.index_of(target) {
+                    hot += estimate_index_bytes(stats.rows, stats.distinct, kind);
+                }
+            }
+        }
+    }
+    Ok(hot)
+}
+
+/// Estimated data bytes of one chunk (all columns) under a configuration's
+/// encodings.
+pub fn estimate_chunk_bytes(
+    engine: &StorageEngine,
+    config: &smdb_storage::ConfigInstance,
+    table: smdb_common::TableId,
+    chunk: smdb_common::ChunkId,
+) -> Result<u64> {
+    let t = engine.table(table)?;
+    let c = t.chunk(chunk)?;
+    let mut bytes = 0u64;
+    for (col, def) in t.schema().iter() {
+        let stats = c.stats(col)?;
+        bytes += estimate_segment_bytes(
+            def.data_type,
+            stats.rows,
+            stats.distinct,
+            stats.runs,
+            config.encoding_of(ChunkColumnRef {
+                table,
+                column: col,
+                chunk,
+            }),
+        );
+    }
+    Ok(bytes)
+}
+
+/// Estimated bytes of a hypothetical index on `target`. For composite
+/// indexes the distinct-pair count is estimated as
+/// `min(rows, d_first · d_second)`.
+pub fn estimate_target_index_bytes(
+    engine: &StorageEngine,
+    target: ChunkColumnRef,
+    kind: IndexKind,
+) -> Result<u64> {
+    let table = engine.table(target.table)?;
+    let chunk = table.chunk(target.chunk)?;
+    let stats = chunk.stats(target.column)?;
+    let distinct = match kind {
+        IndexKind::CompositeHash { second } => {
+            let second_stats = chunk.stats(second)?;
+            stats
+                .distinct
+                .saturating_mul(second_stats.distinct)
+                .min(stats.rows)
+        }
+        _ => stats.distinct,
+    };
+    Ok(estimate_index_bytes(stats.rows, distinct, kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionary_smaller_when_low_cardinality() {
+        let raw =
+            estimate_segment_bytes(DataType::Int, 10_000, 10, 10_000, EncodingKind::Unencoded);
+        let dict =
+            estimate_segment_bytes(DataType::Int, 10_000, 10, 10_000, EncodingKind::Dictionary);
+        assert!(dict < raw);
+    }
+
+    #[test]
+    fn dictionary_falls_back_for_floats() {
+        let raw = estimate_segment_bytes(DataType::Float, 100, 100, 100, EncodingKind::Unencoded);
+        let dict = estimate_segment_bytes(DataType::Float, 100, 100, 100, EncodingKind::Dictionary);
+        assert_eq!(raw, dict);
+    }
+
+    #[test]
+    fn rle_uses_measured_runs() {
+        let shuffled =
+            estimate_segment_bytes(DataType::Int, 100, 100, 100, EncodingKind::RunLength);
+        assert_eq!(shuffled, 100 * 16);
+        let clustered = estimate_segment_bytes(DataType::Int, 1000, 2, 2, EncodingKind::RunLength);
+        assert_eq!(clustered, 2 * 16);
+        // Runs are clamped into [1, rows].
+        assert_eq!(
+            estimate_segment_bytes(DataType::Int, 10, 5, 99, EncodingKind::RunLength),
+            10 * 16
+        );
+    }
+
+    #[test]
+    fn for_is_four_bytes_per_int_row() {
+        assert_eq!(
+            estimate_segment_bytes(DataType::Int, 100, 100, 100, EncodingKind::FrameOfReference),
+            8 + 400
+        );
+        // Text cannot FOR-encode.
+        assert_eq!(
+            estimate_segment_bytes(
+                DataType::Text,
+                100,
+                100,
+                100,
+                EncodingKind::FrameOfReference
+            ),
+            3200
+        );
+    }
+
+    #[test]
+    fn index_estimates_scale_with_keys() {
+        let sparse = estimate_index_bytes(1000, 10, IndexKind::Hash);
+        let dense = estimate_index_bytes(1000, 1000, IndexKind::Hash);
+        assert!(dense > sparse);
+        assert!(estimate_index_bytes(1000, 10, IndexKind::BTree) > sparse);
+    }
+}

@@ -1,0 +1,211 @@
+//! What-if workload costing and reconfiguration cost estimation.
+//!
+//! The tuners compare hypothetical configurations by (a) estimated
+//! workload cost and (b) estimated *one-time reconfiguration cost*
+//! (Section II-D(b): "the sum of all these one-time costs are so-called
+//! reconfiguration costs").
+
+use std::sync::Arc;
+
+use smdb_common::{Cost, Result};
+use smdb_query::Workload;
+use smdb_storage::{ConfigAction, ConfigInstance, StorageEngine};
+
+use crate::estimator::CostEstimator;
+use crate::sizes;
+
+/// What-if façade bundling an exchangeable cost estimator.
+#[derive(Clone)]
+pub struct WhatIf {
+    estimator: Arc<dyn CostEstimator>,
+}
+
+impl WhatIf {
+    /// Wraps an estimator.
+    pub fn new(estimator: Arc<dyn CostEstimator>) -> Self {
+        WhatIf { estimator }
+    }
+
+    /// The underlying estimator.
+    pub fn estimator(&self) -> &Arc<dyn CostEstimator> {
+        &self.estimator
+    }
+
+    /// Estimated workload cost under `config`.
+    pub fn workload_cost(
+        &self,
+        engine: &StorageEngine,
+        workload: &Workload,
+        config: &ConfigInstance,
+    ) -> Result<Cost> {
+        self.estimator.workload_cost(engine, workload, config)
+    }
+
+    /// Estimated benefit (cost reduction, possibly negative) of moving
+    /// from `from` to `to` for `workload`.
+    pub fn benefit(
+        &self,
+        engine: &StorageEngine,
+        workload: &Workload,
+        from: &ConfigInstance,
+        to: &ConfigInstance,
+    ) -> Result<Cost> {
+        Ok(self.workload_cost(engine, workload, from)?
+            - self.workload_cost(engine, workload, to)?)
+    }
+}
+
+/// Estimated one-time cost of one configuration action, from statistics.
+///
+/// The constants are deliberately coarse — an estimator's guess at
+/// reconfiguration effort, not the simulator's exact parameters.
+pub fn estimate_action_cost(
+    engine: &StorageEngine,
+    config: &ConfigInstance,
+    action: &ConfigAction,
+) -> Result<Cost> {
+    const BUILD_MS_PER_ROW: f64 = 8e-4;
+    const DICT_BUILD_DISCOUNT: f64 = 0.4;
+    const REENCODE_MS_PER_ROW: f64 = 5e-4;
+    const MOVE_MS_PER_MB: f64 = 10.0;
+    const DROP_MS: f64 = 0.1;
+    const KNOB_MS: f64 = 1.0;
+
+    Ok(match action {
+        ConfigAction::CreateIndex { target, .. } => {
+            let rows = engine.table(target.table)?.chunk(target.chunk)?.rows() as f64;
+            let discount = if config.encoding_of(*target) == smdb_storage::EncodingKind::Dictionary
+            {
+                DICT_BUILD_DISCOUNT
+            } else {
+                1.0
+            };
+            Cost(rows * BUILD_MS_PER_ROW * discount)
+        }
+        ConfigAction::DropIndex { .. } => Cost(DROP_MS),
+        ConfigAction::SetEncoding { target, .. } => {
+            let rows = engine.table(target.table)?.chunk(target.chunk)?.rows() as f64;
+            Cost(rows * REENCODE_MS_PER_ROW)
+        }
+        ConfigAction::SetPlacement { table, chunk, .. } => {
+            let t = engine.table(*table)?;
+            let c = t.chunk(*chunk)?;
+            // Bytes under the chunk's *configured* encoding.
+            let mut bytes = 0u64;
+            for (col, def) in t.schema().iter() {
+                let stats = c.stats(col)?;
+                let target = smdb_common::ChunkColumnRef {
+                    table: *table,
+                    column: col,
+                    chunk: *chunk,
+                };
+                bytes += sizes::estimate_segment_bytes(
+                    def.data_type,
+                    stats.rows,
+                    stats.distinct,
+                    stats.runs,
+                    config.encoding_of(target),
+                );
+            }
+            Cost(bytes as f64 / (1024.0 * 1024.0) * MOVE_MS_PER_MB)
+        }
+        ConfigAction::SetKnob { .. } => Cost(KNOB_MS),
+    })
+}
+
+/// Estimated total reconfiguration cost of an action list.
+pub fn estimate_reconfiguration(
+    engine: &StorageEngine,
+    config: &ConfigInstance,
+    actions: &[ConfigAction],
+) -> Result<Cost> {
+    let mut total = Cost::ZERO;
+    for a in actions {
+        total += estimate_action_cost(engine, config, a)?;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::LogicalCostModel;
+    use smdb_common::{ChunkColumnRef, ColumnId, TableId};
+    use smdb_query::Query;
+    use smdb_storage::value::ColumnValues;
+    use smdb_storage::{
+        ColumnDef, DataType, EncodingKind, IndexKind, ScanPredicate, Schema, Table, Tier,
+    };
+
+    fn setup() -> (StorageEngine, TableId) {
+        let schema = Schema::new(vec![ColumnDef::new("k", DataType::Int)]).unwrap();
+        let table = Table::from_columns(
+            "t",
+            schema,
+            vec![ColumnValues::Int((0..1000).map(|i| i % 25).collect())],
+            500,
+        )
+        .unwrap();
+        let mut engine = StorageEngine::default();
+        let id = engine.create_table(table).unwrap();
+        (engine, id)
+    }
+
+    #[test]
+    fn benefit_positive_for_useful_index() {
+        let (engine, t) = setup();
+        let what_if = WhatIf::new(Arc::new(LogicalCostModel::default()));
+        let q = Query::new(
+            t,
+            "t",
+            vec![ScanPredicate::eq(ColumnId(0), 3i64)],
+            None,
+            "q",
+        );
+        let workload = Workload::uniform(vec![q]);
+        let from = ConfigInstance::default();
+        let mut to = from.clone();
+        to.indexes
+            .insert(ChunkColumnRef::new(t.0, 0, 0), IndexKind::Hash);
+        to.indexes
+            .insert(ChunkColumnRef::new(t.0, 0, 1), IndexKind::Hash);
+        let b = what_if.benefit(&engine, &workload, &from, &to).unwrap();
+        assert!(b.ms() > 0.0);
+    }
+
+    #[test]
+    fn reconfiguration_costs_accumulate() {
+        let (engine, t) = setup();
+        let config = ConfigInstance::default();
+        let actions = vec![
+            ConfigAction::CreateIndex {
+                target: ChunkColumnRef::new(t.0, 0, 0),
+                kind: IndexKind::Hash,
+            },
+            ConfigAction::SetPlacement {
+                table: t,
+                chunk: smdb_common::ChunkId(1),
+                tier: Tier::Cold,
+            },
+        ];
+        let total = estimate_reconfiguration(&engine, &config, &actions).unwrap();
+        let first = estimate_action_cost(&engine, &config, &actions[0]).unwrap();
+        assert!(total > first);
+    }
+
+    #[test]
+    fn dictionary_discount_applies() {
+        let (engine, t) = setup();
+        let action = ConfigAction::CreateIndex {
+            target: ChunkColumnRef::new(t.0, 0, 0),
+            kind: IndexKind::Hash,
+        };
+        let plain = ConfigInstance::default();
+        let mut dict = plain.clone();
+        dict.encodings
+            .insert(ChunkColumnRef::new(t.0, 0, 0), EncodingKind::Dictionary);
+        let raw_cost = estimate_action_cost(&engine, &plain, &action).unwrap();
+        let dict_cost = estimate_action_cost(&engine, &dict, &action).unwrap();
+        assert!(dict_cost < raw_cost);
+    }
+}

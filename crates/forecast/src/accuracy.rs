@@ -1,0 +1,94 @@
+//! Forecast accuracy scoring: SMAPE/MAE helpers and analyzer backtesting,
+//! used by the organizer to pick among analyzer instances and by the
+//! experiment harness.
+
+use crate::analyzer::WorkloadAnalyzer;
+
+/// Symmetric mean absolute percentage error, in `[0, 2]`. Pairs where
+/// both values are zero contribute zero error.
+pub fn smape(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "length mismatch");
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (&a, &p) in actual.iter().zip(predicted) {
+        let denom = a.abs() + p.abs();
+        if denom > 0.0 {
+            total += 2.0 * (a - p).abs() / denom;
+        }
+    }
+    total / actual.len() as f64
+}
+
+/// Mean absolute error.
+pub fn mae(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "length mismatch");
+    if actual.is_empty() {
+        return 0.0;
+    }
+    actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p).abs())
+        .sum::<f64>()
+        / actual.len() as f64
+}
+
+/// Rolling one-step backtest of an analyzer over a series: returns
+/// `(smape, mae)` of the one-step-ahead forecasts after `min_train`
+/// warm-up points.
+pub fn backtest(analyzer: &dyn WorkloadAnalyzer, series: &[f64], min_train: usize) -> (f64, f64) {
+    let mut actual = Vec::new();
+    let mut predicted = Vec::new();
+    for t in min_train..series.len() {
+        let f = analyzer.forecast(&series[..t], 1);
+        if let Some(&p) = f.first() {
+            actual.push(series[t]);
+            predicted.push(p);
+        }
+    }
+    (smape(&actual, &predicted), mae(&actual, &predicted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzers::{LastValue, LinearTrend, Seasonal};
+
+    #[test]
+    fn smape_bounds() {
+        assert_eq!(smape(&[], &[]), 0.0);
+        assert_eq!(smape(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        // Completely disjoint: max 2.
+        assert!((smape(&[1.0], &[0.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(smape(&[0.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn mae_basics() {
+        assert_eq!(mae(&[1.0, 3.0], &[2.0, 1.0]), 1.5);
+        assert_eq!(mae(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = mae(&[1.0], &[]);
+    }
+
+    #[test]
+    fn backtest_ranks_analyzers_sensibly() {
+        // Strong linear trend: LinearTrend should beat LastValue.
+        let series: Vec<f64> = (0..30).map(|t| 3.0 * t as f64).collect();
+        let (_, mae_trend) = backtest(&LinearTrend, &series, 5);
+        let (_, mae_naive) = backtest(&LastValue, &series, 5);
+        assert!(mae_trend < mae_naive);
+
+        // Strong seasonality: Seasonal should beat LastValue.
+        let seasonal_series: Vec<f64> = [50.0, 5.0, 5.0, 5.0].repeat(8);
+        let (_, mae_seasonal) = backtest(&Seasonal::new(4), &seasonal_series, 8);
+        let (_, mae_naive2) = backtest(&LastValue, &seasonal_series, 8);
+        assert!(mae_seasonal < mae_naive2);
+    }
+}

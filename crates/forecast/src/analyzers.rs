@@ -1,0 +1,325 @@
+//! Concrete workload analyzers: last-value, moving average, linear
+//! trend, seasonal, and autoregressive AR(p) via Yule-Walker — the
+//! methods the paper lists for the workload predictor ("simple linear
+//! regressions, time series analysis (cf. ARIMA), or more expensive
+//! recurrent neural networks"; we stop before the neural network, which
+//! the paper itself marks as the expensive option).
+
+use crate::analyzer::WorkloadAnalyzer;
+
+/// Forecasts the last observed value forever (naive baseline).
+#[derive(Debug, Clone, Default)]
+pub struct LastValue;
+
+impl WorkloadAnalyzer for LastValue {
+    fn name(&self) -> &str {
+        "last_value"
+    }
+
+    fn forecast(&self, series: &[f64], horizon: usize) -> Vec<f64> {
+        let last = series.last().copied().unwrap_or(0.0).max(0.0);
+        vec![last; horizon]
+    }
+}
+
+/// Mean of the trailing `window` observations.
+#[derive(Debug, Clone)]
+pub struct MovingAverage {
+    pub window: usize,
+}
+
+impl MovingAverage {
+    /// Creates a moving average with a window of at least 1.
+    pub fn new(window: usize) -> Self {
+        MovingAverage {
+            window: window.max(1),
+        }
+    }
+}
+
+impl WorkloadAnalyzer for MovingAverage {
+    fn name(&self) -> &str {
+        "moving_average"
+    }
+
+    fn forecast(&self, series: &[f64], horizon: usize) -> Vec<f64> {
+        if series.is_empty() {
+            return vec![0.0; horizon];
+        }
+        let tail = &series[series.len().saturating_sub(self.window)..];
+        let mean = (tail.iter().sum::<f64>() / tail.len() as f64).max(0.0);
+        vec![mean; horizon]
+    }
+}
+
+/// Ordinary-least-squares linear trend extrapolation.
+#[derive(Debug, Clone, Default)]
+pub struct LinearTrend;
+
+impl WorkloadAnalyzer for LinearTrend {
+    fn name(&self) -> &str {
+        "linear_trend"
+    }
+
+    fn forecast(&self, series: &[f64], horizon: usize) -> Vec<f64> {
+        let n = series.len();
+        if n == 0 {
+            return vec![0.0; horizon];
+        }
+        if n == 1 {
+            return vec![series[0].max(0.0); horizon];
+        }
+        // OLS of y on t = 0..n.
+        let nf = n as f64;
+        let t_mean = (nf - 1.0) / 2.0;
+        let y_mean = series.iter().sum::<f64>() / nf;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (t, &y) in series.iter().enumerate() {
+            let dt = t as f64 - t_mean;
+            num += dt * (y - y_mean);
+            den += dt * dt;
+        }
+        let slope = if den > 0.0 { num / den } else { 0.0 };
+        let intercept = y_mean - slope * t_mean;
+        (0..horizon)
+            .map(|h| (intercept + slope * (n + h) as f64).max(0.0))
+            .collect()
+    }
+}
+
+/// Seasonal forecaster: the value of the same phase one period ago,
+/// averaged over all observed periods (with a last-value fallback for
+/// short series).
+#[derive(Debug, Clone)]
+pub struct Seasonal {
+    pub period: usize,
+}
+
+impl Seasonal {
+    /// Creates a seasonal analyzer with a period of at least 2.
+    pub fn new(period: usize) -> Self {
+        Seasonal {
+            period: period.max(2),
+        }
+    }
+}
+
+impl WorkloadAnalyzer for Seasonal {
+    fn name(&self) -> &str {
+        "seasonal"
+    }
+
+    fn forecast(&self, series: &[f64], horizon: usize) -> Vec<f64> {
+        let n = series.len();
+        if n < self.period {
+            return LastValue.forecast(series, horizon);
+        }
+        (0..horizon)
+            .map(|h| {
+                let phase = (n + h) % self.period;
+                // Mean over all observations at this phase.
+                let mut sum = 0.0;
+                let mut count = 0.0;
+                let mut t = phase;
+                while t < n {
+                    sum += series[t];
+                    count += 1.0;
+                    t += self.period;
+                }
+                if count > 0.0 {
+                    (sum / count).max(0.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+/// AR(p) autoregression fitted by Yule-Walker on the demeaned series.
+#[derive(Debug, Clone)]
+pub struct AutoRegressive {
+    pub order: usize,
+}
+
+impl AutoRegressive {
+    /// Creates an AR analyzer with order at least 1.
+    pub fn new(order: usize) -> Self {
+        AutoRegressive {
+            order: order.max(1),
+        }
+    }
+
+    /// Autocovariance at lag `k` of a demeaned series.
+    fn autocov(series: &[f64], mean: f64, k: usize) -> f64 {
+        let n = series.len();
+        let mut acc = 0.0;
+        for t in k..n {
+            acc += (series[t] - mean) * (series[t - k] - mean);
+        }
+        acc / n as f64
+    }
+
+    /// Solves the Yule-Walker equations by Levinson-Durbin recursion.
+    fn fit(&self, series: &[f64]) -> Option<(f64, Vec<f64>)> {
+        let p = self.order;
+        if series.len() < p + 2 {
+            return None;
+        }
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        let r: Vec<f64> = (0..=p).map(|k| Self::autocov(series, mean, k)).collect();
+        if r[0] <= 1e-12 {
+            return None; // constant series
+        }
+        // Levinson-Durbin.
+        let mut phi = vec![0.0f64; p + 1];
+        let mut prev = vec![0.0f64; p + 1];
+        let mut e = r[0];
+        for k in 1..=p {
+            let mut acc = r[k];
+            for j in 1..k {
+                acc -= prev[j] * r[k - j];
+            }
+            let kappa = acc / e;
+            phi[k] = kappa;
+            for j in 1..k {
+                phi[j] = prev[j] - kappa * prev[k - j];
+            }
+            e *= 1.0 - kappa * kappa;
+            if e <= 1e-12 {
+                break;
+            }
+            prev[..=k].copy_from_slice(&phi[..=k]);
+        }
+        Some((mean, phi[1..].to_vec()))
+    }
+}
+
+impl WorkloadAnalyzer for AutoRegressive {
+    fn name(&self) -> &str {
+        "ar"
+    }
+
+    fn forecast(&self, series: &[f64], horizon: usize) -> Vec<f64> {
+        let Some((mean, coeffs)) = self.fit(series) else {
+            return LastValue.forecast(series, horizon);
+        };
+        // Iterated one-step forecasts on the demeaned series.
+        let mut extended: Vec<f64> = series.iter().map(|&y| y - mean).collect();
+        let mut out = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            let n = extended.len();
+            let mut next = 0.0;
+            for (j, &c) in coeffs.iter().enumerate() {
+                if n > j {
+                    next += c * extended[n - 1 - j];
+                }
+            }
+            extended.push(next);
+            out.push((next + mean).max(0.0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::residual_std;
+
+    #[test]
+    fn last_value_repeats() {
+        assert_eq!(LastValue.forecast(&[1.0, 7.0], 3), vec![7.0; 3]);
+        assert_eq!(LastValue.forecast(&[], 2), vec![0.0; 2]);
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let ma = MovingAverage::new(3);
+        assert_eq!(ma.forecast(&[1.0, 2.0, 3.0, 4.0], 1), vec![3.0]);
+        assert_eq!(ma.forecast(&[5.0], 2), vec![5.0, 5.0]);
+        assert_eq!(ma.forecast(&[], 1), vec![0.0]);
+    }
+
+    #[test]
+    fn linear_trend_extrapolates() {
+        let lt = LinearTrend;
+        // y = 2t + 1.
+        let series: Vec<f64> = (0..10).map(|t| 2.0 * t as f64 + 1.0).collect();
+        let f = lt.forecast(&series, 2);
+        assert!((f[0] - 21.0).abs() < 1e-9);
+        assert!((f[1] - 23.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_trend_clamps_negative() {
+        let lt = LinearTrend;
+        let series: Vec<f64> = (0..10).map(|t| 10.0 - 2.0 * t as f64).collect();
+        let f = lt.forecast(&series, 3);
+        assert!(f.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn seasonal_tracks_period() {
+        let s = Seasonal::new(4);
+        // Period-4 pattern repeated 3 times.
+        let series: Vec<f64> = [10.0, 1.0, 1.0, 1.0].repeat(3);
+        let f = s.forecast(&series, 4);
+        assert!((f[0] - 10.0).abs() < 1e-9, "{f:?}");
+        assert!((f[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seasonal_beats_naive_on_periodic_series() {
+        let series: Vec<f64> = [20.0, 2.0, 2.0, 2.0].repeat(6);
+        let seasonal = Seasonal::new(4);
+        let naive = LastValue;
+        let rs = residual_std(&seasonal.backtest_residuals(&series, 8));
+        let rn = residual_std(&naive.backtest_residuals(&series, 8));
+        assert!(rs < rn, "seasonal {rs} vs naive {rn}");
+    }
+
+    #[test]
+    fn ar_learns_oscillation() {
+        // AR(1) with coefficient -1: sustained alternation around 10,
+        // where the naive forecaster is maximally wrong.
+        let series: Vec<f64> = (0..40)
+            .map(|t| if t % 2 == 0 { 15.0 } else { 5.0 })
+            .collect();
+        let ar = AutoRegressive::new(2);
+        let f = ar.forecast(&series, 1);
+        let naive = LastValue.forecast(&series, 1);
+        let actual = 15.0; // t = 40 is even
+        assert!(
+            (f[0] - actual).abs() < (naive[0] - actual).abs(),
+            "ar {f:?} vs naive {naive:?} vs actual {actual}"
+        );
+    }
+
+    #[test]
+    fn ar_falls_back_on_short_or_constant_series() {
+        let ar = AutoRegressive::new(3);
+        assert_eq!(ar.forecast(&[5.0, 5.0], 2), vec![5.0, 5.0]);
+        assert_eq!(ar.forecast(&[7.0; 20], 1), vec![7.0]);
+    }
+
+    #[test]
+    fn forecasts_have_requested_horizon() {
+        let analyzers: Vec<Box<dyn WorkloadAnalyzer>> = vec![
+            Box::new(LastValue),
+            Box::new(MovingAverage::new(4)),
+            Box::new(LinearTrend),
+            Box::new(Seasonal::new(3)),
+            Box::new(AutoRegressive::new(2)),
+        ];
+        let series: Vec<f64> = (0..20).map(|t| (t % 5) as f64).collect();
+        for a in &analyzers {
+            for horizon in [0usize, 1, 5] {
+                let f = a.forecast(&series, horizon);
+                assert_eq!(f.len(), horizon, "{} horizon {horizon}", a.name());
+                assert!(f.iter().all(|&v| v >= 0.0), "{} negative", a.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Analyzer ensembles.
+//!
+//! "The system can consist of multiple workload analyzer instances that
+//! each employ different methods to create forecasts" (Section II-C).
+//! The ensemble holds several analyzers and, per series, uses the one
+//! with the best one-step backtest error — so stable templates get the
+//! cheap naive forecaster while periodic ones get the seasonal model,
+//! automatically.
+
+use crate::accuracy::backtest;
+use crate::analyzer::WorkloadAnalyzer;
+use crate::analyzers::{AutoRegressive, LastValue, LinearTrend, MovingAverage, Seasonal};
+
+/// Per-series best-of-N analyzer selection via rolling backtests.
+pub struct EnsembleAnalyzer {
+    members: Vec<Box<dyn WorkloadAnalyzer>>,
+    /// Warm-up points before backtesting starts.
+    pub min_train: usize,
+}
+
+impl EnsembleAnalyzer {
+    /// Creates an ensemble from member analyzers (at least one).
+    pub fn new(members: Vec<Box<dyn WorkloadAnalyzer>>) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        EnsembleAnalyzer {
+            members,
+            min_train: 4,
+        }
+    }
+
+    /// The default ensemble covering the paper's analyzer families:
+    /// naive, smoothing, trend, seasonal and autoregressive.
+    pub fn standard(season_period: usize) -> Self {
+        EnsembleAnalyzer::new(vec![
+            Box::new(LastValue),
+            Box::new(MovingAverage::new(4)),
+            Box::new(LinearTrend),
+            Box::new(Seasonal::new(season_period)),
+            Box::new(AutoRegressive::new(2)),
+        ])
+    }
+
+    /// Index of the member with the lowest backtest MAE on `series`
+    /// (first member when the series is too short to score).
+    pub fn best_member(&self, series: &[f64]) -> usize {
+        if series.len() <= self.min_train + 1 {
+            return 0;
+        }
+        let mut best = 0;
+        let mut best_mae = f64::INFINITY;
+        for (i, member) in self.members.iter().enumerate() {
+            let (_, mae) = backtest(member.as_ref(), series, self.min_train);
+            if mae < best_mae {
+                best_mae = mae;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The name of the member chosen for `series` (for reports).
+    pub fn chosen_name(&self, series: &[f64]) -> &str {
+        self.members[self.best_member(series)].name()
+    }
+}
+
+impl WorkloadAnalyzer for EnsembleAnalyzer {
+    fn name(&self) -> &str {
+        "ensemble"
+    }
+
+    fn forecast(&self, series: &[f64], horizon: usize) -> Vec<f64> {
+        self.members[self.best_member(series)].forecast(series, horizon)
+    }
+}
+
+/// Holt's linear exponential smoothing: level + trend with smoothing
+/// factors `alpha` / `beta`; an incremental alternative to the
+/// batch-fitted linear trend.
+#[derive(Debug, Clone)]
+pub struct HoltSmoothing {
+    pub alpha: f64,
+    pub beta: f64,
+}
+
+impl HoltSmoothing {
+    /// Creates a Holt smoother with factors clamped into `(0, 1]`.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        HoltSmoothing {
+            alpha: alpha.clamp(1e-6, 1.0),
+            beta: beta.clamp(1e-6, 1.0),
+        }
+    }
+}
+
+impl Default for HoltSmoothing {
+    fn default() -> Self {
+        HoltSmoothing::new(0.5, 0.3)
+    }
+}
+
+impl WorkloadAnalyzer for HoltSmoothing {
+    fn name(&self) -> &str {
+        "holt"
+    }
+
+    fn forecast(&self, series: &[f64], horizon: usize) -> Vec<f64> {
+        if series.is_empty() {
+            return vec![0.0; horizon];
+        }
+        if series.len() == 1 {
+            return vec![series[0].max(0.0); horizon];
+        }
+        let mut level = series[0];
+        let mut trend = series[1] - series[0];
+        for &y in &series[1..] {
+            let prev_level = level;
+            level = self.alpha * y + (1.0 - self.alpha) * (level + trend);
+            trend = self.beta * (level - prev_level) + (1.0 - self.beta) * trend;
+        }
+        (1..=horizon)
+            .map(|h| (level + trend * h as f64).max(0.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensemble_picks_seasonal_for_periodic_series() {
+        let e = EnsembleAnalyzer::standard(4);
+        let series: Vec<f64> = [40.0, 4.0, 4.0, 4.0].repeat(8);
+        assert_eq!(e.chosen_name(&series), "seasonal");
+        let f = e.forecast(&series, 4);
+        assert!((f[0] - 40.0).abs() < 1e-6, "{f:?}");
+    }
+
+    #[test]
+    fn ensemble_picks_trend_for_linear_series() {
+        let e = EnsembleAnalyzer::standard(4);
+        let series: Vec<f64> = (0..24).map(|t| 2.0 * t as f64 + 3.0).collect();
+        assert_eq!(e.chosen_name(&series), "linear_trend");
+        let f = e.forecast(&series, 1);
+        assert!((f[0] - 51.0).abs() < 1e-6, "{f:?}");
+    }
+
+    #[test]
+    fn ensemble_short_series_falls_back_to_first_member() {
+        let e = EnsembleAnalyzer::standard(4);
+        assert_eq!(e.chosen_name(&[5.0, 5.0]), "last_value");
+        assert_eq!(e.forecast(&[5.0, 5.0], 2), vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn ensemble_beats_every_single_member_on_mixed_workload() {
+        use crate::accuracy::backtest;
+        // One trending, one seasonal series — no single member wins both,
+        // the ensemble matches the best member on each.
+        let trend: Vec<f64> = (0..24).map(|t| 3.0 * t as f64).collect();
+        let seasonal: Vec<f64> = [30.0, 2.0, 2.0, 2.0].repeat(6);
+        let ensemble = EnsembleAnalyzer::standard(4);
+        for series in [&trend, &seasonal] {
+            let (_, ens_mae) = backtest(&ensemble, series, 8);
+            let members = EnsembleAnalyzer::standard(4);
+            for m in &members.members {
+                let (_, m_mae) = backtest(m.as_ref(), series, 8);
+                assert!(
+                    ens_mae <= m_mae + 1e-9,
+                    "ensemble {ens_mae} worse than {} {m_mae}",
+                    m.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn holt_tracks_trend() {
+        let h = HoltSmoothing::default();
+        let series: Vec<f64> = (0..30).map(|t| 5.0 * t as f64 + 10.0).collect();
+        let f = h.forecast(&series, 2);
+        assert!((f[0] - 160.0).abs() < 2.0, "{f:?}");
+        assert!((f[1] - 165.0).abs() < 3.0, "{f:?}");
+    }
+
+    #[test]
+    fn holt_contracts() {
+        let h = HoltSmoothing::default();
+        assert_eq!(h.forecast(&[], 3), vec![0.0; 3]);
+        assert_eq!(h.forecast(&[7.0], 2), vec![7.0, 7.0]);
+        let f = h.forecast(&[10.0, 0.0, 10.0, 0.0], 4);
+        assert_eq!(f.len(), 4);
+        assert!(f.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_ensemble_rejected() {
+        EnsembleAnalyzer::new(vec![]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Per-template workload history.
+//!
+//! Built by diffing successive plan-cache snapshots: each call to
+//! [`WorkloadHistory::observe`] attributes the executions since the last
+//! snapshot to the current time bucket. This keeps the query path free of
+//! forecasting hooks (Section II-C: "by relying on the query plan cache,
+//! no further overhead is added during query execution time").
+
+use std::collections::{BTreeMap, HashMap};
+
+use smdb_common::{Cost, LogicalTime};
+use smdb_query::{PlanCacheEntry, Query};
+
+/// History of one template.
+#[derive(Debug, Clone)]
+pub struct TemplateHistory {
+    /// A recent concrete instance, used to materialise forecast workloads.
+    pub example: Query,
+    /// Executions attributed to each observed bucket.
+    pub buckets: BTreeMap<u64, f64>,
+    /// Mean observed cost per execution (running).
+    pub mean_cost: Cost,
+    /// Total executions ever observed.
+    pub total: f64,
+}
+
+impl TemplateHistory {
+    /// Dense count series covering buckets `[from, to)` (zeros filled).
+    pub fn series(&self, from: u64, to: u64) -> Vec<f64> {
+        (from..to)
+            .map(|b| self.buckets.get(&b).copied().unwrap_or(0.0))
+            .collect()
+    }
+}
+
+/// Histories for all observed templates.
+#[derive(Debug, Default)]
+pub struct WorkloadHistory {
+    templates: HashMap<u64, TemplateHistory>,
+    /// Cumulative (executions, cost) at the previous snapshot.
+    last_totals: HashMap<u64, (u64, Cost)>,
+    /// First and last observed bucket.
+    span: Option<(u64, u64)>,
+}
+
+impl WorkloadHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        WorkloadHistory::default()
+    }
+
+    /// Absorbs a plan-cache snapshot taken at `now`, attributing all
+    /// executions since the previous snapshot to bucket `now`.
+    pub fn observe(&mut self, now: LogicalTime, snapshot: &[PlanCacheEntry]) {
+        let bucket = now.raw();
+        for entry in snapshot {
+            let fp = entry.template.fingerprint();
+            let (prev_exec, prev_cost) = self
+                .last_totals
+                .get(&fp)
+                .copied()
+                .unwrap_or((0, Cost::ZERO));
+            let delta_exec = entry.executions.saturating_sub(prev_exec);
+            let delta_cost = entry.total_cost - prev_cost;
+            self.last_totals
+                .insert(fp, (entry.executions, entry.total_cost));
+
+            let hist = self.templates.entry(fp).or_insert_with(|| TemplateHistory {
+                example: entry.example.clone(),
+                buckets: BTreeMap::new(),
+                mean_cost: Cost::ZERO,
+                total: 0.0,
+            });
+            if delta_exec > 0 {
+                *hist.buckets.entry(bucket).or_insert(0.0) += delta_exec as f64;
+                let new_total = hist.total + delta_exec as f64;
+                // Running mean of per-execution cost.
+                hist.mean_cost = (hist.mean_cost * hist.total + delta_cost) / new_total;
+                hist.total = new_total;
+            }
+        }
+        self.span = Some(match self.span {
+            None => (bucket, bucket + 1),
+            Some((lo, hi)) => (lo.min(bucket), hi.max(bucket + 1)),
+        });
+    }
+
+    /// Number of observed templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Whether no template has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// The observed bucket span `[first, last+1)`, if any.
+    pub fn span(&self) -> Option<(u64, u64)> {
+        self.span
+    }
+
+    /// The history of one template.
+    pub fn template(&self, fingerprint: u64) -> Option<&TemplateHistory> {
+        self.templates.get(&fingerprint)
+    }
+
+    /// Iterates over `(fingerprint, history)` in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &TemplateHistory)> {
+        let mut keys: Vec<u64> = self.templates.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter().map(move |k| (k, &self.templates[&k]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smdb_common::{ColumnId, TableId};
+    use smdb_query::PlanCache;
+    use smdb_storage::ScanPredicate;
+
+    fn q(v: i64) -> Query {
+        Query::new(
+            TableId(0),
+            "t",
+            vec![ScanPredicate::eq(ColumnId(0), v)],
+            None,
+            "q",
+        )
+    }
+
+    #[test]
+    fn diffs_snapshots_into_buckets() {
+        let mut cache = PlanCache::default();
+        let mut hist = WorkloadHistory::new();
+
+        cache.record(&q(1), Cost(2.0), LogicalTime(0));
+        cache.record(&q(2), Cost(2.0), LogicalTime(0));
+        hist.observe(LogicalTime(0), &cache.snapshot());
+
+        cache.record(&q(3), Cost(4.0), LogicalTime(1));
+        hist.observe(LogicalTime(1), &cache.snapshot());
+        // Bucket without activity.
+        hist.observe(LogicalTime(2), &cache.snapshot());
+
+        assert_eq!(hist.len(), 1);
+        let (_, th) = hist.iter().next().unwrap();
+        assert_eq!(th.series(0, 3), vec![2.0, 1.0, 0.0]);
+        assert_eq!(th.total, 3.0);
+        // Mean cost: (2+2+4)/3.
+        assert!((th.mean_cost.ms() - 8.0 / 3.0).abs() < 1e-9);
+        assert_eq!(hist.span(), Some((0, 3)));
+    }
+
+    #[test]
+    fn multiple_templates_tracked_independently() {
+        let mut cache = PlanCache::default();
+        let mut hist = WorkloadHistory::new();
+        let other = Query::new(
+            TableId(1),
+            "u",
+            vec![ScanPredicate::eq(ColumnId(0), 1i64)],
+            None,
+            "other",
+        );
+        cache.record(&q(1), Cost(1.0), LogicalTime(0));
+        cache.record(&other, Cost(1.0), LogicalTime(0));
+        hist.observe(LogicalTime(0), &cache.snapshot());
+        assert_eq!(hist.len(), 2);
+        assert!(hist.template(q(0).fingerprint()).is_some());
+        assert!(hist.template(other.fingerprint()).is_some());
+    }
+
+    #[test]
+    fn example_query_is_a_concrete_instance() {
+        let mut cache = PlanCache::default();
+        let mut hist = WorkloadHistory::new();
+        cache.record(&q(1), Cost(1.0), LogicalTime(0));
+        hist.observe(LogicalTime(0), &cache.snapshot());
+        cache.record(&q(42), Cost(1.0), LogicalTime(1));
+        hist.observe(LogicalTime(1), &cache.snapshot());
+        let th = hist.template(q(0).fingerprint()).unwrap();
+        assert_eq!(
+            th.example.predicates()[0].value,
+            smdb_storage::Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn empty_history() {
+        let hist = WorkloadHistory::new();
+        assert!(hist.is_empty());
+        assert_eq!(hist.span(), None);
+    }
+}

@@ -1,0 +1,36 @@
+//! # smdb-forecast — the workload predictor
+//!
+//! Implements the paper's workload predictor (Section II-C) as a
+//! multi-step pipeline:
+//!
+//! 1. **History building** ([`history`]): periodic plan-cache snapshots
+//!    are diffed into per-template execution-count time series — no
+//!    per-query hooks, so observation adds no query-path overhead.
+//! 2. **Query clustering** ([`cluster`]): optional k-means over template
+//!    feature vectors ("similar queries can be combined to reduce the
+//!    number of queries that have to be processed"), the workload
+//!    compression evaluated in experiment E8.
+//! 3. **Workload analysis** ([`analyzer`], [`analyzers`]): exchangeable
+//!    forecasting methods — last-value, moving average, linear-regression
+//!    trend, seasonal decomposition, autoregressive AR(p) via
+//!    Yule-Walker — matching the paper's list ("simple linear
+//!    regressions, time series analysis (cf. ARIMA)").
+//! 4. **Scenario generation** ([`scenario`], [`predictor`]): the
+//!    predictor emits not just the expected workload but a distribution
+//!    of scenarios (expected / worst-case / sampled) "to allow the
+//!    computation of robust configurations".
+
+pub mod accuracy;
+pub mod analyzer;
+pub mod analyzers;
+pub mod cluster;
+pub mod ensemble;
+pub mod history;
+pub mod predictor;
+pub mod scenario;
+
+pub use analyzer::WorkloadAnalyzer;
+pub use ensemble::{EnsembleAnalyzer, HoltSmoothing};
+pub use history::WorkloadHistory;
+pub use predictor::{PredictorConfig, WorkloadPredictor};
+pub use scenario::{ForecastSet, ScenarioKind, WorkloadScenario};

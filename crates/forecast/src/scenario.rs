@@ -1,0 +1,132 @@
+//! Forecast scenarios.
+//!
+//! The predictor outputs a *distribution* over future workloads —
+//! expected case, worst case, and sampled scenarios with probabilities —
+//! so that selectors can make robust, risk-aware choices (Sections II-C
+//! and II-D(c)).
+
+use smdb_query::Workload;
+
+/// What kind of scenario this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// The expected-case forecast.
+    Expected,
+    /// A pessimistic inflation of the expected case by forecast
+    /// uncertainty.
+    WorstCase,
+    /// One sample from the forecast distribution.
+    Sampled,
+}
+
+/// One forecast scenario: a workload with an occurrence probability.
+#[derive(Debug, Clone)]
+pub struct WorkloadScenario {
+    pub kind: ScenarioKind,
+    pub name: String,
+    /// Probability mass assigned to this scenario (scenario set sums to 1).
+    pub probability: f64,
+    pub workload: Workload,
+}
+
+/// The predictor's full output: a set of scenarios.
+#[derive(Debug, Clone, Default)]
+pub struct ForecastSet {
+    pub scenarios: Vec<WorkloadScenario>,
+}
+
+impl ForecastSet {
+    /// The expected-case scenario, if present.
+    pub fn expected(&self) -> Option<&WorkloadScenario> {
+        self.scenarios
+            .iter()
+            .find(|s| s.kind == ScenarioKind::Expected)
+    }
+
+    /// The worst-case scenario, if present.
+    pub fn worst_case(&self) -> Option<&WorkloadScenario> {
+        self.scenarios
+            .iter()
+            .find(|s| s.kind == ScenarioKind::WorstCase)
+    }
+
+    /// All scenarios.
+    pub fn iter(&self) -> impl Iterator<Item = &WorkloadScenario> {
+        self.scenarios.iter()
+    }
+
+    /// Number of scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Total probability mass (should be ≈ 1 for a well-formed set).
+    pub fn total_probability(&self) -> f64 {
+        self.scenarios.iter().map(|s| s.probability).sum()
+    }
+
+    /// Renormalises probabilities to sum to 1 (no-op on empty sets).
+    pub fn normalize(&mut self) {
+        let total = self.total_probability();
+        if total > 0.0 {
+            for s in &mut self.scenarios {
+                s.probability /= total;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(kind: ScenarioKind, p: f64) -> WorkloadScenario {
+        WorkloadScenario {
+            kind,
+            name: format!("{kind:?}"),
+            probability: p,
+            workload: Workload::default(),
+        }
+    }
+
+    #[test]
+    fn accessors_find_kinds() {
+        let set = ForecastSet {
+            scenarios: vec![
+                scenario(ScenarioKind::Expected, 0.6),
+                scenario(ScenarioKind::WorstCase, 0.1),
+                scenario(ScenarioKind::Sampled, 0.3),
+            ],
+        };
+        assert!(set.expected().is_some());
+        assert!(set.worst_case().is_some());
+        assert_eq!(set.len(), 3);
+        assert!((set.total_probability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_rescales() {
+        let mut set = ForecastSet {
+            scenarios: vec![
+                scenario(ScenarioKind::Expected, 2.0),
+                scenario(ScenarioKind::Sampled, 2.0),
+            ],
+        };
+        set.normalize();
+        assert!((set.total_probability() - 1.0).abs() < 1e-12);
+        assert!((set.scenarios[0].probability - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let mut set = ForecastSet::default();
+        assert!(set.is_empty());
+        assert!(set.expected().is_none());
+        set.normalize(); // must not panic
+    }
+}

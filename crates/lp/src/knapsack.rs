@@ -1,0 +1,313 @@
+//! 0/1 knapsack: the optimization core of the *optimal* selector
+//! (Section II-D(c): "optimal selectors … usually based on off-the-shelf
+//! solvers").
+//!
+//! A specialised branch-and-bound with the fractional-knapsack relaxation
+//! handles the candidate-set sizes the tuners produce (hundreds of items)
+//! in microseconds; a dynamic-programming solver cross-checks it in tests.
+
+use smdb_common::{Error, Result};
+
+/// Solution of a knapsack instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnapsackSolution {
+    /// Indices of chosen items, ascending.
+    pub chosen: Vec<usize>,
+    /// Total value of the chosen items.
+    pub value: f64,
+    /// Total weight of the chosen items.
+    pub weight: f64,
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+    /// Whether optimality was proven (false when the node cap was hit on
+    /// a pathological instance; the incumbent is still feasible).
+    pub proven_optimal: bool,
+}
+
+/// Default node cap: generous for real tuning instances, finite for
+/// pathological (e.g. strongly correlated) ones.
+pub const DEFAULT_NODE_CAP: usize = 2_000_000;
+
+/// Solves `max Σ value_i x_i  s.t. Σ weight_i x_i ≤ capacity, x ∈ {0,1}`
+/// exactly. Items with non-positive value are never chosen; items with
+/// zero weight and positive value are always chosen.
+///
+/// ```
+/// use smdb_lp::knapsack::solve_knapsack;
+/// let solution = solve_knapsack(&[8.0, 11.0, 6.0], &[5.0, 7.0, 4.0], 11.0).unwrap();
+/// assert_eq!(solution.chosen, vec![1, 2]); // 17 beats 8+6 at weight 11
+/// assert!(solution.proven_optimal);
+/// ```
+pub fn solve_knapsack(values: &[f64], weights: &[f64], capacity: f64) -> Result<KnapsackSolution> {
+    solve_knapsack_capped(values, weights, capacity, DEFAULT_NODE_CAP)
+}
+
+/// Like [`solve_knapsack`] with an explicit branch-and-bound node cap.
+pub fn solve_knapsack_capped(
+    values: &[f64],
+    weights: &[f64],
+    capacity: f64,
+    max_nodes: usize,
+) -> Result<KnapsackSolution> {
+    if values.len() != weights.len() {
+        return Err(Error::invalid("values/weights length mismatch"));
+    }
+    if weights.iter().any(|&w| w < 0.0) {
+        return Err(Error::invalid("negative weights unsupported"));
+    }
+    if capacity < 0.0 {
+        return Err(Error::invalid("negative capacity"));
+    }
+    let n = values.len();
+
+    // Pre-pass: force zero-weight positives, drop non-positive values.
+    let mut forced: Vec<usize> = Vec::new();
+    let mut candidates: Vec<usize> = Vec::new();
+    for i in 0..n {
+        if values[i] <= 0.0 {
+            continue;
+        }
+        if weights[i] == 0.0 {
+            forced.push(i);
+        } else {
+            candidates.push(i);
+        }
+    }
+    // Sort candidates by value density, descending (relaxation order).
+    candidates.sort_by(|&a, &b| {
+        let da = values[a] / weights[a];
+        let db = values[b] / weights[b];
+        db.partial_cmp(&da)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    // Depth-first branch-and-bound over the density-sorted candidates.
+    struct Ctx<'a> {
+        values: &'a [f64],
+        weights: &'a [f64],
+        order: &'a [usize],
+        capacity: f64,
+        best_value: f64,
+        best_set: Vec<usize>,
+        nodes: usize,
+        max_nodes: usize,
+    }
+
+    fn upper_bound(ctx: &Ctx<'_>, depth: usize, weight: f64, value: f64) -> f64 {
+        let mut bound = value;
+        let mut room = ctx.capacity - weight;
+        for &i in &ctx.order[depth..] {
+            if ctx.weights[i] <= room {
+                room -= ctx.weights[i];
+                bound += ctx.values[i];
+            } else {
+                bound += ctx.values[i] * (room / ctx.weights[i]);
+                break;
+            }
+        }
+        bound
+    }
+
+    fn dfs(ctx: &mut Ctx<'_>, depth: usize, weight: f64, value: f64, current: &mut Vec<usize>) {
+        if ctx.nodes >= ctx.max_nodes {
+            return;
+        }
+        ctx.nodes += 1;
+        if value > ctx.best_value {
+            ctx.best_value = value;
+            ctx.best_set = current.clone();
+        }
+        if depth == ctx.order.len() {
+            return;
+        }
+        if upper_bound(ctx, depth, weight, value) <= ctx.best_value + 1e-12 {
+            return;
+        }
+        let item = ctx.order[depth];
+        // Take (if it fits) — explored first: density order makes taking
+        // promising.
+        if weight + ctx.weights[item] <= ctx.capacity + 1e-12 {
+            current.push(item);
+            dfs(
+                ctx,
+                depth + 1,
+                weight + ctx.weights[item],
+                value + ctx.values[item],
+                current,
+            );
+            current.pop();
+        }
+        // Skip.
+        dfs(ctx, depth + 1, weight, value, current);
+    }
+
+    let mut ctx = Ctx {
+        values,
+        weights,
+        order: &candidates,
+        capacity,
+        best_value: 0.0,
+        best_set: Vec::new(),
+        nodes: 0,
+        max_nodes,
+    };
+    let mut current = Vec::new();
+    dfs(&mut ctx, 0, 0.0, 0.0, &mut current);
+    let proven_optimal = ctx.nodes < max_nodes;
+
+    let mut chosen: Vec<usize> = forced.into_iter().chain(ctx.best_set).collect();
+    chosen.sort_unstable();
+    let value = chosen.iter().map(|&i| values[i]).sum();
+    let weight = chosen.iter().map(|&i| weights[i]).sum();
+    Ok(KnapsackSolution {
+        chosen,
+        value,
+        weight,
+        nodes: ctx.nodes,
+        proven_optimal,
+    })
+}
+
+/// Exact DP solver over integer-scaled weights; used to cross-check the
+/// branch-and-bound in tests. `scale` converts float weights to integer
+/// grid cells (weights are rounded *up*, keeping the result feasible).
+pub fn solve_knapsack_dp(
+    values: &[f64],
+    weights: &[f64],
+    capacity: f64,
+    scale: f64,
+) -> Result<KnapsackSolution> {
+    if values.len() != weights.len() {
+        return Err(Error::invalid("values/weights length mismatch"));
+    }
+    if scale <= 0.0 {
+        return Err(Error::invalid("scale must be positive"));
+    }
+    let cap = (capacity * scale).floor() as usize;
+    let w_int: Vec<usize> = weights
+        .iter()
+        .map(|&w| (w * scale).ceil() as usize)
+        .collect();
+    let n = values.len();
+    // dp[c] = best value with capacity c; keep choice bits per item.
+    let mut dp = vec![0.0f64; cap + 1];
+    let mut take = vec![vec![false; cap + 1]; n];
+    for i in 0..n {
+        if values[i] <= 0.0 {
+            continue;
+        }
+        let wi = w_int[i];
+        if wi > cap {
+            continue;
+        }
+        for c in (wi..=cap).rev() {
+            let candidate = dp[c - wi] + values[i];
+            if candidate > dp[c] {
+                dp[c] = candidate;
+                take[i][c] = true;
+            }
+        }
+    }
+    // Backtrack.
+    let mut c = cap;
+    let mut chosen = Vec::new();
+    for i in (0..n).rev() {
+        if take[i][c] {
+            chosen.push(i);
+            c -= w_int[i];
+        }
+    }
+    chosen.sort_unstable();
+    let value = chosen.iter().map(|&i| values[i]).sum();
+    let weight = chosen.iter().map(|&i| weights[i]).sum();
+    Ok(KnapsackSolution {
+        chosen,
+        value,
+        weight,
+        nodes: 0,
+        proven_optimal: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_instance_exact() {
+        let values = [8.0, 11.0, 6.0, 4.0];
+        let weights = [5.0, 7.0, 4.0, 3.0];
+        let s = solve_knapsack(&values, &weights, 14.0).unwrap();
+        assert_eq!(s.chosen, vec![1, 2, 3]);
+        assert!((s.value - 21.0).abs() < 1e-9);
+        assert!(s.weight <= 14.0);
+    }
+
+    #[test]
+    fn zero_weight_items_forced() {
+        let s = solve_knapsack(&[5.0, 1.0], &[0.0, 2.0], 1.0).unwrap();
+        assert_eq!(s.chosen, vec![0]);
+        assert_eq!(s.value, 5.0);
+    }
+
+    #[test]
+    fn negative_value_items_skipped() {
+        let s = solve_knapsack(&[-1.0, 3.0], &[1.0, 1.0], 10.0).unwrap();
+        assert_eq!(s.chosen, vec![1]);
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let s = solve_knapsack(&[3.0], &[1.0], 0.0).unwrap();
+        assert!(s.chosen.is_empty());
+        assert_eq!(s.value, 0.0);
+    }
+
+    #[test]
+    fn matches_dp_on_deterministic_instances() {
+        for seed in 0..10u64 {
+            let n = 20;
+            let mut values = Vec::with_capacity(n);
+            let mut weights = Vec::with_capacity(n);
+            for i in 0..n {
+                let h = seed
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0xBF58476D1CE4E5B9);
+                values.push(1.0 + (h % 50) as f64);
+                weights.push(1.0 + ((h >> 16) % 20) as f64);
+            }
+            let cap = weights.iter().sum::<f64>() * 0.4;
+            let bb = solve_knapsack(&values, &weights, cap).unwrap();
+            // Integer weights: scale 1 is exact.
+            let dp = solve_knapsack_dp(&values, &weights, cap, 1.0).unwrap();
+            assert!(
+                (bb.value - dp.value).abs() < 1e-9,
+                "seed {seed}: bb {} vs dp {}",
+                bb.value,
+                dp.value
+            );
+            assert!(bb.weight <= cap + 1e-9);
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(solve_knapsack(&[1.0], &[], 1.0).is_err());
+        assert!(solve_knapsack(&[1.0], &[-1.0], 1.0).is_err());
+        assert!(solve_knapsack(&[1.0], &[1.0], -1.0).is_err());
+        assert!(solve_knapsack_dp(&[1.0], &[1.0], 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn handles_hundreds_of_items() {
+        let n = 400;
+        let values: Vec<f64> = (0..n).map(|i| 1.0 + (i % 37) as f64).collect();
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 + (i % 23) as f64).collect();
+        let cap = weights.iter().sum::<f64>() * 0.3;
+        let s = solve_knapsack(&values, &weights, cap).unwrap();
+        assert!(s.weight <= cap + 1e-9);
+        assert!(s.value > 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # smdb-lp — linear and integer programming toolkit
+//!
+//! Section III-B of the paper formulates feature ordering as an integer
+//! linear program and notes it "can be solved using off-the-shelf
+//! solvers". No solver is available offline, so this crate *is* the
+//! solver (see DESIGN.md §4):
+//!
+//! * [`model`] — an LP/ILP model builder (variables with bounds and
+//!   integrality, linear constraints, max/min objective),
+//! * [`simplex`] — a dense two-phase primal simplex with Bland's rule,
+//! * [`branch_bound`] — exact branch-and-bound over simplex relaxations,
+//! * [`ordering`] — the paper's feature-ordering ILP (`x_{A,k}`,
+//!   `y_{A,B}`, permutation + coupling constraints) built verbatim,
+//!   including the paper's exact variable/constraint counts,
+//! * [`permutation`] — exhaustive-permutation baseline used to verify LP
+//!   optimality in tests and experiment E4,
+//! * [`knapsack`] — the 0/1 knapsack solved by the optimal selector, with
+//!   a specialised branch-and-bound and a DP cross-check.
+
+pub mod branch_bound;
+pub mod knapsack;
+pub mod model;
+pub mod ordering;
+pub mod permutation;
+pub mod simplex;
+
+pub use branch_bound::{solve_ilp, IlpOptions, IlpSolution};
+pub use model::{ConstraintOp, LpModel, VarId, VarKind};
+pub use ordering::{OrderingProblem, OrderingSolution};
+pub use simplex::{solve_lp, LpSolution, LpStatus};

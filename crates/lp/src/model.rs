@@ -1,0 +1,225 @@
+//! LP/ILP model builder.
+
+use smdb_common::{Error, Result};
+
+/// Identifies a variable within one [`LpModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub usize);
+
+/// Continuous or integer-constrained variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    Continuous,
+    Integer,
+}
+
+/// Comparison direction of a constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    Le,
+    Ge,
+    Eq,
+}
+
+/// One decision variable.
+#[derive(Debug, Clone)]
+pub struct Variable {
+    pub name: String,
+    pub lower: f64,
+    pub upper: f64,
+    pub objective: f64,
+    pub kind: VarKind,
+}
+
+/// One linear constraint `Σ coeff_i · x_i  op  rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    pub name: String,
+    pub coeffs: Vec<(VarId, f64)>,
+    pub op: ConstraintOp,
+    pub rhs: f64,
+}
+
+/// A linear (or mixed-integer) program. The objective sense is always
+/// *maximize*; minimize by negating coefficients.
+#[derive(Debug, Clone, Default)]
+pub struct LpModel {
+    variables: Vec<Variable>,
+    constraints: Vec<Constraint>,
+}
+
+impl LpModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        LpModel::default()
+    }
+
+    /// Adds a variable with bounds `[lower, upper]` and an objective
+    /// coefficient.
+    pub fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        lower: f64,
+        upper: f64,
+        objective: f64,
+        kind: VarKind,
+    ) -> Result<VarId> {
+        // Negated form deliberately rejects NaN bounds as well.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(lower <= upper) {
+            return Err(Error::invalid(format!(
+                "variable bounds invalid: [{lower}, {upper}]"
+            )));
+        }
+        if !lower.is_finite() {
+            return Err(Error::invalid("lower bound must be finite"));
+        }
+        let id = VarId(self.variables.len());
+        self.variables.push(Variable {
+            name: name.into(),
+            lower,
+            upper,
+            objective,
+            kind,
+        });
+        Ok(id)
+    }
+
+    /// Adds a binary variable (integer in `[0, 1]`).
+    pub fn add_binary(&mut self, name: impl Into<String>, objective: f64) -> VarId {
+        self.add_var(name, 0.0, 1.0, objective, VarKind::Integer)
+            .expect("binary bounds are valid")
+    }
+
+    /// Adds a constraint.
+    pub fn add_constraint(
+        &mut self,
+        name: impl Into<String>,
+        coeffs: Vec<(VarId, f64)>,
+        op: ConstraintOp,
+        rhs: f64,
+    ) -> Result<()> {
+        for (v, _) in &coeffs {
+            if v.0 >= self.variables.len() {
+                return Err(Error::invalid(format!("unknown variable id {}", v.0)));
+            }
+        }
+        self.constraints.push(Constraint {
+            name: name.into(),
+            coeffs,
+            op,
+            rhs,
+        });
+        Ok(())
+    }
+
+    /// The variables.
+    pub fn variables(&self) -> &[Variable] {
+        &self.variables
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Ids of integer-constrained variables.
+    pub fn integer_vars(&self) -> Vec<VarId> {
+        self.variables
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind == VarKind::Integer)
+            .map(|(i, _)| VarId(i))
+            .collect()
+    }
+
+    /// Objective value of a point.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.variables
+            .iter()
+            .zip(x)
+            .map(|(v, &xi)| v.objective * xi)
+            .sum()
+    }
+
+    /// Checks whether a point satisfies all constraints and bounds within
+    /// `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.variables.len() {
+            return false;
+        }
+        for (v, &xi) in self.variables.iter().zip(x) {
+            if xi < v.lower - tol || xi > v.upper + tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.coeffs.iter().map(|(v, a)| a * x[v.0]).sum();
+            let ok = match c.op {
+                ConstraintOp::Le => lhs <= c.rhs + tol,
+                ConstraintOp::Ge => lhs >= c.rhs - tol,
+                ConstraintOp::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut m = LpModel::new();
+        let x = m.add_var("x", 0.0, 10.0, 3.0, VarKind::Continuous).unwrap();
+        let y = m.add_binary("y", 5.0);
+        m.add_constraint("c", vec![(x, 1.0), (y, 2.0)], ConstraintOp::Le, 8.0)
+            .unwrap();
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_constraints(), 1);
+        assert_eq!(m.integer_vars(), vec![y]);
+        assert_eq!(m.objective_value(&[2.0, 1.0]), 11.0);
+    }
+
+    #[test]
+    fn invalid_bounds_rejected() {
+        let mut m = LpModel::new();
+        assert!(m.add_var("x", 5.0, 1.0, 0.0, VarKind::Continuous).is_err());
+        assert!(m
+            .add_var("x", f64::NEG_INFINITY, 1.0, 0.0, VarKind::Continuous)
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_var_in_constraint_rejected() {
+        let mut m = LpModel::new();
+        let r = m.add_constraint("c", vec![(VarId(3), 1.0)], ConstraintOp::Le, 1.0);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut m = LpModel::new();
+        let x = m.add_var("x", 0.0, 4.0, 1.0, VarKind::Continuous).unwrap();
+        m.add_constraint("c", vec![(x, 2.0)], ConstraintOp::Le, 6.0)
+            .unwrap();
+        assert!(m.is_feasible(&[3.0], 1e-9));
+        assert!(!m.is_feasible(&[3.5], 1e-9)); // violates constraint
+        assert!(!m.is_feasible(&[5.0], 1e-9)); // violates bound
+        assert!(!m.is_feasible(&[], 1e-9)); // wrong arity
+    }
+}

@@ -1,0 +1,148 @@
+//! Exhaustive-permutation baseline for the ordering problem.
+//!
+//! Section III-B motivates the LP because "the number of permutations can
+//! be large"; this module is the `O(n!)` comparator that experiment E4
+//! (and the property tests) use to certify LP optimality for small `n`.
+
+use smdb_common::{Error, Result};
+
+use crate::ordering::OrderingProblem;
+
+/// Result of the exhaustive search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BruteForceResult {
+    pub order: Vec<usize>,
+    pub objective: f64,
+    /// Permutations evaluated (`n!`).
+    pub evaluated: usize,
+}
+
+/// Finds the objective-maximal permutation by enumerating all `n!`
+/// orders (refuses `n > 10`).
+pub fn brute_force_order(problem: &OrderingProblem) -> Result<BruteForceResult> {
+    let n = problem.num_features();
+    if n > 10 {
+        return Err(Error::invalid(format!(
+            "exhaustive search over {n}! permutations refused (n > 10)"
+        )));
+    }
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut best_order = perm.clone();
+    let mut best_obj = problem.order_objective(&perm);
+    let mut evaluated = 1usize;
+    // Heap's algorithm, iterative form.
+    let mut c = vec![0usize; n];
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            let obj = problem.order_objective(&perm);
+            evaluated += 1;
+            if obj > best_obj {
+                best_obj = obj;
+                best_order = perm.clone();
+            }
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    Ok(BruteForceResult {
+        order: best_order,
+        objective: best_obj,
+        evaluated,
+    })
+}
+
+/// Enumerates all permutations of `0..n` (test helper; refuses `n > 8`).
+pub fn all_permutations(n: usize) -> Result<Vec<Vec<usize>>> {
+    if n > 8 {
+        return Err(Error::invalid("permutation enumeration refused for n > 8"));
+    }
+    let mut out = Vec::new();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut c = vec![0usize; n];
+    out.push(perm.clone());
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            out.push(perm.clone());
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch_bound::IlpOptions;
+
+    #[test]
+    fn enumerates_factorial_many() {
+        assert_eq!(all_permutations(1).unwrap().len(), 1);
+        assert_eq!(all_permutations(3).unwrap().len(), 6);
+        assert_eq!(all_permutations(5).unwrap().len(), 120);
+        assert!(all_permutations(9).is_err());
+    }
+
+    #[test]
+    fn brute_force_counts_evaluations() {
+        let p = OrderingProblem::new(vec![vec![1.0; 4]; 4], vec![vec![1.0; 4]; 4]).unwrap();
+        let r = brute_force_order(&p).unwrap();
+        assert_eq!(r.evaluated, 24);
+    }
+
+    #[test]
+    fn brute_force_matches_ilp_on_random_instances() {
+        for seed in 0..5u64 {
+            let n = 4;
+            let mut d = vec![vec![1.0; n]; n];
+            let mut w = vec![vec![1.0; n]; n];
+            for a in 0..n {
+                for b in 0..n {
+                    if a != b {
+                        // Cheap deterministic pseudo-randomness.
+                        let h = seed
+                            .wrapping_mul(0x9E3779B97F4A7C15)
+                            .wrapping_add((a * n + b) as u64)
+                            .wrapping_mul(0xBF58476D1CE4E5B9);
+                        d[a][b] = 0.25 + (h % 100) as f64 / 50.0;
+                        w[a][b] = 0.5 + ((h >> 8) % 100) as f64 / 40.0;
+                    }
+                }
+            }
+            let p = OrderingProblem::new(d, w).unwrap();
+            let bf = brute_force_order(&p).unwrap();
+            let lp = p.solve(&IlpOptions::default()).unwrap();
+            assert!(
+                (bf.objective - lp.objective).abs() < 1e-6,
+                "seed {seed}: brute {} vs lp {}",
+                bf.objective,
+                lp.objective
+            );
+        }
+    }
+
+    #[test]
+    fn refuses_oversized_instances() {
+        let n = 11;
+        let p = OrderingProblem::new(vec![vec![1.0; n]; n], vec![vec![1.0; n]; n]).unwrap();
+        assert!(brute_force_order(&p).is_err());
+    }
+}

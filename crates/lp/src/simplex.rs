@@ -1,0 +1,496 @@
+//! Dense two-phase primal simplex.
+//!
+//! Handles general variable bounds by shifting to the non-negative
+//! orthant and materialising finite upper bounds as rows. Bland's rule
+//! guarantees termination on the degenerate (and partly redundant —
+//! the paper's ordering model duplicates its `y + y' = 1` coupling rows)
+//! systems the framework produces.
+
+#![allow(clippy::needless_range_loop)] // dense matrix index arithmetic reads clearest with explicit indices
+
+use smdb_common::{Error, Result};
+
+use crate::model::{ConstraintOp, LpModel};
+
+const TOL: f64 = 1e-9;
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    Optimal,
+    Infeasible,
+    Unbounded,
+}
+
+/// An LP solution (meaningful `x`/`objective` only when `Optimal`).
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    pub status: LpStatus,
+    pub x: Vec<f64>,
+    pub objective: f64,
+}
+
+/// Solves the LP relaxation of `model` (integrality ignored).
+pub fn solve_lp(model: &LpModel) -> Result<LpSolution> {
+    let lower: Vec<f64> = model.variables().iter().map(|v| v.lower).collect();
+    let upper: Vec<f64> = model.variables().iter().map(|v| v.upper).collect();
+    solve_lp_with_bounds(model, &lower, &upper)
+}
+
+/// Solves the LP relaxation with overridden variable bounds (used by
+/// branch-and-bound).
+pub fn solve_lp_with_bounds(model: &LpModel, lower: &[f64], upper: &[f64]) -> Result<LpSolution> {
+    let n = model.num_vars();
+    if lower.len() != n || upper.len() != n {
+        return Err(Error::invalid("bound arrays must match variable count"));
+    }
+    for i in 0..n {
+        if lower[i] > upper[i] + TOL {
+            // Empty box: trivially infeasible (normal during branching).
+            return Ok(LpSolution {
+                status: LpStatus::Infeasible,
+                x: Vec::new(),
+                objective: f64::NEG_INFINITY,
+            });
+        }
+        if !lower[i].is_finite() {
+            return Err(Error::invalid("lower bounds must be finite"));
+        }
+    }
+
+    // Shift x = y + lower, y >= 0.
+    let c: Vec<f64> = model.variables().iter().map(|v| v.objective).collect();
+
+    // Rows: model constraints (rhs shifted) + upper-bound rows.
+    struct Row {
+        coeffs: Vec<f64>, // dense over structural vars
+        op: ConstraintOp,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(model.num_constraints() + n);
+    for cons in model.constraints() {
+        let mut coeffs = vec![0.0; n];
+        let mut shift = 0.0;
+        for &(v, a) in &cons.coeffs {
+            coeffs[v.0] += a;
+            shift += a * lower[v.0];
+        }
+        rows.push(Row {
+            coeffs,
+            op: cons.op,
+            rhs: cons.rhs - shift,
+        });
+    }
+    for i in 0..n {
+        if upper[i].is_finite() {
+            let mut coeffs = vec![0.0; n];
+            coeffs[i] = 1.0;
+            rows.push(Row {
+                coeffs,
+                op: ConstraintOp::Le,
+                rhs: upper[i] - lower[i],
+            });
+        }
+    }
+
+    // Normalize to rhs >= 0.
+    for r in &mut rows {
+        if r.rhs < 0.0 {
+            for a in &mut r.coeffs {
+                *a = -*a;
+            }
+            r.rhs = -r.rhs;
+            r.op = match r.op {
+                ConstraintOp::Le => ConstraintOp::Ge,
+                ConstraintOp::Ge => ConstraintOp::Le,
+                ConstraintOp::Eq => ConstraintOp::Eq,
+            };
+        }
+    }
+
+    let m = rows.len();
+    // Column layout: [0, n) structural, then one slack/surplus per row
+    // where applicable, then one artificial per row where needed.
+    let mut ncols = n;
+    let mut slack_col = vec![usize::MAX; m];
+    for (i, r) in rows.iter().enumerate() {
+        if matches!(r.op, ConstraintOp::Le | ConstraintOp::Ge) {
+            slack_col[i] = ncols;
+            ncols += 1;
+        }
+    }
+    let mut art_col = vec![usize::MAX; m];
+    for (i, r) in rows.iter().enumerate() {
+        if matches!(r.op, ConstraintOp::Ge | ConstraintOp::Eq) {
+            art_col[i] = ncols;
+            ncols += 1;
+        }
+    }
+    let n_art_start = ncols
+        - rows
+            .iter()
+            .filter(|r| !matches!(r.op, ConstraintOp::Le))
+            .count();
+
+    // Build tableau.
+    let mut a = vec![vec![0.0f64; ncols]; m];
+    let mut b = vec![0.0f64; m];
+    let mut basis = vec![0usize; m];
+    for (i, r) in rows.iter().enumerate() {
+        a[i][..n].copy_from_slice(&r.coeffs);
+        b[i] = r.rhs;
+        match r.op {
+            ConstraintOp::Le => {
+                a[i][slack_col[i]] = 1.0;
+                basis[i] = slack_col[i];
+            }
+            ConstraintOp::Ge => {
+                a[i][slack_col[i]] = -1.0;
+                a[i][art_col[i]] = 1.0;
+                basis[i] = art_col[i];
+            }
+            ConstraintOp::Eq => {
+                a[i][art_col[i]] = 1.0;
+                basis[i] = art_col[i];
+            }
+        }
+    }
+
+    let max_iters = 2000 + 200 * (m + ncols);
+
+    // Phase 1: maximize -(sum of artificials).
+    let any_artificial = art_col.iter().any(|&c| c != usize::MAX);
+    if any_artificial {
+        let mut c1 = vec![0.0f64; ncols];
+        for &col in &art_col {
+            if col != usize::MAX {
+                c1[col] = -1.0;
+            }
+        }
+        let status = iterate(&mut a, &mut b, &mut basis, &c1, ncols, max_iters, None)?;
+        if status == LpStatus::Unbounded {
+            return Err(Error::Numeric("phase-1 LP unbounded".into()));
+        }
+        let phase1_obj: f64 = basis
+            .iter()
+            .zip(&b)
+            .map(|(&bi, &v)| if c1[bi] != 0.0 { c1[bi] * v } else { 0.0 })
+            .sum();
+        if phase1_obj < -1e-6 {
+            return Ok(LpSolution {
+                status: LpStatus::Infeasible,
+                x: Vec::new(),
+                objective: f64::NEG_INFINITY,
+            });
+        }
+        // Drive basic artificials out (rows may be redundant duplicates).
+        for i in 0..m {
+            if basis[i] >= n_art_start && art_col.contains(&basis[i]) {
+                // Find a non-artificial pivot column in this row.
+                let mut pivoted = false;
+                for j in 0..n_art_start {
+                    if a[i][j].abs() > 1e-7 {
+                        pivot(&mut a, &mut b, &mut basis, i, j);
+                        pivoted = true;
+                        break;
+                    }
+                }
+                if !pivoted {
+                    // Redundant row: zero it so it never constrains again.
+                    for j in 0..ncols {
+                        a[i][j] = 0.0;
+                    }
+                    b[i] = 0.0;
+                    // Keep the artificial basic at level zero; forbid it
+                    // from mattering by leaving its column as the only
+                    // non-zero entry.
+                    a[i][basis[i]] = 1.0;
+                }
+            }
+        }
+    }
+
+    // Phase 2: original objective; artificials must not re-enter.
+    let mut c2 = vec![0.0f64; ncols];
+    c2[..n].copy_from_slice(&c);
+    let forbidden_from = if any_artificial {
+        Some(n_art_start)
+    } else {
+        None
+    };
+    let status = iterate(
+        &mut a,
+        &mut b,
+        &mut basis,
+        &c2,
+        ncols,
+        max_iters,
+        forbidden_from,
+    )?;
+    if status == LpStatus::Unbounded {
+        return Ok(LpSolution {
+            status: LpStatus::Unbounded,
+            x: Vec::new(),
+            objective: f64::INFINITY,
+        });
+    }
+
+    // Extract solution.
+    let mut y = vec![0.0f64; ncols];
+    for (i, &bi) in basis.iter().enumerate() {
+        y[bi] = b[i];
+    }
+    let x: Vec<f64> = (0..n).map(|i| y[i] + lower[i]).collect();
+    let objective = c.iter().zip(&x).map(|(ci, xi)| ci * xi).sum::<f64>();
+    Ok(LpSolution {
+        status: LpStatus::Optimal,
+        x,
+        objective,
+    })
+}
+
+/// Runs primal simplex iterations (maximization) until optimal,
+/// unbounded, or the iteration cap (error). `forbidden_from`: columns at
+/// or beyond this index may not enter the basis (phase-2 artificials).
+fn iterate(
+    a: &mut [Vec<f64>],
+    b: &mut [f64],
+    basis: &mut [usize],
+    c: &[f64],
+    ncols: usize,
+    max_iters: usize,
+    forbidden_from: Option<usize>,
+) -> Result<LpStatus> {
+    let m = a.len();
+    let limit = forbidden_from.unwrap_or(ncols);
+    // Dantzig rule (steepest reduced cost) for speed; on a degeneracy
+    // stall switch to Bland's rule, which guarantees termination.
+    let mut use_bland = false;
+    let mut last_z = f64::NEG_INFINITY;
+    let mut stall = 0usize;
+    let mut in_basis = vec![false; ncols];
+    for &bi in basis.iter() {
+        in_basis[bi] = true;
+    }
+    let mut rc = vec![0.0f64; limit];
+    for _ in 0..max_iters {
+        // Reduced costs: rc_j = c_j - c_B · B^-1 A_j (tableau already in
+        // B^-1 A form, so rc_j = c_j - Σ_i c[basis[i]] a[i][j]).
+        rc.copy_from_slice(&c[..limit]);
+        for i in 0..m {
+            let cb = c[basis[i]];
+            if cb != 0.0 {
+                let row = &a[i][..limit];
+                for (rcj, &aij) in rc.iter_mut().zip(row) {
+                    *rcj -= cb * aij;
+                }
+            }
+        }
+        let mut entering = None;
+        if use_bland {
+            for (j, &rcj) in rc.iter().enumerate() {
+                if !in_basis[j] && rcj > 1e-7 {
+                    entering = Some(j);
+                    break;
+                }
+            }
+        } else {
+            let mut best = 1e-7;
+            for (j, &rcj) in rc.iter().enumerate() {
+                if !in_basis[j] && rcj > best {
+                    best = rcj;
+                    entering = Some(j);
+                }
+            }
+        }
+        let Some(j) = entering else {
+            return Ok(LpStatus::Optimal);
+        };
+        // Ratio test (Bland tie-break on smallest basis index).
+        let mut leave: Option<(usize, f64)> = None;
+        for i in 0..m {
+            if a[i][j] > TOL {
+                let ratio = b[i] / a[i][j];
+                match leave {
+                    None => leave = Some((i, ratio)),
+                    Some((bi, br)) => {
+                        if ratio < br - TOL || ((ratio - br).abs() <= TOL && basis[i] < basis[bi]) {
+                            leave = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((r, _)) = leave else {
+            return Ok(LpStatus::Unbounded);
+        };
+        in_basis[basis[r]] = false;
+        in_basis[j] = true;
+        pivot(a, b, basis, r, j);
+        // Objective progress check for the anti-cycling switch.
+        let z: f64 = basis.iter().zip(b.iter()).map(|(&bi, &v)| c[bi] * v).sum();
+        if z <= last_z + 1e-12 {
+            stall += 1;
+            if stall > 2 * m + 16 {
+                use_bland = true;
+            }
+        } else {
+            stall = 0;
+            last_z = z;
+        }
+    }
+    Err(Error::Numeric("simplex iteration limit reached".into()))
+}
+
+fn pivot(a: &mut [Vec<f64>], b: &mut [f64], basis: &mut [usize], r: usize, j: usize) {
+    let m = a.len();
+    let piv = a[r][j];
+    debug_assert!(piv.abs() > 0.0);
+    let inv = 1.0 / piv;
+    for v in a[r].iter_mut() {
+        *v *= inv;
+    }
+    b[r] *= inv;
+    for i in 0..m {
+        if i != r {
+            let factor = a[i][j];
+            if factor != 0.0 {
+                // Row_i -= factor * Row_r (split borrows via indices).
+                let row_r: Vec<f64> = a[r].clone();
+                for (vi, vr) in a[i].iter_mut().zip(&row_r) {
+                    *vi -= factor * vr;
+                }
+                b[i] -= factor * b[r];
+            }
+        }
+    }
+    basis[r] = j;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ConstraintOp::*, LpModel, VarKind::*};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_max() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 → (2, 6), 36.
+        let mut m = LpModel::new();
+        let x = m.add_var("x", 0.0, f64::INFINITY, 3.0, Continuous).unwrap();
+        let y = m.add_var("y", 0.0, f64::INFINITY, 5.0, Continuous).unwrap();
+        m.add_constraint("c1", vec![(x, 1.0)], Le, 4.0).unwrap();
+        m.add_constraint("c2", vec![(y, 2.0)], Le, 12.0).unwrap();
+        m.add_constraint("c3", vec![(x, 3.0), (y, 2.0)], Le, 18.0)
+            .unwrap();
+        let s = solve_lp(&m).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 36.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 6.0);
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // max x + y s.t. x + y = 10, x >= 3, y >= 2 → 10.
+        let mut m = LpModel::new();
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0, Continuous).unwrap();
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0, Continuous).unwrap();
+        m.add_constraint("sum", vec![(x, 1.0), (y, 1.0)], Eq, 10.0)
+            .unwrap();
+        m.add_constraint("xmin", vec![(x, 1.0)], Ge, 3.0).unwrap();
+        m.add_constraint("ymin", vec![(y, 1.0)], Ge, 2.0).unwrap();
+        let s = solve_lp(&m).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 10.0);
+        assert!(s.x[0] >= 3.0 - 1e-7 && s.x[1] >= 2.0 - 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = LpModel::new();
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0, Continuous).unwrap();
+        m.add_constraint("lo", vec![(x, 1.0)], Ge, 5.0).unwrap();
+        m.add_constraint("hi", vec![(x, 1.0)], Le, 3.0).unwrap();
+        let s = solve_lp(&m).unwrap();
+        assert_eq!(s.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = LpModel::new();
+        m.add_var("x", 0.0, f64::INFINITY, 1.0, Continuous).unwrap();
+        let s = solve_lp(&m).unwrap();
+        assert_eq!(s.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn variable_bounds_respected() {
+        // max x + 2y with x in [1, 3], y in [0, 2], x + y <= 4 → x=2? No:
+        // objective prefers y: y=2, then x=2 (x+y<=4, x<=3) → 2 + 4 = 6.
+        let mut m = LpModel::new();
+        let x = m.add_var("x", 1.0, 3.0, 1.0, Continuous).unwrap();
+        let y = m.add_var("y", 0.0, 2.0, 2.0, Continuous).unwrap();
+        m.add_constraint("c", vec![(x, 1.0), (y, 1.0)], Le, 4.0)
+            .unwrap();
+        let s = solve_lp(&m).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 6.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // max x with x in [-5, -2] → -2.
+        let mut m = LpModel::new();
+        m.add_var("x", -5.0, -2.0, 1.0, Continuous).unwrap();
+        let s = solve_lp(&m).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, -2.0);
+    }
+
+    #[test]
+    fn redundant_duplicate_equalities_tolerated() {
+        // The paper's ordering model duplicates coupling rows; the solver
+        // must survive exact duplicates.
+        let mut m = LpModel::new();
+        let x = m.add_var("x", 0.0, 1.0, 1.0, Continuous).unwrap();
+        let y = m.add_var("y", 0.0, 1.0, 1.0, Continuous).unwrap();
+        m.add_constraint("c1", vec![(x, 1.0), (y, 1.0)], Eq, 1.0)
+            .unwrap();
+        m.add_constraint("c1dup", vec![(x, 1.0), (y, 1.0)], Eq, 1.0)
+            .unwrap();
+        let s = solve_lp(&m).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 1.0);
+    }
+
+    #[test]
+    fn empty_branch_box_is_infeasible() {
+        let mut m = LpModel::new();
+        m.add_var("x", 0.0, 1.0, 1.0, Continuous).unwrap();
+        let s = solve_lp_with_bounds(&m, &[1.0], &[0.0]).unwrap();
+        assert_eq!(s.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple constraints active at the optimum.
+        let mut m = LpModel::new();
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0, Continuous).unwrap();
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0, Continuous).unwrap();
+        m.add_constraint("a", vec![(x, 1.0), (y, 1.0)], Le, 1.0)
+            .unwrap();
+        m.add_constraint("b", vec![(x, 1.0)], Le, 1.0).unwrap();
+        m.add_constraint("c", vec![(y, 1.0)], Le, 1.0).unwrap();
+        m.add_constraint("d", vec![(x, 2.0), (y, 1.0)], Le, 2.0)
+            .unwrap();
+        let s = solve_lp(&m).unwrap();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 1.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! The execution façade: storage engine + plan cache + monitoring switch.
+//!
+//! [`Database`] is what both applications (running queries) and the
+//! self-management framework (observing and reconfiguring) hold. All
+//! members use interior mutability so a shared `Arc<Database>` serves
+//! concurrent readers; the framework takes the engine write lock only
+//! while applying configuration actions.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+
+use smdb_common::{Cost, LogicalTime, Result};
+use smdb_storage::{ConfigAction, ScanOutput, StorageEngine};
+
+use crate::plan_cache::PlanCache;
+use crate::query::Query;
+
+/// Result of running one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRunResult {
+    /// Engine output including the ground-truth simulated cost.
+    pub output: ScanOutput,
+    /// Real wall-clock nanoseconds spent in the engine (used by the
+    /// overhead experiment, not by the tuners).
+    pub wall_ns: u64,
+}
+
+/// A self-manageable database: engine, plan cache, logical clock and the
+/// monitoring switch.
+pub struct Database {
+    engine: RwLock<StorageEngine>,
+    plan_cache: Mutex<PlanCache>,
+    monitoring: AtomicBool,
+    clock: AtomicU64,
+}
+
+impl Database {
+    /// Wraps an engine with monitoring enabled.
+    pub fn new(engine: StorageEngine) -> Arc<Database> {
+        Arc::new(Database {
+            engine: RwLock::new(engine),
+            plan_cache: Mutex::new(PlanCache::default()),
+            monitoring: AtomicBool::new(true),
+            clock: AtomicU64::new(0),
+        })
+    }
+
+    /// Read access to the engine.
+    pub fn engine(&self) -> parking_lot::RwLockReadGuard<'_, StorageEngine> {
+        self.engine.read()
+    }
+
+    /// Write access to the engine (configuration changes).
+    pub fn engine_mut(&self) -> parking_lot::RwLockWriteGuard<'_, StorageEngine> {
+        self.engine.write()
+    }
+
+    /// Access to the plan cache.
+    pub fn plan_cache(&self) -> parking_lot::MutexGuard<'_, PlanCache> {
+        self.plan_cache.lock()
+    }
+
+    /// Turns workload monitoring (plan-cache recording) on or off.
+    /// The overhead experiment compares query latency in both modes.
+    pub fn set_monitoring(&self, on: bool) {
+        self.monitoring.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether monitoring is enabled.
+    pub fn monitoring(&self) -> bool {
+        self.monitoring.load(Ordering::Relaxed)
+    }
+
+    /// Current logical time (bucket index).
+    pub fn now(&self) -> LogicalTime {
+        LogicalTime(self.clock.load(Ordering::Relaxed))
+    }
+
+    /// Advances the logical clock by one bucket and returns the new time.
+    pub fn advance_time(&self) -> LogicalTime {
+        LogicalTime(self.clock.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// Executes a query: scans the engine and, when monitoring is on,
+    /// records the execution in the plan cache.
+    pub fn run_query(&self, query: &Query) -> Result<QueryRunResult> {
+        let start = Instant::now();
+        let output = {
+            let engine = self.engine.read();
+            engine.scan_grouped(
+                query.table(),
+                query.predicates(),
+                query.aggregate(),
+                query.group_by(),
+            )?
+        };
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        if self.monitoring() {
+            self.plan_cache
+                .lock()
+                .record(query, output.sim_cost, self.now());
+        }
+        Ok(QueryRunResult { output, wall_ns })
+    }
+
+    /// Applies configuration actions under the engine write lock,
+    /// returning the summed one-time reconfiguration cost.
+    pub fn apply_config(&self, actions: &[ConfigAction]) -> Result<Cost> {
+        self.engine.write().apply_all(actions)
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("monitoring", &self.monitoring())
+            .field("now", &self.now())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smdb_common::{ColumnId, TableId};
+    use smdb_storage::value::ColumnValues;
+    use smdb_storage::{ColumnDef, DataType, ScanPredicate, Schema, Table};
+
+    fn db() -> Arc<Database> {
+        let schema = Schema::new(vec![ColumnDef::new("k", DataType::Int)]).unwrap();
+        let table =
+            Table::from_columns("t", schema, vec![ColumnValues::Int((0..100).collect())], 50)
+                .unwrap();
+        let mut engine = StorageEngine::default();
+        engine.create_table(table).unwrap();
+        Database::new(engine)
+    }
+
+    fn q(v: i64) -> Query {
+        Query::new(
+            TableId(0),
+            "t",
+            vec![ScanPredicate::eq(ColumnId(0), v)],
+            None,
+            "point",
+        )
+    }
+
+    #[test]
+    fn run_query_records_when_monitoring() {
+        let db = db();
+        db.run_query(&q(5)).unwrap();
+        db.run_query(&q(6)).unwrap();
+        assert_eq!(db.plan_cache().len(), 1);
+        assert_eq!(
+            db.plan_cache().get(q(0).fingerprint()).unwrap().executions,
+            2
+        );
+    }
+
+    #[test]
+    fn monitoring_off_records_nothing() {
+        let db = db();
+        db.set_monitoring(false);
+        db.run_query(&q(5)).unwrap();
+        assert!(db.plan_cache().is_empty());
+        assert!(!db.monitoring());
+    }
+
+    #[test]
+    fn clock_advances() {
+        let db = db();
+        assert_eq!(db.now(), LogicalTime(0));
+        assert_eq!(db.advance_time(), LogicalTime(1));
+        assert_eq!(db.now(), LogicalTime(1));
+    }
+
+    #[test]
+    fn query_returns_matches_and_wall_time() {
+        let db = db();
+        let r = db.run_query(&q(7)).unwrap();
+        assert_eq!(r.output.rows_matched, 1);
+        assert!(r.output.sim_cost.ms() > 0.0);
+    }
+
+    #[test]
+    fn apply_config_through_facade() {
+        let db = db();
+        let cost = db
+            .apply_config(&[ConfigAction::CreateIndex {
+                target: smdb_common::ChunkColumnRef::new(0, 0, 0),
+                kind: smdb_storage::IndexKind::Hash,
+            }])
+            .unwrap();
+        assert!(cost.ms() > 0.0);
+        let config = db.engine().current_config();
+        assert_eq!(config.indexes.len(), 1);
+    }
+}

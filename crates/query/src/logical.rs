@@ -1,0 +1,136 @@
+//! Logical query templates.
+//!
+//! The workload predictor's first step (Section II-C) transforms cached
+//! queries "into an abstract logical representation of query templates to
+//! remove unnecessary information". [`LogicalTemplate`] is that
+//! representation: the table, the *shape* of each predicate (column +
+//! operator, literals dropped) and the aggregate.
+
+use std::hash::{Hash, Hasher};
+
+use smdb_common::{ColumnId, TableId};
+use smdb_storage::{AggregateOp, PredicateOp};
+
+use crate::query::Query;
+
+/// A query with its literals stripped.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LogicalTemplate {
+    pub table: TableId,
+    /// Predicate shapes in query order.
+    pub predicates: Vec<(ColumnId, PredicateOp)>,
+    pub aggregate: Option<(AggregateOp, ColumnId)>,
+    pub group_by: Option<ColumnId>,
+    /// Human-readable label inherited from the query.
+    pub label: String,
+}
+
+impl LogicalTemplate {
+    /// Extracts the template of a query.
+    pub fn of(query: &Query) -> LogicalTemplate {
+        LogicalTemplate {
+            table: query.table(),
+            predicates: query
+                .predicates()
+                .iter()
+                .map(|p| (p.column, p.op))
+                .collect(),
+            aggregate: query.aggregate().map(|a| (a.op, a.column)),
+            group_by: query.group_by(),
+            label: query.label().to_string(),
+        }
+    }
+
+    /// A stable fingerprint identifying the template. The label is *not*
+    /// part of the fingerprint: two structurally identical queries share
+    /// a plan-cache entry regardless of labelling.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.table.hash(&mut h);
+        self.predicates.hash(&mut h);
+        self.aggregate.hash(&mut h);
+        self.group_by.hash(&mut h);
+        h.finish()
+    }
+
+    /// Number of predicates.
+    pub fn arity(&self) -> usize {
+        self.predicates.len()
+    }
+}
+
+impl std::fmt::Display for LogicalTemplate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}](", self.label, self.table)?;
+        for (i, (col, op)) in self.predicates.iter().enumerate() {
+            if i > 0 {
+                write!(f, " AND ")?;
+            }
+            write!(f, "{col} {op:?} ?")?;
+        }
+        write!(f, ")")?;
+        if let Some((op, col)) = &self.aggregate {
+            write!(f, " -> {op:?}({col})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smdb_storage::ScanPredicate;
+
+    #[test]
+    fn label_not_in_fingerprint() {
+        let a = Query::new(
+            TableId(1),
+            "t",
+            vec![ScanPredicate::eq(ColumnId(0), 1i64)],
+            None,
+            "label_a",
+        );
+        let b = Query::new(
+            TableId(1),
+            "t",
+            vec![ScanPredicate::eq(ColumnId(0), 2i64)],
+            None,
+            "label_b",
+        );
+        assert_eq!(a.template().fingerprint(), b.template().fingerprint());
+        assert_ne!(a.template().label, b.template().label);
+    }
+
+    #[test]
+    fn table_changes_fingerprint() {
+        let a = Query::new(
+            TableId(1),
+            "t",
+            vec![ScanPredicate::eq(ColumnId(0), 1i64)],
+            None,
+            "q",
+        );
+        let b = Query::new(
+            TableId(2),
+            "u",
+            vec![ScanPredicate::eq(ColumnId(0), 1i64)],
+            None,
+            "q",
+        );
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let q = Query::new(
+            TableId(0),
+            "t",
+            vec![ScanPredicate::eq(ColumnId(1), 5i64)],
+            None,
+            "point",
+        );
+        let s = q.template().to_string();
+        assert!(s.contains("point"));
+        assert!(s.contains("Eq"));
+    }
+}

@@ -1,0 +1,215 @@
+//! The query plan cache.
+//!
+//! Keyed by template fingerprint, each entry keeps the template, a
+//! representative concrete query (the most recent instance — what-if cost
+//! estimation needs concrete literals), the execution count and the
+//! cumulative execution cost. The workload predictor reads periodic
+//! snapshots; no per-query history is retained here, so recording stays
+//! O(1) — the "no further overhead … during query execution time"
+//! property the paper attributes to plan-cache-driven observation.
+
+use std::collections::HashMap;
+
+use smdb_common::{Cost, LogicalTime};
+
+use crate::logical::LogicalTemplate;
+use crate::query::Query;
+
+/// One plan-cache entry (per template).
+#[derive(Debug, Clone)]
+pub struct PlanCacheEntry {
+    pub template: LogicalTemplate,
+    /// A concrete instance of the template (the first recorded one; kept
+    /// stable so the hot recording path stays allocation-free).
+    pub example: Query,
+    pub executions: u64,
+    pub total_cost: Cost,
+    pub first_seen: LogicalTime,
+    pub last_seen: LogicalTime,
+}
+
+impl PlanCacheEntry {
+    /// Mean execution cost of this template.
+    pub fn mean_cost(&self) -> Cost {
+        if self.executions == 0 {
+            Cost::ZERO
+        } else {
+            self.total_cost / self.executions as f64
+        }
+    }
+}
+
+/// A bounded, LRU-evicting query plan cache.
+#[derive(Debug)]
+pub struct PlanCache {
+    entries: HashMap<u64, PlanCacheEntry>,
+    max_entries: usize,
+    evictions: u64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new(4096)
+    }
+}
+
+impl PlanCache {
+    /// Creates a cache bounded to `max_entries` templates.
+    pub fn new(max_entries: usize) -> Self {
+        PlanCache {
+            entries: HashMap::new(),
+            max_entries: max_entries.max(1),
+            evictions: 0,
+        }
+    }
+
+    /// Records one execution of `query` costing `cost` at time `now`.
+    pub fn record(&mut self, query: &Query, cost: Cost, now: LogicalTime) {
+        let fp = query.fingerprint();
+        match self.entries.get_mut(&fp) {
+            Some(e) => {
+                e.executions += 1;
+                e.total_cost += cost;
+                e.last_seen = now;
+            }
+            None => {
+                if self.entries.len() >= self.max_entries {
+                    self.evict_lru();
+                }
+                self.entries.insert(
+                    fp,
+                    PlanCacheEntry {
+                        template: query.template(),
+                        example: query.clone(),
+                        executions: 1,
+                        total_cost: cost,
+                        first_seen: now,
+                        last_seen: now,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Number of cached templates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of templates evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Looks up the entry of a template fingerprint.
+    pub fn get(&self, fingerprint: u64) -> Option<&PlanCacheEntry> {
+        self.entries.get(&fingerprint)
+    }
+
+    /// A point-in-time snapshot of all entries (cloned, so the predictor
+    /// can analyse without holding the cache lock).
+    pub fn snapshot(&self) -> Vec<PlanCacheEntry> {
+        let mut v: Vec<_> = self.entries.values().cloned().collect();
+        // Deterministic order for downstream consumers.
+        v.sort_by_key(|e| e.template.fingerprint());
+        v
+    }
+
+    /// Clears all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some((&fp, _)) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| (e.last_seen, e.template.fingerprint()))
+        {
+            self.entries.remove(&fp);
+            self.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smdb_common::{ColumnId, TableId};
+    use smdb_storage::ScanPredicate;
+
+    fn q(table: u32, value: i64) -> Query {
+        Query::new(
+            TableId(table),
+            format!("t{table}"),
+            vec![ScanPredicate::eq(ColumnId(0), value)],
+            None,
+            format!("q{table}"),
+        )
+    }
+
+    #[test]
+    fn record_accumulates_per_template() {
+        let mut cache = PlanCache::default();
+        cache.record(&q(0, 1), Cost(2.0), LogicalTime(0));
+        cache.record(&q(0, 2), Cost(4.0), LogicalTime(1));
+        assert_eq!(cache.len(), 1);
+        let e = cache.get(q(0, 9).fingerprint()).unwrap();
+        assert_eq!(e.executions, 2);
+        assert_eq!(e.total_cost, Cost(6.0));
+        assert_eq!(e.mean_cost(), Cost(3.0));
+        assert_eq!(e.first_seen, LogicalTime(0));
+        assert_eq!(e.last_seen, LogicalTime(1));
+        // Example keeps the first instance (stable, allocation-free path).
+        assert_eq!(e.example.predicates()[0].value, smdb_storage::Value::Int(1));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut cache = PlanCache::new(2);
+        cache.record(&q(0, 1), Cost(1.0), LogicalTime(0));
+        cache.record(&q(1, 1), Cost(1.0), LogicalTime(1));
+        // Touch t0 so t1 becomes LRU.
+        cache.record(&q(0, 2), Cost(1.0), LogicalTime(2));
+        cache.record(&q(2, 1), Cost(1.0), LogicalTime(3));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(q(1, 0).fingerprint()).is_none());
+        assert!(cache.get(q(0, 0).fingerprint()).is_some());
+        assert!(cache.get(q(2, 0).fingerprint()).is_some());
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let mut cache = PlanCache::default();
+        for t in 0..5 {
+            cache.record(&q(t, 0), Cost(1.0), LogicalTime(0));
+        }
+        let a: Vec<u64> = cache
+            .snapshot()
+            .iter()
+            .map(|e| e.template.fingerprint())
+            .collect();
+        let b: Vec<u64> = cache
+            .snapshot()
+            .iter()
+            .map(|e| e.template.fingerprint())
+            .collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut cache = PlanCache::default();
+        cache.record(&q(0, 1), Cost(1.0), LogicalTime(0));
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

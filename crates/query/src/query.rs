@@ -1,0 +1,194 @@
+//! The query model: parameterised predicate scans with optional
+//! aggregates.
+
+use smdb_common::{ColumnId, TableId};
+use smdb_storage::{Aggregate, ScanPredicate};
+
+use crate::logical::LogicalTemplate;
+
+/// One executable query: a conjunctive predicate scan over a single table
+/// with an optional aggregate.
+///
+/// Queries are *instances of templates*: two queries with the same table,
+/// predicate shapes and aggregate but different literals share a
+/// [`LogicalTemplate`] and hence a plan-cache entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    table: TableId,
+    table_name: String,
+    predicates: Vec<ScanPredicate>,
+    aggregate: Option<Aggregate>,
+    /// GROUP BY column (requires an aggregate).
+    group_by: Option<ColumnId>,
+    /// Human-readable template label, e.g. `"q6_discount_scan"`.
+    label: String,
+    /// Precomputed template fingerprint (plan-cache key); computing it
+    /// once at construction keeps the monitoring path allocation-free.
+    fingerprint: u64,
+}
+
+impl Query {
+    /// Creates a query.
+    pub fn new(
+        table: TableId,
+        table_name: impl Into<String>,
+        predicates: Vec<ScanPredicate>,
+        aggregate: Option<Aggregate>,
+        label: impl Into<String>,
+    ) -> Self {
+        let mut query = Query {
+            table,
+            table_name: table_name.into(),
+            predicates,
+            aggregate,
+            group_by: None,
+            label: label.into(),
+            fingerprint: 0,
+        };
+        query.fingerprint = query.template().fingerprint();
+        query
+    }
+
+    /// Adds a GROUP BY column (builder style); the aggregate is computed
+    /// per distinct value of that column.
+    pub fn with_group_by(mut self, column: ColumnId) -> Self {
+        self.group_by = Some(column);
+        self.fingerprint = self.template().fingerprint();
+        self
+    }
+
+    /// The GROUP BY column, if any.
+    pub fn group_by(&self) -> Option<ColumnId> {
+        self.group_by
+    }
+
+    /// The target table.
+    pub fn table(&self) -> TableId {
+        self.table
+    }
+
+    /// The target table's name.
+    pub fn table_name(&self) -> &str {
+        &self.table_name
+    }
+
+    /// The conjunctive predicates.
+    pub fn predicates(&self) -> &[ScanPredicate] {
+        &self.predicates
+    }
+
+    /// The aggregate, if any.
+    pub fn aggregate(&self) -> Option<&Aggregate> {
+        self.aggregate.as_ref()
+    }
+
+    /// The template label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Strips literals, producing the logical template.
+    pub fn template(&self) -> LogicalTemplate {
+        LogicalTemplate::of(self)
+    }
+
+    /// The (precomputed) template fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smdb_common::ColumnId;
+    use smdb_storage::{AggregateOp, PredicateOp};
+
+    fn q(value: i64) -> Query {
+        Query::new(
+            TableId(0),
+            "orders",
+            vec![ScanPredicate::eq(ColumnId(2), value)],
+            Some(Aggregate::new(AggregateOp::Sum, ColumnId(3))),
+            "orders_by_status",
+        )
+    }
+
+    #[test]
+    fn same_shape_same_fingerprint() {
+        assert_eq!(q(1).fingerprint(), q(99).fingerprint());
+    }
+
+    #[test]
+    fn different_shape_different_fingerprint() {
+        let a = q(1);
+        let b = Query::new(
+            TableId(0),
+            "orders",
+            vec![ScanPredicate::cmp(ColumnId(2), PredicateOp::Lt, 1i64)],
+            a.aggregate().copied(),
+            "orders_by_status",
+        );
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn accessors() {
+        let query = q(5);
+        assert_eq!(query.table(), TableId(0));
+        assert_eq!(query.table_name(), "orders");
+        assert_eq!(query.predicates().len(), 1);
+        assert!(query.aggregate().is_some());
+        assert_eq!(query.label(), "orders_by_status");
+    }
+}
+
+#[cfg(test)]
+mod group_by_query_tests {
+    use super::*;
+    use smdb_common::ColumnId;
+    use smdb_storage::{Aggregate, AggregateOp};
+
+    fn base() -> Query {
+        Query::new(
+            TableId(0),
+            "t",
+            vec![ScanPredicate::eq(ColumnId(0), 1i64)],
+            Some(Aggregate::new(AggregateOp::Sum, ColumnId(1))),
+            "report",
+        )
+    }
+
+    #[test]
+    fn group_by_changes_the_template() {
+        let plain = base();
+        let grouped = base().with_group_by(ColumnId(2));
+        assert_ne!(plain.fingerprint(), grouped.fingerprint());
+        assert_eq!(grouped.group_by(), Some(ColumnId(2)));
+        assert_eq!(plain.group_by(), None);
+        // Different group columns are different templates too.
+        let other = base().with_group_by(ColumnId(0));
+        assert_ne!(grouped.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn grouped_instances_share_templates_across_literals() {
+        let a = Query::new(
+            TableId(0),
+            "t",
+            vec![ScanPredicate::eq(ColumnId(0), 1i64)],
+            Some(Aggregate::new(AggregateOp::Sum, ColumnId(1))),
+            "report",
+        )
+        .with_group_by(ColumnId(2));
+        let b = Query::new(
+            TableId(0),
+            "t",
+            vec![ScanPredicate::eq(ColumnId(0), 99i64)],
+            Some(Aggregate::new(AggregateOp::Sum, ColumnId(1))),
+            "report",
+        )
+        .with_group_by(ColumnId(2));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+}

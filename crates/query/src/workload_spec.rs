@@ -1,0 +1,138 @@
+//! Workload specifications: weighted sets of queries.
+//!
+//! Forecast scenarios, what-if costing and the tuners all describe a
+//! workload the same way: queries with expected execution frequencies.
+
+use smdb_common::Cost;
+
+use crate::query::Query;
+
+/// A query with an expected execution frequency (per forecast horizon).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedQuery {
+    pub query: Query,
+    /// Expected executions over the horizon; fractional weights arise
+    /// from clustering and probabilistic forecasts.
+    pub weight: f64,
+}
+
+impl WeightedQuery {
+    /// Creates a weighted query.
+    pub fn new(query: Query, weight: f64) -> Self {
+        WeightedQuery { query, weight }
+    }
+}
+
+/// A workload: a weighted multiset of queries.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Workload {
+    queries: Vec<WeightedQuery>,
+}
+
+impl Workload {
+    /// Creates a workload from weighted queries.
+    pub fn new(queries: Vec<WeightedQuery>) -> Self {
+        Workload { queries }
+    }
+
+    /// Creates a workload giving every query weight 1.
+    pub fn uniform(queries: Vec<Query>) -> Self {
+        Workload {
+            queries: queries
+                .into_iter()
+                .map(|q| WeightedQuery::new(q, 1.0))
+                .collect(),
+        }
+    }
+
+    /// The weighted queries.
+    pub fn queries(&self) -> &[WeightedQuery] {
+        &self.queries
+    }
+
+    /// Number of distinct entries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Total weight (expected executions).
+    pub fn total_weight(&self) -> f64 {
+        self.queries.iter().map(|w| w.weight).sum()
+    }
+
+    /// Adds a weighted query.
+    pub fn push(&mut self, query: Query, weight: f64) {
+        self.queries.push(WeightedQuery::new(query, weight));
+    }
+
+    /// Weighted total cost given a per-query costing function.
+    pub fn total_cost(&self, mut per_query: impl FnMut(&Query) -> Cost) -> Cost {
+        self.queries
+            .iter()
+            .map(|wq| per_query(&wq.query) * wq.weight)
+            .sum()
+    }
+
+    /// Scales all weights by `factor` (scenario inflation).
+    pub fn scaled(&self, factor: f64) -> Workload {
+        Workload {
+            queries: self
+                .queries
+                .iter()
+                .map(|wq| WeightedQuery::new(wq.query.clone(), wq.weight * factor))
+                .collect(),
+        }
+    }
+}
+
+impl FromIterator<WeightedQuery> for Workload {
+    fn from_iter<T: IntoIterator<Item = WeightedQuery>>(iter: T) -> Self {
+        Workload {
+            queries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smdb_common::{ColumnId, TableId};
+    use smdb_storage::ScanPredicate;
+
+    fn q(v: i64) -> Query {
+        Query::new(
+            TableId(0),
+            "t",
+            vec![ScanPredicate::eq(ColumnId(0), v)],
+            None,
+            "q",
+        )
+    }
+
+    #[test]
+    fn totals() {
+        let mut w = Workload::uniform(vec![q(1), q(2)]);
+        w.push(q(3), 3.0);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.total_weight(), 5.0);
+        let cost = w.total_cost(|_| Cost(2.0));
+        assert_eq!(cost, Cost(10.0));
+    }
+
+    #[test]
+    fn scaling() {
+        let w = Workload::uniform(vec![q(1)]).scaled(4.0);
+        assert_eq!(w.total_weight(), 4.0);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let w: Workload = vec![WeightedQuery::new(q(1), 2.0)].into_iter().collect();
+        assert_eq!(w.total_weight(), 2.0);
+    }
+}

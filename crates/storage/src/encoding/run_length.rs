@@ -1,0 +1,178 @@
+//! Run-length encoding: consecutive equal values collapse into
+//! `(value, start, length)` runs.
+//!
+//! Predicates are evaluated once per *run* instead of once per row, so
+//! scans over sorted or low-cardinality segments touch far fewer values.
+
+use crate::scan::ScanPredicate;
+use crate::value::{ColumnValues, DataType, Value};
+
+/// One run: a value repeated `len` times starting at row `start`.
+#[derive(Debug, Clone)]
+struct Run {
+    value: Value,
+    start: u32,
+    len: u32,
+}
+
+/// A run-length-encoded segment.
+#[derive(Debug, Clone)]
+pub struct RunLengthSegment {
+    runs: Vec<Run>,
+    rows: u32,
+    data_type: DataType,
+}
+
+impl RunLengthSegment {
+    /// Encodes any column type (RLE is universally applicable; it is just
+    /// not always *small*).
+    pub fn encode(values: &ColumnValues) -> Self {
+        let rows = values.len() as u32;
+        let data_type = values.data_type();
+        let mut runs: Vec<Run> = Vec::new();
+        for row in 0..values.len() {
+            let v = values.value_at(row);
+            match runs.last_mut() {
+                Some(last) if last.value == v => last.len += 1,
+                _ => runs.push(Run {
+                    value: v,
+                    start: row as u32,
+                    len: 1,
+                }),
+            }
+        }
+        RunLengthSegment {
+            runs,
+            rows,
+            data_type,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows as usize
+    }
+
+    /// Whether the segment holds zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of runs (compression quality indicator).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Stored data type.
+    pub fn data_type(&self) -> DataType {
+        self.data_type
+    }
+
+    /// Approximate memory footprint.
+    pub fn memory_bytes(&self) -> usize {
+        self.runs
+            .iter()
+            .map(|r| r.value.size_bytes() + 8)
+            .sum::<usize>()
+    }
+
+    /// Random access via binary search over run start positions.
+    pub fn value_at(&self, row: usize) -> Value {
+        let row = row as u32;
+        debug_assert!(row < self.rows);
+        let idx = match self.runs.binary_search_by(|r| r.start.cmp(&row)) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        self.runs[idx].value.clone()
+    }
+
+    /// Decodes to raw values.
+    pub fn decode(&self) -> ColumnValues {
+        let mut out = ColumnValues::empty(self.data_type);
+        for r in &self.runs {
+            for _ in 0..r.len {
+                out.push(r.value.clone());
+            }
+        }
+        out
+    }
+
+    /// Encoding-specific filter: evaluate once per run, emit whole runs.
+    pub fn filter(&self, pred: &ScanPredicate, out: &mut Vec<u32>) {
+        for r in &self.runs {
+            if pred.matches(&r.value) {
+                out.extend(r.start..r.start + r.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::PredicateOp;
+    use smdb_common::ColumnId;
+
+    #[test]
+    fn encode_collapses_runs() {
+        let s = RunLengthSegment::encode(&ColumnValues::Int(vec![7, 7, 7, 2, 2, 9]));
+        assert_eq!(s.run_count(), 3);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.decode(), ColumnValues::Int(vec![7, 7, 7, 2, 2, 9]));
+    }
+
+    #[test]
+    fn random_access_across_runs() {
+        let s = RunLengthSegment::encode(&ColumnValues::Int(vec![7, 7, 7, 2, 2, 9]));
+        assert_eq!(s.value_at(0), Value::Int(7));
+        assert_eq!(s.value_at(2), Value::Int(7));
+        assert_eq!(s.value_at(3), Value::Int(2));
+        assert_eq!(s.value_at(5), Value::Int(9));
+    }
+
+    #[test]
+    fn filter_emits_full_runs() {
+        let s = RunLengthSegment::encode(&ColumnValues::Int(vec![7, 7, 7, 2, 2, 9]));
+        let mut out = Vec::new();
+        s.filter(&ScanPredicate::eq(ColumnId(0), 2i64), &mut out);
+        assert_eq!(out, vec![3, 4]);
+        out.clear();
+        s.filter(
+            &ScanPredicate::cmp(ColumnId(0), PredicateOp::Ge, 7i64),
+            &mut out,
+        );
+        assert_eq!(out, vec![0, 1, 2, 5]);
+    }
+
+    #[test]
+    fn rle_compresses_sorted_data() {
+        let data: Vec<i64> = (0..1000).map(|i| i / 100).collect();
+        let s = RunLengthSegment::encode(&ColumnValues::Int(data));
+        assert_eq!(s.run_count(), 10);
+        assert!(s.memory_bytes() < 1000 * 8 / 10);
+    }
+
+    #[test]
+    fn works_for_text_and_float() {
+        let t = RunLengthSegment::encode(&ColumnValues::Text(vec![
+            "a".into(),
+            "a".into(),
+            "b".into(),
+        ]));
+        assert_eq!(t.run_count(), 2);
+        let f = RunLengthSegment::encode(&ColumnValues::Float(vec![1.0, 1.0, 2.0]));
+        assert_eq!(f.run_count(), 2);
+        assert_eq!(f.decode(), ColumnValues::Float(vec![1.0, 1.0, 2.0]));
+    }
+
+    #[test]
+    fn empty_segment() {
+        let s = RunLengthSegment::encode(&ColumnValues::Int(vec![]));
+        assert!(s.is_empty());
+        assert_eq!(s.run_count(), 0);
+        let mut out = Vec::new();
+        s.filter(&ScanPredicate::eq(ColumnId(0), 1i64), &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,1109 @@
+//! The storage engine: catalog, scan execution with ground-truth costing,
+//! and configuration application.
+
+use std::collections::HashMap;
+
+use smdb_common::{ChunkColumnRef, Cost, Error, Result, TableId};
+
+use crate::config::{ConfigAction, ConfigInstance, Knobs};
+use crate::memory::MemoryReport;
+use crate::placement::Tier;
+use crate::scan::{Aggregate, AggregateOp, ScanPredicate};
+use crate::simcost::SimCostParams;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Result of one table scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanOutput {
+    /// Rows satisfying all predicates.
+    pub rows_matched: u64,
+    /// Aggregate value, when an aggregate was requested and computable.
+    pub agg_value: Option<f64>,
+    /// Per-group aggregate values when a GROUP BY was requested, sorted
+    /// by group key.
+    pub groups: Option<Vec<(Value, f64)>>,
+    /// Ground-truth simulated cost of the scan.
+    pub sim_cost: Cost,
+    /// Rows actually touched by the driving filter (scan or probe output).
+    pub rows_scanned: u64,
+    /// Chunks skipped by min/max pruning.
+    pub chunks_pruned: u64,
+    /// Chunks actually processed.
+    pub chunks_visited: u64,
+    /// Chunks where an index answered the driving predicate.
+    pub index_probes: u64,
+}
+
+/// The in-memory storage engine.
+///
+/// The engine executes scans (with deterministic, configuration-dependent
+/// simulated cost) and applies [`ConfigAction`]s, reporting their one-time
+/// reconfiguration cost. It is the ground truth the self-management
+/// framework tunes against.
+#[derive(Debug, Clone)]
+pub struct StorageEngine {
+    tables: Vec<Table>,
+    names: HashMap<String, TableId>,
+    knobs: Knobs,
+    params: SimCostParams,
+    /// Cached bytes resident on non-hot tiers (drives buffer-pool hit rates).
+    nonhot_bytes: usize,
+}
+
+impl Default for StorageEngine {
+    fn default() -> Self {
+        StorageEngine::new(SimCostParams::default())
+    }
+}
+
+impl StorageEngine {
+    /// Creates an empty engine over the given simulated hardware.
+    pub fn new(params: SimCostParams) -> Self {
+        StorageEngine {
+            tables: Vec::new(),
+            names: HashMap::new(),
+            knobs: Knobs::default(),
+            params,
+            nonhot_bytes: 0,
+        }
+    }
+
+    /// Registers a table; names must be unique.
+    pub fn create_table(&mut self, table: Table) -> Result<TableId> {
+        if self.names.contains_key(table.name()) {
+            return Err(Error::Configuration(format!(
+                "table '{}' already exists",
+                table.name()
+            )));
+        }
+        let id = TableId(self.tables.len() as u32);
+        self.names.insert(table.name().to_string(), id);
+        self.tables.push(table);
+        self.recompute_residency();
+        Ok(id)
+    }
+
+    /// Immutable table access.
+    pub fn table(&self, id: TableId) -> Result<&Table> {
+        self.tables
+            .get(id.0 as usize)
+            .ok_or_else(|| Error::not_found("table", format!("{id}")))
+    }
+
+    /// Resolves a table name.
+    pub fn table_id(&self, name: &str) -> Result<TableId> {
+        self.names
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::not_found("table", name))
+    }
+
+    /// All table ids with names.
+    pub fn tables(&self) -> impl Iterator<Item = (TableId, &Table)> {
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TableId(i as u32), t))
+    }
+
+    /// The current knob settings.
+    pub fn knobs(&self) -> &Knobs {
+        &self.knobs
+    }
+
+    /// The simulated hardware parameters (for tests and the experiment
+    /// harness; cost *estimators* must not use this).
+    pub fn sim_params(&self) -> &SimCostParams {
+        &self.params
+    }
+
+    /// Snapshot of the configuration currently in effect, reconstructed
+    /// from actual physical state.
+    pub fn current_config(&self) -> ConfigInstance {
+        let mut config = ConfigInstance {
+            knobs: self.knobs.clone(),
+            ..ConfigInstance::default()
+        };
+        for (tid, table) in self.tables() {
+            for (cid, chunk) in table.chunks() {
+                if chunk.tier() != Tier::Hot {
+                    config.placements.insert((tid, cid), chunk.tier());
+                }
+                for (col, _) in table.schema().iter() {
+                    let target = ChunkColumnRef {
+                        table: tid,
+                        column: col,
+                        chunk: cid,
+                    };
+                    if let Some(idx) = chunk.index(col) {
+                        config.indexes.insert(target, idx.kind());
+                    }
+                    let enc = chunk
+                        .segment(col)
+                        .expect("segment exists for schema column")
+                        .encoding();
+                    if enc != crate::encoding::EncodingKind::Unencoded {
+                        config.encodings.insert(target, enc);
+                    }
+                }
+            }
+        }
+        config
+    }
+
+    /// Applies one configuration action, returning its one-time
+    /// reconfiguration cost.
+    pub fn apply_action(&mut self, action: &ConfigAction) -> Result<Cost> {
+        let cost = match action {
+            ConfigAction::CreateIndex { target, kind } => {
+                let tier_mult = self.chunk_tier_multiplier(target.table, target.chunk.0)?;
+                let table = self.table_mut(target.table)?;
+                let chunk = table.chunk_mut(target.chunk)?;
+                let rows = chunk.rows();
+                let enc = chunk.segment(target.column)?.encoding();
+                chunk.create_index(target.column, *kind)?;
+                self.params.index_build_cost(rows, enc, tier_mult)
+            }
+            ConfigAction::DropIndex { target } => {
+                let table = self.table_mut(target.table)?;
+                table.chunk_mut(target.chunk)?.drop_index(target.column)?;
+                Cost(0.1)
+            }
+            ConfigAction::SetEncoding { target, kind } => {
+                let tier_mult = self.chunk_tier_multiplier(target.table, target.chunk.0)?;
+                let table = self.table_mut(target.table)?;
+                let chunk = table.chunk_mut(target.chunk)?;
+                let rows = chunk.rows();
+                chunk.set_encoding(target.column, *kind)?;
+                self.recompute_residency();
+                self.params.reencode_cost(rows, tier_mult)
+            }
+            ConfigAction::SetPlacement { table, chunk, tier } => {
+                let t = self.table_mut(*table)?;
+                let c = t.chunk_mut(*chunk)?;
+                if c.tier() == *tier {
+                    return Err(Error::Configuration(format!(
+                        "chunk {table}.{chunk} already on tier {tier}"
+                    )));
+                }
+                let bytes = c.data_bytes();
+                c.set_tier(*tier);
+                self.recompute_residency();
+                self.params.move_cost(bytes)
+            }
+            ConfigAction::SetKnob { knob, value } => {
+                match knob {
+                    crate::config::KnobKind::BufferPoolMb => {
+                        if *value < 0.0 {
+                            return Err(Error::invalid("buffer_pool_mb must be >= 0"));
+                        }
+                        self.knobs.buffer_pool_mb = *value;
+                    }
+                }
+                Cost(self.params.knob_change_ms)
+            }
+        };
+        Ok(cost)
+    }
+
+    /// Applies a list of actions, summing one-time costs. Stops at the
+    /// first failure.
+    pub fn apply_all(&mut self, actions: &[ConfigAction]) -> Result<Cost> {
+        let mut total = Cost::ZERO;
+        for a in actions {
+            total += self.apply_action(a)?;
+        }
+        Ok(total)
+    }
+
+    /// Executes a predicate scan (+ optional aggregate) with ground-truth
+    /// costing.
+    pub fn scan(
+        &self,
+        table_id: TableId,
+        predicates: &[ScanPredicate],
+        aggregate: Option<&Aggregate>,
+    ) -> Result<ScanOutput> {
+        self.scan_grouped(table_id, predicates, aggregate, None)
+    }
+
+    /// Like [`StorageEngine::scan`] with an optional GROUP BY column: the
+    /// aggregate is computed per distinct value of `group_by` (hash
+    /// aggregation, charged per matched row).
+    pub fn scan_grouped(
+        &self,
+        table_id: TableId,
+        predicates: &[ScanPredicate],
+        aggregate: Option<&Aggregate>,
+        group_by: Option<smdb_common::ColumnId>,
+    ) -> Result<ScanOutput> {
+        let table = self.table(table_id)?;
+        if let Some(g) = group_by {
+            table.schema().column(g)?;
+            if aggregate.is_none() {
+                return Err(Error::invalid("GROUP BY requires an aggregate"));
+            }
+        }
+        for p in predicates {
+            table.schema().column(p.column)?;
+        }
+        if let Some(agg) = aggregate {
+            if agg.op != AggregateOp::Count {
+                table.schema().column(agg.column)?;
+            }
+        }
+
+        let mut out = ScanOutput {
+            rows_matched: 0,
+            agg_value: None,
+            groups: None,
+            sim_cost: Cost::ZERO,
+            rows_scanned: 0,
+            chunks_pruned: 0,
+            chunks_visited: 0,
+            index_probes: 0,
+        };
+        let mut agg_state = AggState::new(aggregate.map(|a| a.op));
+        let mut group_state: HashMap<Value, AggState> = HashMap::new();
+
+        let mut positions: Vec<u32> = Vec::new();
+        for (_chunk_id, chunk) in table.chunks() {
+            // Min/max pruning over every predicate column.
+            let mut prunable = false;
+            for p in predicates {
+                if !chunk.stats(p.column)?.can_match(p) {
+                    prunable = true;
+                    break;
+                }
+            }
+            if prunable {
+                out.chunks_pruned += 1;
+                continue;
+            }
+            out.chunks_visited += 1;
+            let tier_mult = self.params.effective_tier_multiplier(
+                chunk.tier(),
+                self.knobs.buffer_pool_mb,
+                self.nonhot_bytes,
+            );
+            out.sim_cost += Cost(self.params.chunk_visit_ms);
+
+            positions.clear();
+            let mut remaining: Vec<&ScanPredicate> = predicates.iter().collect();
+
+            // Composite-index fast path: a pair of equality predicates
+            // answered by one multi-attribute probe.
+            if let Some((i, j)) = composite_pair(chunk, &remaining) {
+                let (first, second) = (remaining[i], remaining[j]);
+                let idx = chunk
+                    .index(first.column)
+                    .expect("checked by composite_pair");
+                idx.probe_composite(&first.value, &second.value, &mut positions);
+                out.index_probes += 1;
+                out.sim_cost += Cost(
+                    self.params.index_probe_ms
+                        + positions.len() as f64 * self.params.index_match_ms,
+                ) * tier_mult;
+                // Drop both consumed predicates (higher index first).
+                let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+                remaining.remove(hi);
+                remaining.remove(lo);
+                for p in remaining {
+                    if positions.is_empty() {
+                        break;
+                    }
+                    let before = positions.len();
+                    chunk.segment(p.column)?.refine(p, &mut positions);
+                    out.sim_cost += Cost(before as f64 * self.params.refine_ms_per_row) * tier_mult;
+                }
+                out.rows_matched += positions.len() as u64;
+                if let Some(agg) = aggregate {
+                    out.sim_cost += self.aggregate_positions(
+                        chunk,
+                        agg,
+                        group_by,
+                        &positions,
+                        &mut agg_state,
+                        &mut group_state,
+                    )?;
+                }
+                continue;
+            }
+
+            if remaining.is_empty() {
+                // Full-chunk selection.
+                positions.extend(0..chunk.rows() as u32);
+                out.rows_scanned += chunk.rows() as u64;
+                let (units, enc) = chunk
+                    .segment(smdb_common::ColumnId(0))
+                    .map(|s| (s.scan_units(), s.encoding()))
+                    .unwrap_or((chunk.rows(), crate::encoding::EncodingKind::Unencoded));
+                out.sim_cost += Cost(
+                    units as f64
+                        * self.params.scan_ms_per_row
+                        * self.params.encoding_scan_factor(enc),
+                ) * tier_mult;
+            } else {
+                // Driving predicate: prefer one an index can answer.
+                let drive_pos = remaining
+                    .iter()
+                    .position(|p| {
+                        chunk.index(p.column).is_some_and(|idx| {
+                            // Composite indexes cannot drive alone; broad
+                            // predicates scan (access-path rule).
+                            !matches!(idx.kind(), crate::index::IndexKind::CompositeHash { .. })
+                                && idx.kind().supports(p.op)
+                                && chunk
+                                    .stats(p.column)
+                                    .map(|s| {
+                                        s.estimate_selectivity(p)
+                                            <= crate::scan::INDEX_SELECTIVITY_THRESHOLD
+                                    })
+                                    .unwrap_or(false)
+                        })
+                    })
+                    .unwrap_or(0);
+                let driving = remaining.remove(drive_pos);
+
+                let seg = chunk.segment(driving.column)?;
+                match chunk.index(driving.column) {
+                    // Composite indexes cannot answer a lone predicate
+                    // (their fast path ran above when both were present).
+                    Some(idx)
+                        if !matches!(idx.kind(), crate::index::IndexKind::CompositeHash { .. })
+                            && idx.kind().supports(driving.op) =>
+                    {
+                        let answered = idx.probe(driving, &mut positions);
+                        debug_assert!(answered, "single-attribute probe must answer");
+                        out.index_probes += 1;
+                        out.sim_cost += Cost(
+                            self.params.index_probe_ms
+                                + positions.len() as f64 * self.params.index_match_ms,
+                        ) * tier_mult;
+                    }
+                    _ => {
+                        seg.filter(driving, &mut positions);
+                        out.rows_scanned += chunk.rows() as u64;
+                        out.sim_cost += Cost(
+                            seg.scan_units() as f64
+                                * self.params.scan_ms_per_row
+                                * self.params.encoding_scan_factor(seg.encoding()),
+                        ) * tier_mult;
+                    }
+                }
+
+                // Residual predicates refine the position list.
+                for p in remaining {
+                    if positions.is_empty() {
+                        break;
+                    }
+                    let before = positions.len();
+                    chunk.segment(p.column)?.refine(p, &mut positions);
+                    out.sim_cost += Cost(before as f64 * self.params.refine_ms_per_row) * tier_mult;
+                }
+            }
+
+            out.rows_matched += positions.len() as u64;
+            if let Some(agg) = aggregate {
+                out.sim_cost += self.aggregate_positions(
+                    chunk,
+                    agg,
+                    group_by,
+                    &positions,
+                    &mut agg_state,
+                    &mut group_state,
+                )?;
+            }
+        }
+
+        if group_by.is_some() {
+            let mut groups: Vec<(Value, f64)> = group_state
+                .into_iter()
+                .filter_map(|(k, state)| {
+                    let count = state.count;
+                    state.finish(count).map(|v| (k, v))
+                })
+                .collect();
+            groups.sort_by(|a, b| a.0.cmp(&b.0));
+            out.groups = Some(groups);
+        } else {
+            out.agg_value = agg_state.finish(out.rows_matched);
+        }
+        Ok(out)
+    }
+
+    /// Accumulates aggregate state for the matched positions of one
+    /// chunk, grouped or global, and returns the simulated cost charged.
+    fn aggregate_positions(
+        &self,
+        chunk: &crate::chunk::Chunk,
+        agg: &Aggregate,
+        group_by: Option<smdb_common::ColumnId>,
+        positions: &[u32],
+        agg_state: &mut AggState,
+        group_state: &mut HashMap<Value, AggState>,
+    ) -> Result<Cost> {
+        match group_by {
+            None => {
+                agg_state.consume(chunk, agg, positions)?;
+                Ok(Cost(positions.len() as f64 * self.params.agg_ms_per_row))
+            }
+            Some(g) => {
+                let group_seg = chunk.segment(g)?;
+                for &p in positions {
+                    let key = group_seg.value_at(p as usize);
+                    let state = group_state
+                        .entry(key)
+                        .or_insert_with(|| AggState::new(Some(agg.op)));
+                    state.consume(chunk, agg, &[p])?;
+                }
+                Ok(Cost(
+                    positions.len() as f64
+                        * (self.params.agg_ms_per_row + self.params.group_ms_per_row),
+                ))
+            }
+        }
+    }
+
+    /// Point-in-time memory report.
+    pub fn memory_report(&self) -> MemoryReport {
+        let mut report = MemoryReport::default();
+        for table in &self.tables {
+            report.data_bytes += table.data_bytes();
+            report.index_bytes += table.index_bytes();
+            for (_, chunk) in table.chunks() {
+                *report.per_tier.entry(chunk.tier()).or_insert(0) += chunk.data_bytes();
+            }
+        }
+        report
+    }
+
+    fn table_mut(&mut self, id: TableId) -> Result<&mut Table> {
+        self.tables
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| Error::not_found("table", format!("{id}")))
+    }
+
+    fn chunk_tier_multiplier(&self, table: TableId, chunk: u32) -> Result<f64> {
+        let t = self.table(table)?;
+        let c = t.chunk(smdb_common::ChunkId(chunk))?;
+        Ok(self.params.effective_tier_multiplier(
+            c.tier(),
+            self.knobs.buffer_pool_mb,
+            self.nonhot_bytes,
+        ))
+    }
+
+    fn recompute_residency(&mut self) {
+        self.nonhot_bytes = self
+            .tables
+            .iter()
+            .flat_map(|t| t.chunks())
+            .filter(|(_, c)| c.tier() != Tier::Hot)
+            .map(|(_, c)| c.data_bytes())
+            .sum();
+    }
+}
+
+/// Finds a pair of equality predicates `(i, j)` in `remaining` answered
+/// by a composite index on predicate `i`'s column with second column
+/// equal to predicate `j`'s column.
+fn composite_pair(
+    chunk: &crate::chunk::Chunk,
+    remaining: &[&ScanPredicate],
+) -> Option<(usize, usize)> {
+    for (i, p) in remaining.iter().enumerate() {
+        if !matches!(p.op, crate::scan::PredicateOp::Eq) {
+            continue;
+        }
+        let Some(idx) = chunk.index(p.column) else {
+            continue;
+        };
+        let crate::index::IndexKind::CompositeHash { second } = idx.kind() else {
+            continue;
+        };
+        for (j, q) in remaining.iter().enumerate() {
+            if i != j && q.column == second && matches!(q.op, crate::scan::PredicateOp::Eq) {
+                // Access-path rule on the combined selectivity.
+                let sel = chunk
+                    .stats(p.column)
+                    .map(|s| s.estimate_selectivity(p))
+                    .unwrap_or(1.0)
+                    * chunk
+                        .stats(q.column)
+                        .map(|s| s.estimate_selectivity(q))
+                        .unwrap_or(1.0);
+                if sel <= crate::scan::INDEX_SELECTIVITY_THRESHOLD {
+                    return Some((i, j));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Streaming aggregate state across chunks.
+struct AggState {
+    op: Option<AggregateOp>,
+    sum: f64,
+    count: u64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl AggState {
+    fn new(op: Option<AggregateOp>) -> Self {
+        AggState {
+            op,
+            sum: 0.0,
+            count: 0,
+            min: None,
+            max: None,
+        }
+    }
+
+    fn consume(
+        &mut self,
+        chunk: &crate::chunk::Chunk,
+        agg: &Aggregate,
+        positions: &[u32],
+    ) -> Result<()> {
+        let Some(op) = self.op else {
+            return Ok(());
+        };
+        self.count += positions.len() as u64;
+        if op == AggregateOp::Count {
+            return Ok(());
+        }
+        let seg = chunk.segment(agg.column)?;
+        for &p in positions {
+            let v = seg.value_at(p as usize);
+            let Some(x) = numeric(&v) else {
+                continue;
+            };
+            self.sum += x;
+            self.min = Some(self.min.map_or(x, |m| m.min(x)));
+            self.max = Some(self.max.map_or(x, |m| m.max(x)));
+        }
+        Ok(())
+    }
+
+    fn finish(&self, matched: u64) -> Option<f64> {
+        let op = self.op?;
+        match op {
+            AggregateOp::Count => Some(matched as f64),
+            AggregateOp::Sum => Some(self.sum),
+            AggregateOp::Avg => {
+                if self.count == 0 {
+                    None
+                } else {
+                    Some(self.sum / self.count as f64)
+                }
+            }
+            AggregateOp::Min => self.min,
+            AggregateOp::Max => self.max,
+        }
+    }
+}
+
+fn numeric(v: &Value) -> Option<f64> {
+    v.as_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::EncodingKind;
+    use crate::index::IndexKind;
+    use crate::scan::PredicateOp;
+    use crate::schema::{ColumnDef, Schema};
+    use crate::value::{ColumnValues, DataType};
+    use smdb_common::{ChunkId, ColumnId};
+
+    fn engine_with_table() -> (StorageEngine, TableId) {
+        let schema = Schema::new(vec![
+            ColumnDef::new("k", DataType::Int),
+            ColumnDef::new("v", DataType::Float),
+        ])
+        .unwrap();
+        let n = 1000i64;
+        let table = Table::from_columns(
+            "t",
+            schema,
+            vec![
+                ColumnValues::Int((0..n).map(|i| i % 100).collect()),
+                ColumnValues::Float((0..n).map(|i| i as f64).collect()),
+            ],
+            250,
+        )
+        .unwrap();
+        let mut engine = StorageEngine::default();
+        let id = engine.create_table(table).unwrap();
+        (engine, id)
+    }
+
+    #[test]
+    fn scan_counts_matches() {
+        let (engine, t) = engine_with_table();
+        let out = engine
+            .scan(t, &[ScanPredicate::eq(ColumnId(0), 7i64)], None)
+            .unwrap();
+        assert_eq!(out.rows_matched, 10);
+        assert_eq!(out.chunks_visited, 4);
+        assert!(out.sim_cost.ms() > 0.0);
+    }
+
+    #[test]
+    fn aggregates_compute() {
+        let (engine, t) = engine_with_table();
+        let preds = [ScanPredicate::cmp(ColumnId(0), PredicateOp::Lt, 10i64)];
+        let count = engine
+            .scan(t, &preds, Some(&Aggregate::count()))
+            .unwrap()
+            .agg_value
+            .unwrap();
+        assert_eq!(count, 100.0);
+        let sum = engine
+            .scan(
+                t,
+                &[ScanPredicate::eq(ColumnId(0), 0i64)],
+                Some(&Aggregate::new(AggregateOp::Sum, ColumnId(1))),
+            )
+            .unwrap()
+            .agg_value
+            .unwrap();
+        // Rows where k == 0 are v = 0, 100, ..., 900.
+        assert_eq!(sum, (0..10).map(|i| (i * 100) as f64).sum::<f64>());
+        let avg = engine
+            .scan(t, &[], Some(&Aggregate::new(AggregateOp::Avg, ColumnId(1))))
+            .unwrap()
+            .agg_value
+            .unwrap();
+        assert!((avg - 499.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn index_reduces_cost_and_is_used() {
+        let (mut engine, t) = engine_with_table();
+        let pred = [ScanPredicate::eq(ColumnId(0), 7i64)];
+        let before = engine.scan(t, &pred, None).unwrap();
+        for chunk in 0..4 {
+            engine
+                .apply_action(&ConfigAction::CreateIndex {
+                    target: ChunkColumnRef::new(t.0, 0, chunk),
+                    kind: IndexKind::Hash,
+                })
+                .unwrap();
+        }
+        let after = engine.scan(t, &pred, None).unwrap();
+        assert_eq!(after.rows_matched, before.rows_matched);
+        assert_eq!(after.index_probes, 4);
+        assert!(after.sim_cost < before.sim_cost);
+    }
+
+    #[test]
+    fn hash_index_not_used_for_ranges() {
+        let (mut engine, t) = engine_with_table();
+        engine
+            .apply_action(&ConfigAction::CreateIndex {
+                target: ChunkColumnRef::new(t.0, 0, 0),
+                kind: IndexKind::Hash,
+            })
+            .unwrap();
+        let out = engine
+            .scan(
+                t,
+                &[ScanPredicate::cmp(ColumnId(0), PredicateOp::Lt, 5i64)],
+                None,
+            )
+            .unwrap();
+        assert_eq!(out.index_probes, 0);
+    }
+
+    #[test]
+    fn pruning_skips_chunks() {
+        let schema = Schema::new(vec![ColumnDef::new("k", DataType::Int)]).unwrap();
+        // Sorted data: each chunk covers a distinct range.
+        let table = Table::from_columns(
+            "sorted",
+            schema,
+            vec![ColumnValues::Int((0..1000).collect())],
+            250,
+        )
+        .unwrap();
+        let mut engine = StorageEngine::default();
+        let t = engine.create_table(table).unwrap();
+        let out = engine
+            .scan(t, &[ScanPredicate::eq(ColumnId(0), 10i64)], None)
+            .unwrap();
+        assert_eq!(out.rows_matched, 1);
+        assert_eq!(out.chunks_pruned, 3);
+        assert_eq!(out.chunks_visited, 1);
+    }
+
+    #[test]
+    fn placement_penalises_scans_and_buffer_hides_it() {
+        let (mut engine, t) = engine_with_table();
+        engine
+            .apply_action(&ConfigAction::SetKnob {
+                knob: crate::config::KnobKind::BufferPoolMb,
+                value: 0.0,
+            })
+            .unwrap();
+        let pred = [ScanPredicate::eq(ColumnId(0), 7i64)];
+        let hot = engine.scan(t, &pred, None).unwrap().sim_cost;
+        for chunk in 0..4 {
+            engine
+                .apply_action(&ConfigAction::SetPlacement {
+                    table: t,
+                    chunk: ChunkId(chunk),
+                    tier: Tier::Cold,
+                })
+                .unwrap();
+        }
+        let cold = engine.scan(t, &pred, None).unwrap().sim_cost;
+        assert!(cold.ms() > hot.ms() * 5.0, "cold {cold} vs hot {hot}");
+        // A big buffer pool hides the penalty again.
+        engine
+            .apply_action(&ConfigAction::SetKnob {
+                knob: crate::config::KnobKind::BufferPoolMb,
+                value: 1024.0,
+            })
+            .unwrap();
+        let buffered = engine.scan(t, &pred, None).unwrap().sim_cost;
+        assert!((buffered.ms() - hot.ms()).abs() / hot.ms() < 0.05);
+    }
+
+    #[test]
+    fn encoding_changes_scan_cost() {
+        let (mut engine, t) = engine_with_table();
+        let pred = [ScanPredicate::eq(ColumnId(0), 7i64)];
+        let raw = engine.scan(t, &pred, None).unwrap().sim_cost;
+        for chunk in 0..4 {
+            engine
+                .apply_action(&ConfigAction::SetEncoding {
+                    target: ChunkColumnRef::new(t.0, 0, chunk),
+                    kind: EncodingKind::Dictionary,
+                })
+                .unwrap();
+        }
+        let dict = engine.scan(t, &pred, None).unwrap().sim_cost;
+        assert!(dict < raw);
+    }
+
+    #[test]
+    fn current_config_reflects_state() {
+        let (mut engine, t) = engine_with_table();
+        assert_eq!(engine.current_config(), ConfigInstance::default());
+        let target = ChunkColumnRef::new(t.0, 0, 1);
+        engine
+            .apply_action(&ConfigAction::CreateIndex {
+                target,
+                kind: IndexKind::BTree,
+            })
+            .unwrap();
+        engine
+            .apply_action(&ConfigAction::SetEncoding {
+                target,
+                kind: EncodingKind::RunLength,
+            })
+            .unwrap();
+        let config = engine.current_config();
+        assert_eq!(config.index_of(target), Some(IndexKind::BTree));
+        assert_eq!(config.encoding_of(target), EncodingKind::RunLength);
+    }
+
+    #[test]
+    fn apply_reports_one_time_costs() {
+        let (mut engine, t) = engine_with_table();
+        let build = engine
+            .apply_action(&ConfigAction::CreateIndex {
+                target: ChunkColumnRef::new(t.0, 0, 0),
+                kind: IndexKind::Hash,
+            })
+            .unwrap();
+        assert!(build.ms() > 0.0);
+        let drop = engine
+            .apply_action(&ConfigAction::DropIndex {
+                target: ChunkColumnRef::new(t.0, 0, 0),
+            })
+            .unwrap();
+        assert!(drop.ms() < build.ms());
+        // Building over dictionary data is cheaper (Section III dependency).
+        engine
+            .apply_action(&ConfigAction::SetEncoding {
+                target: ChunkColumnRef::new(t.0, 0, 0),
+                kind: EncodingKind::Dictionary,
+            })
+            .unwrap();
+        let build_dict = engine
+            .apply_action(&ConfigAction::CreateIndex {
+                target: ChunkColumnRef::new(t.0, 0, 0),
+                kind: IndexKind::Hash,
+            })
+            .unwrap();
+        assert!(build_dict.ms() < build.ms());
+    }
+
+    #[test]
+    fn redundant_placement_rejected() {
+        let (mut engine, t) = engine_with_table();
+        let err = engine.apply_action(&ConfigAction::SetPlacement {
+            table: t,
+            chunk: ChunkId(0),
+            tier: Tier::Hot,
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let (mut engine, _) = engine_with_table();
+        let schema = Schema::new(vec![ColumnDef::new("k", DataType::Int)]).unwrap();
+        let t = Table::from_columns("t", schema, vec![ColumnValues::Int(vec![])], 10).unwrap();
+        assert!(engine.create_table(t).is_err());
+    }
+
+    #[test]
+    fn memory_report_tracks_tiers() {
+        let (mut engine, t) = engine_with_table();
+        let before = engine.memory_report();
+        assert_eq!(before.nonhot_bytes(), 0);
+        engine
+            .apply_action(&ConfigAction::SetPlacement {
+                table: t,
+                chunk: ChunkId(0),
+                tier: Tier::Warm,
+            })
+            .unwrap();
+        let after = engine.memory_report();
+        assert!(after.nonhot_bytes() > 0);
+        assert_eq!(after.total_bytes(), before.total_bytes());
+    }
+
+    #[test]
+    fn unknown_predicate_column_errors() {
+        let (engine, t) = engine_with_table();
+        assert!(engine
+            .scan(t, &[ScanPredicate::eq(ColumnId(9), 1i64)], None)
+            .is_err());
+    }
+}
+
+#[cfg(test)]
+mod composite_tests {
+    use super::*;
+    use crate::index::IndexKind;
+    use crate::schema::{ColumnDef, Schema};
+    use crate::value::{ColumnValues, DataType};
+    use smdb_common::{ChunkColumnRef, ColumnId};
+
+    fn engine() -> (StorageEngine, TableId) {
+        let schema = Schema::new(vec![
+            ColumnDef::new("a", DataType::Int),
+            ColumnDef::new("b", DataType::Int),
+        ])
+        .unwrap();
+        let table = Table::from_columns(
+            "t",
+            schema,
+            vec![
+                ColumnValues::Int((0..2000).map(|i| i % 40).collect()),
+                ColumnValues::Int((0..2000).map(|i| (i * 7) % 50).collect()),
+            ],
+            500,
+        )
+        .unwrap();
+        let mut e = StorageEngine::default();
+        let t = e.create_table(table).unwrap();
+        (e, t)
+    }
+
+    fn two_eq() -> Vec<ScanPredicate> {
+        vec![
+            ScanPredicate::eq(smdb_common::ColumnId(0), 7i64),
+            ScanPredicate::eq(smdb_common::ColumnId(1), 49i64),
+        ]
+    }
+
+    #[test]
+    fn composite_probe_matches_scan_and_is_cheaper() {
+        let (mut e, t) = engine();
+        let reference = e.scan(t, &two_eq(), None).unwrap();
+        for chunk in 0..4u32 {
+            e.apply_action(&ConfigAction::CreateIndex {
+                target: ChunkColumnRef::new(t.0, 0, chunk),
+                kind: IndexKind::CompositeHash {
+                    second: ColumnId(1),
+                },
+            })
+            .unwrap();
+        }
+        let probed = e.scan(t, &two_eq(), None).unwrap();
+        assert_eq!(probed.rows_matched, reference.rows_matched);
+        assert_eq!(probed.index_probes, 4);
+        assert!(probed.sim_cost < reference.sim_cost);
+
+        // The composite also beats the single-column index: the latter
+        // still pays refinement over all 50 leading matches per chunk.
+        let mut single = engine().0;
+        for chunk in 0..4u32 {
+            single
+                .apply_action(&ConfigAction::CreateIndex {
+                    target: ChunkColumnRef::new(t.0, 0, chunk),
+                    kind: IndexKind::Hash,
+                })
+                .unwrap();
+        }
+        let single_out = single.scan(t, &two_eq(), None).unwrap();
+        assert_eq!(single_out.rows_matched, reference.rows_matched);
+        assert!(probed.sim_cost < single_out.sim_cost);
+    }
+
+    #[test]
+    fn composite_unused_for_single_predicate() {
+        let (mut e, t) = engine();
+        e.apply_action(&ConfigAction::CreateIndex {
+            target: ChunkColumnRef::new(t.0, 0, 0),
+            kind: IndexKind::CompositeHash {
+                second: ColumnId(1),
+            },
+        })
+        .unwrap();
+        // Only the leading predicate present: must fall back to scanning.
+        let out = e
+            .scan(
+                t,
+                &[ScanPredicate::eq(smdb_common::ColumnId(0), 7i64)],
+                None,
+            )
+            .unwrap();
+        assert_eq!(out.index_probes, 0);
+    }
+
+    #[test]
+    fn composite_roundtrips_through_config() {
+        let (mut e, t) = engine();
+        let kind = IndexKind::CompositeHash {
+            second: ColumnId(1),
+        };
+        e.apply_action(&ConfigAction::CreateIndex {
+            target: ChunkColumnRef::new(t.0, 0, 0),
+            kind,
+        })
+        .unwrap();
+        let config = e.current_config();
+        assert_eq!(config.index_of(ChunkColumnRef::new(t.0, 0, 0)), Some(kind));
+        // Diff/apply round-trip preserves the composite kind.
+        let actions = ConfigInstance::default().diff(&config);
+        let mut replayed = ConfigInstance::default();
+        for a in &actions {
+            replayed.apply(a);
+        }
+        assert_eq!(replayed, config);
+    }
+
+    #[test]
+    fn composite_on_same_column_rejected() {
+        let (mut e, t) = engine();
+        let err = e.apply_action(&ConfigAction::CreateIndex {
+            target: ChunkColumnRef::new(t.0, 0, 0),
+            kind: IndexKind::CompositeHash {
+                second: ColumnId(0),
+            },
+        });
+        assert!(err.is_err());
+    }
+}
+
+#[cfg(test)]
+mod group_by_tests {
+    use super::*;
+    use crate::schema::{ColumnDef, Schema};
+    use crate::value::{ColumnValues, DataType};
+    use smdb_common::ColumnId;
+
+    fn engine() -> (StorageEngine, TableId) {
+        let schema = Schema::new(vec![
+            ColumnDef::new("flag", DataType::Int),
+            ColumnDef::new("price", DataType::Float),
+        ])
+        .unwrap();
+        let table = Table::from_columns(
+            "t",
+            schema,
+            vec![
+                ColumnValues::Int((0..1200).map(|i| i % 3).collect()),
+                ColumnValues::Float((0..1200).map(|i| i as f64).collect()),
+            ],
+            400,
+        )
+        .unwrap();
+        let mut e = StorageEngine::default();
+        let t = e.create_table(table).unwrap();
+        (e, t)
+    }
+
+    #[test]
+    fn grouped_sum_partitions_the_global_sum() {
+        let (e, t) = engine();
+        let agg = Aggregate::new(AggregateOp::Sum, ColumnId(1));
+        let global = e.scan(t, &[], Some(&agg)).unwrap();
+        let grouped = e
+            .scan_grouped(t, &[], Some(&agg), Some(ColumnId(0)))
+            .unwrap();
+        let groups = grouped.groups.as_ref().unwrap();
+        assert_eq!(groups.len(), 3);
+        let total: f64 = groups.iter().map(|(_, v)| v).sum();
+        assert!((total - global.agg_value.unwrap()).abs() < 1e-6);
+        // Sorted by group key.
+        assert_eq!(groups[0].0, Value::Int(0));
+        assert_eq!(groups[2].0, Value::Int(2));
+        // Grouping costs more than the plain aggregate.
+        assert!(grouped.sim_cost > global.sim_cost);
+    }
+
+    #[test]
+    fn grouped_count_and_predicates() {
+        let (e, t) = engine();
+        let out = e
+            .scan_grouped(
+                t,
+                &[ScanPredicate::cmp(
+                    ColumnId(1),
+                    crate::scan::PredicateOp::Lt,
+                    600.0,
+                )],
+                Some(&Aggregate::count()),
+                Some(ColumnId(0)),
+            )
+            .unwrap();
+        let groups = out.groups.unwrap();
+        assert_eq!(groups.len(), 3);
+        assert!((groups.iter().map(|(_, v)| v).sum::<f64>() - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_by_without_aggregate_rejected() {
+        let (e, t) = engine();
+        assert!(e.scan_grouped(t, &[], None, Some(ColumnId(0))).is_err());
+        assert!(e
+            .scan_grouped(t, &[], Some(&Aggregate::count()), Some(ColumnId(9)))
+            .is_err());
+    }
+
+    #[test]
+    fn empty_match_produces_empty_groups() {
+        let (e, t) = engine();
+        let out = e
+            .scan_grouped(
+                t,
+                &[ScanPredicate::eq(ColumnId(0), 99i64)],
+                Some(&Aggregate::count()),
+                Some(ColumnId(0)),
+            )
+            .unwrap();
+        assert_eq!(out.groups.unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Composite (multi-attribute) hash index over two columns of a chunk.
+//!
+//! The paper's enumerator explicitly supports multi-attribute indexes
+//! ("candidates would be a set of lists (to support multi-attribute
+//! indexes) of attributes", Section II-D(a)). A composite index answers
+//! conjunctive equality predicates on both columns with one probe whose
+//! match count reflects the *combined* selectivity.
+
+use std::collections::HashMap;
+
+use crate::encoding::Segment;
+use crate::value::Value;
+
+/// A hash index over the value pairs of two segments.
+#[derive(Debug, Clone)]
+pub struct CompositeHashIndex {
+    map: HashMap<(Value, Value), Vec<u32>>,
+    entry_bytes: usize,
+}
+
+impl CompositeHashIndex {
+    /// Builds the index by a single zipped pass over both segments (the
+    /// caller guarantees equal lengths — both are segments of one chunk).
+    pub fn build(first: &Segment, second: &Segment) -> CompositeHashIndex {
+        debug_assert_eq!(first.len(), second.len());
+        let mut map: HashMap<(Value, Value), Vec<u32>> = HashMap::new();
+        let mut entry_bytes = 0usize;
+        for row in 0..first.len() {
+            let key = (first.value_at(row), second.value_at(row));
+            let posting = map.entry(key).or_insert_with(|| {
+                entry_bytes += 72; // bucket + two keys overhead estimate
+                Vec::new()
+            });
+            posting.push(row as u32);
+            entry_bytes += 4;
+        }
+        CompositeHashIndex { map, entry_bytes }
+    }
+
+    /// Number of distinct value pairs.
+    pub fn distinct_pairs(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Approximate memory footprint.
+    pub fn memory_bytes(&self) -> usize {
+        self.entry_bytes
+    }
+
+    /// Appends all positions matching `(first, second)` to `out`.
+    pub fn probe_eq(&self, first: &Value, second: &Value, out: &mut Vec<u32>) {
+        // Avoid cloning both values on the miss path by probing with a
+        // borrowed tuple is not possible with std HashMap keys; accept
+        // the pair construction (cheap for ints, one alloc for text).
+        if let Some(postings) = self.map.get(&(first.clone(), second.clone())) {
+            out.extend_from_slice(postings);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::EncodingKind;
+    use crate::value::ColumnValues;
+
+    fn segments() -> (Segment, Segment) {
+        (
+            Segment::encode(
+                &ColumnValues::Int(vec![1, 1, 2, 2, 1]),
+                EncodingKind::Unencoded,
+            ),
+            Segment::encode(
+                &ColumnValues::Int(vec![7, 8, 7, 8, 7]),
+                EncodingKind::Dictionary,
+            ),
+        )
+    }
+
+    #[test]
+    fn probe_matches_pairs_only() {
+        let (a, b) = segments();
+        let idx = CompositeHashIndex::build(&a, &b);
+        assert_eq!(idx.distinct_pairs(), 4);
+        let mut out = Vec::new();
+        idx.probe_eq(&Value::Int(1), &Value::Int(7), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 4]);
+        out.clear();
+        idx.probe_eq(&Value::Int(2), &Value::Int(7), &mut out);
+        assert_eq!(out, vec![2]);
+        out.clear();
+        idx.probe_eq(&Value::Int(9), &Value::Int(7), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn combined_selectivity_beats_single_column() {
+        let (a, b) = segments();
+        let idx = CompositeHashIndex::build(&a, &b);
+        let mut pair = Vec::new();
+        idx.probe_eq(&Value::Int(1), &Value::Int(8), &mut pair);
+        // Column a alone matches 3 rows for value 1; the pair only 1.
+        assert_eq!(pair, vec![1]);
+    }
+
+    #[test]
+    fn memory_scales_with_pairs() {
+        let (a, b) = segments();
+        let idx = CompositeHashIndex::build(&a, &b);
+        assert!(idx.memory_bytes() >= 4 * 72);
+    }
+}

@@ -1,0 +1,70 @@
+//! Memory accounting.
+//!
+//! The hardware-resource constraints of Section II-A(c) need to know how
+//! much memory the system uses, split by what the tuner can influence
+//! (indexes, encodings) and where it resides (tiers).
+
+use std::collections::BTreeMap;
+
+use crate::placement::Tier;
+
+/// A point-in-time memory report for the whole engine.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MemoryReport {
+    /// Table data bytes (after encoding), summed over all tables.
+    pub data_bytes: usize,
+    /// Index bytes, summed over all tables.
+    pub index_bytes: usize,
+    /// Data bytes resident per tier.
+    pub per_tier: BTreeMap<Tier, usize>,
+}
+
+impl MemoryReport {
+    /// Total bytes (data + indexes).
+    pub fn total_bytes(&self) -> usize {
+        self.data_bytes + self.index_bytes
+    }
+
+    /// Bytes resident on a tier (data only; indexes are always hot).
+    pub fn tier_bytes(&self, tier: Tier) -> usize {
+        self.per_tier.get(&tier).copied().unwrap_or(0)
+    }
+
+    /// Bytes on non-hot tiers (the footprint the buffer pool caches).
+    pub fn nonhot_bytes(&self) -> usize {
+        self.tier_bytes(Tier::Warm) + self.tier_bytes(Tier::Cold)
+    }
+
+    /// Bytes competing for hot capacity: hot-resident data plus indexes.
+    pub fn hot_bytes(&self) -> usize {
+        self.tier_bytes(Tier::Hot) + self.index_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let mut r = MemoryReport {
+            data_bytes: 100,
+            index_bytes: 40,
+            ..MemoryReport::default()
+        };
+        r.per_tier.insert(Tier::Hot, 60);
+        r.per_tier.insert(Tier::Warm, 30);
+        r.per_tier.insert(Tier::Cold, 10);
+        assert_eq!(r.total_bytes(), 140);
+        assert_eq!(r.nonhot_bytes(), 40);
+        assert_eq!(r.hot_bytes(), 100);
+        assert_eq!(r.tier_bytes(Tier::Cold), 10);
+    }
+
+    #[test]
+    fn missing_tiers_are_zero() {
+        let r = MemoryReport::default();
+        assert_eq!(r.tier_bytes(Tier::Warm), 0);
+        assert_eq!(r.nonhot_bytes(), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Data placement tiers.
+//!
+//! Chunks are placed on one of three tiers modelling a NUMA/tiered-memory
+//! hierarchy: accesses to non-hot tiers pay a latency multiplier, part of
+//! which the buffer pool hides (see [`crate::simcost`]). Moving a chunk
+//! between tiers is a one-time reconfiguration cost proportional to its
+//! size. Placement frees *hot* capacity: the engine's memory report
+//! distinguishes per-tier residency so a memory constraint on the hot
+//! tier makes placement a real optimization problem.
+
+use serde::{Deserialize, Serialize};
+
+/// A placement tier for a chunk.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub enum Tier {
+    /// Fast local memory; multiplier 1.
+    #[default]
+    Hot,
+    /// Remote-socket / far memory.
+    Warm,
+    /// Tiered slow storage (e.g. NVM / SSD-backed pool).
+    Cold,
+}
+
+impl Tier {
+    /// All tiers, for candidate enumeration.
+    pub const ALL: [Tier; 3] = [Tier::Hot, Tier::Warm, Tier::Cold];
+
+    /// Raw access-latency multiplier relative to the hot tier, before
+    /// buffer-pool caching is applied.
+    pub fn latency_multiplier(self) -> f64 {
+        match self {
+            Tier::Hot => 1.0,
+            Tier::Warm => 4.0,
+            Tier::Cold => 25.0,
+        }
+    }
+
+    /// Short label for tables and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Hot => "hot",
+            Tier::Warm => "warm",
+            Tier::Cold => "cold",
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multipliers_increase_down_the_hierarchy() {
+        assert!(Tier::Hot.latency_multiplier() < Tier::Warm.latency_multiplier());
+        assert!(Tier::Warm.latency_multiplier() < Tier::Cold.latency_multiplier());
+        assert_eq!(Tier::Hot.latency_multiplier(), 1.0);
+    }
+
+    #[test]
+    fn default_is_hot() {
+        assert_eq!(Tier::default(), Tier::Hot);
+    }
+}

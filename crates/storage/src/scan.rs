@@ -1,0 +1,195 @@
+//! Scan predicates and aggregates — the low-level query surface of the
+//! storage engine.
+//!
+//! The query crate lowers its logical queries to these structures; the
+//! engine evaluates them per chunk with encoding- and index-specific
+//! paths.
+
+use serde::{Deserialize, Serialize};
+use smdb_common::ColumnId;
+
+use crate::value::Value;
+
+/// Access-path rule: an index drives a scan only when the predicate's
+/// estimated selectivity is at or below this threshold; broader
+/// predicates scan (probing produces so many matches that per-match
+/// costs exceed the sequential scan). The rule is deliberately public
+/// and statistic-based so cost estimators can mirror the engine's
+/// access-path choice exactly.
+pub const INDEX_SELECTIVITY_THRESHOLD: f64 = 0.1;
+
+/// Comparison operator of a scan predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PredicateOp {
+    Eq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Inclusive range `lo <= x <= hi`.
+    Between,
+}
+
+impl PredicateOp {
+    /// Whether the operator describes a range (benefits from ordered
+    /// indexes) rather than a point lookup.
+    pub fn is_range(self) -> bool {
+        !matches!(self, PredicateOp::Eq)
+    }
+}
+
+/// A single column-vs-constant predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanPredicate {
+    pub column: ColumnId,
+    pub op: PredicateOp,
+    /// Comparison value; for `Between` this is the lower bound.
+    pub value: Value,
+    /// Upper bound, only used by `Between`.
+    pub upper: Option<Value>,
+}
+
+impl ScanPredicate {
+    /// Point equality predicate.
+    pub fn eq(column: ColumnId, value: impl Into<Value>) -> Self {
+        ScanPredicate {
+            column,
+            op: PredicateOp::Eq,
+            value: value.into(),
+            upper: None,
+        }
+    }
+
+    /// Single-sided comparison predicate.
+    pub fn cmp(column: ColumnId, op: PredicateOp, value: impl Into<Value>) -> Self {
+        debug_assert!(!matches!(op, PredicateOp::Between));
+        ScanPredicate {
+            column,
+            op,
+            value: value.into(),
+            upper: None,
+        }
+    }
+
+    /// Inclusive range predicate.
+    pub fn between(column: ColumnId, lo: impl Into<Value>, hi: impl Into<Value>) -> Self {
+        ScanPredicate {
+            column,
+            op: PredicateOp::Between,
+            value: lo.into(),
+            upper: Some(hi.into()),
+        }
+    }
+
+    /// Evaluates the predicate against a concrete value.
+    pub fn matches(&self, v: &Value) -> bool {
+        match self.op {
+            PredicateOp::Eq => v == &self.value,
+            PredicateOp::Lt => v < &self.value,
+            PredicateOp::Le => v <= &self.value,
+            PredicateOp::Gt => v > &self.value,
+            PredicateOp::Ge => v >= &self.value,
+            PredicateOp::Between => {
+                let hi = self.upper.as_ref().expect("Between requires upper bound");
+                v >= &self.value && v <= hi
+            }
+        }
+    }
+
+    /// Whether a chunk whose column values span `[min, max]` can contain a
+    /// match — used for chunk pruning.
+    pub fn overlaps_range(&self, min: &Value, max: &Value) -> bool {
+        match self.op {
+            PredicateOp::Eq => &self.value >= min && &self.value <= max,
+            PredicateOp::Lt => min < &self.value,
+            PredicateOp::Le => min <= &self.value,
+            PredicateOp::Gt => max > &self.value,
+            PredicateOp::Ge => max >= &self.value,
+            PredicateOp::Between => {
+                let hi = self.upper.as_ref().expect("Between requires upper bound");
+                max >= &self.value && min <= hi
+            }
+        }
+    }
+}
+
+/// Aggregate operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggregateOp {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+/// An aggregate over the rows matching the predicates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregate {
+    pub op: AggregateOp,
+    /// Aggregated column; ignored for `Count`.
+    pub column: ColumnId,
+}
+
+impl Aggregate {
+    /// Creates an aggregate specification.
+    pub fn new(op: AggregateOp, column: ColumnId) -> Self {
+        Aggregate { op, column }
+    }
+
+    /// `COUNT(*)`.
+    pub fn count() -> Self {
+        Aggregate {
+            op: AggregateOp::Count,
+            column: ColumnId(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_matches() {
+        let p = ScanPredicate::eq(ColumnId(0), 5i64);
+        assert!(p.matches(&Value::Int(5)));
+        assert!(!p.matches(&Value::Int(6)));
+    }
+
+    #[test]
+    fn between_matches_inclusive() {
+        let p = ScanPredicate::between(ColumnId(0), 2i64, 4i64);
+        assert!(p.matches(&Value::Int(2)));
+        assert!(p.matches(&Value::Int(4)));
+        assert!(!p.matches(&Value::Int(5)));
+        assert!(!p.matches(&Value::Int(1)));
+    }
+
+    #[test]
+    fn comparisons_match() {
+        let lt = ScanPredicate::cmp(ColumnId(0), PredicateOp::Lt, 3i64);
+        assert!(lt.matches(&Value::Int(2)) && !lt.matches(&Value::Int(3)));
+        let ge = ScanPredicate::cmp(ColumnId(0), PredicateOp::Ge, 3i64);
+        assert!(ge.matches(&Value::Int(3)) && !ge.matches(&Value::Int(2)));
+    }
+
+    #[test]
+    fn pruning_respects_ranges() {
+        let min = Value::Int(10);
+        let max = Value::Int(20);
+        assert!(ScanPredicate::eq(ColumnId(0), 15i64).overlaps_range(&min, &max));
+        assert!(!ScanPredicate::eq(ColumnId(0), 25i64).overlaps_range(&min, &max));
+        assert!(!ScanPredicate::cmp(ColumnId(0), PredicateOp::Lt, 10i64).overlaps_range(&min, &max));
+        assert!(ScanPredicate::cmp(ColumnId(0), PredicateOp::Le, 10i64).overlaps_range(&min, &max));
+        assert!(ScanPredicate::between(ColumnId(0), 18i64, 30i64).overlaps_range(&min, &max));
+        assert!(!ScanPredicate::between(ColumnId(0), 21i64, 30i64).overlaps_range(&min, &max));
+    }
+
+    #[test]
+    fn range_detection() {
+        assert!(!PredicateOp::Eq.is_range());
+        assert!(PredicateOp::Between.is_range());
+        assert!(PredicateOp::Lt.is_range());
+    }
+}

@@ -1,0 +1,218 @@
+//! Per-segment statistics.
+//!
+//! Statistics serve two masters: the engine prunes chunks by min/max, and
+//! the *cost estimators* (crate `smdb-cost`) derive selectivity estimates
+//! from them — they are the only information about the data that
+//! estimators are allowed to see.
+
+use std::collections::HashSet;
+
+use crate::scan::ScanPredicate;
+use crate::value::{ColumnValues, Value};
+
+/// Statistics for one segment (one column of one chunk).
+#[derive(Debug, Clone)]
+pub struct SegmentStats {
+    pub rows: u64,
+    pub min: Option<Value>,
+    pub max: Option<Value>,
+    pub distinct: u64,
+    /// Fraction of rows whose value equals the most frequent value; a
+    /// cheap skew indicator.
+    pub top_frequency: f64,
+    /// Number of equal-value runs in storage order (the column's
+    /// "clustering factor"): `rows` for fully shuffled data, `distinct`
+    /// for perfectly clustered data. Drives run-length estimates.
+    pub runs: u64,
+}
+
+impl SegmentStats {
+    /// Computes statistics by one pass over the raw values.
+    pub fn compute(values: &ColumnValues) -> SegmentStats {
+        let rows = values.len() as u64;
+        if rows == 0 {
+            return SegmentStats {
+                rows: 0,
+                min: None,
+                max: None,
+                distinct: 0,
+                top_frequency: 0.0,
+                runs: 0,
+            };
+        }
+        let mut min = values.value_at(0);
+        let mut max = values.value_at(0);
+        let mut counts: std::collections::HashMap<Value, u64> = std::collections::HashMap::new();
+        let mut runs = 1u64;
+        let mut prev = values.value_at(0);
+        for row in 0..values.len() {
+            let v = values.value_at(row);
+            if row > 0 && v != prev {
+                runs += 1;
+            }
+            prev = v.clone();
+            if v < min {
+                min = v.clone();
+            }
+            if v > max {
+                max = v.clone();
+            }
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        let distinct = counts.len() as u64;
+        let top = counts.values().copied().max().unwrap_or(0);
+        SegmentStats {
+            rows,
+            min: Some(min),
+            max: Some(max),
+            distinct,
+            top_frequency: top as f64 / rows as f64,
+            runs,
+        }
+    }
+
+    /// Estimated selectivity (matching fraction) of `pred` over this
+    /// segment, using the uniform-within-range assumption. Returns a value
+    /// in `[0, 1]`.
+    pub fn estimate_selectivity(&self, pred: &ScanPredicate) -> f64 {
+        let (Some(min), Some(max)) = (&self.min, &self.max) else {
+            return 0.0;
+        };
+        if !pred.overlaps_range(min, max) {
+            return 0.0;
+        }
+        use crate::scan::PredicateOp::*;
+        match pred.op {
+            Eq => {
+                if self.distinct == 0 {
+                    0.0
+                } else {
+                    1.0 / self.distinct as f64
+                }
+            }
+            _ => {
+                // Numeric range fraction when both ends are numeric;
+                // otherwise a fixed guess.
+                let (lo, hi) = (min.as_f64(), max.as_f64());
+                let (Some(lo), Some(hi)) = (lo, hi) else {
+                    return 0.33;
+                };
+                let width = (hi - lo).max(f64::MIN_POSITIVE);
+                let frac = match pred.op {
+                    Lt | Le => {
+                        let v = pred.value.as_f64().unwrap_or(hi);
+                        (v - lo) / width
+                    }
+                    Gt | Ge => {
+                        let v = pred.value.as_f64().unwrap_or(lo);
+                        (hi - v) / width
+                    }
+                    Between => {
+                        let a = pred.value.as_f64().unwrap_or(lo);
+                        let b = pred.upper.as_ref().and_then(|u| u.as_f64()).unwrap_or(hi);
+                        (b.min(hi) - a.max(lo)) / width
+                    }
+                    Eq => unreachable!(),
+                };
+                frac.clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// Whether a predicate can be satisfied by *any* row of the segment.
+    pub fn can_match(&self, pred: &ScanPredicate) -> bool {
+        match (&self.min, &self.max) {
+            (Some(min), Some(max)) => pred.overlaps_range(min, max),
+            _ => false,
+        }
+    }
+}
+
+/// Merges distinct-count style statistics across segments of a column
+/// (upper bound: sum of per-segment distinct counts, capped by rows).
+pub fn merged_distinct(stats: &[&SegmentStats]) -> u64 {
+    let sum: u64 = stats.iter().map(|s| s.distinct).sum();
+    let rows: u64 = stats.iter().map(|s| s.rows).sum();
+    sum.min(rows)
+}
+
+/// Distinct values helper used by tests and generators.
+pub fn distinct_values(values: &ColumnValues) -> usize {
+    let mut set = HashSet::new();
+    for row in 0..values.len() {
+        set.insert(values.value_at(row));
+    }
+    set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smdb_common::ColumnId;
+
+    #[test]
+    fn compute_basic_stats() {
+        let s = SegmentStats::compute(&ColumnValues::Int(vec![5, 1, 5, 9, 5]));
+        assert_eq!(s.rows, 5);
+        assert_eq!(s.min, Some(Value::Int(1)));
+        assert_eq!(s.max, Some(Value::Int(9)));
+        assert_eq!(s.distinct, 3);
+        assert!((s.top_frequency - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = SegmentStats::compute(&ColumnValues::Int(vec![]));
+        assert_eq!(s.rows, 0);
+        assert!(s.min.is_none());
+        assert_eq!(
+            s.estimate_selectivity(&ScanPredicate::eq(ColumnId(0), 1i64)),
+            0.0
+        );
+        assert!(!s.can_match(&ScanPredicate::eq(ColumnId(0), 1i64)));
+    }
+
+    #[test]
+    fn eq_selectivity_uses_distinct() {
+        let s = SegmentStats::compute(&ColumnValues::Int((0..100).collect()));
+        let sel = s.estimate_selectivity(&ScanPredicate::eq(ColumnId(0), 42i64));
+        assert!((sel - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_selectivity_is_proportional() {
+        let s = SegmentStats::compute(&ColumnValues::Int((0..=100).collect()));
+        let sel = s.estimate_selectivity(&ScanPredicate::between(ColumnId(0), 0i64, 50i64));
+        assert!((sel - 0.5).abs() < 0.02);
+        let sel = s.estimate_selectivity(&ScanPredicate::cmp(
+            ColumnId(0),
+            crate::scan::PredicateOp::Ge,
+            90i64,
+        ));
+        assert!((sel - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn non_overlapping_predicate_zero() {
+        let s = SegmentStats::compute(&ColumnValues::Int(vec![10, 20]));
+        assert_eq!(
+            s.estimate_selectivity(&ScanPredicate::eq(ColumnId(0), 99i64)),
+            0.0
+        );
+        assert!(!s.can_match(&ScanPredicate::eq(ColumnId(0), 99i64)));
+    }
+
+    #[test]
+    fn merged_distinct_caps_at_rows() {
+        let a = SegmentStats::compute(&ColumnValues::Int(vec![1, 2]));
+        let b = SegmentStats::compute(&ColumnValues::Int(vec![1, 2]));
+        assert_eq!(merged_distinct(&[&a, &b]), 4);
+        let c = SegmentStats::compute(&ColumnValues::Int(vec![1]));
+        assert_eq!(merged_distinct(&[&c]), 1);
+    }
+
+    #[test]
+    fn distinct_values_helper() {
+        assert_eq!(distinct_values(&ColumnValues::Int(vec![1, 1, 2, 3, 3])), 3);
+    }
+}

@@ -1,0 +1,266 @@
+//! Tables: a schema plus a sequence of chunks.
+
+use smdb_common::{ChunkId, ColumnId, Error, Result};
+
+use crate::chunk::Chunk;
+use crate::schema::Schema;
+use crate::value::{ColumnValues, Value};
+
+/// An in-memory chunked table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    chunks: Vec<Chunk>,
+    target_chunk_rows: usize,
+}
+
+impl Table {
+    /// Builds a table by splitting full-column data into chunks of
+    /// `target_chunk_rows` rows.
+    pub fn from_columns(
+        name: impl Into<String>,
+        schema: Schema,
+        columns: Vec<ColumnValues>,
+        target_chunk_rows: usize,
+    ) -> Result<Table> {
+        if target_chunk_rows == 0 {
+            return Err(Error::invalid("target_chunk_rows must be > 0"));
+        }
+        if columns.len() != schema.arity() {
+            return Err(Error::invalid(format!(
+                "expected {} columns, got {}",
+                schema.arity(),
+                columns.len()
+            )));
+        }
+        for ((_, def), col) in schema.iter().zip(&columns) {
+            if def.data_type != col.data_type() {
+                return Err(Error::invalid(format!(
+                    "column '{}' type mismatch: schema {} vs data {}",
+                    def.name,
+                    def.data_type,
+                    col.data_type()
+                )));
+            }
+        }
+        let rows = columns.first().map_or(0, |c| c.len());
+        if columns.iter().any(|c| c.len() != rows) {
+            return Err(Error::invalid("column lengths differ"));
+        }
+        let mut chunks = Vec::new();
+        let mut start = 0usize;
+        while start < rows {
+            let end = (start + target_chunk_rows).min(rows);
+            let chunk_cols: Vec<ColumnValues> = columns
+                .iter()
+                .map(|c| slice_column(c, start, end))
+                .collect();
+            chunks.push(Chunk::from_columns(chunk_cols)?);
+            start = end;
+        }
+        Ok(Table {
+            name: name.into(),
+            schema,
+            chunks,
+            target_chunk_rows,
+        })
+    }
+
+    /// Builds a table from row-major data.
+    pub fn from_rows(
+        name: impl Into<String>,
+        schema: Schema,
+        rows: Vec<Vec<Value>>,
+        target_chunk_rows: usize,
+    ) -> Result<Table> {
+        let mut columns: Vec<ColumnValues> = schema
+            .columns()
+            .iter()
+            .map(|c| ColumnValues::empty(c.data_type))
+            .collect();
+        for (r, row) in rows.into_iter().enumerate() {
+            if row.len() != schema.arity() {
+                return Err(Error::invalid(format!("row {r} has wrong arity")));
+            }
+            for (c, v) in row.into_iter().enumerate() {
+                if !columns[c].push(v) {
+                    return Err(Error::invalid(format!("row {r} column {c} type mismatch")));
+                }
+            }
+        }
+        Table::from_columns(name, schema, columns, target_chunk_rows)
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total number of rows.
+    pub fn rows(&self) -> usize {
+        self.chunks.iter().map(|c| c.rows()).sum()
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The configured chunk size.
+    pub fn target_chunk_rows(&self) -> usize {
+        self.target_chunk_rows
+    }
+
+    /// Immutable access to chunk `id`.
+    pub fn chunk(&self, id: ChunkId) -> Result<&Chunk> {
+        self.chunks
+            .get(id.0 as usize)
+            .ok_or_else(|| Error::not_found("chunk", format!("{id}")))
+    }
+
+    /// Mutable access to chunk `id`.
+    pub fn chunk_mut(&mut self, id: ChunkId) -> Result<&mut Chunk> {
+        self.chunks
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| Error::not_found("chunk", format!("{id}")))
+    }
+
+    /// Iterator over `(ChunkId, &Chunk)`.
+    pub fn chunks(&self) -> impl Iterator<Item = (ChunkId, &Chunk)> {
+        self.chunks
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ChunkId(i as u32), c))
+    }
+
+    /// Resolves a column name.
+    pub fn column_id(&self, name: &str) -> Result<ColumnId> {
+        self.schema.column_id(name)
+    }
+
+    /// Table data bytes across all chunks (excluding indexes).
+    pub fn data_bytes(&self) -> usize {
+        self.chunks.iter().map(|c| c.data_bytes()).sum()
+    }
+
+    /// Index bytes across all chunks.
+    pub fn index_bytes(&self) -> usize {
+        self.chunks.iter().map(|c| c.index_bytes()).sum()
+    }
+}
+
+fn slice_column(col: &ColumnValues, start: usize, end: usize) -> ColumnValues {
+    match col {
+        ColumnValues::Int(v) => ColumnValues::Int(v[start..end].to_vec()),
+        ColumnValues::Float(v) => ColumnValues::Float(v[start..end].to_vec()),
+        ColumnValues::Text(v) => ColumnValues::Text(v[start..end].to_vec()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("a", DataType::Int),
+            ColumnDef::new("b", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn chunking_splits_rows() {
+        let t = Table::from_columns(
+            "t",
+            schema(),
+            vec![
+                ColumnValues::Int((0..10).collect()),
+                ColumnValues::Float((0..10).map(|i| i as f64).collect()),
+            ],
+            4,
+        )
+        .unwrap();
+        assert_eq!(t.rows(), 10);
+        assert_eq!(t.chunk_count(), 3);
+        assert_eq!(t.chunk(ChunkId(0)).unwrap().rows(), 4);
+        assert_eq!(t.chunk(ChunkId(2)).unwrap().rows(), 2);
+    }
+
+    #[test]
+    fn from_rows_equivalent() {
+        let rows = vec![
+            vec![Value::Int(1), Value::Float(0.1)],
+            vec![Value::Int(2), Value::Float(0.2)],
+        ];
+        let t = Table::from_rows("t", schema(), rows, 10).unwrap();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.chunk_count(), 1);
+    }
+
+    #[test]
+    fn schema_validation() {
+        // Arity mismatch.
+        assert!(Table::from_columns("t", schema(), vec![ColumnValues::Int(vec![])], 4).is_err());
+        // Type mismatch.
+        assert!(Table::from_columns(
+            "t",
+            schema(),
+            vec![
+                ColumnValues::Float(vec![1.0]),
+                ColumnValues::Float(vec![1.0])
+            ],
+            4
+        )
+        .is_err());
+        // Zero chunk size.
+        assert!(Table::from_columns(
+            "t",
+            schema(),
+            vec![ColumnValues::Int(vec![1]), ColumnValues::Float(vec![1.0])],
+            0
+        )
+        .is_err());
+        // Length mismatch.
+        assert!(Table::from_columns(
+            "t",
+            schema(),
+            vec![
+                ColumnValues::Int(vec![1, 2]),
+                ColumnValues::Float(vec![1.0])
+            ],
+            4
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn row_arity_validation() {
+        let rows = vec![vec![Value::Int(1)]];
+        assert!(Table::from_rows("t", schema(), rows, 4).is_err());
+    }
+
+    #[test]
+    fn chunk_iteration_order() {
+        let t = Table::from_columns(
+            "t",
+            schema(),
+            vec![
+                ColumnValues::Int((0..6).collect()),
+                ColumnValues::Float((0..6).map(|i| i as f64).collect()),
+            ],
+            3,
+        )
+        .unwrap();
+        let ids: Vec<u32> = t.chunks().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

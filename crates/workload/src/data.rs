@@ -1,0 +1,100 @@
+//! Column data generators.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use smdb_storage::value::ColumnValues;
+
+use crate::zipf::Zipf;
+
+/// `n` integers uniform in `[lo, hi]`.
+pub fn uniform_ints(rng: &mut StdRng, n: usize, lo: i64, hi: i64) -> ColumnValues {
+    assert!(lo <= hi);
+    ColumnValues::Int((0..n).map(|_| rng.random_range(lo..=hi)).collect())
+}
+
+/// `n` integers Zipf-distributed over `1..=keys` with exponent `s`.
+pub fn zipf_ints(rng: &mut StdRng, n: usize, keys: usize, s: f64) -> ColumnValues {
+    let z = Zipf::new(keys, s);
+    ColumnValues::Int((0..n).map(|_| z.sample(rng) as i64).collect())
+}
+
+/// The sorted sequence `0..n` (dense surrogate keys; gives chunk pruning
+/// its teeth).
+pub fn sorted_ints(n: usize) -> ColumnValues {
+    ColumnValues::Int((0..n as i64).collect())
+}
+
+/// `n` integers increasing on average (`step_range` per row) — sorted-ish
+/// data such as dates correlated with insertion order.
+pub fn correlated_ints(rng: &mut StdRng, n: usize, start: i64, step_range: i64) -> ColumnValues {
+    let mut v = Vec::with_capacity(n);
+    let mut current = start;
+    for _ in 0..n {
+        v.push(current);
+        current += rng.random_range(0..=step_range);
+    }
+    ColumnValues::Int(v)
+}
+
+/// `n` floats uniform in `[lo, hi)`.
+pub fn uniform_floats(rng: &mut StdRng, n: usize, lo: f64, hi: f64) -> ColumnValues {
+    ColumnValues::Float(
+        (0..n)
+            .map(|_| lo + rng.random::<f64>() * (hi - lo))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smdb_common::seeded_rng;
+    use smdb_storage::stats::distinct_values;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = seeded_rng(1);
+        let ColumnValues::Int(v) = uniform_ints(&mut rng, 1000, 5, 9) else {
+            panic!()
+        };
+        assert!(v.iter().all(|&x| (5..=9).contains(&x)));
+        assert_eq!(v.len(), 1000);
+    }
+
+    #[test]
+    fn zipf_ints_are_skewed() {
+        let mut rng = seeded_rng(2);
+        let col = zipf_ints(&mut rng, 5000, 100, 1.3);
+        let ColumnValues::Int(v) = &col else { panic!() };
+        let ones = v.iter().filter(|&&x| x == 1).count();
+        assert!(ones > 1000, "hot key count {ones}");
+    }
+
+    #[test]
+    fn sorted_is_dense_and_ordered() {
+        let ColumnValues::Int(v) = sorted_ints(100) else {
+            panic!()
+        };
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(distinct_values(&ColumnValues::Int(v)), 100);
+    }
+
+    #[test]
+    fn correlated_is_nondecreasing() {
+        let mut rng = seeded_rng(3);
+        let ColumnValues::Int(v) = correlated_ints(&mut rng, 500, 10, 3) else {
+            panic!()
+        };
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(v[0], 10);
+    }
+
+    #[test]
+    fn floats_in_range() {
+        let mut rng = seeded_rng(4);
+        let ColumnValues::Float(v) = uniform_floats(&mut rng, 100, 1.0, 2.0) else {
+            panic!()
+        };
+        assert!(v.iter().all(|&x| (1.0..2.0).contains(&x)));
+    }
+}

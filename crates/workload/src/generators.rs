@@ -1,0 +1,233 @@
+//! Workload mix schedules: stationary, drifting and seasonal.
+//!
+//! A schedule assigns each logical-time bucket a probability mix over the
+//! query templates; the generator samples concrete queries from that mix.
+//! Drift and seasonality are what the workload predictor (and the
+//! robustness experiments) must cope with.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use smdb_common::{derive_seed, seeded_rng};
+use smdb_query::Query;
+
+use crate::tpch::{TpchTemplates, NUM_TEMPLATES};
+
+/// How the template mix evolves over buckets.
+#[derive(Debug, Clone)]
+pub enum MixSchedule {
+    /// The same mix in every bucket.
+    Stationary(Vec<f64>),
+    /// Linear interpolation from `from` to `to` over `buckets`.
+    Drift {
+        from: Vec<f64>,
+        to: Vec<f64>,
+        buckets: u64,
+    },
+    /// Alternates between two mixes with the given period (first half of
+    /// each period uses `day`, second half `night`).
+    Seasonal {
+        day: Vec<f64>,
+        night: Vec<f64>,
+        period: u64,
+    },
+}
+
+impl MixSchedule {
+    /// A uniform mix over all templates.
+    pub fn uniform() -> MixSchedule {
+        MixSchedule::Stationary(vec![1.0; NUM_TEMPLATES])
+    }
+
+    /// The (unnormalised) mix in effect at `bucket`.
+    pub fn mix_at(&self, bucket: u64) -> Vec<f64> {
+        match self {
+            MixSchedule::Stationary(mix) => mix.clone(),
+            MixSchedule::Drift { from, to, buckets } => {
+                let t = if *buckets == 0 {
+                    1.0
+                } else {
+                    (bucket as f64 / *buckets as f64).min(1.0)
+                };
+                from.iter()
+                    .zip(to)
+                    .map(|(f, g)| f * (1.0 - t) + g * t)
+                    .collect()
+            }
+            MixSchedule::Seasonal { day, night, period } => {
+                if (bucket % period) < period / 2 {
+                    day.clone()
+                } else {
+                    night.clone()
+                }
+            }
+        }
+    }
+}
+
+/// Samples concrete queries per bucket according to a mix schedule.
+pub struct WorkloadGenerator {
+    templates: TpchTemplates,
+    schedule: MixSchedule,
+    seed: u64,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator.
+    pub fn new(templates: TpchTemplates, schedule: MixSchedule, seed: u64) -> Self {
+        WorkloadGenerator {
+            templates,
+            schedule,
+            seed,
+        }
+    }
+
+    /// The template set.
+    pub fn templates(&self) -> &TpchTemplates {
+        &self.templates
+    }
+
+    /// The schedule.
+    pub fn schedule(&self) -> &MixSchedule {
+        &self.schedule
+    }
+
+    /// Samples `count` queries for `bucket`. Deterministic in
+    /// `(seed, bucket)` — regenerating a bucket yields identical queries.
+    pub fn bucket_queries(&self, bucket: u64, count: usize) -> Vec<Query> {
+        let mut rng = seeded_rng(derive_seed(self.seed, bucket));
+        let mix = self.schedule.mix_at(bucket);
+        assert_eq!(mix.len(), NUM_TEMPLATES, "mix arity");
+        let total: f64 = mix.iter().sum();
+        (0..count)
+            .map(|_| {
+                let id = sample_mix(&mix, total, &mut rng);
+                self.templates.sample(id, &mut rng)
+            })
+            .collect()
+    }
+
+    /// The expected per-template counts for `bucket` given `count`
+    /// samples (used by experiments as the ground-truth mix).
+    pub fn expected_counts(&self, bucket: u64, count: usize) -> Vec<f64> {
+        let mix = self.schedule.mix_at(bucket);
+        let total: f64 = mix.iter().sum();
+        mix.iter().map(|m| m / total * count as f64).collect()
+    }
+}
+
+fn sample_mix(mix: &[f64], total: f64, rng: &mut StdRng) -> usize {
+    let mut u: f64 = rng.random::<f64>() * total;
+    for (i, &m) in mix.iter().enumerate() {
+        u -= m;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    mix.len() - 1
+}
+
+/// A point-lookup-heavy mix (OLTP-ish).
+pub fn point_heavy_mix() -> Vec<f64> {
+    let mut mix = vec![0.5; NUM_TEMPLATES];
+    mix[2] = 8.0; // order_point_lookup
+    mix[5] = 6.0; // part_popularity
+    mix[9] = 4.0; // orders_by_customer
+    mix
+}
+
+/// An analytics-heavy mix (OLAP-ish).
+pub fn scan_heavy_mix() -> Vec<f64> {
+    let mut mix = vec![0.5; NUM_TEMPLATES];
+    mix[0] = 6.0; // q1 pricing
+    mix[1] = 8.0; // q6 revenue
+    mix[7] = 4.0; // date range
+    mix[8] = 3.0; // returnflag
+    mix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpch::build_catalog;
+    use smdb_storage::StorageEngine;
+
+    fn generator(schedule: MixSchedule) -> WorkloadGenerator {
+        let mut engine = StorageEngine::default();
+        let catalog = build_catalog(&mut engine, 2000, 500, 1).unwrap();
+        WorkloadGenerator::new(TpchTemplates::new(catalog), schedule, 99)
+    }
+
+    #[test]
+    fn stationary_mix_constant() {
+        let s = MixSchedule::uniform();
+        assert_eq!(s.mix_at(0), s.mix_at(1000));
+    }
+
+    #[test]
+    fn drift_interpolates() {
+        let from = vec![1.0; NUM_TEMPLATES];
+        let mut to = vec![0.0; NUM_TEMPLATES];
+        to[3] = 12.0;
+        let s = MixSchedule::Drift {
+            from: from.clone(),
+            to: to.clone(),
+            buckets: 10,
+        };
+        assert_eq!(s.mix_at(0), from);
+        assert_eq!(s.mix_at(10), to);
+        let mid = s.mix_at(5);
+        assert!((mid[3] - 6.5).abs() < 1e-9);
+        assert!((mid[0] - 0.5).abs() < 1e-9);
+        // Clamped beyond the horizon.
+        assert_eq!(s.mix_at(100), to);
+    }
+
+    #[test]
+    fn seasonal_alternates() {
+        let day = point_heavy_mix();
+        let night = scan_heavy_mix();
+        let s = MixSchedule::Seasonal {
+            day: day.clone(),
+            night: night.clone(),
+            period: 4,
+        };
+        assert_eq!(s.mix_at(0), day);
+        assert_eq!(s.mix_at(1), day);
+        assert_eq!(s.mix_at(2), night);
+        assert_eq!(s.mix_at(3), night);
+        assert_eq!(s.mix_at(4), day);
+    }
+
+    #[test]
+    fn bucket_queries_deterministic_and_mixed() {
+        let g = generator(MixSchedule::uniform());
+        let a = g.bucket_queries(3, 50);
+        let b = g.bucket_queries(3, 50);
+        assert_eq!(a.len(), 50);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y);
+        }
+        // Different buckets differ.
+        let c = g.bucket_queries(4, 50);
+        assert!(a.iter().zip(&c).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn point_heavy_mix_skews_sampling() {
+        let g = generator(MixSchedule::Stationary(point_heavy_mix()));
+        let queries = g.bucket_queries(0, 400);
+        let lookups = queries
+            .iter()
+            .filter(|q| q.label() == "order_point_lookup")
+            .count();
+        assert!(lookups > 60, "lookups {lookups} of 400");
+    }
+
+    #[test]
+    fn expected_counts_normalised() {
+        let g = generator(MixSchedule::uniform());
+        let counts = g.expected_counts(0, 120);
+        assert_eq!(counts.len(), NUM_TEMPLATES);
+        assert!((counts.iter().sum::<f64>() - 120.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,23 @@
+//! # smdb-workload — deterministic data and workload generators
+//!
+//! The paper's target workloads are analytic, skewed and volatile. This
+//! crate generates all three properties deterministically (seeded):
+//!
+//! * [`zipf`] — a Zipf sampler producing the skewed access patterns that
+//!   motivate per-chunk physical design (Section II-B: "especially useful
+//!   for skewed data which is often found in real-world systems"),
+//! * [`data`] — column generators (uniform, Zipf, sorted, correlated),
+//! * [`tpch`] — a TPC-H-flavoured schema (lineitem / orders / customer)
+//!   with a dozen parameterised query templates,
+//! * [`generators`] — workload mix schedules: stationary, drifting and
+//!   seasonal mixes that drive the forecasting and robustness
+//!   experiments.
+
+pub mod data;
+pub mod generators;
+pub mod tpch;
+pub mod zipf;
+
+pub use generators::{MixSchedule, WorkloadGenerator};
+pub use tpch::{TpchCatalog, TpchTemplates};
+pub use zipf::Zipf;

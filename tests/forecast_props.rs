@@ -1,0 +1,141 @@
+//! Property-based tests for the workload predictor: analyzers respect
+//! their contracts, histories diff plan-cache snapshots exactly, and
+//! clustering conserves weight.
+
+use proptest::prelude::*;
+
+use smdb::common::{ColumnId, Cost, LogicalTime, TableId};
+use smdb::forecast::analyzer::WorkloadAnalyzer;
+use smdb::forecast::analyzers::{AutoRegressive, LastValue, LinearTrend, MovingAverage, Seasonal};
+use smdb::forecast::cluster::cluster_templates;
+use smdb::forecast::{PredictorConfig, WorkloadHistory, WorkloadPredictor};
+use smdb::query::{PlanCache, Query};
+use smdb::storage::ScanPredicate;
+
+fn analyzers() -> Vec<Box<dyn WorkloadAnalyzer>> {
+    vec![
+        Box::new(LastValue),
+        Box::new(MovingAverage::new(3)),
+        Box::new(LinearTrend),
+        Box::new(Seasonal::new(4)),
+        Box::new(AutoRegressive::new(2)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn analyzer_contracts(
+        series in proptest::collection::vec(0.0f64..100.0, 0..40),
+        horizon in 0usize..6,
+    ) {
+        for a in analyzers() {
+            let f = a.forecast(&series, horizon);
+            prop_assert_eq!(f.len(), horizon, "{} horizon", a.name());
+            prop_assert!(f.iter().all(|v| v.is_finite() && *v >= 0.0),
+                "{} produced invalid forecast {f:?}", a.name());
+        }
+    }
+
+    #[test]
+    fn history_counts_match_recorded_executions(
+        bucket_counts in proptest::collection::vec(0usize..12, 1..8),
+    ) {
+        let q = Query::new(
+            TableId(0),
+            "t",
+            vec![ScanPredicate::eq(ColumnId(0), 1i64)],
+            None,
+            "q",
+        );
+        let mut cache = PlanCache::default();
+        let mut hist = WorkloadHistory::new();
+        for (bucket, &count) in bucket_counts.iter().enumerate() {
+            for _ in 0..count {
+                cache.record(&q, Cost(1.0), LogicalTime(bucket as u64));
+            }
+            hist.observe(LogicalTime(bucket as u64), &cache.snapshot());
+        }
+        let total: usize = bucket_counts.iter().sum();
+        if total == 0 {
+            prop_assert!(hist.template(q.fingerprint()).is_none()
+                || hist.template(q.fingerprint()).expect("exists").total == 0.0);
+        } else {
+            let th = hist.template(q.fingerprint()).expect("observed");
+            let series = th.series(0, bucket_counts.len() as u64);
+            let expected: Vec<f64> = bucket_counts.iter().map(|&c| c as f64).collect();
+            prop_assert_eq!(series, expected);
+            prop_assert_eq!(th.total, total as f64);
+        }
+    }
+
+    #[test]
+    fn clustering_partitions_and_conserves_weight(
+        counts in proptest::collection::vec(1usize..9, 1..24),
+        k in 1usize..8,
+        seed in 0u64..8,
+    ) {
+        let mut cache = PlanCache::default();
+        let mut hist = WorkloadHistory::new();
+        for (i, &c) in counts.iter().enumerate() {
+            let q = Query::new(
+                TableId((i % 3) as u32),
+                format!("t{}", i % 3),
+                vec![ScanPredicate::eq(ColumnId((i % 5) as u16), i as i64)],
+                None,
+                format!("q{i}"),
+            );
+            for _ in 0..c {
+                cache.record(&q, Cost(1.0), LogicalTime(0));
+            }
+        }
+        hist.observe(LogicalTime(0), &cache.snapshot());
+        let n_templates = hist.len();
+
+        let clusters = cluster_templates(&hist, k, seed);
+        let members: usize = clusters.iter().map(|c| c.members.len()).sum();
+        prop_assert_eq!(members, n_templates, "partition covers all templates");
+        prop_assert!(clusters.len() <= k.min(n_templates));
+        let weight: f64 = clusters.iter().map(|c| c.total_weight).sum();
+        let expected: f64 = hist.iter().map(|(_, th)| th.total).sum();
+        prop_assert!((weight - expected).abs() < 1e-9);
+        for c in &clusters {
+            prop_assert!(c.members.contains(&c.representative));
+        }
+    }
+
+    #[test]
+    fn forecast_probabilities_normalised(
+        counts in proptest::collection::vec(1usize..10, 1..6),
+        samples in 0usize..4,
+    ) {
+        let mut cache = PlanCache::default();
+        let mut hist = WorkloadHistory::new();
+        for (bucket, &c) in counts.iter().enumerate() {
+            let q = Query::new(
+                TableId(0),
+                "t",
+                vec![ScanPredicate::eq(ColumnId(0), 1i64)],
+                None,
+                "q",
+            );
+            for _ in 0..c {
+                cache.record(&q, Cost(1.0), LogicalTime(bucket as u64));
+            }
+            hist.observe(LogicalTime(bucket as u64), &cache.snapshot());
+        }
+        let predictor = WorkloadPredictor::new(
+            Box::new(LastValue),
+            PredictorConfig { samples, ..PredictorConfig::default() },
+        );
+        let set = predictor.predict(&hist);
+        prop_assert!(!set.is_empty());
+        prop_assert!((set.total_probability() - 1.0).abs() < 1e-9);
+        prop_assert!(set.expected().is_some());
+        // Worst case dominates expected in total weight.
+        let e = set.expected().expect("expected").workload.total_weight();
+        let w = set.worst_case().expect("worst").workload.total_weight();
+        prop_assert!(w >= e - 1e-9);
+    }
+}

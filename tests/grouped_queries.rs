@@ -1,0 +1,160 @@
+//! GROUP BY integration: grouped results are exact, stable under
+//! physical reconfiguration, and the framework tunes grouped workloads.
+
+use std::sync::Arc;
+
+use smdb::core::driver::Driver;
+use smdb::core::FeatureKind;
+use smdb::cost::CalibratedCostModel;
+use smdb::query::{Database, Query};
+use smdb::storage::StorageEngine;
+use smdb::workload::tpch::{build_catalog, li, TpchTemplates};
+
+fn setup() -> (Arc<Database>, TpchTemplates) {
+    let mut engine = StorageEngine::default();
+    let catalog = build_catalog(&mut engine, 12_000, 1_500, 21).expect("catalog builds");
+    (Database::new(engine), TpchTemplates::new(catalog))
+}
+
+fn grouped_report(templates: &TpchTemplates, seed: u64) -> Query {
+    let mut rng = smdb::common::seeded_rng(seed);
+    templates.sample(12, &mut rng) // q1_revenue_by_returnflag
+}
+
+#[test]
+fn grouped_results_are_exact_and_complete() {
+    let (db, templates) = setup();
+    let q = grouped_report(&templates, 5);
+    let out = db.run_query(&q).expect("runs").output;
+    let groups = out.groups.expect("grouped query returns groups");
+    // Three return flags; their sums partition the global sum.
+    assert_eq!(groups.len(), 3);
+    let global = {
+        let ungrouped = Query::new(
+            q.table(),
+            "lineitem",
+            q.predicates().to_vec(),
+            q.aggregate().copied(),
+            "global",
+        );
+        db.run_query(&ungrouped)
+            .expect("runs")
+            .output
+            .agg_value
+            .expect("sum")
+    };
+    let partitioned: f64 = groups.iter().map(|(_, v)| v).sum();
+    assert!((partitioned - global).abs() < 1e-6 * global.abs().max(1.0));
+}
+
+#[test]
+fn grouped_results_invariant_under_reconfiguration() {
+    let (db, templates) = setup();
+    let q = grouped_report(&templates, 9);
+    let before = db
+        .run_query(&q)
+        .expect("runs")
+        .output
+        .groups
+        .expect("groups");
+
+    // Index + re-encode the predicate and group columns.
+    let lineitem = templates.catalog().lineitem;
+    let chunks = db.engine().table(lineitem).expect("table").chunk_count() as u32;
+    let mut actions = Vec::new();
+    for chunk in 0..chunks {
+        actions.push(smdb::storage::ConfigAction::CreateIndex {
+            target: smdb::common::ChunkColumnRef {
+                table: lineitem,
+                column: smdb::common::ColumnId(li::SHIPDATE),
+                chunk: smdb::common::ChunkId(chunk),
+            },
+            kind: smdb::storage::IndexKind::BTree,
+        });
+        actions.push(smdb::storage::ConfigAction::SetEncoding {
+            target: smdb::common::ChunkColumnRef {
+                table: lineitem,
+                column: smdb::common::ColumnId(li::RETURNFLAG),
+                chunk: smdb::common::ChunkId(chunk),
+            },
+            kind: smdb::storage::EncodingKind::Dictionary,
+        });
+    }
+    db.apply_config(&actions).expect("actions apply");
+
+    let after = db
+        .run_query(&q)
+        .expect("runs")
+        .output
+        .groups
+        .expect("groups");
+    // Float summation order may differ between probe and scan paths;
+    // compare group keys exactly and values within relative tolerance.
+    assert_eq!(before.len(), after.len());
+    for ((k1, v1), (k2, v2)) in before.iter().zip(&after) {
+        assert_eq!(k1, k2);
+        assert!(
+            (v1 - v2).abs() <= 1e-9 * v1.abs().max(1.0),
+            "group {k1}: {v1} vs {v2}"
+        );
+    }
+}
+
+#[test]
+fn framework_tunes_grouped_workloads() {
+    let (db, templates) = setup();
+    let model = Arc::new(CalibratedCostModel::new());
+
+    // Start-up calibration (the paper's "minimal set of queries is run
+    // to create training data"): observe a physically diverse clone so
+    // the model has seen every encoding regime before tuning.
+    {
+        let engine = db.engine();
+        let mut variant = engine.clone();
+        let lineitem = templates.catalog().lineitem;
+        for chunk in 0..4u32 {
+            variant
+                .apply_action(&smdb::storage::ConfigAction::SetEncoding {
+                    target: smdb::common::ChunkColumnRef {
+                        table: lineitem,
+                        column: smdb::common::ColumnId(li::SHIPDATE),
+                        chunk: smdb::common::ChunkId(chunk),
+                    },
+                    kind: smdb::storage::EncodingKind::Dictionary,
+                })
+                .expect("applies");
+        }
+        let config = variant.current_config();
+        for i in 0..60 {
+            let q = grouped_report(&templates, 1000 + i);
+            let out = variant
+                .scan_grouped(q.table(), q.predicates(), q.aggregate(), q.group_by())
+                .expect("scan runs");
+            model
+                .observe(&variant, &q, &config, out.sim_cost)
+                .expect("observes");
+        }
+        model.refit().expect("fits");
+    }
+
+    let driver = Driver::builder(db.clone())
+        .learned_estimator(model)
+        .features(vec![FeatureKind::Indexing, FeatureKind::Compression])
+        .build();
+    // A grouped-report-heavy workload.
+    let queries: Vec<Query> = (0..120).map(|i| grouped_report(&templates, i)).collect();
+    for _ in 0..3 {
+        driver.run_bucket(&queries).expect("bucket runs");
+    }
+    let before: f64 = queries
+        .iter()
+        .map(|q| db.run_query(q).expect("runs").output.sim_cost.ms())
+        .sum();
+    let report = driver.force_tune().expect("tuning runs");
+    assert!(report.applied_actions > 0, "{report:?}");
+    let after: f64 = queries
+        .iter()
+        .map(|q| db.run_query(q).expect("runs").output.sim_cost.ms())
+        .sum();
+    assert!(after < before, "before {before} after {after}");
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the storage substrate: encoding round-trips,
+//! filter agreement across encodings and indexes, configuration
+//! diff/apply round-trips, and engine scan consistency.
+
+use proptest::prelude::*;
+
+use smdb::common::{ChunkColumnRef, ColumnId};
+use smdb::storage::encoding::{EncodingKind, Segment};
+use smdb::storage::index::{ChunkIndex, IndexKind};
+use smdb::storage::value::ColumnValues;
+use smdb::storage::{ConfigAction, ConfigInstance, PredicateOp, ScanPredicate, Tier};
+
+fn int_column() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(-50i64..50, 0..200)
+}
+
+fn predicate() -> impl Strategy<Value = ScanPredicate> {
+    (0i64..3, -60i64..60, -60i64..60).prop_map(|(kind, a, b)| match kind {
+        0 => ScanPredicate::eq(ColumnId(0), a),
+        1 => ScanPredicate::cmp(ColumnId(0), PredicateOp::Lt, a),
+        _ => ScanPredicate::between(ColumnId(0), a.min(b), a.max(b)),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encodings_roundtrip(data in int_column()) {
+        let col = ColumnValues::Int(data);
+        for kind in EncodingKind::ALL {
+            let seg = Segment::encode(&col, kind);
+            prop_assert_eq!(seg.decode(), col.clone(), "roundtrip {}", kind);
+            prop_assert_eq!(seg.len(), col.len());
+        }
+    }
+
+    #[test]
+    fn filters_agree_across_encodings(data in int_column(), pred in predicate()) {
+        let col = ColumnValues::Int(data);
+        let reference = {
+            let seg = Segment::encode(&col, EncodingKind::Unencoded);
+            let mut out = Vec::new();
+            seg.filter(&pred, &mut out);
+            out
+        };
+        for kind in EncodingKind::ALL {
+            let seg = Segment::encode(&col, kind);
+            let mut out = Vec::new();
+            seg.filter(&pred, &mut out);
+            prop_assert_eq!(&out, &reference, "encoding {} disagrees", kind);
+        }
+    }
+
+    #[test]
+    fn indexes_agree_with_scans(data in int_column(), pred in predicate()) {
+        let col = ColumnValues::Int(data);
+        let seg = Segment::encode(&col, EncodingKind::Unencoded);
+        let mut scan = Vec::new();
+        seg.filter(&pred, &mut scan);
+        for kind in IndexKind::ALL {
+            if !kind.supports(pred.op) {
+                continue;
+            }
+            let idx = ChunkIndex::build(kind, &seg);
+            let mut probed = Vec::new();
+            prop_assert!(idx.probe(&pred, &mut probed));
+            probed.sort_unstable();
+            prop_assert_eq!(&probed, &scan, "index {} disagrees", kind);
+        }
+    }
+
+    #[test]
+    fn memory_bytes_positive_and_ordered(data in proptest::collection::vec(0i64..8, 1..300)) {
+        // Low-cardinality data: dictionary must not exceed raw.
+        let col = ColumnValues::Int(data);
+        let raw = Segment::encode(&col, EncodingKind::Unencoded).memory_bytes();
+        let dict = Segment::encode(&col, EncodingKind::Dictionary).memory_bytes();
+        prop_assert!(raw > 0);
+        prop_assert!(dict <= raw + 64, "dict {dict} vs raw {raw}");
+    }
+}
+
+/// Strategy for small random configurations.
+fn config() -> impl Strategy<Value = ConfigInstance> {
+    (
+        proptest::collection::vec((0u32..2, 0u16..3, 0u32..4, 0usize..2), 0..6),
+        proptest::collection::vec((0u32..2, 0u16..3, 0u32..4, 0usize..3), 0..6),
+        proptest::collection::vec((0u32..2, 0u32..4, 0usize..2), 0..4),
+        0.0f64..512.0,
+    )
+        .prop_map(|(indexes, encodings, placements, buffer)| {
+            let mut c = ConfigInstance::default();
+            for (t, col, k, kind) in indexes {
+                c.indexes.insert(
+                    ChunkColumnRef::new(t, col, k),
+                    [IndexKind::Hash, IndexKind::BTree][kind],
+                );
+            }
+            for (t, col, k, enc) in encodings {
+                c.encodings.insert(
+                    ChunkColumnRef::new(t, col, k),
+                    [
+                        EncodingKind::Dictionary,
+                        EncodingKind::RunLength,
+                        EncodingKind::FrameOfReference,
+                    ][enc],
+                );
+            }
+            for (t, k, tier) in placements {
+                c.placements.insert(
+                    (smdb::common::TableId(t), smdb::common::ChunkId(k)),
+                    [Tier::Warm, Tier::Cold][tier],
+                );
+            }
+            c.knobs.buffer_pool_mb = buffer;
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn diff_apply_roundtrips(from in config(), to in config()) {
+        let actions = from.diff(&to);
+        let mut replayed = from.clone();
+        for a in &actions {
+            replayed.apply(a);
+        }
+        prop_assert_eq!(&replayed, &to);
+        // Diff to self is empty; diff is minimal in the sense that no
+        // action list shorter than 0 reaches an unequal config.
+        prop_assert!(to.diff(&to).is_empty());
+        // Fingerprints agree iff configs agree.
+        prop_assert_eq!(from == to, from.fingerprint() == to.fingerprint());
+    }
+
+    #[test]
+    fn diff_never_contains_noop_actions(from in config(), to in config()) {
+        let mut state = from.clone();
+        for a in from.diff(&to) {
+            let before = state.fingerprint();
+            state.apply(&a);
+            // Every action must change the configuration (minimality).
+            let changed = state.fingerprint() != before
+                || matches!(a, ConfigAction::CreateIndex { .. }); // kind replacement keeps key
+            prop_assert!(changed, "no-op action {a} in diff");
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! What-if consistency: hypothetical cost estimates must agree with the
+//! measured cost once the hypothetical configuration is actually applied
+//! — the contract that makes tuning decisions trustworthy.
+
+use std::sync::Arc;
+
+use smdb::common::{ChunkColumnRef, ColumnId};
+use smdb::cost::features::ConfigContext;
+use smdb::cost::{CalibratedCostModel, CostEstimator, WhatIf};
+use smdb::query::{Query, Workload};
+use smdb::storage::value::ColumnValues;
+use smdb::storage::{
+    ColumnDef, ConfigInstance, DataType, EncodingKind, IndexKind, ScanPredicate, Schema,
+    StorageEngine, Table, Tier,
+};
+
+fn engine() -> (StorageEngine, smdb::common::TableId) {
+    let schema = Schema::new(vec![
+        ColumnDef::new("k", DataType::Int),
+        ColumnDef::new("v", DataType::Int),
+        ColumnDef::new("ts", DataType::Int),
+    ])
+    .expect("valid schema");
+    let table = Table::from_columns(
+        "t",
+        schema,
+        vec![
+            ColumnValues::Int((0..8_000).map(|i| i % 200).collect()),
+            ColumnValues::Int((0..8_000).map(|i| (i * 13) % 997).collect()),
+            // Sorted timestamp column: range queries over it visit a
+            // *varying* number of chunks (pruning), which is what makes
+            // the per-chunk-visit coefficient identifiable.
+            ColumnValues::Int((0..8_000).collect()),
+        ],
+        1_000,
+    )
+    .expect("builds");
+    let mut e = StorageEngine::default();
+    let t = e.create_table(table).expect("unique");
+    (e, t)
+}
+
+/// Trains a model on both the plain engine and an indexed/encoded clone
+/// so every cost path has observations.
+fn trained(engine: &StorageEngine, t: smdb::common::TableId) -> Arc<CalibratedCostModel> {
+    let model = Arc::new(CalibratedCostModel::new());
+    // Two *separate* variants: one index-only, one encoding-only. A
+    // combined variant would make probe work collinear with encoded-scan
+    // work across all training queries, leaving the probe coefficient
+    // unidentifiable.
+    let mut indexed_variant = engine.clone();
+    for chunk in 0..4u32 {
+        indexed_variant
+            .apply_action(&smdb::storage::ConfigAction::CreateIndex {
+                target: ChunkColumnRef::new(t.0, 0, chunk),
+                kind: if chunk % 2 == 0 {
+                    IndexKind::Hash
+                } else {
+                    IndexKind::BTree
+                },
+            })
+            .expect("applies");
+    }
+    let mut encoded_variant = engine.clone();
+    for chunk in 0..6u32 {
+        encoded_variant
+            .apply_action(&smdb::storage::ConfigAction::SetEncoding {
+                target: ChunkColumnRef::new(t.0, 0, chunk),
+                kind: EncodingKind::Dictionary,
+            })
+            .expect("applies");
+    }
+    // Diverse training shapes: point lookups, ranges of varying
+    // selectivity, a second column, aggregates — feature variation is
+    // what makes the regression coefficients identifiable.
+    for (eng, label) in [
+        (engine, "plain"),
+        (&indexed_variant, "indexed"),
+        (&encoded_variant, "encoded"),
+    ] {
+        let config = eng.current_config();
+        for i in 0..60i64 {
+            let shapes = [
+                Query::new(
+                    t,
+                    "t",
+                    vec![ScanPredicate::eq(ColumnId(0), (i * 7) % 200)],
+                    None,
+                    "pt",
+                ),
+                Query::new(
+                    t,
+                    "t",
+                    vec![ScanPredicate::between(ColumnId(0), i % 150, i % 150 + 20)],
+                    None,
+                    "range",
+                ),
+                Query::new(
+                    t,
+                    "t",
+                    vec![ScanPredicate::cmp(
+                        ColumnId(1),
+                        smdb::storage::PredicateOp::Lt,
+                        (i * 31) % 997,
+                    )],
+                    Some(smdb::storage::Aggregate::count()),
+                    "agg",
+                ),
+                {
+                    // Varying-width time windows: 1 to ~7 chunks visited.
+                    let width = 300 + (i % 7) * 1_000;
+                    let start = (i * 211) % (8_000 - width).max(1);
+                    Query::new(
+                        t,
+                        "t",
+                        vec![ScanPredicate::between(ColumnId(2), start, start + width)],
+                        None,
+                        "time_window",
+                    )
+                },
+            ];
+            for q in shapes {
+                let out = eng
+                    .scan(t, q.predicates(), q.aggregate())
+                    .expect("scan runs");
+                model
+                    .observe(eng, &q, &config, out.sim_cost)
+                    .unwrap_or_else(|e| panic!("observe {label}: {e}"));
+            }
+        }
+    }
+    model.refit().expect("fits");
+    model
+}
+
+fn workload(t: smdb::common::TableId) -> Workload {
+    let mut w = Workload::default();
+    for i in 0..40 {
+        w.push(
+            Query::new(
+                t,
+                "t",
+                vec![ScanPredicate::eq(ColumnId(0), i * 5)],
+                None,
+                "probe",
+            ),
+            2.0,
+        );
+    }
+    w
+}
+
+/// Applies `config` to a clone and measures the true workload cost.
+fn realized(engine: &StorageEngine, config: &ConfigInstance, w: &Workload) -> f64 {
+    let mut clone = engine.clone();
+    clone
+        .apply_all(&clone.current_config().diff(config))
+        .expect("actions apply");
+    w.queries()
+        .iter()
+        .map(|wq| {
+            clone
+                .scan(
+                    wq.query.table(),
+                    wq.query.predicates(),
+                    wq.query.aggregate(),
+                )
+                .expect("scan runs")
+                .sim_cost
+                .ms()
+                * wq.weight
+        })
+        .sum()
+}
+
+#[test]
+fn estimates_track_reality_across_configs() {
+    let (engine, t) = engine();
+    let model = trained(&engine, t);
+    let what_if = WhatIf::new(model);
+    let w = workload(t);
+
+    // A spread of hypothetical configurations.
+    let mut configs = vec![ConfigInstance::default()];
+    let mut indexed = ConfigInstance::default();
+    for chunk in 0..8u32 {
+        indexed
+            .indexes
+            .insert(ChunkColumnRef::new(t.0, 0, chunk), IndexKind::Hash);
+    }
+    configs.push(indexed);
+    let mut encoded = ConfigInstance::default();
+    for chunk in 0..8u32 {
+        encoded
+            .encodings
+            .insert(ChunkColumnRef::new(t.0, 0, chunk), EncodingKind::Dictionary);
+    }
+    configs.push(encoded);
+
+    for (i, config) in configs.iter().enumerate() {
+        let estimated = what_if
+            .workload_cost(&engine, &w, config)
+            .expect("estimates")
+            .ms();
+        let actual = realized(&engine, config, &w);
+        let rel = (estimated - actual).abs() / actual.max(1e-9);
+        assert!(
+            rel < 0.35,
+            "config {i}: estimate {estimated:.2} vs actual {actual:.2} (rel {rel:.2})"
+        );
+    }
+
+    // Crucially, the *ranking* of configurations must be correct.
+    let est: Vec<f64> = configs
+        .iter()
+        .map(|c| {
+            what_if
+                .workload_cost(&engine, &w, c)
+                .expect("estimates")
+                .ms()
+        })
+        .collect();
+    let act: Vec<f64> = configs.iter().map(|c| realized(&engine, c, &w)).collect();
+    let best_est = (0..3)
+        .min_by(|&a, &b| est[a].total_cmp(&est[b]))
+        .expect("3 configs");
+    let best_act = (0..3)
+        .min_by(|&a, &b| act[a].total_cmp(&act[b]))
+        .expect("3 configs");
+    assert_eq!(
+        best_est, best_act,
+        "estimator must rank the best config first"
+    );
+}
+
+#[test]
+fn estimation_never_mutates_the_engine() {
+    let (engine, t) = engine();
+    let model = trained(&engine, t);
+    let before = engine.current_config();
+    let w = workload(t);
+    let mut hypo = ConfigInstance::default();
+    hypo.indexes
+        .insert(ChunkColumnRef::new(t.0, 0, 0), IndexKind::BTree);
+    hypo.placements
+        .insert((t, smdb::common::ChunkId(1)), Tier::Cold);
+    let ctx = ConfigContext::new(&engine, &hypo);
+    for wq in w.queries() {
+        model
+            .query_cost(&engine, &ctx, &wq.query, &hypo)
+            .expect("estimates");
+    }
+    assert_eq!(engine.current_config(), before);
+}
+
+#[test]
+fn composite_index_estimates_track_reality() {
+    let (engine, t) = engine();
+    let model = trained(&engine, t);
+    let what_if = WhatIf::new(model);
+
+    // Conjunctive two-column point workload.
+    let mut w = Workload::default();
+    for i in 0..30i64 {
+        w.push(
+            Query::new(
+                t,
+                "t",
+                vec![
+                    ScanPredicate::eq(ColumnId(0), (i * 7) % 200),
+                    ScanPredicate::eq(ColumnId(1), (i * 13) % 997),
+                ],
+                None,
+                "pair",
+            ),
+            2.0,
+        );
+    }
+
+    let mut composite = ConfigInstance::default();
+    for chunk in 0..8u32 {
+        composite.indexes.insert(
+            ChunkColumnRef::new(t.0, 0, chunk),
+            IndexKind::CompositeHash {
+                second: ColumnId(1),
+            },
+        );
+    }
+    let base = ConfigInstance::default();
+    let est_base = what_if.workload_cost(&engine, &w, &base).expect("est").ms();
+    let est_comp = what_if
+        .workload_cost(&engine, &w, &composite)
+        .expect("est")
+        .ms();
+    let act_base = realized(&engine, &base, &w);
+    let act_comp = realized(&engine, &composite, &w);
+    // Composite must be predicted AND measured as a large win.
+    assert!(
+        act_comp < act_base * 0.2,
+        "measured {act_comp} vs {act_base}"
+    );
+    assert!(
+        est_comp < est_base * 0.5,
+        "estimated {est_comp} vs {est_base}"
+    );
+}

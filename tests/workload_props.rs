@@ -1,0 +1,100 @@
+//! Property-based tests for the workload generators: schedules, mixes and
+//! the TPC-H-flavoured template set.
+
+use proptest::prelude::*;
+
+use smdb::storage::StorageEngine;
+use smdb::workload::tpch::{build_catalog, TpchTemplates, NUM_TEMPLATES};
+use smdb::workload::{MixSchedule, WorkloadGenerator};
+
+fn mix() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..10.0, NUM_TEMPLATES)
+}
+
+fn generator(schedule: MixSchedule, seed: u64) -> WorkloadGenerator {
+    let mut engine = StorageEngine::default();
+    let catalog = build_catalog(&mut engine, 1_000, 250, 3).expect("catalog builds");
+    WorkloadGenerator::new(TpchTemplates::new(catalog), schedule, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bucket_queries_deterministic_and_sized(
+        m in mix(),
+        bucket in 0u64..50,
+        count in 0usize..60,
+        seed in 0u64..100,
+    ) {
+        let g = generator(MixSchedule::Stationary(m), seed);
+        let a = g.bucket_queries(bucket, count);
+        let b = g.bucket_queries(bucket, count);
+        prop_assert_eq!(a.len(), count);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x, y, "same (seed, bucket) must regenerate identically");
+        }
+    }
+
+    #[test]
+    fn drift_mix_is_convex_combination(
+        from in mix(),
+        to in mix(),
+        buckets in 1u64..40,
+        at in 0u64..80,
+    ) {
+        let s = MixSchedule::Drift { from: from.clone(), to: to.clone(), buckets };
+        let m = s.mix_at(at);
+        for i in 0..NUM_TEMPLATES {
+            let lo = from[i].min(to[i]) - 1e-12;
+            let hi = from[i].max(to[i]) + 1e-12;
+            prop_assert!(m[i] >= lo && m[i] <= hi,
+                "drifted weight {} outside [{lo}, {hi}]", m[i]);
+        }
+    }
+
+    #[test]
+    fn seasonal_mix_alternates_exactly(
+        day in mix(),
+        night in mix(),
+        period in 2u64..20,
+        at in 0u64..100,
+    ) {
+        let s = MixSchedule::Seasonal { day: day.clone(), night: night.clone(), period };
+        let m = s.mix_at(at);
+        if (at % period) < period / 2 {
+            prop_assert_eq!(m, day);
+        } else {
+            prop_assert_eq!(m, night);
+        }
+    }
+
+    #[test]
+    fn expected_counts_match_total(
+        m in mix(),
+        bucket in 0u64..20,
+        count in 1usize..500,
+    ) {
+        let g = generator(MixSchedule::Stationary(m), 5);
+        let counts = g.expected_counts(bucket, count);
+        prop_assert_eq!(counts.len(), NUM_TEMPLATES);
+        let total: f64 = counts.iter().sum();
+        prop_assert!((total - count as f64).abs() < 1e-6);
+        prop_assert!(counts.iter().all(|&c| c >= 0.0));
+    }
+
+    #[test]
+    fn every_template_always_executes(id in 0usize..NUM_TEMPLATES, seed in 0u64..50) {
+        let mut engine = StorageEngine::default();
+        let catalog = build_catalog(&mut engine, 1_000, 250, 3).expect("catalog builds");
+        let templates = TpchTemplates::new(catalog);
+        let mut rng = smdb::common::seeded_rng(seed);
+        let q = templates.sample(id, &mut rng);
+        let out = engine
+            .scan_grouped(q.table(), q.predicates(), q.aggregate(), q.group_by())
+            .expect("template executes");
+        prop_assert!(out.sim_cost.ms() > 0.0);
+        // Grouped templates must return groups, plain ones must not.
+        prop_assert_eq!(out.groups.is_some(), q.group_by().is_some());
+    }
+}
