@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI gate: formatting, release build, full test suite, static analysis.
+# Any failing step aborts with a non-zero exit code.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> smdb-lint"
+cargo run -q -p smdb-lint
+
+echo "==> smdb-lint --audit-lp"
+cargo run -q -p smdb-lint -- --audit-lp
+
+echo "CI green."

@@ -50,7 +50,7 @@ fn bench_ordering(c: &mut Criterion) {
     for n in [4usize, 8] {
         let p = problem(n, n as u64);
         group.bench_with_input(BenchmarkId::new("build_model", n), &p, |b, p| {
-            b.iter(|| black_box(p.build_model()));
+            b.iter(|| black_box(p.build_model().expect("model builds")));
         });
     }
     group.finish();

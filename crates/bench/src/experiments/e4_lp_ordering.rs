@@ -58,7 +58,7 @@ fn sizes_and_scaling() {
             }
         }
         let problem = OrderingProblem::new(d, w).unwrap();
-        let model = problem.build_model();
+        let model = problem.build_model().expect("model builds");
 
         let start = Instant::now();
         let lp = problem.solve(&IlpOptions::default()).unwrap();

@@ -10,8 +10,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// An amount of abstract runtime (milliseconds).
 ///
 /// Values are non-negative by convention in most contexts (a workload
@@ -28,7 +26,7 @@ use serde::{Deserialize, Serialize};
 /// let total: Cost = [scan, probe].into_iter().sum();
 /// assert_eq!(total, Cost::from_ms(14.5));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Cost(pub f64);
 
 impl Cost {

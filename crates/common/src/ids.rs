@@ -6,26 +6,18 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies a table in the catalog.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct TableId(pub u32);
 
 /// Identifies a column within a table.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ColumnId(pub u16);
 
 /// Identifies a chunk within a table. Chunks are horizontal partitions of a
 /// fixed target size; every column of a table is split at the same chunk
 /// boundaries.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ChunkId(pub u32);
 
 impl fmt::Display for TableId {
@@ -51,9 +43,7 @@ impl fmt::Display for ChunkId {
 /// Indexes, encodings and placement decisions all attach to this
 /// granularity; a per-*table* decision is simply the same decision applied
 /// to every chunk of the column.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ChunkColumnRef {
     pub table: TableId,
     pub column: ColumnId,

@@ -12,11 +12,15 @@
 //! * [`LogicalTime`], the discrete clock the workload history and the
 //!   organizer run on,
 //! * [`Error`] / [`Result`], the crate-spanning error type,
-//! * deterministic RNG construction helpers.
+//! * deterministic RNG construction helpers,
+//! * [`json`], a std-only JSON value/writer/parser used for audit-trail
+//!   exports and lint reports (the build is offline; there is no serde).
 
 pub mod cost;
 pub mod error;
+pub mod float;
 pub mod ids;
+pub mod json;
 pub mod rng;
 pub mod time;
 

@@ -6,7 +6,7 @@
 //! decisions." (Section II-A(b))
 
 use parking_lot::Mutex;
-use serde::Serialize;
+use smdb_common::json::Json;
 use smdb_common::{Cost, LogicalTime, Result};
 use smdb_storage::{ConfigAction, ConfigInstance, ConfigSnapshot};
 
@@ -113,34 +113,83 @@ impl ConfigStorage {
     /// trail of the feedback loop (what was applied when, what it was
     /// predicted to do, and what it actually did).
     pub fn export_json(&self) -> Result<String> {
-        #[derive(Serialize)]
-        struct Exported {
-            applied_at: u64,
-            feature: Option<String>,
-            config: ConfigSnapshot,
-            actions: Vec<String>,
-            predicted_cost_ms: f64,
-            reconfiguration_cost_ms: f64,
-            observed_before_ms: f64,
-            observed_after_ms: Option<f64>,
-        }
         let instances = self.instances.lock();
-        let rows: Vec<Exported> = instances
+        let rows: Json = instances
             .iter()
-            .map(|i| Exported {
-                applied_at: i.applied_at.raw(),
-                feature: i.feature.map(|f| f.label().to_string()),
-                config: ConfigSnapshot::from(&i.config),
-                actions: i.actions.iter().map(|a| a.to_string()).collect(),
-                predicted_cost_ms: i.predicted_cost.ms(),
-                reconfiguration_cost_ms: i.reconfiguration_cost.ms(),
-                observed_before_ms: i.observed_before.ms(),
-                observed_after_ms: i.observed_after.map(|c| c.ms()),
+            .map(|i| {
+                Json::obj([
+                    ("applied_at", Json::from(i.applied_at.raw())),
+                    (
+                        "feature",
+                        Json::from(i.feature.map(|f| f.label().to_string())),
+                    ),
+                    ("config", snapshot_json(&ConfigSnapshot::from(&i.config))),
+                    ("actions", i.actions.iter().map(|a| a.to_string()).collect()),
+                    ("predicted_cost_ms", Json::from(i.predicted_cost.ms())),
+                    (
+                        "reconfiguration_cost_ms",
+                        Json::from(i.reconfiguration_cost.ms()),
+                    ),
+                    ("observed_before_ms", Json::from(i.observed_before.ms())),
+                    (
+                        "observed_after_ms",
+                        Json::from(i.observed_after.map(|c| c.ms())),
+                    ),
+                ])
             })
             .collect();
-        serde_json::to_string_pretty(&rows)
-            .map_err(|e| smdb_common::Error::invalid(format!("JSON export failed: {e}")))
+        Ok(rows.to_string_pretty())
     }
+}
+
+/// Flattens a [`ConfigSnapshot`] into JSON: map keys become explicit
+/// object fields (`{table, column, chunk, kind}`), which JSON can
+/// represent and downstream tooling can diff.
+fn snapshot_json(snap: &ConfigSnapshot) -> Json {
+    Json::obj([
+        (
+            "indexes",
+            snap.indexes
+                .iter()
+                .map(|(target, kind)| {
+                    Json::obj([
+                        ("table", Json::from(u64::from(target.table.0))),
+                        ("column", Json::from(u64::from(target.column.0))),
+                        ("chunk", Json::from(u64::from(target.chunk.0))),
+                        ("kind", Json::from(format!("{kind:?}"))),
+                    ])
+                })
+                .collect(),
+        ),
+        (
+            "encodings",
+            snap.encodings
+                .iter()
+                .map(|(target, kind)| {
+                    Json::obj([
+                        ("table", Json::from(u64::from(target.table.0))),
+                        ("column", Json::from(u64::from(target.column.0))),
+                        ("chunk", Json::from(u64::from(target.chunk.0))),
+                        ("kind", Json::from(format!("{kind:?}"))),
+                    ])
+                })
+                .collect(),
+        ),
+        (
+            "placements",
+            snap.placements
+                .iter()
+                .map(|(table, chunk, tier)| {
+                    Json::obj([
+                        ("table", Json::from(u64::from(table.0))),
+                        ("chunk", Json::from(u64::from(chunk.0))),
+                        ("tier", Json::from(format!("{tier:?}"))),
+                    ])
+                })
+                .collect(),
+        ),
+        ("buffer_pool_mb", Json::from(snap.buffer_pool_mb)),
+    ])
 }
 
 #[cfg(test)]
@@ -194,14 +243,26 @@ mod tests {
         storage.store(inst);
         storage.complete_latest(Cost(4.5));
         let json = storage.export_json().unwrap();
-        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let parsed = smdb_common::json::parse(&json).unwrap();
         assert_eq!(parsed.as_array().unwrap().len(), 1);
-        let row = &parsed[0];
-        assert_eq!(row["applied_at"], 3);
-        assert_eq!(row["feature"], "indexing");
-        assert_eq!(row["observed_after_ms"], 4.5);
-        assert_eq!(row["config"]["indexes"].as_array().unwrap().len(), 1);
-        assert!(row["actions"][0].as_str().unwrap().contains("DROP INDEX"));
+        let row = parsed.at(0).unwrap();
+        assert_eq!(row.get("applied_at").and_then(Json::as_u64), Some(3));
+        assert_eq!(row.get("feature").and_then(Json::as_str), Some("indexing"));
+        assert_eq!(
+            row.get("observed_after_ms").and_then(Json::as_f64),
+            Some(4.5)
+        );
+        let indexes = row.get("config").and_then(|c| c.get("indexes")).unwrap();
+        assert_eq!(indexes.as_array().unwrap().len(), 1);
+        assert_eq!(
+            indexes
+                .at(0)
+                .and_then(|i| i.get("kind"))
+                .and_then(Json::as_str),
+            Some("Hash")
+        );
+        let action = row.get("actions").and_then(|a| a.at(0)).unwrap();
+        assert!(action.as_str().unwrap().contains("DROP INDEX"));
     }
 
     #[test]

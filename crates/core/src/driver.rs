@@ -261,7 +261,9 @@ impl Driver {
         if report.applied > 0 {
             let predicted_cost = {
                 let engine = self.db.engine();
-                let expected = forecast.expected().expect("checked above");
+                let expected = forecast.expected().ok_or_else(|| {
+                    smdb_common::Error::invalid("forecast lost its expected scenario mid-tuning")
+                })?;
                 self.multi
                     .what_if()
                     .workload_cost(&engine, &expected.workload, &final_config)?

@@ -5,10 +5,8 @@
 //! index selection, compression schemes, data placement, and a knob
 //! (the buffer pool size).
 
-use serde::{Deserialize, Serialize};
-
 /// A tunable feature of the database configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FeatureKind {
     /// Per-chunk secondary index selection (physical design, discrete).
     Indexing,

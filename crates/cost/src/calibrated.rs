@@ -9,6 +9,7 @@
 
 use parking_lot::RwLock;
 
+use smdb_common::float::exactly_zero;
 use smdb_common::{Cost, Result};
 use smdb_query::Query;
 use smdb_storage::{ConfigInstance, StorageEngine};
@@ -146,7 +147,7 @@ impl CostEstimator for CalibratedCostModel {
                     .zip(features.as_slice())
                     .zip(&inner.support)
                     .map(|((wi, fi), &sup)| {
-                        if sup > 1e-9 || *fi == 0.0 {
+                        if sup > 1e-9 || exactly_zero(*fi) {
                             wi * fi
                         } else {
                             self.bootstrap_row_ms * fi

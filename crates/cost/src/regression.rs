@@ -5,6 +5,7 @@
 //! Gaussian elimination — the "simple linear regressions" cost-model
 //! option the paper cites (Zhu & Larson).
 
+use smdb_common::float::exactly_zero;
 use smdb_common::{Error, Result};
 
 /// Incrementally trained least-squares regression.
@@ -203,7 +204,7 @@ fn solve_augmented(a: &mut [f64], k: usize) -> Result<Vec<f64>> {
         let pivot = a[col * cols + col];
         for row in (col + 1)..k {
             let factor = a[row * cols + col] / pivot;
-            if factor != 0.0 {
+            if !exactly_zero(factor) {
                 for j in col..cols {
                     a[row * cols + j] -= factor * a[col * cols + j];
                 }

@@ -1,0 +1,188 @@
+//! `lint.toml` — scan exclusions and the allowlist ratchet.
+//!
+//! The config is a deliberately small TOML subset (parsed here with no
+//! dependencies, since the registry is offline): `[section]` headers,
+//! `key = value` pairs with bare or quoted keys, and values that are
+//! strings, integers, or arrays of strings. Example:
+//!
+//! ```toml
+//! [lint]
+//! exclude = ["vendor/", "target/"]
+//!
+//! [allow.no-panic]
+//! "crates/core/src/assessor.rs" = 4   # ratchet: may only decrease
+//! ```
+//!
+//! An `[allow.<rule>]` entry grants a file a *budget* of findings for
+//! that rule. Files over budget fail the run; files under budget produce
+//! a tightening hint so the budget ratchets downward over time.
+
+use std::collections::BTreeMap;
+
+/// Parsed configuration.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// Path prefixes (repo-relative, `/`-separated) never scanned.
+    pub exclude: Vec<String>,
+    /// `rule id → (path → budget)`.
+    pub allow: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+impl LintConfig {
+    /// The budget for `rule` findings in `path` (0 when unlisted).
+    pub fn budget(&self, rule: &str, path: &str) -> usize {
+        self.allow
+            .get(rule)
+            .and_then(|files| files.get(path))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Whether `path` is excluded from scanning entirely.
+    pub fn is_excluded(&self, path: &str) -> bool {
+        self.exclude.iter().any(|p| path.starts_with(p.as_str()))
+    }
+}
+
+/// Parses `lint.toml` text.
+pub fn parse(text: &str) -> Result<LintConfig, String> {
+    let mut config = LintConfig::default();
+    let mut section: Vec<String> = Vec::new();
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line = strip_comment(raw_line).trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header
+                .strip_suffix(']')
+                .ok_or_else(|| format!("lint.toml:{lineno}: unclosed section header"))?;
+            section = header.split('.').map(|s| s.trim().to_owned()).collect();
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("lint.toml:{lineno}: expected `key = value`"))?;
+        let key = unquote(key.trim());
+        let value = value.trim();
+
+        match section.first().map(String::as_str) {
+            Some("lint") if key == "exclude" => {
+                config.exclude = parse_string_array(value).ok_or_else(|| {
+                    format!("lint.toml:{lineno}: exclude must be an array of strings")
+                })?;
+            }
+            Some("lint") => {
+                return Err(format!("lint.toml:{lineno}: unknown [lint] key `{key}`"));
+            }
+            Some("allow") => {
+                let rule = section
+                    .get(1)
+                    .ok_or_else(|| format!("lint.toml:{lineno}: use [allow.<rule-id>] sections"))?;
+                let budget: usize = value
+                    .parse()
+                    .map_err(|_| format!("lint.toml:{lineno}: budget must be an integer"))?;
+                config
+                    .allow
+                    .entry(rule.clone())
+                    .or_default()
+                    .insert(key, budget);
+            }
+            _ => {
+                return Err(format!(
+                    "lint.toml:{lineno}: unknown section `{}`",
+                    section.join(".")
+                ));
+            }
+        }
+    }
+    Ok(config)
+}
+
+/// Removes a trailing `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn unquote(s: &str) -> String {
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or(s)
+        .to_owned()
+}
+
+fn parse_string_array(value: &str) -> Option<Vec<String>> {
+    let inner = value.strip_prefix('[')?.strip_suffix(']')?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        let unquoted = item.strip_prefix('"')?.strip_suffix('"')?;
+        out.push(unquoted.to_owned());
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let text = r##"
+# smdb-lint configuration
+[lint]
+exclude = ["vendor/", "target/"]  # never scanned
+
+[allow.no-panic]
+"crates/core/src/assessor.rs" = 4
+"crates/lp/src/model.rs" = 2
+
+[allow.no-float-eq]
+"crates/cost/src/logical.rs" = 1
+"##;
+        let c = parse(text).expect("parses");
+        assert_eq!(c.exclude, vec!["vendor/", "target/"]);
+        assert_eq!(c.budget("no-panic", "crates/core/src/assessor.rs"), 4);
+        assert_eq!(c.budget("no-panic", "crates/core/src/driver.rs"), 0);
+        assert_eq!(c.budget("no-float-eq", "crates/cost/src/logical.rs"), 1);
+        assert!(c.is_excluded("vendor/rand/src/lib.rs"));
+        assert!(!c.is_excluded("crates/lp/src/model.rs"));
+    }
+
+    #[test]
+    fn empty_config_is_valid() {
+        let c = parse("").expect("parses");
+        assert!(c.exclude.is_empty());
+        assert_eq!(c.budget("no-panic", "x"), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse("[lint\nexclude = []").is_err());
+        assert!(parse("[lint]\nexclude = \"not-an-array\"").is_err());
+        assert!(parse("[lint]\nbogus = 3").is_err());
+        assert!(parse("[allow]\n\"x.rs\" = 1").is_err());
+        assert!(parse("[allow.no-panic]\n\"x.rs\" = \"three\"").is_err());
+        assert!(parse("[wat]\nk = 1").is_err());
+        assert!(parse("just words").is_err());
+    }
+
+    #[test]
+    fn comments_respect_strings() {
+        let c = parse("[lint]\nexclude = [\"a#b/\"] # trailing\n").expect("parses");
+        assert_eq!(c.exclude, vec!["a#b/"]);
+    }
+}

@@ -1,0 +1,138 @@
+//! CLI wrapper over the `smdb-lint` library.
+//!
+//! ```text
+//! smdb-lint [--root PATH] [--config PATH] [--json] [--audit-lp] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = violations or failed audit checks,
+//! 2 = usage / configuration / IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: bool,
+    audit_lp: bool,
+    list_rules: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        config: None,
+        json: false,
+        audit_lp: false,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root requires a path")?;
+                opts.root = PathBuf::from(v);
+            }
+            "--config" => {
+                let v = it.next().ok_or("--config requires a path")?;
+                opts.config = Some(PathBuf::from(v));
+            }
+            "--json" => opts.json = true,
+            "--audit-lp" => opts.audit_lp = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+const USAGE: &str =
+    "usage: smdb-lint [--root PATH] [--config PATH] [--json] [--audit-lp] [--list-rules]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in smdb_lint::registry() {
+            println!(
+                "{:13} {:7} {}",
+                rule.id,
+                rule.severity.label(),
+                rule.description
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if opts.audit_lp {
+        return run_audit(&opts);
+    }
+    run_lint(&opts)
+}
+
+fn run_lint(opts: &Options) -> ExitCode {
+    let cfg = match &opts.config {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))
+            .and_then(|text| smdb_lint::config::parse(&text)),
+        None => smdb_lint::load_config(&opts.root),
+    };
+    let cfg = match cfg {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("smdb-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match smdb_lint::run_lint(&opts.root, &cfg) {
+        Ok(report) => {
+            if opts.json {
+                println!("{}", report.to_json().to_string_pretty());
+            } else {
+                print!("{}", report.render_human());
+            }
+            ExitCode::from(report.exit_code().clamp(0, u8::MAX as i32) as u8)
+        }
+        Err(msg) => {
+            eprintln!("smdb-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_audit(opts: &Options) -> ExitCode {
+    match smdb_lint::audit_lp() {
+        Ok(audits) => {
+            let failed = audits.iter().any(|a| !a.passed());
+            if opts.json {
+                println!("{}", smdb_lint::audits_to_json(&audits).to_string_pretty());
+            } else {
+                for a in &audits {
+                    print!("{}", smdb_lint::render_audit(a));
+                }
+                let (lo, hi) = smdb_lint::AUDIT_SIZES;
+                println!(
+                    "smdb-lint --audit-lp: |S| = {lo}..={hi} {}",
+                    if failed { "FAILED" } else { "verified" }
+                );
+            }
+            if failed {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(msg) => {
+            eprintln!("smdb-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Aggregation of raw findings into a pass/fail report.
+//!
+//! The allowlist in `lint.toml` turns the linter into a *ratchet*: each
+//! `(rule, file)` pair may carry a budget of known findings. A file over
+//! its budget fails the run with every finding listed; a file under its
+//! budget passes but emits a tightening hint, so the committed budget can
+//! only ever go down. A budget entry whose file has no findings at all is
+//! reported as stale.
+
+use std::collections::BTreeMap;
+
+use smdb_common::json::Json;
+
+use crate::config::LintConfig;
+use crate::rules::{Finding, Severity};
+
+/// One `(rule, file)` group covered by an allowlist budget.
+#[derive(Debug, Clone)]
+pub struct Allowance {
+    pub rule: String,
+    pub path: String,
+    /// Findings actually present.
+    pub count: usize,
+    /// Budget granted in `lint.toml`.
+    pub budget: usize,
+}
+
+impl Allowance {
+    /// Over-budget allowances fail the run.
+    pub fn exceeded(&self) -> bool {
+        self.count > self.budget
+    }
+
+    /// Under-used allowances should be ratcheted down.
+    pub fn slack(&self) -> usize {
+        self.budget.saturating_sub(self.count)
+    }
+}
+
+/// The outcome of one lint pass.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings not covered by any budget — these fail the run.
+    pub violations: Vec<Finding>,
+    /// Budgeted `(rule, file)` groups, in deterministic order.
+    pub allowances: Vec<Allowance>,
+}
+
+impl LintReport {
+    /// Builds the report by splitting raw findings against the config.
+    pub fn assemble(files_scanned: usize, findings: Vec<Finding>, config: &LintConfig) -> Self {
+        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for f in &findings {
+            *counts
+                .entry((f.rule.to_owned(), f.path.clone()))
+                .or_default() += 1;
+        }
+
+        let mut allowances = Vec::new();
+        for (rule, files) in &config.allow {
+            for (path, &budget) in files {
+                let count = counts
+                    .get(&(rule.clone(), path.clone()))
+                    .copied()
+                    .unwrap_or(0);
+                allowances.push(Allowance {
+                    rule: rule.clone(),
+                    path: path.clone(),
+                    count,
+                    budget,
+                });
+            }
+        }
+
+        // A finding escapes the violation list only when its group sits
+        // within budget; over-budget groups surface every finding so the
+        // regression is visible in full.
+        let violations = findings
+            .into_iter()
+            .filter(|f| {
+                let count = counts
+                    .get(&(f.rule.to_owned(), f.path.clone()))
+                    .copied()
+                    .unwrap_or(0);
+                count > config.budget(f.rule, &f.path)
+            })
+            .collect();
+
+        LintReport {
+            files_scanned,
+            violations,
+            allowances,
+        }
+    }
+
+    /// Whether the run should fail CI.
+    pub fn failed(&self) -> bool {
+        self.violations
+            .iter()
+            .any(|f| f.severity == Severity::Error)
+    }
+
+    /// Budget entries pointing at clean or under-budget files.
+    pub fn tightening_hints(&self) -> Vec<&Allowance> {
+        self.allowances
+            .iter()
+            .filter(|a| !a.exceeded() && a.slack() > 0)
+            .collect()
+    }
+
+    /// Process exit code: 0 clean, 1 violations.
+    pub fn exit_code(&self) -> i32 {
+        if self.failed() {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// `path:line: severity [rule] message` lines plus a summary block.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.violations {
+            out.push_str(&format!(
+                "{}:{}: {} [{}] {}\n    {}\n",
+                f.path,
+                f.line,
+                f.severity.label(),
+                f.rule,
+                f.message,
+                f.excerpt
+            ));
+        }
+        for a in &self.allowances {
+            if a.exceeded() {
+                out.push_str(&format!(
+                    "{}: error [{}] budget exceeded: {} findings over allowance of {}\n",
+                    a.path, a.rule, a.count, a.budget
+                ));
+            }
+        }
+        for a in self.tightening_hints() {
+            out.push_str(&format!(
+                "{}: note [{}] allowance {} exceeds actual findings {} — tighten lint.toml\n",
+                a.path, a.rule, a.budget, a.count
+            ));
+        }
+        out.push_str(&format!(
+            "smdb-lint: {} file(s) scanned, {} violation(s), {} budgeted group(s)\n",
+            self.files_scanned,
+            self.violations.len(),
+            self.allowances.len()
+        ));
+        out
+    }
+
+    /// Machine-readable report for CI tooling.
+    pub fn to_json(&self) -> Json {
+        let violations: Json = self
+            .violations
+            .iter()
+            .map(|f| {
+                Json::obj([
+                    ("rule", Json::from(f.rule)),
+                    ("severity", Json::from(f.severity.label())),
+                    ("path", Json::from(f.path.as_str())),
+                    ("line", Json::from(f.line)),
+                    ("message", Json::from(f.message.as_str())),
+                    ("excerpt", Json::from(f.excerpt.as_str())),
+                ])
+            })
+            .collect();
+        let allowances: Json = self
+            .allowances
+            .iter()
+            .map(|a| {
+                Json::obj([
+                    ("rule", Json::from(a.rule.as_str())),
+                    ("path", Json::from(a.path.as_str())),
+                    ("count", Json::from(a.count)),
+                    ("budget", Json::from(a.budget)),
+                    ("exceeded", Json::from(a.exceeded())),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("files_scanned", Json::from(self.files_scanned)),
+            ("failed", Json::from(self.failed())),
+            ("violations", violations),
+            ("allowances", allowances),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config;
+    use crate::rules::Severity;
+
+    fn finding(rule: &'static str, path: &str, line: usize) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Error,
+            path: path.to_owned(),
+            line,
+            message: "m".to_owned(),
+            excerpt: "e".to_owned(),
+        }
+    }
+
+    #[test]
+    fn unbudgeted_findings_fail() {
+        let r = LintReport::assemble(
+            3,
+            vec![finding("no-panic", "crates/a.rs", 1)],
+            &LintConfig::default(),
+        );
+        assert!(r.failed());
+        assert_eq!(r.exit_code(), 1);
+        assert_eq!(r.violations.len(), 1);
+    }
+
+    #[test]
+    fn budget_absorbs_findings_exactly() {
+        let cfg = config::parse("[allow.no-panic]\n\"crates/a.rs\" = 2\n").expect("cfg");
+        let within = LintReport::assemble(
+            1,
+            vec![
+                finding("no-panic", "crates/a.rs", 1),
+                finding("no-panic", "crates/a.rs", 2),
+            ],
+            &cfg,
+        );
+        assert!(!within.failed(), "{:?}", within.violations);
+        assert!(within.tightening_hints().is_empty());
+
+        let over = LintReport::assemble(
+            1,
+            vec![
+                finding("no-panic", "crates/a.rs", 1),
+                finding("no-panic", "crates/a.rs", 2),
+                finding("no-panic", "crates/a.rs", 3),
+            ],
+            &cfg,
+        );
+        assert!(over.failed());
+        // Over-budget groups surface every finding.
+        assert_eq!(over.violations.len(), 3);
+    }
+
+    #[test]
+    fn budget_is_per_rule_and_per_file() {
+        let cfg = config::parse("[allow.no-panic]\n\"crates/a.rs\" = 5\n").expect("cfg");
+        let r = LintReport::assemble(
+            1,
+            vec![
+                finding("no-entropy", "crates/a.rs", 1), // different rule
+                finding("no-panic", "crates/b.rs", 1),   // different file
+            ],
+            &cfg,
+        );
+        assert_eq!(r.violations.len(), 2);
+    }
+
+    #[test]
+    fn slack_produces_tightening_hint_not_failure() {
+        let cfg = config::parse("[allow.no-panic]\n\"crates/a.rs\" = 4\n").expect("cfg");
+        let r = LintReport::assemble(1, vec![finding("no-panic", "crates/a.rs", 1)], &cfg);
+        assert!(!r.failed());
+        let hints = r.tightening_hints();
+        assert_eq!(hints.len(), 1);
+        assert_eq!(hints[0].slack(), 3);
+        assert!(r.render_human().contains("tighten lint.toml"));
+    }
+
+    #[test]
+    fn json_shape() {
+        let cfg = config::parse("[allow.no-panic]\n\"crates/a.rs\" = 1\n").expect("cfg");
+        let r = LintReport::assemble(2, vec![finding("no-panic", "crates/b.rs", 7)], &cfg);
+        let j = r.to_json();
+        assert_eq!(j.get("files_scanned").and_then(Json::as_u64), Some(2));
+        assert_eq!(j.get("failed"), Some(&Json::Bool(true)));
+        let v = j
+            .get("violations")
+            .and_then(Json::as_array)
+            .map(<[Json]>::len);
+        assert_eq!(v, Some(1));
+        let a0 = j
+            .get("allowances")
+            .and_then(|a| a.at(0))
+            .and_then(|a| a.get("budget"));
+        assert_eq!(a0.and_then(Json::as_u64), Some(1));
+        // Round-trips through the parser.
+        let text = j.to_string_pretty();
+        let back = smdb_common::json::parse(&text).expect("round trip");
+        assert_eq!(back.get("failed"), Some(&Json::Bool(true)));
+    }
+}

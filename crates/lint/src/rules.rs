@@ -1,0 +1,419 @@
+//! The rule registry.
+//!
+//! Four repo-specific rules guard the invariants the reproduction's
+//! trustworthiness rests on (see DESIGN.md §"Static analysis &
+//! invariants"):
+//!
+//! * **L1 `no-panic`** — no `unwrap`/`expect`/`panic!`/`todo!`/
+//!   `unimplemented!` in non-`#[cfg(test)]` library code. A self-managing
+//!   system that panics mid-tuning leaves the database in a half-applied
+//!   configuration.
+//! * **L2 `no-entropy`** — no non-deterministic randomness or wall-clock
+//!   reads outside the designated seams (`crates/common/src/rng.rs`,
+//!   `crates/common/src/time.rs`). Every experiment must replay
+//!   bit-for-bit from its seed.
+//! * **L3 `no-float-eq`** — no direct `==`/`!=` against float literals in
+//!   `crates/cost` and `crates/lp`; cost models and the simplex kernel
+//!   must compare through epsilons.
+//! * **L4 `no-wall-clock`** — no `std::thread::sleep` or raw
+//!   `Instant::now` inside `crates/core` outside the KPI clock; the
+//!   framework runs on [`LogicalTime`](smdb_common::LogicalTime).
+
+use crate::scan::ScannedFile;
+
+/// How bad a finding is. `Error` findings fail the build (exit code 1 /
+/// test failure) unless budgeted in `lint.toml`; `Warning`s never fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One rule violation at a concrete source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub severity: Severity,
+    pub path: String,
+    pub line: usize,
+    pub message: String,
+    /// The offending source line, trimmed, for context.
+    pub excerpt: String,
+}
+
+/// How a rule inspects sanitized lines.
+enum Check {
+    /// Match any of the needle tokens (with identifier-boundary checks).
+    Tokens(&'static [&'static str]),
+    /// Match `==` / `!=` where either operand is a float literal.
+    FloatEq,
+}
+
+/// A registered rule.
+pub struct Rule {
+    pub id: &'static str,
+    pub severity: Severity,
+    pub description: &'static str,
+    /// Repo-relative path prefixes the rule applies to (empty = all).
+    include: &'static [&'static str],
+    /// Repo-relative path prefixes exempt from the rule.
+    exclude: &'static [&'static str],
+    /// Whether `#[cfg(test)]` code is out of scope.
+    skip_test_code: bool,
+    check: Check,
+}
+
+/// The registry, in rule-id order.
+pub fn registry() -> Vec<Rule> {
+    vec![
+        Rule {
+            id: "no-panic",
+            severity: Severity::Error,
+            description: "no unwrap/expect/panic!/todo!/unimplemented! in non-test library code",
+            include: &["crates/", "src/"],
+            // The bench harness is a reporting binary, not library code;
+            // vendor shims mirror external crates' own APIs.
+            exclude: &["crates/bench/"],
+            skip_test_code: true,
+            check: Check::Tokens(&[".unwrap()", ".expect(", "panic!", "todo!", "unimplemented!"]),
+        },
+        Rule {
+            id: "no-entropy",
+            severity: Severity::Error,
+            description:
+                "no thread_rng/from_entropy/SystemTime::now outside crates/common/src/{rng,time}.rs",
+            include: &[],
+            exclude: &["crates/common/src/rng.rs", "crates/common/src/time.rs"],
+            skip_test_code: false,
+            check: Check::Tokens(&["thread_rng", "from_entropy", "SystemTime::now"]),
+        },
+        Rule {
+            id: "no-float-eq",
+            severity: Severity::Error,
+            description: "no direct ==/!= float comparisons in crates/cost and crates/lp",
+            include: &["crates/cost/", "crates/lp/"],
+            exclude: &[],
+            skip_test_code: true,
+            check: Check::FloatEq,
+        },
+        Rule {
+            id: "no-wall-clock",
+            severity: Severity::Error,
+            description:
+                "no thread::sleep or raw Instant::now in crates/core outside the KPI clock",
+            include: &["crates/core/"],
+            exclude: &["crates/core/src/kpi.rs"],
+            skip_test_code: true,
+            check: Check::Tokens(&["thread::sleep", "Instant::now"]),
+        },
+    ]
+}
+
+impl Rule {
+    /// Whether the rule covers `path` at all.
+    pub fn applies_to(&self, path: &str) -> bool {
+        (self.include.is_empty() || self.include.iter().any(|p| path.starts_with(p)))
+            && !self.exclude.iter().any(|p| path.starts_with(p))
+    }
+
+    /// Runs the rule over one scanned file.
+    pub fn check_file(&self, file: &ScannedFile, out: &mut Vec<Finding>) {
+        if !self.applies_to(&file.path) {
+            return;
+        }
+        for line in &file.lines {
+            if self.skip_test_code && line.in_test {
+                continue;
+            }
+            let mut messages = Vec::new();
+            match &self.check {
+                Check::Tokens(needles) => {
+                    for n in needles.iter().filter(|n| contains_token(&line.code, n)) {
+                        messages.push(format!("`{n}` is banned here ({})", self.description));
+                    }
+                }
+                Check::FloatEq => {
+                    if let Some(op) = has_float_eq(&line.code) {
+                        messages.push(format!(
+                            "`{op}` against a float literal ({})",
+                            self.description
+                        ));
+                    }
+                }
+            }
+            for message in messages {
+                out.push(Finding {
+                    rule: self.id,
+                    severity: self.severity,
+                    path: file.path.clone(),
+                    line: line.number,
+                    message,
+                    excerpt: line.raw.trim().chars().take(120).collect(),
+                });
+            }
+        }
+    }
+}
+
+/// Substring match with an identifier-boundary check on the left edge, so
+/// `should_panic` does not match `panic!` and `my_thread_rng` does not
+/// match `thread_rng` (the needle's own first char decides what counts
+/// as a boundary).
+fn contains_token(haystack: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(rel) = haystack[from..].find(needle) {
+        let at = from + rel;
+        let left_ok = if needle.starts_with(|c: char| c.is_alphanumeric() || c == '_') {
+            !haystack[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        } else {
+            true
+        };
+        // Right edge: needles ending in an identifier char must not be a
+        // prefix of a longer identifier (e.g. `thread_rng_seed`).
+        let right_ok = if needle.ends_with(|c: char| c.is_alphanumeric() || c == '_') {
+            !haystack[at + needle.len()..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        } else {
+            true
+        };
+        if left_ok && right_ok {
+            return true;
+        }
+        from = at + needle.len();
+    }
+    false
+}
+
+/// Finds a `==` / `!=` whose left or right operand is a float literal.
+/// Returns the operator for the message.
+fn has_float_eq(code: &str) -> Option<&'static str> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut i = 0;
+    while i + 1 < chars.len() {
+        let op = match (chars[i], chars[i + 1]) {
+            ('=', '=') => {
+                // Reject `===`-like runs and `<=`, `>=`, `=>` neighbours.
+                if i > 0 && matches!(chars[i - 1], '=' | '<' | '>' | '!') {
+                    None
+                } else if chars.get(i + 2) == Some(&'=') {
+                    None
+                } else {
+                    Some("==")
+                }
+            }
+            ('!', '=') if chars.get(i + 2) != Some(&'=') => Some("!="),
+            _ => None,
+        };
+        if let Some(op) = op {
+            let left = token_left(&chars, i);
+            let right = token_right(&chars, i + 2);
+            if is_float_literal(&left) || is_float_literal(&right) {
+                return Some(op);
+            }
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    None
+}
+
+fn token_left(chars: &[char], op_start: usize) -> String {
+    let mut end = op_start;
+    while end > 0 && chars[end - 1] == ' ' {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 && is_operand_char(chars, start - 1) {
+        start -= 1;
+    }
+    chars[start..end].iter().collect()
+}
+
+fn token_right(chars: &[char], after_op: usize) -> String {
+    let mut start = after_op;
+    while start < chars.len() && chars[start] == ' ' {
+        start += 1;
+    }
+    // A leading sign belongs to the literal.
+    let mut end = start;
+    if end < chars.len() && chars[end] == '-' {
+        end += 1;
+    }
+    while end < chars.len() && is_operand_char(chars, end) {
+        end += 1;
+    }
+    chars[start..end].iter().collect()
+}
+
+/// Characters that extend a comparison operand: identifier chars, `.`,
+/// and an exponent sign directly after `e`/`E` (so `1e-6` stays whole).
+fn is_operand_char(chars: &[char], i: usize) -> bool {
+    let c = chars[i];
+    if c.is_alphanumeric() || matches!(c, '.' | '_') {
+        return true;
+    }
+    matches!(c, '-' | '+') && i > 0 && matches!(chars[i - 1], 'e' | 'E')
+}
+
+/// `0.0`, `1.5e-3`, `2f64`, `3.0_f32`, `-0.25`, `1e9` — but not `x.len`,
+/// `0`, `0xFE`, or `f64::EPSILON` (paths are broken by `::` before the
+/// operand capture, leaving `EPSILON`, which starts with no digit).
+fn is_float_literal(token: &str) -> bool {
+    let t = token.strip_prefix('-').unwrap_or(token);
+    if t.is_empty()
+        || !t.starts_with(|c: char| c.is_ascii_digit())
+        || t.starts_with("0x")
+        || t.starts_with("0b")
+        || t.starts_with("0o")
+    {
+        return false;
+    }
+    t.contains('.')
+        || t.ends_with("f64")
+        || t.ends_with("f32")
+        || t.chars().any(|c| c == 'e' || c == 'E')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_source;
+
+    fn findings_for(rule_id: &str, path: &str, src: &str) -> Vec<Finding> {
+        let file = scan_source(path, src);
+        let mut out = Vec::new();
+        for rule in registry() {
+            if rule.id == rule_id {
+                rule.check_file(&file, &mut out);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn no_panic_flags_unwrap_in_lib_code() {
+        let f = findings_for(
+            "no-panic",
+            "crates/core/src/driver.rs",
+            "fn f() { x.unwrap(); }\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-panic");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn no_panic_skips_strings_comments_tests() {
+        let src = "\
+// x.unwrap() in a comment
+fn f() { let s = \"x.unwrap()\"; }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { x.unwrap(); y.expect(\"boom\"); panic!(\"ok in tests\"); }
+}
+";
+        let f = findings_for("no-panic", "crates/core/src/driver.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn no_panic_boundary_does_not_match_should_panic() {
+        let f = findings_for(
+            "no-panic",
+            "crates/core/src/driver.rs",
+            "fn f() { let unwrap_or_x = a.unwrap_or(3); my_panic!(); }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn no_panic_out_of_scope_for_bench() {
+        let f = findings_for(
+            "no-panic",
+            "crates/bench/src/main.rs",
+            "fn f() { x.unwrap(); }\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn no_entropy_flags_everywhere_even_tests() {
+        let src = "#[cfg(test)]\nmod t { fn f() { let r = rand::thread_rng(); } }\n";
+        let f = findings_for("no-entropy", "crates/workload/src/data.rs", src);
+        assert_eq!(f.len(), 1);
+        // …but not in the designated seam.
+        let f = findings_for("no-entropy", "crates/common/src/rng.rs", src);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn float_eq_flags_only_float_literals() {
+        let flagged = [
+            "if x == 0.0 { }",
+            "if 1.5 != y { }",
+            "assert!(a.cost == 2f64);",
+            "while z == 1e-6_f64 { }",
+        ];
+        for src in flagged {
+            let f = findings_for(
+                "no-float-eq",
+                "crates/lp/src/simplex.rs",
+                &format!("fn f() {{ {src} }}\n"),
+            );
+            assert_eq!(f.len(), 1, "{src}");
+        }
+        let clean = [
+            "if x == y { }",
+            "if n == 0 { }",
+            "if (a - b).abs() < 1e-9 { }",
+            "let c = x <= 0.5;",
+            "matches!(op, Op::Eq)",
+        ];
+        for src in clean {
+            let f = findings_for(
+                "no-float-eq",
+                "crates/lp/src/simplex.rs",
+                &format!("fn f() {{ {src} }}\n"),
+            );
+            assert!(f.is_empty(), "{src}: {f:?}");
+        }
+    }
+
+    #[test]
+    fn float_eq_scope_is_cost_and_lp_only() {
+        let f = findings_for(
+            "no-float-eq",
+            "crates/storage/src/engine.rs",
+            "fn f() { x == 0.0; }\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn wall_clock_scope() {
+        let src = "fn f() { let t = Instant::now(); std::thread::sleep(d); }\n";
+        assert_eq!(
+            findings_for("no-wall-clock", "crates/core/src/driver.rs", src).len(),
+            2
+        );
+        assert!(findings_for("no-wall-clock", "crates/core/src/kpi.rs", src).is_empty());
+        assert!(findings_for("no-wall-clock", "crates/query/src/database.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,376 @@
+//! Comment-, string-, and `#[cfg(test)]`-aware source scanning.
+//!
+//! Rules must never fire on the word `panic!` inside a doc comment or a
+//! string literal, and must not police test-only code for panic-freedom.
+//! A regex over raw lines cannot deliver that, so the scanner runs a
+//! small character-level state machine over each file and produces, per
+//! line, a *sanitized* copy — comments and literal contents replaced by
+//! spaces, delimiters kept, so byte offsets still line up — plus a flag
+//! saying whether the line sits inside a `#[cfg(test)]`-gated item.
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct ScannedLine {
+    /// 1-based line number.
+    pub number: usize,
+    /// The original text (used for excerpts in findings).
+    pub raw: String,
+    /// The text with comments and string/char literal *contents* blanked
+    /// out; quote and comment delimiters are preserved as spaces too.
+    pub code: String,
+    /// Whether the line is inside (or opens) a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// A fully scanned file.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    pub lines: Vec<ScannedLine>,
+}
+
+/// Lexical mode carried across lines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    /// Rust block comments nest; the payload is the nesting depth.
+    BlockComment(u32),
+    /// Inside a normal `"…"` string (may span lines via `\` continuation).
+    Str,
+    /// Inside a raw string closed by `"` followed by this many `#`s.
+    RawStr(u8),
+}
+
+/// Tracks one active `#[cfg(test)]` region (brace-delimited item body).
+#[derive(Debug, Clone, Copy)]
+enum TestRegion {
+    /// Saw the attribute; waiting for the item's opening `{` (or a `;`
+    /// ending a body-less item).
+    Pending,
+    /// Inside the braces; region ends when depth returns to the value
+    /// recorded at the opening brace.
+    Active { close_depth: i64 },
+}
+
+/// Scans `source`, producing sanitized lines and test-region flags.
+pub fn scan_source(path: &str, source: &str) -> ScannedFile {
+    let mut mode = Mode::Code;
+    let mut depth: i64 = 0;
+    let mut region: Option<TestRegion> = None;
+    let mut lines = Vec::new();
+
+    for (idx, raw) in source.lines().enumerate() {
+        let mut code = String::with_capacity(raw.len());
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        let mut in_test = matches!(region, Some(TestRegion::Active { .. }));
+
+        while i < bytes.len() {
+            match mode {
+                Mode::BlockComment(nest) => {
+                    if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                        mode = if nest > 1 {
+                            Mode::BlockComment(nest - 1)
+                        } else {
+                            Mode::Code
+                        };
+                        code.push_str("  ");
+                        i += 2;
+                    } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                        mode = Mode::BlockComment(nest + 1);
+                        code.push_str("  ");
+                        i += 2;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if bytes[i] == '\\' {
+                        code.push_str("  ");
+                        i += 2; // skip the escaped character (may run off the line: continuation)
+                    } else if bytes[i] == '"' {
+                        mode = Mode::Code;
+                        code.push(' ');
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if bytes[i] == '"' && closes_raw(&bytes, i + 1, hashes) {
+                        mode = Mode::Code;
+                        let skip = 1 + hashes as usize;
+                        for _ in 0..skip {
+                            code.push(' ');
+                        }
+                        i += skip;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::Code => {
+                    let c = bytes[i];
+                    if c == '/' && bytes.get(i + 1) == Some(&'/') {
+                        // Line comment: blank the rest of the line.
+                        while i < bytes.len() {
+                            code.push(' ');
+                            i += 1;
+                        }
+                    } else if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                        mode = Mode::BlockComment(1);
+                        code.push_str("  ");
+                        i += 2;
+                    } else if let Some(hashes) = raw_string_open(&bytes, i) {
+                        mode = Mode::RawStr(hashes.1);
+                        for _ in 0..hashes.0 {
+                            code.push(' ');
+                        }
+                        i += hashes.0;
+                    } else if c == '"' {
+                        mode = Mode::Str;
+                        code.push(' ');
+                        i += 1;
+                    } else if c == '\'' {
+                        let consumed = char_literal_len(&bytes, i);
+                        if consumed == 1 {
+                            // Lifetime (or stray quote): keep it visible.
+                            code.push('\'');
+                        } else {
+                            for _ in 0..consumed {
+                                code.push(' ');
+                            }
+                        }
+                        i += consumed;
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+
+        // Region tracking runs on the sanitized text, in character order.
+        let sanitized: Vec<char> = code.chars().collect();
+        let mut j = 0usize;
+        while j < sanitized.len() {
+            if region.is_none() && starts_cfg_test(&sanitized, j) {
+                region = Some(TestRegion::Pending);
+            }
+            match sanitized[j] {
+                '{' => {
+                    if let Some(TestRegion::Pending) = region {
+                        region = Some(TestRegion::Active { close_depth: depth });
+                        in_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(TestRegion::Active { close_depth }) = region {
+                        if depth <= close_depth {
+                            region = None;
+                        }
+                    }
+                }
+                ';' => {
+                    if let Some(TestRegion::Pending) = region {
+                        // `#[cfg(test)] mod x;` — no body to gate.
+                        region = None;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if matches!(region, Some(TestRegion::Active { .. })) {
+            in_test = true;
+        }
+
+        lines.push(ScannedLine {
+            number: idx + 1,
+            raw: raw.to_owned(),
+            code,
+            in_test,
+        });
+    }
+
+    ScannedFile {
+        path: path.to_owned(),
+        lines,
+    }
+}
+
+/// Does a `#[cfg(test)]`-style attribute start at `pos`? Also accepts
+/// `cfg(all(test, …))` / `cfg(any(test, …))` forms.
+fn starts_cfg_test(chars: &[char], pos: usize) -> bool {
+    if chars[pos] != '#' {
+        return false;
+    }
+    let rest: String = chars[pos..].iter().collect::<String>();
+    let compact: String = rest.chars().filter(|c| !c.is_whitespace()).collect();
+    compact.starts_with("#[cfg(test)")
+        || compact.starts_with("#[cfg(all(test")
+        || compact.starts_with("#[cfg(any(test")
+}
+
+/// If a raw (byte) string opens at `pos`, returns
+/// `(prefix_len_including_quote, hash_count)`.
+fn raw_string_open(chars: &[char], pos: usize) -> Option<(usize, u8)> {
+    let mut k = pos;
+    if chars.get(k) == Some(&'b') {
+        k += 1;
+    }
+    if chars.get(k) != Some(&'r') {
+        return None;
+    }
+    k += 1;
+    let mut hashes = 0u8;
+    while chars.get(k) == Some(&'#') {
+        hashes += 1;
+        k += 1;
+    }
+    if chars.get(k) == Some(&'"') {
+        // Reject identifiers ending in …br"! by checking the char before.
+        if pos > 0 && is_ident_char(chars[pos - 1]) {
+            return None;
+        }
+        Some((k - pos + 1, hashes))
+    } else {
+        None
+    }
+}
+
+/// Does `"` at some position close a raw string with `hashes` trailing `#`s?
+fn closes_raw(chars: &[char], after_quote: usize, hashes: u8) -> bool {
+    (0..hashes as usize).all(|k| chars.get(after_quote + k) == Some(&'#'))
+}
+
+/// Number of characters consumed by the token starting with `'` — a char
+/// literal (`'x'`, `'\n'`, `'\u{1F600}'`) or a lifetime (`'a`, just the
+/// quote is consumed so the identifier stays visible).
+fn char_literal_len(chars: &[char], pos: usize) -> usize {
+    match chars.get(pos + 1) {
+        Some('\\') => {
+            // Escaped char literal: the escaped character itself may be a
+            // quote (`'\''`), so start looking for the closing quote after
+            // it.
+            let mut k = pos + 3;
+            while k < chars.len() && chars[k] != '\'' {
+                k += 1;
+            }
+            (k + 1).min(chars.len()) - pos
+        }
+        Some(_) if chars.get(pos + 2) == Some(&'\'') => 3,
+        _ => 1, // lifetime or stray quote: keep what follows visible
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        scan_source("t.rs", src)
+            .lines
+            .into_iter()
+            .map(|l| l.code)
+            .collect()
+    }
+
+    #[test]
+    fn line_comments_are_blanked() {
+        let c = code_of("let x = 1; // call .unwrap() here\n");
+        assert!(!c[0].contains("unwrap"));
+        assert!(c[0].contains("let x = 1;"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_blanked() {
+        let c = code_of("a /* outer /* panic!() */ still comment */ b\n");
+        assert!(!c[0].contains("panic"));
+        assert!(c[0].starts_with('a'));
+        assert!(c[0].trim_end().ends_with('b'));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_call_sites_survive() {
+        let c = code_of("foo.expect(\"really .unwrap() me\");\n");
+        assert!(c[0].contains("foo.expect("));
+        assert!(!c[0].contains("unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let c = code_of("let s = r#\"panic!(\"x\")\"#; let t = \"\\\"panic!\";\n");
+        assert!(!c[0].contains("panic"));
+        let c = code_of("let b = br##\"unwrap()\"##;\n");
+        assert!(!c[0].contains("unwrap"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let c = code_of("fn f<'a>(x: &'a str) { let q = '\\''; let z = 'y'; }\n");
+        assert!(c[0].contains("fn f<'a>(x: &'a str)"));
+        assert!(!c[0].contains("'y'"));
+    }
+
+    #[test]
+    fn multiline_strings_span() {
+        let src = "let s = \"line one\npanic!()\nstill string\";\nlet x = 2;\n";
+        let c = code_of(src);
+        assert!(!c[1].contains("panic"));
+        assert!(c[3].contains("let x = 2;"));
+    }
+
+    #[test]
+    fn cfg_test_region_flags_lines() {
+        let src = "\
+fn lib() {}
+#[cfg(test)]
+mod tests {
+    fn helper() { x.unwrap(); }
+}
+fn lib2() {}
+";
+        let f = scan_source("t.rs", src);
+        assert!(!f.lines[0].in_test, "lib fn");
+        assert!(f.lines[2].in_test, "mod tests opening line");
+        assert!(f.lines[3].in_test, "inside tests");
+        assert!(!f.lines[5].in_test, "after tests");
+    }
+
+    #[test]
+    fn cfg_test_on_single_item_only() {
+        let src = "\
+#[cfg(test)]
+fn only_this() { a.unwrap() }
+fn not_this() { }
+";
+        let f = scan_source("t.rs", src);
+        assert!(f.lines[1].in_test);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn cfg_test_mod_declaration_without_body() {
+        let src = "#[cfg(test)]\nmod external_tests;\nfn real() {}\n";
+        let f = scan_source("t.rs", src);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod t { fn f() {} }\nfn g() {}\n";
+        let f = scan_source("t.rs", src);
+        assert!(f.lines[1].in_test);
+        assert!(!f.lines[2].in_test);
+    }
+}

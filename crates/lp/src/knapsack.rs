@@ -6,6 +6,7 @@
 //! handles the candidate-set sizes the tuners produce (hundreds of items)
 //! in microseconds; a dynamic-programming solver cross-checks it in tests.
 
+use smdb_common::float::exactly_zero;
 use smdb_common::{Error, Result};
 
 /// Solution of a knapsack instance.
@@ -67,7 +68,7 @@ pub fn solve_knapsack_capped(
         if values[i] <= 0.0 {
             continue;
         }
-        if weights[i] == 0.0 {
+        if exactly_zero(weights[i]) {
             forced.push(i);
         } else {
             candidates.push(i);

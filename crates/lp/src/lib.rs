@@ -15,8 +15,12 @@
 //! * [`permutation`] — exhaustive-permutation baseline used to verify LP
 //!   optimality in tests and experiment E4,
 //! * [`knapsack`] — the 0/1 knapsack solved by the optimal selector, with
-//!   a specialised branch-and-bound and a DP cross-check.
+//!   a specialised branch-and-bound and a DP cross-check,
+//! * [`audit`] — structural verification of the ordering model against
+//!   the paper's size formulas and constraint families, consumed by
+//!   `smdb-lint --audit-lp`.
 
+pub mod audit;
 pub mod branch_bound;
 pub mod knapsack;
 pub mod model;
@@ -24,6 +28,7 @@ pub mod ordering;
 pub mod permutation;
 pub mod simplex;
 
+pub use audit::{audit_ordering_model, audit_range, AuditCheck, ModelAudit};
 pub use branch_bound::{solve_ilp, IlpOptions, IlpSolution};
 pub use model::{ConstraintOp, LpModel, VarId, VarKind};
 pub use ordering::{OrderingProblem, OrderingSolution};

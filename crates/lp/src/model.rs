@@ -85,10 +85,18 @@ impl LpModel {
         Ok(id)
     }
 
-    /// Adds a binary variable (integer in `[0, 1]`).
+    /// Adds a binary variable (integer in `[0, 1]`). Infallible — the
+    /// bounds are fixed, so this bypasses `add_var`'s validation.
     pub fn add_binary(&mut self, name: impl Into<String>, objective: f64) -> VarId {
-        self.add_var(name, 0.0, 1.0, objective, VarKind::Integer)
-            .expect("binary bounds are valid")
+        let id = VarId(self.variables.len());
+        self.variables.push(Variable {
+            name: name.into(),
+            lower: 0.0,
+            upper: 1.0,
+            objective,
+            kind: VarKind::Integer,
+        });
+        id
     }
 
     /// Adds a constraint.

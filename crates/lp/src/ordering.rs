@@ -94,8 +94,11 @@ impl OrderingProblem {
         total
     }
 
-    /// Builds the paper's integer LP.
-    pub fn build_model(&self) -> LpModel {
+    /// Builds the paper's integer LP. Errors only on internal
+    /// inconsistency (a constraint referencing a variable that was never
+    /// created), which would mean the builder itself drifted from the
+    /// formulation.
+    pub fn build_model(&self) -> Result<LpModel> {
         let n = self.num_features();
         let mut m = LpModel::new();
 
@@ -119,42 +122,41 @@ impl OrderingProblem {
         // Each feature in exactly one step.
         for (a, row) in x.iter().enumerate() {
             let coeffs = row.iter().map(|&v| (v, 1.0)).collect();
-            m.add_constraint(format!("feat_{a}"), coeffs, ConstraintOp::Eq, 1.0)
-                .expect("valid vars");
+            m.add_constraint(format!("feat_{a}"), coeffs, ConstraintOp::Eq, 1.0)?;
         }
         // Each step hosts exactly one feature.
         for k in 0..n {
             let coeffs = (0..n).map(|a| (x[a][k], 1.0)).collect();
-            m.add_constraint(format!("step_{k}"), coeffs, ConstraintOp::Eq, 1.0)
-                .expect("valid vars");
+            m.add_constraint(format!("step_{k}"), coeffs, ConstraintOp::Eq, 1.0)?;
         }
         // Coupling, built over *ordered* pairs exactly as the paper
         // counts them (each unordered pair appears twice).
+        let yvar = |a: usize, b: usize| -> Result<VarId> {
+            y[a][b].ok_or_else(|| Error::invalid("ordering model lost an off-diagonal y"))
+        };
         for a in 0..n {
             for b in 0..n {
                 if a == b {
                     continue;
                 }
-                let yab = y[a][b].expect("off-diagonal y exists");
-                let yba = y[b][a].expect("off-diagonal y exists");
+                let yab = yvar(a, b)?;
+                let yba = yvar(b, a)?;
                 m.add_constraint(
                     format!("sym_{a}_{b}"),
                     vec![(yab, 1.0), (yba, 1.0)],
                     ConstraintOp::Eq,
                     1.0,
-                )
-                .expect("valid vars");
+                )?;
                 // n·y_{A,B} − Σ_k k·x_{B,k} + Σ_k k·x_{A,k} ≥ 0, k = 1..n.
                 let mut coeffs = vec![(yab, n as f64)];
                 for k in 0..n {
                     coeffs.push((x[b][k], -((k + 1) as f64)));
                     coeffs.push((x[a][k], (k + 1) as f64));
                 }
-                m.add_constraint(format!("prec_{a}_{b}"), coeffs, ConstraintOp::Ge, 0.0)
-                    .expect("valid vars");
+                m.add_constraint(format!("prec_{a}_{b}"), coeffs, ConstraintOp::Ge, 0.0)?;
             }
         }
-        m
+        Ok(m)
     }
 
     /// A fast heuristic order: repeatedly pick the feature with the
@@ -165,20 +167,21 @@ impl OrderingProblem {
         let mut remaining: Vec<usize> = (0..n).collect();
         let mut order = Vec::with_capacity(n);
         while !remaining.is_empty() {
-            let (pos, _) = remaining
-                .iter()
-                .enumerate()
-                .map(|(pos, &a)| {
-                    let score: f64 = remaining
-                        .iter()
-                        .filter(|&&b| b != a)
-                        .map(|&b| self.pair_weight(a, b) - self.pair_weight(b, a))
-                        .sum();
-                    (pos, score)
-                })
-                .max_by(|x, y| x.1.total_cmp(&y.1))
-                .expect("non-empty remaining");
-            order.push(remaining.remove(pos));
+            // Last-of-equals tie-break, matching `Iterator::max_by`.
+            let mut best = 0usize;
+            let mut best_score = f64::NEG_INFINITY;
+            for (pos, &a) in remaining.iter().enumerate() {
+                let score: f64 = remaining
+                    .iter()
+                    .filter(|&&b| b != a)
+                    .map(|&b| self.pair_weight(a, b) - self.pair_weight(b, a))
+                    .sum();
+                if score.total_cmp(&best_score).is_ge() {
+                    best = pos;
+                    best_score = score;
+                }
+            }
+            order.push(remaining.remove(best));
         }
         order
     }
@@ -217,7 +220,7 @@ impl OrderingProblem {
                 nodes: 0,
             });
         }
-        let model = self.build_model();
+        let model = self.build_model()?;
         let mut options = options.clone();
         if options.incumbent.is_none() {
             let h = self.heuristic_order();
@@ -272,7 +275,7 @@ mod tests {
     fn model_sizes_match_paper_formulas() {
         for n in 2..=6 {
             let p = OrderingProblem::new(vec![vec![1.0; n]; n], uniform_impact(n)).unwrap();
-            let m = p.build_model();
+            let m = p.build_model().expect("model builds");
             assert_eq!(
                 m.num_vars(),
                 OrderingProblem::paper_variable_count(n),

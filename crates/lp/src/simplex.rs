@@ -8,6 +8,7 @@
 
 #![allow(clippy::needless_range_loop)] // dense matrix index arithmetic reads clearest with explicit indices
 
+use smdb_common::float::exactly_zero;
 use smdb_common::{Error, Result};
 
 use crate::model::{ConstraintOp, LpModel};
@@ -174,7 +175,13 @@ pub fn solve_lp_with_bounds(model: &LpModel, lower: &[f64], upper: &[f64]) -> Re
         let phase1_obj: f64 = basis
             .iter()
             .zip(&b)
-            .map(|(&bi, &v)| if c1[bi] != 0.0 { c1[bi] * v } else { 0.0 })
+            .map(|(&bi, &v)| {
+                if exactly_zero(c1[bi]) {
+                    0.0
+                } else {
+                    c1[bi] * v
+                }
+            })
             .sum();
         if phase1_obj < -1e-6 {
             return Ok(LpSolution {
@@ -279,7 +286,7 @@ fn iterate(
         rc.copy_from_slice(&c[..limit]);
         for i in 0..m {
             let cb = c[basis[i]];
-            if cb != 0.0 {
+            if !exactly_zero(cb) {
                 let row = &a[i][..limit];
                 for (rcj, &aij) in rc.iter_mut().zip(row) {
                     *rcj -= cb * aij;
@@ -354,7 +361,7 @@ fn pivot(a: &mut [Vec<f64>], b: &mut [f64], basis: &mut [usize], r: usize, j: us
     for i in 0..m {
         if i != r {
             let factor = a[i][j];
-            if factor != 0.0 {
+            if !exactly_zero(factor) {
                 // Row_i -= factor * Row_r (split borrows via indices).
                 let row_r: Vec<f64> = a[r].clone();
                 for (vi, vr) in a[i].iter_mut().zip(&row_r) {

@@ -347,7 +347,7 @@ mod tests {
 /// `ConfigInstance` itself keys its maps by struct types, which JSON
 /// cannot represent as object keys; the snapshot flattens them into
 /// arrays. Round-trips losslessly via `From` in both directions.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConfigSnapshot {
     pub indexes: Vec<(ChunkColumnRef, IndexKind)>,
     pub encodings: Vec<(ChunkColumnRef, EncodingKind)>,

@@ -25,8 +25,6 @@ pub mod dictionary;
 pub mod frame_of_reference;
 pub mod run_length;
 
-use serde::{Deserialize, Serialize};
-
 use crate::scan::ScanPredicate;
 use crate::value::{ColumnValues, DataType, Value};
 
@@ -35,7 +33,7 @@ use frame_of_reference::ForSegment;
 use run_length::RunLengthSegment;
 
 /// The encoding applied to a segment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum EncodingKind {
     Unencoded,
     Dictionary,

@@ -279,6 +279,7 @@ impl StorageEngine {
             }
             if prunable {
                 out.chunks_pruned += 1;
+                out.sim_cost += Cost(self.params.prune_check_ms);
                 continue;
             }
             out.chunks_visited += 1;

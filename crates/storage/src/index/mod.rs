@@ -13,7 +13,6 @@ pub mod btree;
 pub mod composite;
 pub mod hash;
 
-use serde::{Deserialize, Serialize};
 use smdb_common::ColumnId;
 
 use crate::encoding::Segment;
@@ -24,7 +23,7 @@ use composite::CompositeHashIndex;
 use hash::HashIndex;
 
 /// The kind of a per-chunk index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum IndexKind {
     Hash,
     BTree,

@@ -8,12 +8,8 @@
 //! distinguishes per-tier residency so a memory constraint on the hot
 //! tier makes placement a real optimization problem.
 
-use serde::{Deserialize, Serialize};
-
 /// A placement tier for a chunk.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum Tier {
     /// Fast local memory; multiplier 1.
     #[default]

@@ -5,7 +5,6 @@
 //! engine evaluates them per chunk with encoding- and index-specific
 //! paths.
 
-use serde::{Deserialize, Serialize};
 use smdb_common::ColumnId;
 
 use crate::value::Value;
@@ -19,7 +18,7 @@ use crate::value::Value;
 pub const INDEX_SELECTIVITY_THRESHOLD: f64 = 0.1;
 
 /// Comparison operator of a scan predicate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PredicateOp {
     Eq,
     Lt,
@@ -114,7 +113,7 @@ impl ScanPredicate {
 }
 
 /// Aggregate operator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AggregateOp {
     Count,
     Sum,

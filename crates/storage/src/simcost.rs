@@ -30,6 +30,10 @@ pub struct SimCostParams {
     pub group_ms_per_row: f64,
     /// Fixed cost of visiting (not pruning) a chunk, in ms.
     pub chunk_visit_ms: f64,
+    /// Cost of consulting a chunk's min/max statistics when pruning it,
+    /// in ms. Keeps every executed scan strictly positive-cost even when
+    /// pruning eliminates all chunks — examining statistics is work too.
+    pub prune_check_ms: f64,
     /// Per-row cost of building an index over an *unencoded* segment, ms.
     pub index_build_ms_per_row: f64,
     /// Per-row cost of re-encoding a segment, ms.
@@ -50,6 +54,7 @@ impl Default for SimCostParams {
             agg_ms_per_row: 5e-5,
             group_ms_per_row: 1.5e-4,
             chunk_visit_ms: 1e-3,
+            prune_check_ms: 5e-5,
             index_build_ms_per_row: 8e-4,
             reencode_ms_per_row: 5e-4,
             move_ms_per_mb: 10.0,

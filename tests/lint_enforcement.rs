@@ -1,0 +1,74 @@
+//! Tier-1 enforcement of the repo's static-analysis pass.
+//!
+//! `cargo test` runs the same engine as the `smdb-lint` binary, so the
+//! invariants in `crates/lint/src/rules.rs` and the `lint.toml` budget
+//! ratchet gate every change — no separate CI wiring required. The LP
+//! audit additionally re-derives the paper's ordering-model size
+//! formulas (Section III-B) across `|S| = 2..=8`.
+
+use std::path::Path;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn repository_passes_smdb_lint() {
+    let report = smdb_lint::lint_repo(repo_root()).expect("lint pass runs");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — walker broke?",
+        report.files_scanned
+    );
+    assert!(
+        !report.failed(),
+        "smdb-lint found violations:\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn budget_ratchet_has_no_slack() {
+    // Budgets in lint.toml must track the actual finding counts exactly;
+    // an over-generous budget would let new panics slip in unnoticed.
+    let report = smdb_lint::lint_repo(repo_root()).expect("lint pass runs");
+    let slack: Vec<String> = report
+        .tightening_hints()
+        .iter()
+        .map(|a| {
+            format!(
+                "[{}] {}: budget {} > findings {}",
+                a.rule, a.path, a.budget, a.count
+            )
+        })
+        .collect();
+    assert!(
+        slack.is_empty(),
+        "lint.toml budgets have slack — ratchet them down:\n{}",
+        slack.join("\n")
+    );
+}
+
+#[test]
+fn ordering_model_matches_paper_formulas() {
+    let audits = smdb_lint::audit_lp().expect("audit builds models");
+    let (lo, hi) = smdb_lint::AUDIT_SIZES;
+    assert_eq!(audits.len(), hi - lo + 1);
+    for audit in &audits {
+        assert!(
+            audit.passed(),
+            "LP audit failed:\n{}",
+            smdb_lint::render_audit(audit)
+        );
+    }
+}
+
+#[test]
+fn ordering_model_size_regression_at_three_features() {
+    // |S| = 3 → 2·9 − 3 = 15 variables, 2·9 = 18 constraints. Pinned as
+    // concrete numbers so a formula typo can't cancel itself out.
+    let problem = smdb_lp::audit::audit_instance(3).expect("instance builds");
+    let model = problem.build_model().expect("model builds");
+    assert_eq!(model.num_vars(), 15);
+    assert_eq!(model.num_constraints(), 18);
+}

@@ -1,0 +1,128 @@
+//! Property tests for the lint scanner: banned tokens hidden inside
+//! string literals, comments, or `#[cfg(test)]` code must never fire,
+//! while a real violation must always be found no matter how much
+//! literal/comment noise surrounds it.
+
+use proptest::prelude::*;
+use smdb_lint::rules::{registry, Finding};
+use smdb_lint::scan::scan_source;
+
+/// Fragments that would each trip some rule if they appeared in code
+/// position (in the right path scope).
+const PAYLOADS: &[&str] = &[
+    ".unwrap()",
+    ".expect(\"boom\")",
+    "panic!(\"no\")",
+    "todo!()",
+    "unimplemented!()",
+    "thread_rng",
+    "SystemTime::now",
+    "Instant::now",
+    "std::thread::sleep",
+    "x == 0.0",
+    "y != 1e-6",
+];
+
+/// Payloads exempt in `#[cfg(test)]` code (rules with `skip_test_code`;
+/// the entropy rule deliberately fires even in tests).
+const TEST_EXEMPT_PAYLOADS: &[&str] = &[
+    ".unwrap()",
+    ".expect(\"boom\")",
+    "panic!(\"no\")",
+    "Instant::now",
+    "x == 0.0",
+];
+
+/// Paths covering every rule's include scope.
+const PATHS: &[&str] = &[
+    "crates/core/src/generated.rs",
+    "crates/lp/src/generated.rs",
+    "crates/cost/src/generated.rs",
+    "crates/workload/src/generated.rs",
+];
+
+fn all_findings(path: &str, src: &str) -> Vec<Finding> {
+    let scanned = scan_source(path, src);
+    let mut out = Vec::new();
+    for rule in registry() {
+        rule.check_file(&scanned, &mut out);
+    }
+    out
+}
+
+fn join_payloads(picks: &[usize], from: &[&str]) -> String {
+    picks
+        .iter()
+        .map(|&i| from[i % from.len()])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+proptest! {
+    #[test]
+    fn payloads_inside_string_literals_never_fire(
+        (picks, path_idx) in (proptest::collection::vec(0usize..PAYLOADS.len(), 1..6),
+                              0usize..PATHS.len())
+    ) {
+        let inner = join_payloads(&picks, PAYLOADS).replace('"', "\\\"");
+        let src = format!("fn lib() {{ let s = \"{inner}\"; let n = s.len(); }}\n");
+        let f = all_findings(PATHS[path_idx], &src);
+        prop_assert!(f.is_empty(), "false positives: {f:?}\nsrc: {src}");
+    }
+
+    #[test]
+    fn payloads_inside_raw_strings_never_fire(
+        (picks, path_idx) in (proptest::collection::vec(0usize..PAYLOADS.len(), 1..6),
+                              0usize..PATHS.len())
+    ) {
+        let inner = join_payloads(&picks, PAYLOADS);
+        let src = format!("fn lib() {{ let s = r#\"{inner}\"#; let n = s.len(); }}\n");
+        let f = all_findings(PATHS[path_idx], &src);
+        prop_assert!(f.is_empty(), "false positives: {f:?}\nsrc: {src}");
+    }
+
+    #[test]
+    fn payloads_inside_comments_never_fire(
+        (picks, path_idx, block) in (proptest::collection::vec(0usize..PAYLOADS.len(), 1..6),
+                                     0usize..PATHS.len(),
+                                     proptest::option::of(0u8..2))
+    ) {
+        let inner = join_payloads(&picks, PAYLOADS);
+        let src = match block {
+            Some(_) => format!("fn lib() {{ /* {inner} */ let n = 1; }}\n"),
+            None => format!("fn lib() {{ let n = 1; }} // {inner}\n"),
+        };
+        let f = all_findings(PATHS[path_idx], &src);
+        prop_assert!(f.is_empty(), "false positives: {f:?}\nsrc: {src}");
+    }
+
+    #[test]
+    fn test_gated_payloads_never_fire(
+        (picks, path_idx) in (proptest::collection::vec(0usize..TEST_EXEMPT_PAYLOADS.len(), 1..6),
+                              0usize..PATHS.len())
+    ) {
+        let inner = join_payloads(&picks, TEST_EXEMPT_PAYLOADS);
+        let src = format!(
+            "fn lib() {{ let n = 1; }}\n#[cfg(test)]\nmod tests {{\n    fn t() {{ {inner}; }}\n}}\n"
+        );
+        let f = all_findings(PATHS[path_idx], &src);
+        prop_assert!(f.is_empty(), "false positives: {f:?}\nsrc: {src}");
+    }
+
+    #[test]
+    fn real_violation_survives_any_noise(
+        (noise, path_idx) in (proptest::collection::vec(0usize..PAYLOADS.len(), 0..5),
+                              0usize..PATHS.len())
+    ) {
+        // Noise goes into a comment and a string; the real unwrap sits in
+        // plain library code and must be reported exactly once.
+        let inner = join_payloads(&noise, PAYLOADS).replace('"', "");
+        let src = format!(
+            "// {inner}\nfn lib() {{ let s = \"{inner}\"; let v = s.parse::<u32>().unwrap(); }}\n"
+        );
+        let f = all_findings(PATHS[path_idx], &src);
+        let unwraps: Vec<&Finding> = f.iter().filter(|f| f.rule == "no-panic").collect();
+        prop_assert_eq!(unwraps.len(), 1, "src: {}\nall: {:?}", src, f);
+        prop_assert_eq!(unwraps[0].line, 2);
+    }
+}

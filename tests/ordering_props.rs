@@ -78,7 +78,7 @@ proptest! {
         let brute = brute_force_order(&p).expect("n small");
         prop_assert!(p.order_objective(&h) <= brute.objective + 1e-9);
         // Encoding of the heuristic is feasible in the model.
-        let model = p.build_model();
+        let model = p.build_model().expect("model builds");
         prop_assert!(model.is_feasible(&p.encode_order(&h), 1e-6));
     }
 }
@@ -87,7 +87,7 @@ proptest! {
 fn model_sizes_follow_paper_formulas() {
     for n in 2..=9usize {
         let p = OrderingProblem::new(vec![vec![1.0; n]; n], vec![vec![1.0; n]; n]).expect("square");
-        let m = p.build_model();
+        let m = p.build_model().expect("model builds");
         assert_eq!(m.num_vars(), 2 * n * n - n, "vars at n={n}");
         assert_eq!(m.num_constraints(), 2 * n * n, "constraints at n={n}");
     }

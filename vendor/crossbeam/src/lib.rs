@@ -1,0 +1,60 @@
+//! Offline shim for `crossbeam`.
+//!
+//! Only `crossbeam::thread::scope` is consumed by this workspace (the
+//! assessor's candidate fan-out); std has had scoped threads since 1.63,
+//! so the shim adapts the call signature: crossbeam passes the scope
+//! handle back into each spawned closure and returns `Result` (Err when a
+//! child panicked), while std re-raises child panics at the end of the
+//! scope. Under the shim a child panic therefore propagates as a panic
+//! out of `scope` rather than as `Err`, which is equivalent for callers
+//! that `expect` the result.
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle for spawning threads tied to the enclosing scope.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope handle
+        /// (crossbeam's signature) so nested spawns remain possible.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing from the caller's stack
+    /// is allowed; all spawned threads are joined before returning.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut slots = vec![0u32; 4];
+        super::thread::scope(|scope| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                scope.spawn(move |_| {
+                    *slot = i as u32 + 1;
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(slots, vec![1, 2, 3, 4]);
+    }
+}
