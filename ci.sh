@@ -1,8 +1,20 @@
 #!/usr/bin/env bash
 # CI gate: formatting, release build, full test suite, static analysis.
 # Any failing step aborts with a non-zero exit code.
+#
+#   ./ci.sh          # full gate
+#   ./ci.sh quick    # release build + tuning experiments -> BENCH_tuning.json
 set -euo pipefail
 cd "$(dirname "$0")"
+
+if [[ "${1:-}" == "quick" ]]; then
+    echo "==> cargo build --release (quick mode)"
+    cargo build --release -p smdb-bench
+    echo "==> tuning experiments (e3 e4 e5) -> BENCH_tuning.json"
+    cargo run --release -q -p smdb-bench --bin experiments -- e3 e4 e5 --json BENCH_tuning.json
+    echo "Quick CI green."
+    exit 0
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check

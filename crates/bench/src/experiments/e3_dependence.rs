@@ -6,6 +6,7 @@ use smdb_core::tuner::standard_tuner;
 use smdb_core::{ConstraintSet, FeatureKind, MultiFeatureTuner};
 use smdb_cost::WhatIf;
 
+use crate::report;
 use crate::setup::{
     build_engine, forecast_from_mix, train_calibrated, DEFAULT_CHUNK, DEFAULT_ROWS, DEFAULT_SEED,
 };
@@ -28,7 +29,7 @@ pub fn run() {
         .iter()
         .map(|&f| standard_tuner(f, what_if.clone()))
         .collect();
-    let multi = MultiFeatureTuner::new(tuners, what_if);
+    let multi = MultiFeatureTuner::new(tuners, what_if.clone());
 
     // Blended HTAP mix: analytic scans (compression / placement /
     // buffer work) plus selective point lookups (index work).
@@ -51,6 +52,20 @@ pub fn run() {
         .unwrap();
 
     println!("W_empty (no optimization): {:.2} ms\n", report.w_empty.ms());
+
+    // All tuners share what_if's cost cache; the |S|² pair sweep is where
+    // the delta-aware cache earns its keep.
+    if let Some(stats) = what_if.cache_stats() {
+        println!(
+            "Shared what-if cache over the analysis: {} hits / {} misses ({:.1}% hit rate)\n",
+            stats.hits,
+            stats.misses,
+            stats.hit_rate() * 100.0
+        );
+        report::record("e3", "cache_hits", stats.hits.into());
+        report::record("e3", "cache_misses", stats.misses.into());
+        report::record("e3", "cache_hit_rate", stats.hit_rate().into());
+    }
 
     let mut t1 = TableBuilder::new(&["feature A", "W_A (ms)", "impact W_empty/W_A"]);
     for (i, f) in report.features.iter().enumerate() {

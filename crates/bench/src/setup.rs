@@ -4,10 +4,11 @@
 use std::sync::Arc;
 
 use smdb_common::{seeded_rng, Cost, Result};
-use smdb_cost::CalibratedCostModel;
+use smdb_cost::features::ConfigContext;
+use smdb_cost::{CalibratedCostModel, CostEstimator, WhatIf};
 use smdb_forecast::{ForecastSet, ScenarioKind, WorkloadScenario};
 use smdb_query::{Database, Query, Workload};
-use smdb_storage::{ConfigInstance, StorageEngine};
+use smdb_storage::{ConfigAction, ConfigInstance, StorageEngine};
 use smdb_workload::tpch::{build_catalog, TpchTemplates, NUM_TEMPLATES};
 use smdb_workload::{MixSchedule, WorkloadGenerator};
 
@@ -216,6 +217,51 @@ pub fn ground_truth_cost_under(
     let actions = clone.current_config().diff(config);
     clone.apply_all(&actions)?;
     ground_truth_cost(&clone, workload)
+}
+
+/// The textbook what-if assessment baseline: re-cost *every* query of
+/// every scenario under every candidate's hypothetical configuration —
+/// no footprints, no cache, a fresh catalog walk per candidate. This is
+/// what `WhatIfAssessor` did before delta-aware costing; E5 and the
+/// `what_if_cache` bench measure the new path against it. Returns
+/// per-candidate per-scenario benefits `Σ w·(base − hypo)` accumulated
+/// in workload order (bit-compatible with the delta path).
+pub fn full_recompute_benefits(
+    engine: &StorageEngine,
+    base: &ConfigInstance,
+    scenarios: &ForecastSet,
+    actions: &[ConfigAction],
+    estimator: Arc<dyn CostEstimator>,
+) -> Result<Vec<Vec<f64>>> {
+    let what_if = WhatIf::uncached(estimator);
+    let base_ctx = ConfigContext::new(engine, base);
+    let mut base_rows: Vec<Vec<f64>> = Vec::with_capacity(scenarios.len());
+    for s in scenarios.iter() {
+        let mut rows = Vec::with_capacity(s.workload.queries().len());
+        for wq in s.workload.queries() {
+            rows.push(what_if.query_cost(engine, &base_ctx, &wq.query, base)?.ms());
+        }
+        base_rows.push(rows);
+    }
+    let mut out = Vec::with_capacity(actions.len());
+    for action in actions {
+        let mut hypo = base.clone();
+        hypo.apply(action);
+        let hypo_ctx = ConfigContext::new(engine, &hypo);
+        let mut per_scenario = Vec::with_capacity(scenarios.len());
+        for (s, rows) in scenarios.iter().zip(&base_rows) {
+            let mut benefit = 0.0;
+            for (wq, &b) in s.workload.queries().iter().zip(rows) {
+                let h = what_if
+                    .query_cost(engine, &hypo_ctx, &wq.query, &hypo)?
+                    .ms();
+                benefit += (b - h) * wq.weight;
+            }
+            per_scenario.push(benefit);
+        }
+        out.push(per_scenario);
+    }
+    Ok(out)
 }
 
 /// Samples `count` concrete queries from a stationary mix.

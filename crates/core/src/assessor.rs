@@ -7,12 +7,16 @@
 //! using an exchangeable cost estimator. Candidate assessment is
 //! embarrassingly parallel and fans out over scoped threads.
 
-use smdb_common::{Cost, Result};
+use std::collections::BTreeSet;
+
+use smdb_common::{Cost, Result, TableId};
 use smdb_cost::features::ConfigContext;
+use smdb_cost::footprint::{ActionDelta, QueryFootprint};
 use smdb_cost::what_if::estimate_action_cost;
 use smdb_cost::{sizes, WhatIf};
 use smdb_forecast::ForecastSet;
-use smdb_storage::{ConfigAction, ConfigInstance, StorageEngine};
+use smdb_query::Query;
+use smdb_storage::{ConfigAction, ConfigInstance, StorageEngine, Tier};
 
 use crate::candidate::{Assessment, Candidate};
 
@@ -83,29 +87,47 @@ impl WhatIfAssessor {
         }
     }
 
-    /// Assesses one candidate given precomputed per-scenario base costs.
+    /// Assesses one candidate against precomputed per-query base costs.
+    ///
+    /// Delta-aware: only queries whose footprint intersects the
+    /// candidate's [`ActionDelta`] are re-costed; every other query's
+    /// cost is bit-identical under the hypothetical configuration (the
+    /// estimator reads nothing the action changes), so it contributes
+    /// exactly zero to the desirability and is skipped. The hypothetical
+    /// [`ConfigContext`] is derived incrementally instead of re-walking
+    /// the catalog per candidate.
     fn assess_one(
         &self,
         engine: &StorageEngine,
         base: &ConfigInstance,
-        scenarios: &ForecastSet,
-        base_costs: &[f64],
+        base_ctx: &ConfigContext,
+        scenarios: &[BaseScenario<'_>],
+        nonhot_tables: &BTreeSet<TableId>,
         index: usize,
         candidate: &Candidate,
     ) -> Result<Assessment> {
         let mut hypo = base.clone();
         hypo.apply(&candidate.action);
+        let delta = ActionDelta::of(base, &candidate.action);
+        let hypo_ctx = base_ctx.apply_action(engine, base, &candidate.action)?;
 
-        let estimator = self.what_if.estimator();
-        let ctx = ConfigContext::new(engine, &hypo);
         let mut per_scenario = Vec::with_capacity(scenarios.len());
         let mut probabilities = Vec::with_capacity(scenarios.len());
-        for (s, &base_cost) in scenarios.iter().zip(base_costs) {
-            let mut cost = Cost::ZERO;
-            for wq in s.workload.queries() {
-                cost += estimator.query_cost(engine, &ctx, &wq.query, &hypo)? * wq.weight;
+        for s in scenarios {
+            let mut benefit = 0.0;
+            for row in &s.rows {
+                if delta.affects(&row.footprint, |t| nonhot_tables.contains(&t)) {
+                    let cost = self.what_if.query_cost_fp(
+                        engine,
+                        &hypo_ctx,
+                        &row.footprint,
+                        row.query,
+                        &hypo,
+                    )?;
+                    benefit += (row.base_cost.ms() - cost.ms()) * row.weight;
+                }
             }
-            per_scenario.push(base_cost - cost.ms());
+            per_scenario.push(benefit);
             probabilities.push(s.probability);
         }
 
@@ -120,6 +142,20 @@ impl WhatIfAssessor {
             one_time_cost,
         })
     }
+}
+
+/// One scenario's workload priced under the base configuration.
+struct BaseScenario<'a> {
+    probability: f64,
+    rows: Vec<BaseRow<'a>>,
+}
+
+/// One weighted query with its base cost and footprint.
+struct BaseRow<'a> {
+    query: &'a Query,
+    weight: f64,
+    base_cost: Cost,
+    footprint: QueryFootprint,
 }
 
 impl Assessor for WhatIfAssessor {
@@ -151,33 +187,68 @@ impl Assessor for WhatIfAssessor {
         scenarios: &ForecastSet,
         candidates: &[Candidate],
     ) -> Result<Vec<Assessment>> {
-        // Base cost per scenario, computed once.
-        let base_costs = self.scenario_costs(engine, base, scenarios)?;
+        // Per-query base costs, footprints and the base context, computed
+        // once and shared (read-only) by every candidate worker.
+        let base_ctx = self.what_if.config_context(engine, base);
+        let mut scen = Vec::with_capacity(scenarios.len());
+        for s in scenarios.iter() {
+            let mut rows = Vec::with_capacity(s.workload.queries().len());
+            for wq in s.workload.queries() {
+                let footprint = QueryFootprint::of(&wq.query);
+                let base_cost = self
+                    .what_if
+                    .query_cost_fp(engine, &base_ctx, &footprint, &wq.query, base)?;
+                rows.push(BaseRow {
+                    query: &wq.query,
+                    weight: wq.weight,
+                    base_cost,
+                    footprint,
+                });
+            }
+            scen.push(BaseScenario {
+                probability: s.probability,
+                rows,
+            });
+        }
+        // Tables owning a non-hot chunk under `base`: the blast radius of
+        // global (buffer-pressure) deltas.
+        let nonhot_tables: BTreeSet<TableId> = base
+            .placements
+            .iter()
+            .filter(|&(_, &tier)| tier != Tier::Hot)
+            .map(|(&(t, _), _)| t)
+            .collect();
 
         let threads = self.threads.max(1).min(candidates.len().max(1));
         if threads == 1 || candidates.len() < 8 {
             return candidates
                 .iter()
                 .enumerate()
-                .map(|(i, c)| self.assess_one(engine, base, scenarios, &base_costs, i, c))
+                .map(|(i, c)| self.assess_one(engine, base, &base_ctx, &scen, &nonhot_tables, i, c))
                 .collect();
         }
 
         // Scoped fan-out; results keep candidate order via indexed slots.
+        // Workers share one Sync cost cache through `self.what_if`;
+        // results are deterministic regardless of thread count because
+        // cached and freshly computed costs are bit-identical.
         let mut slots: Vec<Option<Result<Assessment>>> = Vec::new();
         slots.resize_with(candidates.len(), || None);
         let chunk = candidates.len().div_ceil(threads);
         crossbeam::thread::scope(|scope| {
             for (t, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
-                let base_costs = &base_costs;
+                let base_ctx = &base_ctx;
+                let scen = &scen;
+                let nonhot_tables = &nonhot_tables;
                 scope.spawn(move |_| {
                     for (off, slot) in slot_chunk.iter_mut().enumerate() {
                         let i = t * chunk + off;
                         *slot = Some(self.assess_one(
                             engine,
                             base,
-                            scenarios,
-                            base_costs,
+                            base_ctx,
+                            scen,
+                            nonhot_tables,
                             i,
                             &candidates[i],
                         ));
@@ -392,6 +463,137 @@ mod tests {
         assert_eq!(a.len(), 2);
         assert_eq!(a[0].candidate, 2);
         assert_eq!(a[1].candidate, 3);
+    }
+
+    /// Delta-aware assessment must equal the brute-force definition
+    /// (re-cost *every* query under every hypothetical configuration)
+    /// bit-for-bit, including across non-hot placements where actions
+    /// propagate globally through buffer pressure.
+    #[test]
+    fn delta_assess_matches_full_recompute() {
+        let schema = Schema::new(vec![
+            ColumnDef::new("a", DataType::Int),
+            ColumnDef::new("b", DataType::Int),
+        ])
+        .unwrap();
+        let table = Table::from_columns(
+            "t",
+            schema,
+            vec![
+                ColumnValues::Int((0..800).map(|i| i % 40).collect()),
+                ColumnValues::Int((0..800).map(|i| i % 9).collect()),
+            ],
+            200,
+        )
+        .unwrap();
+        let mut engine = StorageEngine::default();
+        let t = engine.create_table(table).unwrap();
+        let schema2 = Schema::new(vec![ColumnDef::new("k", DataType::Int)]).unwrap();
+        let table2 = Table::from_columns(
+            "u",
+            schema2,
+            vec![ColumnValues::Int((0..400).map(|i| i % 13).collect())],
+            200,
+        )
+        .unwrap();
+        let u = engine.create_table(table2).unwrap();
+
+        // A base with non-hot chunks so buffer pressure is in play.
+        let mut base = ConfigInstance::default();
+        base.placements
+            .insert((t, smdb_common::ChunkId(3)), Tier::Cold);
+        base.placements
+            .insert((u, smdb_common::ChunkId(1)), Tier::Warm);
+
+        let q = |tid, col: u16, v: i64, name: &str| {
+            Query::new(
+                tid,
+                "t",
+                vec![ScanPredicate::eq(ColumnId(col), v)],
+                None,
+                name,
+            )
+        };
+        let workload = smdb_query::Workload::new(vec![
+            smdb_query::WeightedQuery::new(q(t, 0, 7, "q0"), 4.0),
+            smdb_query::WeightedQuery::new(q(t, 1, 3, "q1"), 2.0),
+            smdb_query::WeightedQuery::new(q(u, 0, 5, "q2"), 7.0),
+        ]);
+        let scenarios = ForecastSet {
+            scenarios: vec![WorkloadScenario {
+                kind: ScenarioKind::Expected,
+                name: "expected".into(),
+                probability: 1.0,
+                workload,
+            }],
+        };
+
+        let candidates = vec![
+            Candidate::new(
+                ConfigAction::CreateIndex {
+                    target: ChunkColumnRef::new(t.0, 0, 0),
+                    kind: IndexKind::Hash,
+                },
+                None,
+            ),
+            Candidate::new(
+                ConfigAction::SetEncoding {
+                    // Non-hot chunk: shifts global buffer pressure.
+                    target: ChunkColumnRef::new(t.0, 1, 3),
+                    kind: EncodingKind::Dictionary,
+                },
+                None,
+            ),
+            Candidate::new(
+                ConfigAction::SetPlacement {
+                    table: u,
+                    chunk: smdb_common::ChunkId(0),
+                    tier: Tier::Cold,
+                },
+                None,
+            ),
+            Candidate::new(
+                ConfigAction::SetKnob {
+                    knob: smdb_storage::KnobKind::BufferPoolMb,
+                    value: 48.0,
+                },
+                None,
+            ),
+        ];
+
+        let mut delta = assessor();
+        delta.threads = 1;
+        let got = delta
+            .assess(&engine, &base, &scenarios, &candidates)
+            .unwrap();
+
+        // Brute force with an uncached estimator: re-cost *every* query
+        // under each hypothetical, accumulating w·(base − hypo) in
+        // workload order (the same expression the delta path evaluates
+        // over the affected subset — unaffected terms are exactly +0.0).
+        let plain = WhatIf::uncached(Arc::new(LogicalCostModel::default()));
+        let base_ctx = ConfigContext::new(&engine, &base);
+        for (i, c) in candidates.iter().enumerate() {
+            let mut hypo = base.clone();
+            hypo.apply(&c.action);
+            let hypo_ctx = ConfigContext::new(&engine, &hypo);
+            for (s_idx, s) in scenarios.iter().enumerate() {
+                let mut want = 0.0;
+                for wq in s.workload.queries() {
+                    let b = plain
+                        .query_cost(&engine, &base_ctx, &wq.query, &base)
+                        .unwrap();
+                    let h = plain
+                        .query_cost(&engine, &hypo_ctx, &wq.query, &hypo)
+                        .unwrap();
+                    want += (b.ms() - h.ms()) * wq.weight;
+                }
+                assert_eq!(
+                    got[i].per_scenario[s_idx], want,
+                    "candidate {i} scenario {s_idx}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -149,14 +149,27 @@ impl MultiFeatureTuner {
             .map(|s| &s.workload)
             .ok_or_else(|| smdb_common::Error::invalid("forecast lacks expected scenario"))?;
 
-        let w_empty = self.what_if.workload_cost(engine, expected, base)?;
+        // Distinct (a, b) orderings frequently converge to the *same*
+        // configuration; memoize workload costs per config fingerprint so
+        // the O(|S|²) sweep prices each distinct config once.
+        let mut memo: std::collections::HashMap<u64, Cost> = std::collections::HashMap::new();
+        let mut priced = |config: &ConfigInstance| -> Result<Cost> {
+            if let Some(&c) = memo.get(&config.fingerprint()) {
+                return Ok(c);
+            }
+            let c = self.what_if.workload_cost(engine, expected, config)?;
+            memo.insert(config.fingerprint(), c);
+            Ok(c)
+        };
+
+        let w_empty = priced(base)?;
 
         // Single-feature tunings and their configs.
         let mut single_configs = Vec::with_capacity(n);
         let mut w_single = Vec::with_capacity(n);
         for idx in 0..n {
             let config = self.tune_feature_config(idx, engine, scenarios, base, constraints)?;
-            w_single.push(self.what_if.workload_cost(engine, expected, &config)?);
+            w_single.push(priced(&config)?);
             single_configs.push(config);
         }
 
@@ -175,7 +188,7 @@ impl MultiFeatureTuner {
                     &single_configs[a],
                     constraints,
                 )?;
-                w_pair[a][b] = self.what_if.workload_cost(engine, expected, &config_ab)?;
+                w_pair[a][b] = priced(&config_ab)?;
             }
         }
 

@@ -176,14 +176,16 @@ impl Tuner {
         let assessments = self
             .assessor
             .assess(engine, &enum_base, scenarios, &candidates)?;
+        // Costed once and reused below for the combined economics (when
+        // not reselecting, `enum_base` *is* the base configuration).
+        let enum_base_costs = self
+            .assessor
+            .scenario_costs(engine, &enum_base, scenarios)?;
         let input = SelectionInput {
             candidates: &candidates,
             assessments: &assessments,
             memory_budget_bytes: self.memory_budget(engine, &enum_base, constraints)?,
-            scenario_base_costs: Some(
-                self.assessor
-                    .scenario_costs(engine, &enum_base, scenarios)?,
-            ),
+            scenario_base_costs: Some(enum_base_costs.clone()),
         };
         let chosen = self.selector.select(&input)?;
         debug_assert!(input.is_feasible(&chosen), "selector violated constraints");
@@ -200,7 +202,11 @@ impl Tuner {
 
         // Combined economics: whole-configuration what-if instead of the
         // interaction-blind sum of per-candidate desirabilities.
-        let base_costs = self.assessor.scenario_costs(engine, base, scenarios)?;
+        let base_costs = if self.reselect {
+            self.assessor.scenario_costs(engine, base, scenarios)?
+        } else {
+            enum_base_costs
+        };
         let target_costs = self.assessor.scenario_costs(engine, &target, scenarios)?;
         let predicted_benefit = Cost(
             scenarios

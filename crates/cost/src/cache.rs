@@ -1,0 +1,179 @@
+//! The shared what-if cost cache.
+//!
+//! Keys are `(query instance fingerprint, config footprint hash)` — see
+//! [`crate::footprint`] — and values are the unweighted per-query cost in
+//! milliseconds. Because estimators are pure functions of
+//! `(catalog, footprint slice, query)`, concurrent duplicate computes
+//! insert bit-identical values, so results are deterministic regardless
+//! of thread count or hit/miss interleaving.
+//!
+//! Invalidation: entries are dropped when the estimator's
+//! [`crate::CostEstimator::version`] moves (learned models refit), via
+//! [`CostCache::sync_version`]; catalog changes need no flush because the
+//! engine's catalog token is mixed into every footprint hash.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+const SHARDS: usize = 16;
+
+/// Hit/miss counters, for experiment reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// A sharded, `Sync` cost cache shared across assessor threads.
+pub struct CostCache {
+    shards: Vec<RwLock<HashMap<(u64, u64), f64>>>,
+    /// `(catalog token, config fingerprint) -> nonhot_bytes`, memoizing
+    /// the O(catalog) `ConfigContext` walk per configuration.
+    contexts: RwLock<HashMap<(u64, u64), u64>>,
+    /// Estimator version the entries were computed under.
+    version: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CostCache {
+    /// Creates an empty cache.
+    pub fn new() -> CostCache {
+        let mut shards = Vec::with_capacity(SHARDS);
+        shards.resize_with(SHARDS, || RwLock::new(HashMap::new()));
+        CostCache {
+            shards,
+            contexts: RwLock::new(HashMap::new()),
+            version: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: (u64, u64)) -> &RwLock<HashMap<(u64, u64), f64>> {
+        &self.shards[(key.0 ^ key.1) as usize % SHARDS]
+    }
+
+    /// Flushes entries if the estimator's version moved since they were
+    /// computed. Callers invoke this before a batch of lookups; learned
+    /// models only move versions at refit time, which the tuning loop
+    /// never interleaves with assessment fan-out.
+    pub fn sync_version(&self, version: u64) {
+        let current = self.version.load(Ordering::Acquire);
+        if current != version
+            && self
+                .version
+                .compare_exchange(current, version, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            self.clear();
+        }
+    }
+
+    /// Looks up a per-query cost (ms), counting the hit or miss.
+    pub fn lookup(&self, key: (u64, u64)) -> Option<f64> {
+        let got = self.shard(key).read().get(&key).copied();
+        if got.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        got
+    }
+
+    /// Inserts a computed per-query cost (ms).
+    pub fn insert(&self, key: (u64, u64), value: f64) {
+        self.shard(key).write().insert(key, value);
+    }
+
+    /// Looks up a memoized `nonhot_bytes` for a configuration.
+    pub fn context_lookup(&self, key: (u64, u64)) -> Option<u64> {
+        self.contexts.read().get(&key).copied()
+    }
+
+    /// Memoizes a configuration's `nonhot_bytes`.
+    pub fn context_insert(&self, key: (u64, u64), nonhot_bytes: u64) {
+        self.contexts.write().insert(key, nonhot_bytes);
+    }
+
+    /// Drops every entry (counters are kept — they describe workload
+    /// behaviour, not current occupancy).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+        self.contexts.write().clear();
+    }
+
+    /// Number of cached per-query costs.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for CostCache {
+    fn default() -> Self {
+        CostCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let cache = CostCache::new();
+        assert_eq!(cache.lookup((1, 2)), None);
+        cache.insert((1, 2), 4.5);
+        assert_eq!(cache.lookup((1, 2)), Some(4.5));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn version_change_flushes_entries() {
+        let cache = CostCache::new();
+        cache.insert((1, 2), 4.5);
+        cache.context_insert((9, 9), 100);
+        cache.sync_version(0);
+        assert_eq!(cache.len(), 1, "same version keeps entries");
+        cache.sync_version(1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.context_lookup((9, 9)), None);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_hit_rate() {
+        assert_eq!(CostCache::new().stats().hit_rate(), 0.0);
+    }
+}

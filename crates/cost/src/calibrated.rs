@@ -26,6 +26,10 @@ pub struct CalibratedCostModel {
     inner: RwLock<Inner>,
     /// Fallback per-row cost before the first fit succeeds.
     bootstrap_row_ms: f64,
+    /// Bumped whenever a refit changes the weights, so cost caches keyed
+    /// on estimator state know to flush (predictions only move at fit
+    /// time; raw observations between fits leave them untouched).
+    version: std::sync::atomic::AtomicU64,
 }
 
 struct Inner {
@@ -51,6 +55,7 @@ impl CalibratedCostModel {
                 since_fit: 0,
             }),
             bootstrap_row_ms: 1e-4,
+            version: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -92,6 +97,8 @@ impl CalibratedCostModel {
             if let Ok(w) = inner.regression.fit_nonnegative() {
                 inner.weights = Some(w);
                 inner.support = inner.regression.support();
+                self.version
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             }
             inner.since_fit = 0;
         }
@@ -105,6 +112,8 @@ impl CalibratedCostModel {
         inner.weights = Some(w);
         inner.support = inner.regression.support();
         inner.since_fit = 0;
+        self.version
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Ok(())
     }
 
@@ -123,6 +132,10 @@ impl Default for CalibratedCostModel {
 impl CostEstimator for CalibratedCostModel {
     fn name(&self) -> &str {
         "calibrated"
+    }
+
+    fn version(&self) -> u64 {
+        self.version.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     fn query_cost(

@@ -17,6 +17,14 @@ pub trait CostEstimator: Send + Sync {
     /// Human-readable name, used in experiment tables.
     fn name(&self) -> &str;
 
+    /// Monotonic version of the estimator's learned state. Estimators
+    /// with interior mutability (the calibrated model) bump this whenever
+    /// their predictions may change; cost caches flush when it moves.
+    /// Stateless estimators keep the default.
+    fn version(&self) -> u64 {
+        0
+    }
+
     /// Estimated cost of one query under `config`.
     fn query_cost(
         &self,

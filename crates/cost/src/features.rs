@@ -10,7 +10,9 @@
 
 use smdb_common::{ChunkColumnRef, Result};
 use smdb_query::Query;
-use smdb_storage::{ConfigInstance, EncodingKind, ScanPredicate, StorageEngine, Tier};
+use smdb_storage::{
+    ConfigAction, ConfigInstance, EncodingKind, ScanPredicate, StorageEngine, Tier,
+};
 
 /// Number of features (keep in sync with [`extract_features`]).
 pub const NUM_FEATURES: usize = 11;
@@ -78,6 +80,78 @@ impl ConfigContext {
         ConfigContext {
             nonhot_bytes: nonhot,
         }
+    }
+
+    /// Incrementally derives the context of `base` + `action` from this
+    /// context (which must describe `base`), replacing the O(catalog)
+    /// walk of [`ConfigContext::new`] with an O(1)/O(columns) delta.
+    /// Only encoding changes on non-hot chunks and placement moves
+    /// across the hot boundary shift `nonhot_bytes`; the adjustments sum
+    /// exactly the same `estimate_segment_bytes` terms the full walk
+    /// would, so the result is bit-identical to a fresh context.
+    pub fn apply_action(
+        &self,
+        engine: &StorageEngine,
+        base: &ConfigInstance,
+        action: &ConfigAction,
+    ) -> Result<ConfigContext> {
+        use smdb_storage::ConfigAction as A;
+        let mut nonhot = self.nonhot_bytes;
+        match action {
+            A::CreateIndex { .. } | A::DropIndex { .. } | A::SetKnob { .. } => {}
+            A::SetEncoding { target, kind } => {
+                if base.tier_of(target.table, target.chunk) != Tier::Hot {
+                    let table = engine.table(target.table)?;
+                    let def = table.schema().column(target.column)?;
+                    let stats = table.chunk(target.chunk)?.stats(target.column)?;
+                    let old = crate::sizes::estimate_segment_bytes(
+                        def.data_type,
+                        stats.rows,
+                        stats.distinct,
+                        stats.runs,
+                        base.encoding_of(*target),
+                    );
+                    let new = crate::sizes::estimate_segment_bytes(
+                        def.data_type,
+                        stats.rows,
+                        stats.distinct,
+                        stats.runs,
+                        *kind,
+                    );
+                    nonhot = nonhot.saturating_sub(old) + new;
+                }
+            }
+            A::SetPlacement { table, chunk, tier } => {
+                let was = base.tier_of(*table, *chunk);
+                if was != *tier && (was == Tier::Hot || *tier == Tier::Hot) {
+                    let t = engine.table(*table)?;
+                    let c = t.chunk(*chunk)?;
+                    let mut bytes = 0u64;
+                    for (col, def) in t.schema().iter() {
+                        let stats = c.stats(col)?;
+                        bytes += crate::sizes::estimate_segment_bytes(
+                            def.data_type,
+                            stats.rows,
+                            stats.distinct,
+                            stats.runs,
+                            base.encoding_of(ChunkColumnRef {
+                                table: *table,
+                                column: col,
+                                chunk: *chunk,
+                            }),
+                        );
+                    }
+                    if was == Tier::Hot {
+                        nonhot += bytes;
+                    } else {
+                        nonhot = nonhot.saturating_sub(bytes);
+                    }
+                }
+            }
+        }
+        Ok(ConfigContext {
+            nonhot_bytes: nonhot,
+        })
     }
 
     /// Estimated effective tier multiplier under `config` — mirrors the
@@ -419,6 +493,63 @@ mod tests {
         let ctx = ConfigContext::new(&engine, &config);
         let f = extract_features(&engine, &ctx, &q, &config).unwrap();
         assert!(f.0[fi::REFINE_ROWS] > 0.0);
+    }
+
+    #[test]
+    fn apply_action_matches_full_walk() {
+        let (engine, t) = setup();
+        let mut base = ConfigInstance::default();
+        base.placements
+            .insert((t, smdb_common::ChunkId(1)), Tier::Cold);
+        base.encodings
+            .insert(ChunkColumnRef::new(t.0, 0, 1), EncodingKind::Dictionary);
+        let ctx = ConfigContext::new(&engine, &base);
+        let actions = vec![
+            ConfigAction::CreateIndex {
+                target: ChunkColumnRef::new(t.0, 0, 0),
+                kind: IndexKind::Hash,
+            },
+            ConfigAction::SetEncoding {
+                target: ChunkColumnRef::new(t.0, 1, 1),
+                kind: EncodingKind::RunLength,
+            },
+            ConfigAction::SetEncoding {
+                target: ChunkColumnRef::new(t.0, 0, 1),
+                kind: EncodingKind::Unencoded,
+            },
+            // Hot chunk: encoding change must not move nonhot bytes.
+            ConfigAction::SetEncoding {
+                target: ChunkColumnRef::new(t.0, 0, 0),
+                kind: EncodingKind::Dictionary,
+            },
+            ConfigAction::SetPlacement {
+                table: t,
+                chunk: smdb_common::ChunkId(0),
+                tier: Tier::Warm,
+            },
+            ConfigAction::SetPlacement {
+                table: t,
+                chunk: smdb_common::ChunkId(1),
+                tier: Tier::Hot,
+            },
+            // Cold -> warm stays non-hot: no byte change.
+            ConfigAction::SetPlacement {
+                table: t,
+                chunk: smdb_common::ChunkId(1),
+                tier: Tier::Warm,
+            },
+            ConfigAction::SetKnob {
+                knob: smdb_storage::KnobKind::BufferPoolMb,
+                value: 512.0,
+            },
+        ];
+        for a in actions {
+            let mut hypo = base.clone();
+            hypo.apply(&a);
+            let fast = ctx.apply_action(&engine, &base, &a).unwrap();
+            let full = ConfigContext::new(&engine, &hypo);
+            assert_eq!(fast.nonhot_bytes, full.nonhot_bytes, "action {a}");
+        }
     }
 
     #[test]

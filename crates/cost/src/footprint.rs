@@ -1,0 +1,324 @@
+//! Config footprints for incremental what-if costing.
+//!
+//! A query's estimated cost depends only on a small *slice* of a
+//! [`ConfigInstance`]: the indexes/encodings of the columns it touches,
+//! the tier of its table's chunks, and — only when any of those chunks
+//! is non-hot — the global buffer-pool pressure (`nonhot_bytes`,
+//! `buffer_pool_mb`). [`QueryFootprint::config_hash`] fingerprints
+//! exactly that slice, so two configurations that agree on the slice
+//! produce the same key and the cached cost can be reused bit-for-bit.
+//! [`ActionDelta`] is the dual: the slice a [`ConfigAction`] can change,
+//! with a conservative intersection test against query footprints.
+
+use std::hash::{Hash, Hasher};
+
+use smdb_common::{ChunkColumnRef, ChunkId, ColumnId, Result, TableId};
+use smdb_query::Query;
+use smdb_storage::{ConfigAction, ConfigInstance, KnobKind, StorageEngine, Tier};
+
+/// Deterministic FNV-1a hasher. Footprint hashes are computed on every
+/// cache lookup of the assessment hot path, where SipHash's per-call
+/// overhead is measurable; FNV-1a is a fraction of the cost and equally
+/// deterministic (keys never leave the process, and the cache tolerates
+/// collisions no worse than any 64-bit hash).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The parts of the configuration a query's cost can read: its table and
+/// the columns whose index/encoding state feature extraction consults
+/// (predicate columns, or column 0 for full scans).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryFootprint {
+    pub table: TableId,
+    pub columns: Vec<ColumnId>,
+}
+
+impl QueryFootprint {
+    /// Derives the footprint of a query.
+    pub fn of(query: &Query) -> QueryFootprint {
+        let mut columns: Vec<ColumnId> = query.predicates().iter().map(|p| p.column).collect();
+        columns.sort_unstable();
+        columns.dedup();
+        if columns.is_empty() {
+            // Predicate-free scans drive over column 0's encoding.
+            columns.push(ColumnId(0));
+        }
+        QueryFootprint {
+            table: query.table(),
+            columns,
+        }
+    }
+
+    /// Hashes the slice of `config` this footprint covers. `nonhot_bytes`
+    /// is the precomputed [`crate::features::ConfigContext`] value for
+    /// `config`; it (and the buffer-pool knob) enter the hash only when
+    /// the query's table has a non-hot chunk, because all-hot tables have
+    /// a tier multiplier of exactly 1.0 regardless of buffer pressure.
+    pub fn config_hash(
+        &self,
+        engine: &StorageEngine,
+        config: &ConfigInstance,
+        nonhot_bytes: u64,
+    ) -> Result<u64> {
+        let table = engine.table(self.table)?;
+        let chunks = table.chunk_count() as u32;
+        let mut h = Fnv::new();
+        engine.catalog_token().hash(&mut h);
+        self.table.hash(&mut h);
+        let mut any_nonhot = false;
+        for k in 0..chunks {
+            let tier = config.tier_of(self.table, ChunkId(k));
+            tier.hash(&mut h);
+            if tier != Tier::Hot {
+                any_nonhot = true;
+            }
+        }
+        for &column in &self.columns {
+            for k in 0..chunks {
+                let target = ChunkColumnRef {
+                    table: self.table,
+                    column,
+                    chunk: ChunkId(k),
+                };
+                config.index_of(target).hash(&mut h);
+                config.encoding_of(target).hash(&mut h);
+            }
+        }
+        if any_nonhot {
+            nonhot_bytes.hash(&mut h);
+            config.knobs.buffer_pool_mb.to_bits().hash(&mut h);
+        }
+        Ok(h.finish())
+    }
+}
+
+/// The slice of configuration state a [`ConfigAction`] can change,
+/// relative to the base configuration it would be applied to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionDelta {
+    /// Table the action touches (`None` for knob-only actions).
+    table: Option<TableId>,
+    /// Column the action touches (`None` means every column of `table`,
+    /// as for placement moves).
+    column: Option<ColumnId>,
+    /// Whether the action can shift global buffer-pool pressure
+    /// (non-hot bytes or the buffer-pool knob) and thereby the cost of
+    /// any query whose table has non-hot chunks.
+    global: bool,
+    /// Whether the action provably changes nothing against the base.
+    noop: bool,
+}
+
+impl ActionDelta {
+    /// Computes the delta of applying `action` on top of `base`.
+    pub fn of(base: &ConfigInstance, action: &ConfigAction) -> ActionDelta {
+        match action {
+            ConfigAction::CreateIndex { target, kind } => ActionDelta {
+                table: Some(target.table),
+                column: Some(target.column),
+                global: false,
+                noop: base.index_of(*target) == Some(*kind),
+            },
+            ConfigAction::DropIndex { target } => ActionDelta {
+                table: Some(target.table),
+                column: Some(target.column),
+                global: false,
+                noop: base.index_of(*target).is_none(),
+            },
+            ConfigAction::SetEncoding { target, kind } => ActionDelta {
+                table: Some(target.table),
+                column: Some(target.column),
+                // Re-encoding a non-hot chunk resizes the non-hot pool.
+                global: base.tier_of(target.table, target.chunk) != Tier::Hot,
+                noop: base.encoding_of(*target) == *kind,
+            },
+            ConfigAction::SetPlacement { table, chunk, tier } => {
+                let was = base.tier_of(*table, *chunk);
+                ActionDelta {
+                    table: Some(*table),
+                    column: None,
+                    global: (was == Tier::Hot) != (*tier == Tier::Hot),
+                    noop: was == *tier,
+                }
+            }
+            ConfigAction::SetKnob {
+                knob: KnobKind::BufferPoolMb,
+                value,
+            } => ActionDelta {
+                table: None,
+                column: None,
+                global: true,
+                noop: value.to_bits() == base.knobs.buffer_pool_mb.to_bits(),
+            },
+        }
+    }
+
+    /// Conservative intersection test: `false` guarantees the action
+    /// leaves the query's cost bit-identical; `true` means it *may*
+    /// change. `table_has_nonhot` reports whether a table owns at least
+    /// one non-hot chunk under the base configuration (the blast radius
+    /// of global deltas — all-hot tables are immune to buffer pressure).
+    pub fn affects(
+        &self,
+        footprint: &QueryFootprint,
+        table_has_nonhot: impl Fn(TableId) -> bool,
+    ) -> bool {
+        if self.noop {
+            return false;
+        }
+        if self.global && table_has_nonhot(footprint.table) {
+            return true;
+        }
+        match (self.table, self.column) {
+            (Some(t), Some(c)) => t == footprint.table && footprint.columns.contains(&c),
+            (Some(t), None) => t == footprint.table,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smdb_storage::{EncodingKind, IndexKind, ScanPredicate};
+
+    fn fp(table: u32, cols: &[u16]) -> QueryFootprint {
+        QueryFootprint {
+            table: TableId(table),
+            columns: cols.iter().map(|&c| ColumnId(c)).collect(),
+        }
+    }
+
+    #[test]
+    fn footprint_of_collects_predicate_columns() {
+        let q = Query::new(
+            TableId(3),
+            "t",
+            vec![
+                ScanPredicate::eq(ColumnId(2), 1i64),
+                ScanPredicate::eq(ColumnId(0), 5i64),
+                ScanPredicate::eq(ColumnId(2), 9i64),
+            ],
+            None,
+            "q",
+        );
+        let f = QueryFootprint::of(&q);
+        assert_eq!(f.table, TableId(3));
+        assert_eq!(f.columns, vec![ColumnId(0), ColumnId(2)]);
+        // Predicate-free scans fall back to column 0.
+        let scan = Query::new(TableId(3), "t", vec![], None, "scan");
+        assert_eq!(QueryFootprint::of(&scan).columns, vec![ColumnId(0)]);
+    }
+
+    #[test]
+    fn index_delta_hits_only_matching_column() {
+        let base = ConfigInstance::default();
+        let d = ActionDelta::of(
+            &base,
+            &ConfigAction::CreateIndex {
+                target: ChunkColumnRef::new(1, 2, 0),
+                kind: IndexKind::Hash,
+            },
+        );
+        assert!(d.affects(&fp(1, &[2]), |_| false));
+        assert!(!d.affects(&fp(1, &[0]), |_| false));
+        assert!(!d.affects(&fp(2, &[2]), |_| false));
+    }
+
+    #[test]
+    fn noop_actions_affect_nothing() {
+        let mut base = ConfigInstance::default();
+        base.indexes
+            .insert(ChunkColumnRef::new(1, 2, 0), IndexKind::Hash);
+        let same = ActionDelta::of(
+            &base,
+            &ConfigAction::CreateIndex {
+                target: ChunkColumnRef::new(1, 2, 0),
+                kind: IndexKind::Hash,
+            },
+        );
+        assert!(!same.affects(&fp(1, &[2]), |_| true));
+        let drop_missing = ActionDelta::of(
+            &base,
+            &ConfigAction::DropIndex {
+                target: ChunkColumnRef::new(1, 3, 0),
+            },
+        );
+        assert!(!drop_missing.affects(&fp(1, &[3]), |_| true));
+    }
+
+    #[test]
+    fn knob_delta_spares_all_hot_tables() {
+        let base = ConfigInstance::default();
+        let d = ActionDelta::of(
+            &base,
+            &ConfigAction::SetKnob {
+                knob: KnobKind::BufferPoolMb,
+                value: 256.0,
+            },
+        );
+        assert!(d.affects(&fp(0, &[0]), |t| t == TableId(0)));
+        assert!(!d.affects(&fp(0, &[0]), |_| false));
+    }
+
+    #[test]
+    fn nonhot_encoding_delta_is_global() {
+        let mut base = ConfigInstance::default();
+        base.placements.insert((TableId(0), ChunkId(1)), Tier::Cold);
+        let d = ActionDelta::of(
+            &base,
+            &ConfigAction::SetEncoding {
+                target: ChunkColumnRef::new(0, 0, 1),
+                kind: EncodingKind::Dictionary,
+            },
+        );
+        // A different column of a table with non-hot chunks is reached
+        // through the global (buffer-pressure) channel.
+        assert!(d.affects(&fp(0, &[5]), |t| t == TableId(0)));
+        // Hot-chunk encoding changes stay column-local.
+        let hot = ActionDelta::of(
+            &base,
+            &ConfigAction::SetEncoding {
+                target: ChunkColumnRef::new(0, 0, 0),
+                kind: EncodingKind::Dictionary,
+            },
+        );
+        assert!(!hot.affects(&fp(0, &[5]), |t| t == TableId(0)));
+        assert!(hot.affects(&fp(0, &[0]), |_| false));
+    }
+
+    #[test]
+    fn placement_delta_covers_whole_table() {
+        let base = ConfigInstance::default();
+        let d = ActionDelta::of(
+            &base,
+            &ConfigAction::SetPlacement {
+                table: TableId(1),
+                chunk: ChunkId(0),
+                tier: Tier::Cold,
+            },
+        );
+        assert!(d.affects(&fp(1, &[7]), |_| false));
+        assert!(!d.affects(&fp(2, &[7]), |_| false));
+        // Crossing the hot boundary is global.
+        assert!(d.affects(&fp(2, &[7]), |t| t == TableId(2)));
+    }
+}

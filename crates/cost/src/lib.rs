@@ -19,20 +19,27 @@
 //!   and its training pipeline,
 //! * [`what_if`] — workload-level what-if costing and reconfiguration
 //!   cost estimation,
+//! * [`footprint`] / [`cache`] — delta-aware incremental costing: cache
+//!   per-query costs keyed by the configuration slice a query actually
+//!   reads, so candidate assessment only re-costs intersecting queries,
 //! * [`sizes`] — memory-footprint estimation for hypothetical encodings
 //!   and indexes (permanent costs of candidates),
 //! * [`regression`] — the in-repo ordinary-least-squares solver.
 
+pub mod cache;
 pub mod calibrated;
 pub mod estimator;
 pub mod features;
+pub mod footprint;
 pub mod logical;
 pub mod regression;
 pub mod sizes;
 pub mod what_if;
 
+pub use cache::{CacheStats, CostCache};
 pub use calibrated::CalibratedCostModel;
 pub use estimator::CostEstimator;
 pub use features::{extract_features, QueryFeatures, NUM_FEATURES};
+pub use footprint::{ActionDelta, QueryFootprint};
 pub use logical::LogicalCostModel;
 pub use what_if::WhatIf;

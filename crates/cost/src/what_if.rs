@@ -8,27 +8,125 @@
 use std::sync::Arc;
 
 use smdb_common::{Cost, Result};
-use smdb_query::Workload;
+use smdb_query::{Query, Workload};
 use smdb_storage::{ConfigAction, ConfigInstance, StorageEngine};
 
+use crate::cache::{CacheStats, CostCache};
 use crate::estimator::CostEstimator;
+use crate::features::ConfigContext;
+use crate::footprint::QueryFootprint;
 use crate::sizes;
 
-/// What-if façade bundling an exchangeable cost estimator.
+/// What-if façade bundling an exchangeable cost estimator with a shared
+/// delta-aware cost cache.
+///
+/// Clones share the cache, so every assessor/tuner cloned off one
+/// `WhatIf` benefits from (and warms) the same entries. The cached and
+/// uncached paths are bit-identical: cache keys cover exactly the
+/// configuration slice a query's cost can read (see
+/// [`crate::footprint`]), estimators are pure, and the workload sum
+/// visits queries in the same order either way.
 #[derive(Clone)]
 pub struct WhatIf {
     estimator: Arc<dyn CostEstimator>,
+    cache: Option<Arc<CostCache>>,
 }
 
 impl WhatIf {
-    /// Wraps an estimator.
+    /// Wraps an estimator, with caching enabled.
     pub fn new(estimator: Arc<dyn CostEstimator>) -> Self {
-        WhatIf { estimator }
+        WhatIf {
+            estimator,
+            cache: Some(Arc::new(CostCache::new())),
+        }
+    }
+
+    /// Wraps an estimator without a cache (baseline for benches/tests).
+    pub fn uncached(estimator: Arc<dyn CostEstimator>) -> Self {
+        WhatIf {
+            estimator,
+            cache: None,
+        }
     }
 
     /// The underlying estimator.
     pub fn estimator(&self) -> &Arc<dyn CostEstimator> {
         &self.estimator
+    }
+
+    /// The shared cost cache, if caching is enabled.
+    pub fn cache(&self) -> Option<&Arc<CostCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Hit/miss counters of the shared cache, if any.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Drops all cached entries (counters are kept).
+    pub fn clear_cache(&self) {
+        if let Some(cache) = &self.cache {
+            cache.clear();
+        }
+    }
+
+    /// The [`ConfigContext`] for `config`, memoized per configuration
+    /// fingerprint when caching is enabled (the fresh walk and the memo
+    /// hold the same `nonhot_bytes`, so results never differ).
+    pub fn config_context(&self, engine: &StorageEngine, config: &ConfigInstance) -> ConfigContext {
+        let Some(cache) = &self.cache else {
+            return ConfigContext::new(engine, config);
+        };
+        let key = (engine.catalog_token(), config.fingerprint());
+        if let Some(nonhot_bytes) = cache.context_lookup(key) {
+            return ConfigContext { nonhot_bytes };
+        }
+        let ctx = ConfigContext::new(engine, config);
+        cache.context_insert(key, ctx.nonhot_bytes);
+        ctx
+    }
+
+    /// Estimated cost of one query under `config`, served from the cache
+    /// when possible. `ctx` must describe `config`.
+    pub fn query_cost(
+        &self,
+        engine: &StorageEngine,
+        ctx: &ConfigContext,
+        query: &Query,
+        config: &ConfigInstance,
+    ) -> Result<Cost> {
+        if self.cache.is_none() {
+            return self.estimator.query_cost(engine, ctx, query, config);
+        }
+        let footprint = QueryFootprint::of(query);
+        self.query_cost_fp(engine, ctx, &footprint, query, config)
+    }
+
+    /// Like [`Self::query_cost`] with a caller-provided footprint
+    /// (assessors precompute footprints once per workload).
+    pub fn query_cost_fp(
+        &self,
+        engine: &StorageEngine,
+        ctx: &ConfigContext,
+        footprint: &QueryFootprint,
+        query: &Query,
+        config: &ConfigInstance,
+    ) -> Result<Cost> {
+        let Some(cache) = &self.cache else {
+            return self.estimator.query_cost(engine, ctx, query, config);
+        };
+        cache.sync_version(self.estimator.version());
+        let key = (
+            query.instance_fingerprint(),
+            footprint.config_hash(engine, config, ctx.nonhot_bytes)?,
+        );
+        if let Some(ms) = cache.lookup(key) {
+            return Ok(Cost(ms));
+        }
+        let cost = self.estimator.query_cost(engine, ctx, query, config)?;
+        cache.insert(key, cost.ms());
+        Ok(cost)
     }
 
     /// Estimated workload cost under `config`.
@@ -38,7 +136,17 @@ impl WhatIf {
         workload: &Workload,
         config: &ConfigInstance,
     ) -> Result<Cost> {
-        self.estimator.workload_cost(engine, workload, config)
+        if self.cache.is_none() {
+            return self.estimator.workload_cost(engine, workload, config);
+        }
+        // Mirrors the estimator's default workload sum (same context,
+        // same query order) with per-query cache lookups.
+        let ctx = self.config_context(engine, config);
+        let mut total = Cost::ZERO;
+        for wq in workload.queries() {
+            total += self.query_cost(engine, &ctx, &wq.query, config)? * wq.weight;
+        }
+        Ok(total)
     }
 
     /// Estimated benefit (cost reduction, possibly negative) of moving
@@ -50,8 +158,25 @@ impl WhatIf {
         from: &ConfigInstance,
         to: &ConfigInstance,
     ) -> Result<Cost> {
-        Ok(self.workload_cost(engine, workload, from)?
-            - self.workload_cost(engine, workload, to)?)
+        self.benefit_against(
+            engine,
+            workload,
+            self.workload_cost(engine, workload, from)?,
+            to,
+        )
+    }
+
+    /// Benefit against a precomputed base cost — call sites comparing
+    /// many candidates to one base configuration cost `from` once and
+    /// pass it here instead of re-deriving it per candidate.
+    pub fn benefit_against(
+        &self,
+        engine: &StorageEngine,
+        workload: &Workload,
+        from_cost: Cost,
+        to: &ConfigInstance,
+    ) -> Result<Cost> {
+        Ok(from_cost - self.workload_cost(engine, workload, to)?)
     }
 }
 
@@ -171,6 +296,57 @@ mod tests {
             .insert(ChunkColumnRef::new(t.0, 0, 1), IndexKind::Hash);
         let b = what_if.benefit(&engine, &workload, &from, &to).unwrap();
         assert!(b.ms() > 0.0);
+    }
+
+    #[test]
+    fn cached_and_uncached_costs_bit_identical() {
+        let (engine, t) = setup();
+        let est: Arc<dyn crate::CostEstimator> = Arc::new(LogicalCostModel::default());
+        let cached = WhatIf::new(est.clone());
+        let plain = WhatIf::uncached(est);
+        let q = |v: i64| Query::new(t, "t", vec![ScanPredicate::eq(ColumnId(0), v)], None, "q");
+        let workload = Workload::uniform(vec![q(3), q(7), q(11)]);
+        let mut config = ConfigInstance::default();
+        for step in 0..3 {
+            // Repeat each config so the second pass is served from cache.
+            for _ in 0..2 {
+                let a = cached.workload_cost(&engine, &workload, &config).unwrap();
+                let b = plain.workload_cost(&engine, &workload, &config).unwrap();
+                assert_eq!(a, b, "step {step}");
+            }
+            config.apply(&ConfigAction::CreateIndex {
+                target: ChunkColumnRef::new(t.0, 0, step),
+                kind: IndexKind::Hash,
+            });
+        }
+        let stats = cached.cache_stats().unwrap();
+        assert!(stats.hits > 0, "{stats:?}");
+        // Clones share one cache.
+        assert!(cached.clone().cache_stats().unwrap().hits >= stats.hits);
+    }
+
+    #[test]
+    fn benefit_against_matches_benefit() {
+        let (engine, t) = setup();
+        let what_if = WhatIf::new(Arc::new(LogicalCostModel::default()));
+        let q = Query::new(
+            t,
+            "t",
+            vec![ScanPredicate::eq(ColumnId(0), 3i64)],
+            None,
+            "q",
+        );
+        let workload = Workload::uniform(vec![q]);
+        let from = ConfigInstance::default();
+        let mut to = from.clone();
+        to.indexes
+            .insert(ChunkColumnRef::new(t.0, 0, 0), IndexKind::Hash);
+        let base_cost = what_if.workload_cost(&engine, &workload, &from).unwrap();
+        let direct = what_if.benefit(&engine, &workload, &from, &to).unwrap();
+        let hoisted = what_if
+            .benefit_against(&engine, &workload, base_cost, &to)
+            .unwrap();
+        assert_eq!(direct, hoisted);
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub struct Query {
     /// Precomputed template fingerprint (plan-cache key); computing it
     /// once at construction keeps the monitoring path allocation-free.
     fingerprint: u64,
+    /// Precomputed instance fingerprint: the template fingerprint mixed
+    /// with the predicate literals, so two instances of one template with
+    /// different literals are distinguishable (what-if cost-cache key).
+    instance_fingerprint: u64,
 }
 
 impl Query {
@@ -44,8 +48,9 @@ impl Query {
             group_by: None,
             label: label.into(),
             fingerprint: 0,
+            instance_fingerprint: 0,
         };
-        query.fingerprint = query.template().fingerprint();
+        query.refresh_fingerprints();
         query
     }
 
@@ -53,8 +58,20 @@ impl Query {
     /// per distinct value of that column.
     pub fn with_group_by(mut self, column: ColumnId) -> Self {
         self.group_by = Some(column);
-        self.fingerprint = self.template().fingerprint();
+        self.refresh_fingerprints();
         self
+    }
+
+    fn refresh_fingerprints(&mut self) {
+        use std::hash::{Hash, Hasher};
+        self.fingerprint = self.template().fingerprint();
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.fingerprint.hash(&mut h);
+        for p in &self.predicates {
+            p.value.hash(&mut h);
+            p.upper.hash(&mut h);
+        }
+        self.instance_fingerprint = h.finish();
     }
 
     /// The GROUP BY column, if any.
@@ -96,6 +113,11 @@ impl Query {
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
     }
+
+    /// The (precomputed) instance fingerprint: template plus literals.
+    pub fn instance_fingerprint(&self) -> u64 {
+        self.instance_fingerprint
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +139,21 @@ mod tests {
     #[test]
     fn same_shape_same_fingerprint() {
         assert_eq!(q(1).fingerprint(), q(99).fingerprint());
+    }
+
+    #[test]
+    fn instance_fingerprint_distinguishes_literals() {
+        assert_ne!(q(1).instance_fingerprint(), q(99).instance_fingerprint());
+        assert_eq!(q(5).instance_fingerprint(), q(5).instance_fingerprint());
+        // Different templates never share instance fingerprints either.
+        let other = Query::new(
+            TableId(0),
+            "orders",
+            vec![ScanPredicate::cmp(ColumnId(2), PredicateOp::Lt, 1i64)],
+            None,
+            "orders_by_status",
+        );
+        assert_ne!(q(1).instance_fingerprint(), other.instance_fingerprint());
     }
 
     #[test]

@@ -49,6 +49,17 @@ pub struct StorageEngine {
     params: SimCostParams,
     /// Cached bytes resident on non-hot tiers (drives buffer-pool hit rates).
     nonhot_bytes: usize,
+    /// Process-unique catalog identity, refreshed whenever the table set
+    /// changes. Cost caches key on it so entries from one engine are
+    /// never served for another; clones share the token because their
+    /// catalogs (and hence statistics) are identical.
+    catalog_token: u64,
+}
+
+fn next_catalog_token() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 impl Default for StorageEngine {
@@ -66,7 +77,13 @@ impl StorageEngine {
             knobs: Knobs::default(),
             params,
             nonhot_bytes: 0,
+            catalog_token: next_catalog_token(),
         }
+    }
+
+    /// The engine's catalog identity token (see field docs).
+    pub fn catalog_token(&self) -> u64 {
+        self.catalog_token
     }
 
     /// Registers a table; names must be unique.
@@ -81,6 +98,7 @@ impl StorageEngine {
         self.names.insert(table.name().to_string(), id);
         self.tables.push(table);
         self.recompute_residency();
+        self.catalog_token = next_catalog_token();
         Ok(id)
     }
 
