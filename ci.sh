@@ -2,17 +2,33 @@
 # CI gate: formatting, release build, full test suite, static analysis.
 # Any failing step aborts with a non-zero exit code.
 #
-#   ./ci.sh          # full gate
+#   ./ci.sh          # full gate (includes the soak step)
 #   ./ci.sh quick    # release build + tuning experiments -> BENCH_tuning.json
+#                    # + serving soak -> BENCH_runtime.json
+#   ./ci.sh soak     # online serving soak only -> BENCH_runtime.json
 set -euo pipefail
 cd "$(dirname "$0")"
+
+run_soak() {
+    echo "==> online serving soak (seeded, deterministic) -> BENCH_runtime.json"
+    cargo run --release -q -p smdb-bench --bin soak -- --json BENCH_runtime.json
+}
 
 if [[ "${1:-}" == "quick" ]]; then
     echo "==> cargo build --release (quick mode)"
     cargo build --release -p smdb-bench
     echo "==> tuning experiments (e3 e4 e5) -> BENCH_tuning.json"
     cargo run --release -q -p smdb-bench --bin experiments -- e3 e4 e5 --json BENCH_tuning.json
+    run_soak
     echo "Quick CI green."
+    exit 0
+fi
+
+if [[ "${1:-}" == "soak" ]]; then
+    echo "==> cargo build --release (soak mode)"
+    cargo build --release -p smdb-bench --bin soak
+    run_soak
+    echo "Soak CI green."
     exit 0
 fi
 
@@ -24,6 +40,8 @@ cargo build --workspace --release
 
 echo "==> cargo test"
 cargo test -q --workspace
+
+run_soak
 
 echo "==> smdb-lint"
 cargo run -q -p smdb-lint

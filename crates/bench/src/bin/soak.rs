@@ -1,0 +1,203 @@
+//! Online serving soak: the runtime benchmark.
+//!
+//! ```text
+//! cargo run --release -p smdb-bench --bin soak                      # defaults
+//! cargo run --release -p smdb-bench --bin soak -- --workers 8
+//! cargo run --release -p smdb-bench --bin soak -- --json BENCH_runtime.json
+//! ```
+//!
+//! Serves a seeded phased query stream with a worker pool while the
+//! background tuning thread reconfigures the store online, with
+//! injected apply failures exercising the rollback path. Prints a
+//! summary and, with `--json PATH`, writes the machine-readable
+//! `BENCH_runtime.json` (sustained qps, p95 cold vs tuned, actions
+//! applied / rolled back, injected failures).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use smdb_bench::report;
+use smdb_common::Cost;
+use smdb_runtime::{events_database, generate, FaultPlan, Runtime, RuntimeConfig, StreamConfig};
+
+struct Args {
+    workers: usize,
+    seed: u64,
+    buckets: usize,
+    json_path: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        workers: 4,
+        seed: 42,
+        buckets: 40,
+        json_path: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("{name} requires a value");
+                std::process::exit(2);
+            }
+        };
+        match arg.as_str() {
+            "--workers" => parsed.workers = parse_num(&take("--workers"), "--workers"),
+            "--seed" => parsed.seed = parse_num(&take("--seed"), "--seed"),
+            "--buckets" => parsed.buckets = parse_num(&take("--buckets"), "--buckets"),
+            "--json" => parsed.json_path = Some(take("--json")),
+            other => {
+                eprintln!(
+                    "unknown argument {other} (valid: --workers N --seed N --buckets N --json PATH)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    parsed
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, name: &str) -> T {
+    match value.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("{name}: invalid number {value}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let stream = StreamConfig {
+        seed: args.seed,
+        buckets: args.buckets,
+        ..StreamConfig::default()
+    };
+    let (db, table) = match events_database(24, 1_000) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("fixture failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let plan = generate(table, 24_000, &stream);
+    let planned: usize = plan.iter().map(|b| b.queries.len()).sum();
+    let runtime = Runtime::new(
+        Arc::clone(&db),
+        RuntimeConfig {
+            workers: args.workers,
+            bucket_capacity: Cost(800.0),
+            slice_budget: 6,
+            fault_plan: FaultPlan::failing_attempts([0, 1, 2]),
+            sla_p95: Some(Cost(1.0)),
+            ..RuntimeConfig::default()
+        },
+    );
+
+    println!(
+        "soak: {} buckets / {} queries, {} workers, seed {}",
+        plan.len(),
+        planned,
+        args.workers,
+        args.seed
+    );
+    let start = Instant::now();
+    let outcome = match runtime.run(&plan) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("soak failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let wall = start.elapsed().as_secs_f64();
+    let qps = outcome.stats.queries as f64 / wall.max(1e-9);
+
+    println!(
+        "served {} queries in {:.2}s ({:.0} q/s), {} errors, {} wrong results",
+        outcome.stats.queries, wall, qps, outcome.stats.errors, outcome.stats.wrong_results
+    );
+    println!(
+        "latency (sim): cold mean {} p95 {} -> tuned mean {} p95 {}",
+        outcome.cold_mean, outcome.cold_p95, outcome.tuned_mean, outcome.tuned_p95
+    );
+    println!(
+        "tuning: {} runs, {} actions applied ({} deferred along the way), {} apply attempts",
+        outcome.tuning.tunings_run,
+        outcome.tuning.actions_applied,
+        outcome.tuning.actions_deferred,
+        outcome.apply_attempts
+    );
+    println!(
+        "faults: {} injected, {} rollbacks, {} stored config instances, tuning paused: {}",
+        outcome.injected_failures,
+        outcome.tuning.rollbacks,
+        outcome.tuning.stored_instances,
+        outcome.tuning.paused
+    );
+
+    report::record("soak", "workers", (args.workers as u64).into());
+    report::record("soak", "seed", args.seed.into());
+    report::record(
+        "soak",
+        "buckets_served",
+        (outcome.buckets_served as u64).into(),
+    );
+    report::record("soak", "queries", outcome.stats.queries.into());
+    report::record("soak", "errors", outcome.stats.errors.into());
+    report::record("soak", "wrong_results", outcome.stats.wrong_results.into());
+    report::record("soak", "result_digest", outcome.stats.result_digest.into());
+    report::record("soak", "wall_s", wall.into());
+    report::record("soak", "sustained_qps", qps.into());
+    report::record("soak", "cold_mean_ms", outcome.cold_mean.ms().into());
+    report::record("soak", "cold_p95_ms", outcome.cold_p95.ms().into());
+    report::record("soak", "tuned_mean_ms", outcome.tuned_mean.ms().into());
+    report::record("soak", "tuned_p95_ms", outcome.tuned_p95.ms().into());
+    report::record("soak", "tunings_run", outcome.tuning.tunings_run.into());
+    report::record(
+        "soak",
+        "actions_applied",
+        outcome.tuning.actions_applied.into(),
+    );
+    report::record(
+        "soak",
+        "actions_deferred",
+        outcome.tuning.actions_deferred.into(),
+    );
+    report::record(
+        "soak",
+        "apply_attempts",
+        (outcome.apply_attempts as u64).into(),
+    );
+    report::record(
+        "soak",
+        "apply_failures",
+        outcome.tuning.apply_failures.into(),
+    );
+    report::record(
+        "soak",
+        "injected_failures",
+        (outcome.injected_failures as u64).into(),
+    );
+    report::record(
+        "soak",
+        "rollbacks",
+        (outcome.tuning.rollbacks as u64).into(),
+    );
+    report::record(
+        "soak",
+        "stored_instances",
+        (outcome.tuning.stored_instances as u64).into(),
+    );
+
+    if let Some(path) = args.json_path {
+        let doc = report::to_json().to_string_pretty();
+        if let Err(e) = std::fs::write(&path, doc + "\n") {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote metrics to {path}");
+    }
+}

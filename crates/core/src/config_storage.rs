@@ -44,10 +44,24 @@ pub struct DecisionFeedback {
     pub observed_improvement: Cost,
 }
 
+/// One recorded rollback: a reconfiguration failed mid-application and
+/// the system was restored to the last good stored instance.
+#[derive(Debug, Clone)]
+pub struct RollbackRecord {
+    pub at: LogicalTime,
+    /// The actions that were abandoned (failed or still queued).
+    pub abandoned_actions: Vec<ConfigAction>,
+    /// The configuration the system was restored to.
+    pub restored_config: ConfigInstance,
+    /// Human-readable cause.
+    pub cause: String,
+}
+
 /// Thread-safe storage of applied configuration instances.
 #[derive(Debug, Default)]
 pub struct ConfigStorage {
     instances: Mutex<Vec<StoredInstance>>,
+    rollbacks: Mutex<Vec<RollbackRecord>>,
 }
 
 impl ConfigStorage {
@@ -107,6 +121,28 @@ impl ConfigStorage {
     /// The configuration in effect after the latest stored instance.
     pub fn latest_config(&self) -> Option<ConfigInstance> {
         self.instances.lock().last().map(|i| i.config.clone())
+    }
+
+    /// The last configuration known good — the latest *fully applied*
+    /// stored instance. Identical to [`ConfigStorage::latest_config`];
+    /// the alias names the rollback target.
+    pub fn last_good_config(&self) -> Option<ConfigInstance> {
+        self.latest_config()
+    }
+
+    /// Records that a failed reconfiguration was rolled back.
+    pub fn record_rollback(&self, record: RollbackRecord) {
+        self.rollbacks.lock().push(record);
+    }
+
+    /// Number of recorded rollbacks.
+    pub fn rollback_count(&self) -> usize {
+        self.rollbacks.lock().len()
+    }
+
+    /// A clone of all recorded rollbacks (most recent last).
+    pub fn rollbacks(&self) -> Vec<RollbackRecord> {
+        self.rollbacks.lock().clone()
     }
 
     /// Exports the whole decision history as JSON — the durable audit
@@ -263,6 +299,30 @@ mod tests {
         );
         let action = row.get("actions").and_then(|a| a.at(0)).unwrap();
         assert!(action.as_str().unwrap().contains("DROP INDEX"));
+    }
+
+    #[test]
+    fn rollback_records_accumulate() {
+        let storage = ConfigStorage::new();
+        assert_eq!(storage.rollback_count(), 0);
+        assert!(storage.last_good_config().is_none());
+        storage.store(instance(1, 5.0));
+        storage.record_rollback(RollbackRecord {
+            at: LogicalTime(7),
+            abandoned_actions: vec![ConfigAction::DropIndex {
+                target: smdb_common::ChunkColumnRef::new(0, 0, 0),
+            }],
+            restored_config: ConfigInstance::default(),
+            cause: "injected".to_string(),
+        });
+        assert_eq!(storage.rollback_count(), 1);
+        let records = storage.rollbacks();
+        assert_eq!(records[0].at, LogicalTime(7));
+        assert_eq!(records[0].abandoned_actions.len(), 1);
+        assert_eq!(records[0].cause, "injected");
+        // Rollbacks do not count as stored instances.
+        assert_eq!(storage.len(), 1);
+        assert!(storage.last_good_config().is_some());
     }
 
     #[test]

@@ -14,6 +14,11 @@ pub struct ConstraintSet {
     pub index_memory_bytes: Option<i64>,
     /// DBMS-related: service-level agreement on mean query response time.
     pub sla_mean_response: Option<Cost>,
+    /// DBMS-related: service-level agreement on tail (p95) response time.
+    pub sla_p95_response: Option<Cost>,
+    /// DBMS-related: ceiling on total engine memory (data + auxiliary
+    /// structures), bytes; crossing it signals memory pressure.
+    pub memory_ceiling_bytes: Option<i64>,
     /// Hardware: total memory available to the system, bytes. On
     /// conflict this overrides DBMS-related budgets.
     pub hardware_memory_bytes: Option<i64>,
@@ -46,6 +51,18 @@ impl ConstraintSet {
     pub fn violates_sla(&self, mean_response: Cost) -> bool {
         self.sla_mean_response
             .is_some_and(|sla| mean_response.ms() > sla.ms())
+    }
+
+    /// Whether a tail (p95) response time violates the SLA.
+    pub fn violates_p95(&self, p95_response: Cost) -> bool {
+        self.sla_p95_response
+            .is_some_and(|sla| p95_response.ms() > sla.ms())
+    }
+
+    /// Whether a memory sample crosses the memory ceiling.
+    pub fn violates_memory(&self, bytes: usize) -> bool {
+        self.memory_ceiling_bytes
+            .is_some_and(|ceiling| bytes as i64 > ceiling)
     }
 }
 
@@ -87,5 +104,20 @@ mod tests {
         assert!(c.violates_sla(Cost(6.0)));
         assert!(!c.violates_sla(Cost(4.0)));
         assert!(!ConstraintSet::none().violates_sla(Cost(100.0)));
+    }
+
+    #[test]
+    fn tail_and_memory_detection() {
+        let c = ConstraintSet {
+            sla_p95_response: Some(Cost(20.0)),
+            memory_ceiling_bytes: Some(1000),
+            ..ConstraintSet::default()
+        };
+        assert!(c.violates_p95(Cost(21.0)));
+        assert!(!c.violates_p95(Cost(20.0)));
+        assert!(c.violates_memory(1001));
+        assert!(!c.violates_memory(1000));
+        assert!(!ConstraintSet::none().violates_p95(Cost(1e9)));
+        assert!(!ConstraintSet::none().violates_memory(usize::MAX));
     }
 }

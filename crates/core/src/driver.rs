@@ -7,6 +7,7 @@
 //! the constraint set, and mediates their access to the database (plan
 //! cache, engine, cost estimators).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -16,8 +17,9 @@ use smdb_forecast::{
     ForecastSet, PredictorConfig, WorkloadAnalyzer, WorkloadHistory, WorkloadPredictor,
 };
 use smdb_query::{Database, Query};
+use smdb_storage::ConfigInstance;
 
-use crate::config_storage::{ConfigStorage, StoredInstance};
+use crate::config_storage::{ConfigStorage, RollbackRecord, StoredInstance};
 use crate::constraints::ConstraintSet;
 use crate::executor::{Executor, SequentialExecutor};
 use crate::feature::FeatureKind;
@@ -55,6 +57,66 @@ pub struct TuningRunReport {
     pub reconfiguration_cost: Cost,
 }
 
+/// Report of one rollback to the last good configuration.
+#[derive(Debug, Clone)]
+pub struct RollbackReport {
+    /// Actions it took to restore the last good configuration.
+    pub undo_actions: usize,
+    /// Queued actions that were abandoned (never applied).
+    pub abandoned_actions: usize,
+    /// One-time cost of the restore.
+    pub reconfiguration_cost: Cost,
+}
+
+/// Point-in-time snapshot of the driver's tuning machinery, safe to take
+/// from any thread while serving continues.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningState {
+    /// Actions queued for a low-utilization window.
+    pub pending_actions: usize,
+    /// Whether a deferred tuning is still being drained slice by slice.
+    pub reconfig_in_flight: bool,
+    /// Whether the organizer is paused (degraded mode).
+    pub paused: bool,
+    /// When the last tuning ran.
+    pub last_tuning: Option<smdb_common::LogicalTime>,
+    /// Configuration instances stored by the feedback loop.
+    pub stored_instances: usize,
+    /// Rollbacks recorded so far.
+    pub rollbacks: usize,
+    /// Buckets closed so far.
+    pub buckets_closed: u64,
+    /// Tuning passes run (regardless of outcome).
+    pub tunings_run: u64,
+    /// Configuration actions applied (immediately or via drains).
+    pub actions_applied: u64,
+    /// Configuration actions the executor deferred at least once.
+    pub actions_deferred: u64,
+    /// Apply attempts that returned an error.
+    pub apply_failures: u64,
+}
+
+/// A tuning whose actions the executor deferred: the context needed to
+/// store the configuration instance once the drain completes.
+#[derive(Debug)]
+struct PendingReconfig {
+    final_config: ConfigInstance,
+    actions: Vec<smdb_storage::ConfigAction>,
+    predicted_cost: Cost,
+    observed_before: Cost,
+    /// Reconfiguration cost accrued over completed slices.
+    accrued_cost: Cost,
+}
+
+#[derive(Debug, Default)]
+struct DriverCounters {
+    buckets_closed: AtomicU64,
+    tunings_run: AtomicU64,
+    actions_applied: AtomicU64,
+    actions_deferred: AtomicU64,
+    apply_failures: AtomicU64,
+}
+
 /// The central self-management entity.
 pub struct Driver {
     db: Arc<Database>,
@@ -75,6 +137,12 @@ pub struct Driver {
     /// ("the executor can access runtime KPIs to determine favorable
     /// points in time for applying the choices", Section II-D(d)).
     pending_actions: Mutex<Vec<smdb_storage::ConfigAction>>,
+    /// Context of the deferred tuning the pending actions realise.
+    pending_reconfig: Mutex<Option<PendingReconfig>>,
+    /// The configuration at build time — the rollback target before any
+    /// instance has been stored.
+    baseline_config: ConfigInstance,
+    counters: DriverCounters,
 }
 
 impl Driver {
@@ -108,22 +176,29 @@ impl Driver {
         &self.multi
     }
 
-    /// Runs one bucket of queries through the database: executes each
-    /// query (monitoring feeds the plan cache), records KPIs, optionally
-    /// trains the calibrated cost model, snapshots the plan cache into
-    /// the workload history, and advances the logical clock.
-    pub fn run_bucket(&self, queries: &[Query]) -> Result<BucketReport> {
-        let mut bucket_cost = Cost::ZERO;
-        let config = self.db.engine().current_config();
-        for q in queries {
-            let result = self.db.run_query(q)?;
-            bucket_cost += result.output.sim_cost;
-            self.kpis.record_query(result.output.sim_cost);
-            if let Some(model) = &self.calibrated {
-                let engine = self.db.engine();
-                model.observe(&engine, q, &config, result.output.sim_cost)?;
-            }
-        }
+    /// The organizer (pause/resume and trigger bookkeeping).
+    pub fn organizer(&self) -> &Organizer {
+        &self.organizer
+    }
+
+    /// The configuration the driver was built against — the rollback
+    /// target before any instance has been stored.
+    pub fn baseline_config(&self) -> &ConfigInstance {
+        &self.baseline_config
+    }
+
+    /// Records one served query's response time into the KPI window and
+    /// the open bucket. The serving runtime calls this from worker
+    /// threads; [`Driver::close_bucket`] consumes the accumulation.
+    pub fn record_query(&self, latency: Cost) {
+        self.kpis.record_query(latency);
+    }
+
+    /// Closes the current KPI bucket from whatever
+    /// [`Driver::record_query`] accumulated: samples engine memory,
+    /// snapshots the plan cache into the workload history, updates the
+    /// observed bucket cost and advances the logical clock.
+    pub fn close_bucket(&self) -> BucketReport {
         let now = self.db.now();
         {
             let engine = self.db.engine();
@@ -133,34 +208,101 @@ impl Driver {
         self.history
             .lock()
             .observe(now, &self.db.plan_cache().snapshot());
-        self.kpis.end_bucket(bucket_cost);
-        *self.last_bucket_cost.lock() = bucket_cost;
+        let close = self.kpis.end_bucket_accumulated();
+        *self.last_bucket_cost.lock() = close.busy;
         self.db.advance_time();
+        self.counters.buckets_closed.fetch_add(1, Ordering::Relaxed);
+        BucketReport {
+            queries_run: close.queries as usize,
+            bucket_cost: close.busy,
+            now,
+        }
+    }
+
+    /// Runs one bucket of queries through the database: executes each
+    /// query (monitoring feeds the plan cache), records KPIs, optionally
+    /// trains the calibrated cost model, snapshots the plan cache into
+    /// the workload history, and advances the logical clock.
+    pub fn run_bucket(&self, queries: &[Query]) -> Result<BucketReport> {
+        let config = self.db.engine().current_config();
+        for q in queries {
+            let result = self.db.run_query(q)?;
+            self.record_query(result.output.sim_cost);
+            if let Some(model) = &self.calibrated {
+                let engine = self.db.engine();
+                model.observe(&engine, q, &config, result.output.sim_cost)?;
+            }
+        }
+        let report = self.close_bucket();
         // Retry actions a utilization-gated executor deferred earlier;
         // the bucket just closed, so the KPI window is fresh.
         self.drain_pending()?;
-        Ok(BucketReport {
-            queries_run: queries.len(),
-            bucket_cost,
-            now,
-        })
+        Ok(report)
     }
 
     /// Attempts to apply deferred actions (no-op when none are pending or
     /// the executor still defers). Returns how many were applied.
     pub fn drain_pending(&self) -> Result<usize> {
-        let actions: Vec<smdb_storage::ConfigAction> = {
+        self.drain_pending_slice(usize::MAX)
+    }
+
+    /// Attempts to apply up to `budget` deferred actions — the
+    /// slice-budgeted drain the serving runtime uses so one
+    /// low-utilization window never stalls readers behind an unbounded
+    /// reconfiguration. Returns how many were applied (0 when the
+    /// executor still defers; the slice is requeued at the front).
+    ///
+    /// On an apply error the failed slice is *not* requeued — the engine
+    /// may hold a partial prefix of it — and the error propagates; the
+    /// caller is expected to invoke [`Driver::rollback_to_last_good`].
+    pub fn drain_pending_slice(&self, budget: usize) -> Result<usize> {
+        let slice: Vec<smdb_storage::ConfigAction> = {
             let mut pending = self.pending_actions.lock();
-            if pending.is_empty() {
+            if pending.is_empty() || budget == 0 {
                 return Ok(0);
             }
-            std::mem::take(&mut *pending)
+            let n = budget.min(pending.len());
+            pending.drain(..n).collect()
         };
-        let report = self.executor.execute(&self.db, &self.kpis, &actions)?;
+        let report = match self.executor.execute(&self.db, &self.kpis, &slice) {
+            Ok(report) => report,
+            Err(e) => {
+                self.counters.apply_failures.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
         if report.deferred > 0 {
-            // Still not a favorable point in time; keep them queued.
-            *self.pending_actions.lock() = actions;
+            // Still not a favorable point in time; requeue the slice in
+            // front of whatever else is waiting.
+            let mut pending = self.pending_actions.lock();
+            let mut restored = slice;
+            restored.extend(pending.drain(..));
+            *pending = restored;
             return Ok(0);
+        }
+        self.counters
+            .actions_applied
+            .fetch_add(report.applied as u64, Ordering::Relaxed);
+        let drained = self.pending_actions.lock().is_empty();
+        if let Some(pr) = self.pending_reconfig.lock().as_mut() {
+            pr.accrued_cost += report.reconfiguration_cost;
+        }
+        if drained {
+            // The deferred tuning is fully applied: store its instance so
+            // the feedback loop (and the rollback target) see it.
+            if let Some(pr) = self.pending_reconfig.lock().take() {
+                self.storage.store(StoredInstance {
+                    applied_at: self.db.now(),
+                    feature: None,
+                    config: pr.final_config,
+                    actions: pr.actions,
+                    predicted_cost: pr.predicted_cost,
+                    reconfiguration_cost: pr.accrued_cost,
+                    observed_before: pr.observed_before,
+                    observed_after: None,
+                });
+                self.kpis.reset_latencies();
+            }
         }
         Ok(report.applied)
     }
@@ -168,6 +310,57 @@ impl Driver {
     /// Number of actions currently deferred by the executor.
     pub fn pending_actions(&self) -> usize {
         self.pending_actions.lock().len()
+    }
+
+    /// Restores the last good configuration after a failed apply:
+    /// abandons all queued actions, diffs the engine's current (possibly
+    /// partially reconfigured) state against the latest stored instance —
+    /// or the build-time baseline when none exists — and applies the
+    /// undo atomically. Records a [`RollbackRecord`] and clears the KPI
+    /// latency window. Serving continues throughout; only tuning state
+    /// is touched.
+    pub fn rollback_to_last_good(&self, cause: &str) -> Result<RollbackReport> {
+        let abandoned: Vec<smdb_storage::ConfigAction> =
+            std::mem::take(&mut *self.pending_actions.lock());
+        *self.pending_reconfig.lock() = None;
+        let target = self
+            .storage
+            .last_good_config()
+            .unwrap_or_else(|| self.baseline_config.clone());
+        let undo = {
+            let engine = self.db.engine();
+            engine.current_config().diff(&target)
+        };
+        let cost = self.db.apply_config_atomic(&undo)?;
+        self.storage.record_rollback(RollbackRecord {
+            at: self.db.now(),
+            abandoned_actions: abandoned.clone(),
+            restored_config: target,
+            cause: cause.to_string(),
+        });
+        self.kpis.reset_latencies();
+        Ok(RollbackReport {
+            undo_actions: undo.len(),
+            abandoned_actions: abandoned.len(),
+            reconfiguration_cost: cost,
+        })
+    }
+
+    /// A point-in-time snapshot of the tuning machinery.
+    pub fn tuning_state(&self) -> TuningState {
+        TuningState {
+            pending_actions: self.pending_actions.lock().len(),
+            reconfig_in_flight: self.pending_reconfig.lock().is_some(),
+            paused: self.organizer.is_paused(),
+            last_tuning: self.organizer.last_tuning(),
+            stored_instances: self.storage.len(),
+            rollbacks: self.storage.rollback_count(),
+            buckets_closed: self.counters.buckets_closed.load(Ordering::Relaxed),
+            tunings_run: self.counters.tunings_run.load(Ordering::Relaxed),
+            actions_applied: self.counters.actions_applied.load(Ordering::Relaxed),
+            actions_deferred: self.counters.actions_deferred.load(Ordering::Relaxed),
+            apply_failures: self.counters.apply_failures.load(Ordering::Relaxed),
+        }
     }
 
     /// Produces the current forecast from the observed history.
@@ -246,28 +439,48 @@ impl Driver {
 
         // Execute the combined action list.
         let actions = base_config.diff(&final_config);
-        let report = self.executor.execute(&self.db, &self.kpis, &actions)?;
-        if report.deferred > 0 {
-            // Utilization-gated executor postponed the change; queue it
-            // for the next low-utilization window.
-            self.pending_actions.lock().extend(actions.iter().cloned());
-        }
+        let report = match self.executor.execute(&self.db, &self.kpis, &actions) {
+            Ok(report) => report,
+            Err(e) => {
+                self.counters.apply_failures.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+        self.counters.tunings_run.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .actions_applied
+            .fetch_add(report.applied as u64, Ordering::Relaxed);
+        self.counters
+            .actions_deferred
+            .fetch_add(report.deferred as u64, Ordering::Relaxed);
         let now = self.db.now();
         self.organizer.record_tuning(now);
 
         // Feedback loop: complete the previous instance, store this one.
         let observed_before = self.kpis.mean_response();
         self.storage.complete_latest(observed_before);
-        if report.applied > 0 {
-            let predicted_cost = {
-                let engine = self.db.engine();
-                let expected = forecast.expected().ok_or_else(|| {
-                    smdb_common::Error::invalid("forecast lost its expected scenario mid-tuning")
-                })?;
-                self.multi
-                    .what_if()
-                    .workload_cost(&engine, &expected.workload, &final_config)?
-            };
+        let predicted_cost = {
+            let engine = self.db.engine();
+            let expected = forecast.expected().ok_or_else(|| {
+                smdb_common::Error::invalid("forecast lost its expected scenario mid-tuning")
+            })?;
+            self.multi
+                .what_if()
+                .workload_cost(&engine, &expected.workload, &final_config)?
+        };
+        if report.deferred > 0 {
+            // Utilization-gated executor postponed the change; queue it
+            // for the next low-utilization window and remember the
+            // tuning context so the completed drain stores its instance.
+            self.pending_actions.lock().extend(actions.iter().cloned());
+            *self.pending_reconfig.lock() = Some(PendingReconfig {
+                final_config,
+                actions: actions.clone(),
+                predicted_cost,
+                observed_before,
+                accrued_cost: Cost::ZERO,
+            });
+        } else if report.applied > 0 {
             self.storage.store(StoredInstance {
                 applied_at: now,
                 feature: None,
@@ -400,6 +613,7 @@ impl DriverBuilder {
             .iter()
             .map(|&f| standard_tuner(f, what_if.clone()))
             .collect();
+        let baseline_config = self.db.engine().current_config();
         Driver {
             db: self.db,
             history: Mutex::new(WorkloadHistory::new()),
@@ -416,6 +630,9 @@ impl DriverBuilder {
             ordering_policy: self.ordering_policy,
             last_bucket_cost: Mutex::new(Cost::ZERO),
             pending_actions: Mutex::new(Vec::new()),
+            pending_reconfig: Mutex::new(None),
+            baseline_config,
+            counters: DriverCounters::default(),
         }
     }
 }
@@ -603,5 +820,99 @@ mod deferred_tests {
         let driver = Driver::builder(db).build();
         assert_eq!(driver.drain_pending().unwrap(), 0);
         assert_eq!(driver.pending_actions(), 0);
+    }
+
+    #[test]
+    fn slice_budgeted_drain_completes_deferred_tuning() {
+        let db = database();
+        let driver = Driver::builder(db.clone())
+            .features(vec![FeatureKind::Indexing])
+            .executor(Box::new(SequentialExecutor::during_low_utilization()))
+            .kpi_bucket_capacity(Cost(1.0))
+            .build();
+        for _ in 0..3 {
+            driver.run_bucket(&queries(100)).unwrap();
+        }
+        let report = driver.force_tune().unwrap();
+        assert_eq!(report.applied_actions, 0);
+        let queued = driver.pending_actions();
+        assert!(queued > 1, "need several actions for a multi-slice drain");
+        let state = driver.tuning_state();
+        assert!(state.reconfig_in_flight);
+        assert_eq!(state.stored_instances, 0);
+        assert_eq!(state.actions_deferred as usize, queued);
+
+        // Idle bucket → low utilization, but drain only one action per
+        // slice; the tuning instance is stored only once fully drained.
+        driver.close_bucket();
+        let mut slices = 0;
+        while driver.pending_actions() > 0 {
+            assert_eq!(driver.drain_pending_slice(1).unwrap(), 1);
+            slices += 1;
+            if driver.pending_actions() > 0 {
+                assert!(
+                    driver.config_storage().is_empty(),
+                    "instance stored before the drain completed"
+                );
+            }
+        }
+        assert_eq!(slices, queued);
+        assert_eq!(driver.config_storage().len(), 1);
+        let state = driver.tuning_state();
+        assert!(!state.reconfig_in_flight);
+        assert_eq!(state.actions_applied as usize, queued);
+        let stored = &driver.config_storage().snapshot()[0];
+        assert!(
+            stored.reconfiguration_cost.ms() > 0.0,
+            "accrued over slices"
+        );
+        assert_eq!(stored.config, db.engine().current_config());
+    }
+
+    #[test]
+    fn rollback_restores_baseline_when_nothing_stored() {
+        let db = database();
+        let driver = Driver::builder(db.clone())
+            .features(vec![FeatureKind::Indexing])
+            .build();
+        // Simulate a partial reconfiguration outside the feedback loop.
+        db.apply_config(&[smdb_storage::ConfigAction::CreateIndex {
+            target: smdb_common::ChunkColumnRef::new(0, 0, 0),
+            kind: smdb_storage::IndexKind::Hash,
+        }])
+        .unwrap();
+        assert_ne!(db.engine().current_config(), *driver.baseline_config());
+        let report = driver.rollback_to_last_good("injected failure").unwrap();
+        assert_eq!(report.undo_actions, 1);
+        assert_eq!(db.engine().current_config(), *driver.baseline_config());
+        assert_eq!(driver.config_storage().rollback_count(), 1);
+        assert_eq!(
+            driver.config_storage().rollbacks()[0].cause,
+            "injected failure"
+        );
+        assert_eq!(driver.tuning_state().rollbacks, 1);
+    }
+
+    #[test]
+    fn rollback_targets_latest_stored_instance() {
+        let db = database();
+        let driver = Driver::builder(db.clone()).build();
+        for _ in 0..3 {
+            driver.run_bucket(&queries(30)).unwrap();
+        }
+        driver.force_tune().unwrap();
+        let good = driver.config_storage().latest_config().unwrap();
+        assert_eq!(db.engine().current_config(), good);
+        // A later partial change fails mid-way (simulated): roll back.
+        db.apply_config(&[smdb_storage::ConfigAction::SetKnob {
+            knob: smdb_storage::config::KnobKind::BufferPoolMb,
+            value: 4096.0,
+        }])
+        .unwrap();
+        assert_ne!(db.engine().current_config(), good);
+        driver.rollback_to_last_good("apply failed").unwrap();
+        assert_eq!(db.engine().current_config(), good);
+        // KPI utilization is stale until the next bucket closes.
+        assert_eq!(driver.kpis().current_utilization(), None);
     }
 }

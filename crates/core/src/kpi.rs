@@ -21,7 +21,28 @@ struct Inner {
     latencies: VecDeque<f64>,
     utilization: VecDeque<f64>,
     memory: VecDeque<usize>,
+    /// Queries served per closed bucket (throughput history).
+    bucket_queries: VecDeque<u64>,
     queries_total: u64,
+    /// Queries recorded since the last bucket close.
+    open_bucket_queries: u64,
+    /// Busy ms accumulated since the last bucket close.
+    open_bucket_busy: f64,
+    /// Set by [`KpiCollector::reset_latencies`]: the utilization window
+    /// predates the reconfiguration that cleared the latency window, so
+    /// it must not be reported as current until a new bucket closes.
+    utilization_stale: bool,
+}
+
+/// What one bucket close observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketClose {
+    /// Busy time the bucket spent executing queries.
+    pub busy: Cost,
+    /// Busy time over bucket capacity.
+    pub utilization: f64,
+    /// Queries served in the bucket.
+    pub queries: u64,
 }
 
 /// Thread-safe runtime KPI collector.
@@ -64,6 +85,8 @@ impl KpiCollector {
         }
         inner.latencies.push_back(latency.ms());
         inner.queries_total += 1;
+        inner.open_bucket_queries += 1;
+        inner.open_bucket_busy += latency.ms();
     }
 
     /// Records a memory usage sample.
@@ -76,13 +99,35 @@ impl KpiCollector {
     }
 
     /// Closes a time bucket that spent `busy` ms executing queries.
-    pub fn end_bucket(&self, busy: Cost) {
+    pub fn end_bucket(&self, busy: Cost) -> BucketClose {
         let utilization = (busy.ms() / self.bucket_capacity.ms().max(1e-9)).max(0.0);
         let mut inner = self.inner.lock();
         if inner.utilization.len() == BUCKET_WINDOW {
             inner.utilization.pop_front();
         }
         inner.utilization.push_back(utilization);
+        let queries = inner.open_bucket_queries;
+        if inner.bucket_queries.len() == BUCKET_WINDOW {
+            inner.bucket_queries.pop_front();
+        }
+        inner.bucket_queries.push_back(queries);
+        inner.open_bucket_queries = 0;
+        inner.open_bucket_busy = 0.0;
+        // A fresh bucket supersedes any pre-reset utilization.
+        inner.utilization_stale = false;
+        BucketClose {
+            busy,
+            utilization,
+            queries,
+        }
+    }
+
+    /// Closes a time bucket using the busy time accumulated by
+    /// [`KpiCollector::record_query`] since the previous close — the
+    /// serving-runtime path, where no single caller owns the bucket cost.
+    pub fn end_bucket_accumulated(&self) -> BucketClose {
+        let busy = Cost(self.inner.lock().open_bucket_busy);
+        self.end_bucket(busy)
     }
 
     /// Mean response time over the rolling latency window.
@@ -96,19 +141,47 @@ impl KpiCollector {
 
     /// 95th-percentile response time over the rolling window.
     pub fn p95_response(&self) -> Cost {
+        self.percentile_response(0.95)
+    }
+
+    /// 99th-percentile response time over the rolling window.
+    pub fn p99_response(&self) -> Cost {
+        self.percentile_response(0.99)
+    }
+
+    fn percentile_response(&self, p: f64) -> Cost {
         let inner = self.inner.lock();
         if inner.latencies.is_empty() {
             return Cost::ZERO;
         }
         let mut v: Vec<f64> = inner.latencies.iter().copied().collect();
         v.sort_by(f64::total_cmp);
-        let idx = ((v.len() as f64 * 0.95).ceil() as usize).min(v.len()) - 1;
+        let idx = ((v.len() as f64 * p).ceil() as usize).min(v.len()) - 1;
         Cost(v[idx])
     }
 
-    /// Most recent bucket utilization (`None` before the first bucket).
+    /// Most recent bucket utilization. `None` before the first bucket
+    /// closes, and `None` again after [`KpiCollector::reset_latencies`]
+    /// until a new bucket closes: a reset marks a reconfiguration, and a
+    /// pre-reconfiguration utilization must not steer the Organizer.
     pub fn current_utilization(&self) -> Option<f64> {
-        self.inner.lock().utilization.back().copied()
+        let inner = self.inner.lock();
+        if inner.utilization_stale {
+            return None;
+        }
+        inner.utilization.back().copied()
+    }
+
+    /// Queries served in the most recently closed bucket (`None` before
+    /// the first bucket closes).
+    pub fn last_bucket_throughput(&self) -> Option<u64> {
+        self.inner.lock().bucket_queries.back().copied()
+    }
+
+    /// Per-bucket query counts over the rolling bucket window, oldest
+    /// first.
+    pub fn bucket_throughputs(&self) -> Vec<u64> {
+        self.inner.lock().bucket_queries.iter().copied().collect()
     }
 
     /// Whether the system is idle enough for expensive tunings. Before
@@ -131,9 +204,14 @@ impl KpiCollector {
     }
 
     /// Clears the latency window (used after reconfigurations so the
-    /// feedback loop compares before/after cleanly).
+    /// feedback loop compares before/after cleanly). Also marks the
+    /// utilization window stale: until the next bucket closes,
+    /// [`KpiCollector::current_utilization`] returns `None` instead of a
+    /// pre-reconfiguration figure.
     pub fn reset_latencies(&self) {
-        self.inner.lock().latencies.clear();
+        let mut inner = self.inner.lock();
+        inner.latencies.clear();
+        inner.utilization_stale = true;
     }
 }
 
@@ -173,6 +251,43 @@ mod tests {
         k.record_memory(1000);
         k.record_memory(2000);
         assert_eq!(k.current_memory(), Some(2000));
+    }
+
+    #[test]
+    fn p99_and_bucket_throughput() {
+        let k = KpiCollector::new(Cost(1000.0), 0.3);
+        for i in 1..=100 {
+            k.record_query(Cost(i as f64));
+        }
+        assert_eq!(k.p99_response().ms(), 99.0);
+        assert_eq!(k.last_bucket_throughput(), None, "no bucket closed yet");
+        let close = k.end_bucket_accumulated();
+        assert_eq!(close.queries, 100);
+        assert!((close.busy.ms() - 5050.0).abs() < 1e-9);
+        assert!((close.utilization - 5.05).abs() < 1e-9);
+        assert_eq!(k.last_bucket_throughput(), Some(100));
+        // The next bucket starts from zero.
+        k.record_query(Cost(2.0));
+        let close = k.end_bucket_accumulated();
+        assert_eq!(close.queries, 1);
+        assert_eq!(k.bucket_throughputs(), vec![100, 1]);
+    }
+
+    #[test]
+    fn reset_between_buckets_stales_utilization() {
+        let k = KpiCollector::new(Cost(100.0), 0.3);
+        k.record_query(Cost(90.0));
+        k.end_bucket_accumulated();
+        assert_eq!(k.current_utilization(), Some(0.9));
+        // A reconfiguration resets the latency window mid-bucket: the
+        // 0.9 figure predates the change and must not leak out.
+        k.reset_latencies();
+        assert_eq!(k.current_utilization(), None);
+        assert!(k.is_low_utilization(), "unknown counts as startup-idle");
+        // The next close refreshes the signal.
+        k.record_query(Cost(10.0));
+        k.end_bucket_accumulated();
+        assert_eq!(k.current_utilization(), Some(0.1));
     }
 
     #[test]

@@ -41,15 +41,17 @@ pub mod tuner;
 
 pub use assessor::{Assessor, WhatIfAssessor};
 pub use candidate::{Assessment, Candidate, SelectionInput};
-pub use config_storage::{ConfigStorage, StoredInstance};
+pub use config_storage::{ConfigStorage, RollbackRecord, StoredInstance};
 pub use constraints::ConstraintSet;
-pub use driver::{Driver, DriverBuilder};
+pub use driver::{
+    BucketReport, Driver, DriverBuilder, RollbackReport, TuningRunReport, TuningState,
+};
 pub use enumerator::Enumerator;
-pub use executor::{ExecutionStrategy, Executor};
+pub use executor::{ExecutionReport, ExecutionStrategy, Executor, SequentialExecutor};
 pub use feature::FeatureKind;
-pub use kpi::KpiCollector;
+pub use kpi::{BucketClose, KpiCollector};
 pub use multi::{DependencyReport, MultiFeatureTuner};
-pub use organizer::{Organizer, OrganizerConfig};
+pub use organizer::{Organizer, OrganizerConfig, TuningTrigger};
 pub use plugin::{PluginHost, SelfDrivingPlugin, SelfManagementPlugin};
 pub use selectors::Selector;
 pub use tuner::{Tuner, TuningProposal};

@@ -7,6 +7,8 @@
 //! observed in workload forecasts are significant enough to justify
 //! possibly expensive tunings."
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use parking_lot::Mutex;
 use smdb_common::{Cost, LogicalTime};
 
@@ -22,6 +24,10 @@ pub enum TuningTrigger {
     ForecastShift { ratio: f64 },
     /// The SLA on mean response time is being violated.
     SlaViolation { mean_response: Cost },
+    /// The SLA on tail (p95) response time is being violated.
+    P95Violation { p95_response: Cost },
+    /// Engine memory crossed the configured ceiling.
+    MemoryPressure { bytes: usize },
     /// The caller forced a run.
     Manual,
 }
@@ -53,6 +59,10 @@ impl Default for OrganizerConfig {
 pub struct Organizer {
     pub config: OrganizerConfig,
     last_tuning: Mutex<Option<LogicalTime>>,
+    /// Degraded-mode switch: while set, no tuning triggers fire. The
+    /// runtime pauses tuning after a failed reconfiguration so serving
+    /// continues while the system settles.
+    paused: AtomicBool,
 }
 
 impl Organizer {
@@ -61,12 +71,28 @@ impl Organizer {
         Organizer {
             config,
             last_tuning: Mutex::new(None),
+            paused: AtomicBool::new(false),
         }
     }
 
     /// When the last tuning ran.
     pub fn last_tuning(&self) -> Option<LogicalTime> {
         *self.last_tuning.lock()
+    }
+
+    /// Pauses all tuning triggers (degraded mode).
+    pub fn pause(&self) {
+        self.paused.store(true, Ordering::Relaxed);
+    }
+
+    /// Resumes tuning after a pause.
+    pub fn resume(&self) {
+        self.paused.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether tuning is currently paused.
+    pub fn is_paused(&self) -> bool {
+        self.paused.load(Ordering::Relaxed)
     }
 
     /// Records that a tuning ran at `now`.
@@ -88,6 +114,10 @@ impl Organizer {
         kpis: &KpiCollector,
         constraints: &ConstraintSet,
     ) -> Option<TuningTrigger> {
+        // Degraded mode: a failed reconfiguration paused tuning.
+        if self.is_paused() {
+            return None;
+        }
         // Rate limit.
         if let Some(last) = self.last_tuning() {
             if now.since(last) < self.config.min_interval {
@@ -104,6 +134,15 @@ impl Organizer {
             return Some(TuningTrigger::SlaViolation {
                 mean_response: mean,
             });
+        }
+        let p95 = kpis.p95_response();
+        if constraints.violates_p95(p95) {
+            return Some(TuningTrigger::P95Violation { p95_response: p95 });
+        }
+        if let Some(bytes) = kpis.current_memory() {
+            if constraints.violates_memory(bytes) {
+                return Some(TuningTrigger::MemoryPressure { bytes });
+            }
         }
         // Forecast shift.
         if observed_cost.ms() > 0.0 {
@@ -172,6 +211,65 @@ mod tests {
         };
         let t = o.should_tune(LogicalTime(5), Cost(100.0), Cost(100.0), &k, &constraints);
         assert!(matches!(t, Some(TuningTrigger::SlaViolation { .. })));
+    }
+
+    #[test]
+    fn p95_and_memory_triggers() {
+        let o = organizer();
+        let k = KpiCollector::default();
+        // 100 fast queries, 2 slow outliers: mean stays low, p95 spikes.
+        for _ in 0..100 {
+            k.record_query(Cost(1.0));
+        }
+        for _ in 0..8 {
+            k.record_query(Cost(100.0));
+        }
+        let constraints = ConstraintSet {
+            sla_mean_response: Some(Cost(50.0)),
+            sla_p95_response: Some(Cost(50.0)),
+            ..ConstraintSet::default()
+        };
+        let t = o.should_tune(LogicalTime(5), Cost(100.0), Cost(100.0), &k, &constraints);
+        assert!(
+            matches!(t, Some(TuningTrigger::P95Violation { .. })),
+            "{t:?}"
+        );
+
+        let constraints = ConstraintSet {
+            memory_ceiling_bytes: Some(1_000),
+            ..ConstraintSet::default()
+        };
+        k.record_memory(2_000);
+        let t = o.should_tune(LogicalTime(5), Cost(100.0), Cost(100.0), &k, &constraints);
+        assert!(
+            matches!(t, Some(TuningTrigger::MemoryPressure { bytes: 2_000 })),
+            "{t:?}"
+        );
+    }
+
+    #[test]
+    fn pause_suppresses_all_triggers() {
+        let o = organizer();
+        let k = KpiCollector::default();
+        o.pause();
+        assert!(o.is_paused());
+        let t = o.should_tune(
+            LogicalTime(10),
+            Cost(100.0),
+            Cost(900.0),
+            &k,
+            &ConstraintSet::none(),
+        );
+        assert!(t.is_none(), "paused organizer never fires");
+        o.resume();
+        let t = o.should_tune(
+            LogicalTime(10),
+            Cost(100.0),
+            Cost(900.0),
+            &k,
+            &ConstraintSet::none(),
+        );
+        assert!(t.is_some());
     }
 
     #[test]

@@ -107,9 +107,17 @@ impl Database {
     }
 
     /// Applies configuration actions under the engine write lock,
-    /// returning the summed one-time reconfiguration cost.
+    /// returning the summed one-time reconfiguration cost. A failed
+    /// batch leaves the successfully applied prefix in place.
     pub fn apply_config(&self, actions: &[ConfigAction]) -> Result<Cost> {
         self.engine.write().apply_all(actions)
+    }
+
+    /// Like [`Database::apply_config`], but atomic: a failed batch is
+    /// fully undone under the same write lock, so concurrent readers
+    /// never observe a half-applied batch that will not complete.
+    pub fn apply_config_atomic(&self, actions: &[ConfigAction]) -> Result<Cost> {
+        self.engine.write().apply_all_atomic(actions)
     }
 }
 

@@ -15,16 +15,22 @@
 //!   number of executions of the queries is stored"),
 //! * [`database::Database`] — the execution façade combining
 //!   the storage engine with the plan cache and a *monitoring switch*
-//!   used by the ≤1 % overhead experiment (E2).
+//!   used by the ≤1 % overhead experiment (E2),
+//! * [`session::Session`] / [`session::ResultOracle`] — per-session
+//!   serving statistics with ground-truth result checking, the
+//!   correctness witness of the online runtime (reconfiguration must
+//!   never change what a query returns).
 
 pub mod database;
 pub mod logical;
 pub mod plan_cache;
 pub mod query;
+pub mod session;
 pub mod workload_spec;
 
 pub use database::{Database, QueryRunResult};
 pub use logical::LogicalTemplate;
 pub use plan_cache::{PlanCache, PlanCacheEntry};
 pub use query::Query;
+pub use session::{ResultOracle, Session, SessionStats};
 pub use workload_spec::{WeightedQuery, Workload};

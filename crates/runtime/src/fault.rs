@@ -1,0 +1,221 @@
+//! Fault injection for the apply path.
+//!
+//! [`FaultInjectingExecutor`] behaves like the core
+//! [`smdb_core::SequentialExecutor`] — including its low-utilization
+//! gate — but fails chosen apply *attempts* mid-batch: it applies a
+//! prefix of the slice through the normal (partial-on-error) apply path
+//! and then errors, so the engine is left in exactly the
+//! half-reconfigured state a real mid-apply failure produces. Deferrals
+//! do not count as attempts — the fault plan speaks in terms of actual
+//! configuration work, so the schedule does not depend on how often the
+//! system happened to be busy.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use smdb_common::{Cost, Error, Result};
+use smdb_core::{ExecutionReport, ExecutionStrategy, Executor, KpiCollector};
+use smdb_query::Database;
+use smdb_storage::ConfigAction;
+
+/// Which apply attempts fail (0-based, counted per actual attempt).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    failing_attempts: BTreeSet<usize>,
+}
+
+impl FaultPlan {
+    /// No injected faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Fails exactly the given 0-based attempt indices.
+    pub fn failing_attempts(attempts: impl IntoIterator<Item = usize>) -> Self {
+        FaultPlan {
+            failing_attempts: attempts.into_iter().collect(),
+        }
+    }
+
+    /// Fails every `n`-th attempt (attempts n-1, 2n-1, …) up to `max`
+    /// injected failures.
+    pub fn every_nth(n: usize, max: usize) -> Self {
+        let n = n.max(1);
+        FaultPlan {
+            failing_attempts: (0..max).map(|i| n * (i + 1) - 1).collect(),
+        }
+    }
+
+    fn fails(&self, attempt: usize) -> bool {
+        self.failing_attempts.contains(&attempt)
+    }
+
+    /// Number of faults the plan will inject (given enough attempts).
+    pub fn planned_failures(&self) -> usize {
+        self.failing_attempts.len()
+    }
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    attempts: AtomicUsize,
+    injected: AtomicUsize,
+}
+
+/// A sequential executor that injects apply failures per a [`FaultPlan`].
+///
+/// State is shared through an [`Arc`], so the clone handed to a
+/// [`smdb_core::Driver`] and the one kept by the test observe the same
+/// counters.
+#[derive(Debug, Clone)]
+pub struct FaultInjectingExecutor {
+    strategy: ExecutionStrategy,
+    plan: Arc<FaultPlan>,
+    state: Arc<FaultState>,
+}
+
+impl FaultInjectingExecutor {
+    /// An immediate executor failing the attempts named by `plan`.
+    pub fn immediate(plan: FaultPlan) -> Self {
+        FaultInjectingExecutor {
+            strategy: ExecutionStrategy::Immediate,
+            plan: Arc::new(plan),
+            state: Arc::new(FaultState::default()),
+        }
+    }
+
+    /// A low-utilization-gated executor failing the attempts named by
+    /// `plan` — the serving runtime's configuration.
+    pub fn during_low_utilization(plan: FaultPlan) -> Self {
+        FaultInjectingExecutor {
+            strategy: ExecutionStrategy::DuringLowUtilization,
+            plan: Arc::new(plan),
+            state: Arc::new(FaultState::default()),
+        }
+    }
+
+    /// Actual apply attempts so far (deferrals excluded).
+    pub fn attempts(&self) -> usize {
+        self.state.attempts.load(Ordering::Relaxed)
+    }
+
+    /// Failures injected so far.
+    pub fn injected_failures(&self) -> usize {
+        self.state.injected.load(Ordering::Relaxed)
+    }
+}
+
+impl Executor for FaultInjectingExecutor {
+    fn name(&self) -> &str {
+        "fault_injecting"
+    }
+
+    fn execute(
+        &self,
+        db: &Database,
+        kpis: &KpiCollector,
+        actions: &[ConfigAction],
+    ) -> Result<ExecutionReport> {
+        if self.strategy == ExecutionStrategy::DuringLowUtilization && !kpis.is_low_utilization() {
+            return Ok(ExecutionReport {
+                applied: 0,
+                deferred: actions.len(),
+                reconfiguration_cost: Cost::ZERO,
+            });
+        }
+        if actions.is_empty() {
+            return Ok(ExecutionReport {
+                applied: 0,
+                deferred: 0,
+                reconfiguration_cost: Cost::ZERO,
+            });
+        }
+        let attempt = self.state.attempts.fetch_add(1, Ordering::Relaxed);
+        if self.plan.fails(attempt) {
+            self.state.injected.fetch_add(1, Ordering::Relaxed);
+            // Apply half the slice for real, then fail: the engine is
+            // left mid-reconfiguration, which is what rollback must fix.
+            let partial = actions.len() / 2;
+            db.apply_config(&actions[..partial])?;
+            return Err(Error::Configuration(format!(
+                "injected apply failure at attempt {attempt} ({partial}/{} actions applied)",
+                actions.len()
+            )));
+        }
+        let cost = db.apply_config(actions)?;
+        Ok(ExecutionReport {
+            applied: actions.len(),
+            deferred: 0,
+            reconfiguration_cost: cost,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smdb_common::{ChunkColumnRef, Cost};
+    use smdb_storage::value::ColumnValues;
+    use smdb_storage::{ColumnDef, DataType, IndexKind, Schema, StorageEngine, Table};
+
+    fn db() -> Arc<Database> {
+        let schema = Schema::new(vec![ColumnDef::new("k", DataType::Int)]).unwrap();
+        let table =
+            Table::from_columns("t", schema, vec![ColumnValues::Int((0..200).collect())], 50)
+                .unwrap();
+        let mut engine = StorageEngine::default();
+        engine.create_table(table).unwrap();
+        Database::new(engine)
+    }
+
+    fn create_index(chunk: u32) -> ConfigAction {
+        ConfigAction::CreateIndex {
+            target: ChunkColumnRef::new(0, 0, chunk),
+            kind: IndexKind::Hash,
+        }
+    }
+
+    #[test]
+    fn plan_schedules_attempts() {
+        let plan = FaultPlan::every_nth(3, 2);
+        assert!(!plan.fails(0) && !plan.fails(1));
+        assert!(plan.fails(2) && plan.fails(5));
+        assert!(!plan.fails(8));
+        assert_eq!(plan.planned_failures(), 2);
+        assert_eq!(FaultPlan::none().planned_failures(), 0);
+    }
+
+    #[test]
+    fn failing_attempt_leaves_partial_state() {
+        let db = db();
+        let kpis = KpiCollector::default();
+        let exec = FaultInjectingExecutor::immediate(FaultPlan::failing_attempts([1]));
+        let batch = vec![create_index(0), create_index(1), create_index(2)];
+        // Attempt 0 succeeds.
+        let report = exec.execute(&db, &kpis, &batch[..1]).unwrap();
+        assert_eq!(report.applied, 1);
+        // Attempt 1 applies half (1 of 2) then fails.
+        let err = exec.execute(&db, &kpis, &batch[1..]).unwrap_err();
+        assert!(matches!(err, Error::Configuration(_)), "{err}");
+        assert_eq!(db.engine().current_config().indexes.len(), 2);
+        assert_eq!(exec.attempts(), 2);
+        assert_eq!(exec.injected_failures(), 1);
+    }
+
+    #[test]
+    fn deferral_does_not_consume_an_attempt() {
+        let db = db();
+        let kpis = KpiCollector::new(Cost(10.0), 0.3);
+        kpis.end_bucket(Cost(100.0)); // busy
+        let exec = FaultInjectingExecutor::during_low_utilization(FaultPlan::failing_attempts([0]));
+        let report = exec.execute(&db, &kpis, &[create_index(0)]).unwrap();
+        assert_eq!(report.deferred, 1);
+        assert_eq!(exec.attempts(), 0, "deferral is not an attempt");
+        // Now idle: attempt 0 fires and is the injected failure.
+        kpis.end_bucket(Cost(0.0));
+        let err = exec.execute(&db, &kpis, &[create_index(0)]).unwrap_err();
+        assert!(matches!(err, Error::Configuration(_)));
+        assert_eq!(exec.injected_failures(), 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! # smdb-runtime — the online serving runtime
+//!
+//! Everything below the [`core`](smdb_core) layer is a *library*: you
+//! hand the driver a workload snapshot and it tunes. This crate closes
+//! the loop the paper actually describes — a database **serving live
+//! traffic while managing itself**:
+//!
+//! * [`stream`] pre-generates a deterministic, phased query stream
+//!   (heavy bursts that saturate utilization, light valleys that open
+//!   low-utilization windows);
+//! * [`Runtime`] serves that stream with a pool of reader threads while
+//!   a background tuning thread reacts to live KPI signals
+//!   (utilization, tail latency, memory), drains deferred
+//!   reconfiguration actions in budgeted slices, and
+//! * [`fault`] injects apply failures mid-batch so the rollback path —
+//!   restore the last good [`smdb_core::ConfigStorage`] instance, pause
+//!   tuning, keep serving — is exercised, not just designed.
+//!
+//! The contract under all of it: reconfiguration must never change
+//! query results. Every served answer is checked against a
+//! [`smdb_query::ResultOracle`] captured before tuning starts, and the
+//! merged result digest is identical for any worker count.
+
+pub mod fault;
+pub mod runtime;
+pub mod stream;
+
+pub use fault::{FaultInjectingExecutor, FaultPlan};
+pub use runtime::{Runtime, RuntimeConfig, SoakOutcome, TunerReport};
+pub use stream::{events_database, generate, BucketPlan, Phase, StreamConfig};

@@ -1,0 +1,432 @@
+//! The online serving runtime.
+//!
+//! [`Runtime::run`] serves a pre-generated [`BucketPlan`] stream with a
+//! pool of reader threads while a background tuning thread drives the
+//! self-management loop:
+//!
+//! * **workers** partition each bucket's queries round-robin and serve
+//!   them through [`Session`]s that verify every answer against a
+//!   [`ResultOracle`] — reconfiguration must never change results;
+//! * the **control thread** closes a KPI bucket after each served bucket
+//!   and hands the tuning thread a tick, so tuning decisions always see
+//!   fresh utilization/latency/memory signals;
+//! * the **tuning thread** reacts to each tick *concurrently with the
+//!   next bucket's serving*: it drains deferred actions in budgeted
+//!   slices during low-utilization windows, or asks the organizer
+//!   whether to tune;
+//! * **failures** (e.g. injected by [`FaultInjectingExecutor`]) roll the
+//!   engine back to the last good stored configuration instance and
+//!   pause tuning for a cooldown — serving never stops.
+//!
+//! The workload is pre-generated from a seed and the per-query answer
+//! digest is order-independent, so the served results are identical
+//! regardless of worker count.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use smdb_common::{Cost, Error, Result};
+use smdb_core::{ConstraintSet, Driver, FeatureKind, OrganizerConfig, TuningState};
+use smdb_query::{Database, Query, ResultOracle, Session, SessionStats};
+
+use crate::fault::{FaultInjectingExecutor, FaultPlan};
+use crate::stream::{BucketPlan, Phase};
+
+/// Serving and tuning parameters.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Reader threads serving each bucket.
+    pub workers: usize,
+    /// KPI bucket capacity (ms of query work at 100 % utilization).
+    pub bucket_capacity: Cost,
+    /// Maximum actions applied per low-utilization drain slice.
+    pub slice_budget: usize,
+    /// Buckets tuning stays paused after a failed reconfiguration.
+    pub cooldown_buckets: u64,
+    /// Maximum idle buckets the post-workload drain may take.
+    pub drain_ticks: usize,
+    /// Injected apply failures (attempt-indexed).
+    pub fault_plan: FaultPlan,
+    /// Optional tail-latency SLA handed to the organizer.
+    pub sla_p95: Option<Cost>,
+    /// Organizer forecast-shift threshold.
+    pub cost_delta_threshold: f64,
+    /// Organizer rate limit (buckets between tunings).
+    pub min_tuning_interval: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: 4,
+            bucket_capacity: Cost(2_000.0),
+            slice_budget: 4,
+            cooldown_buckets: 2,
+            drain_ticks: 64,
+            fault_plan: FaultPlan::none(),
+            sla_p95: None,
+            cost_delta_threshold: 0.25,
+            min_tuning_interval: 2,
+        }
+    }
+}
+
+/// What the tuning thread did over a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TunerReport {
+    /// Ticks processed (one per closed bucket).
+    pub ticks: u64,
+    /// Tuning passes the organizer triggered.
+    pub tunings: u64,
+    /// Actions applied via slice-budgeted drains.
+    pub drained: u64,
+    /// Apply failures handled by rolling back.
+    pub failures_handled: u64,
+}
+
+/// Outcome of one soak run.
+#[derive(Debug, Clone)]
+pub struct SoakOutcome {
+    /// Merged serving statistics (queries, errors, wrong results, the
+    /// order-independent result digest).
+    pub stats: SessionStats,
+    /// Buckets served from the plan.
+    pub buckets_served: usize,
+    /// Final snapshot of the driver's tuning machinery.
+    pub tuning: TuningState,
+    /// What the tuning thread did.
+    pub tuner: TunerReport,
+    /// Actual apply attempts (fault-injection counter).
+    pub apply_attempts: usize,
+    /// Failures the fault plan injected.
+    pub injected_failures: usize,
+    /// Mean response over the first heavy bucket (untuned).
+    pub cold_mean: Cost,
+    /// p95 response over the first heavy bucket (untuned).
+    pub cold_p95: Cost,
+    /// Mean response over the last heavy bucket (tuned).
+    pub tuned_mean: Cost,
+    /// p95 response over the last heavy bucket (tuned).
+    pub tuned_p95: Cost,
+}
+
+/// The serving runtime: a database, its driver, and the fault-injecting
+/// executor handle.
+pub struct Runtime {
+    db: Arc<Database>,
+    driver: Arc<Driver>,
+    executor: FaultInjectingExecutor,
+    config: RuntimeConfig,
+}
+
+impl Runtime {
+    /// Wires a driver (indexing + compression, low-utilization-gated
+    /// fault-injecting executor) around `db`.
+    pub fn new(db: Arc<Database>, config: RuntimeConfig) -> Runtime {
+        let executor = FaultInjectingExecutor::during_low_utilization(config.fault_plan.clone());
+        let driver = Arc::new(
+            Driver::builder(db.clone())
+                .features(vec![FeatureKind::Indexing, FeatureKind::Compression])
+                .executor(Box::new(executor.clone()))
+                .organizer(OrganizerConfig {
+                    cost_delta_threshold: config.cost_delta_threshold,
+                    min_interval: config.min_tuning_interval,
+                    require_low_utilization: false,
+                })
+                .constraints(ConstraintSet {
+                    sla_p95_response: config.sla_p95,
+                    ..ConstraintSet::none()
+                })
+                .kpi_bucket_capacity(config.bucket_capacity)
+                .build(),
+        );
+        Runtime {
+            db,
+            driver,
+            executor,
+            config,
+        }
+    }
+
+    /// The database being served.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The self-management driver.
+    pub fn driver(&self) -> &Arc<Driver> {
+        &self.driver
+    }
+
+    /// Serves the whole plan. Returns the merged statistics, the final
+    /// tuning state and cold-vs-tuned latency figures.
+    pub fn run(&self, plan: &[BucketPlan]) -> Result<SoakOutcome> {
+        let oracle = Arc::new(ResultOracle::capture(
+            &self.db,
+            plan.iter().flat_map(|b| b.queries.iter()),
+        )?);
+
+        let mut total = SessionStats::default();
+        let mut bucket_latencies: Vec<(Phase, Vec<f64>)> = Vec::with_capacity(plan.len());
+        let mut buckets_served = 0usize;
+
+        let tuner_report = std::thread::scope(|scope| -> Result<TunerReport> {
+            // Capacity 1: the control thread may run at most one bucket
+            // ahead of the tuning thread, so ticks are never lost and
+            // tuning genuinely overlaps serving.
+            let (tx, rx) = mpsc::sync_channel::<bool>(1);
+            let tuner = {
+                let driver = Arc::clone(&self.driver);
+                let config = self.config.clone();
+                scope.spawn(move || tuner_loop(&driver, &config, &rx))
+            };
+            for bucket in plan {
+                let (stats, latencies) = self.serve_bucket(&bucket.queries, &oracle)?;
+                total.merge(&stats);
+                bucket_latencies.push((bucket.phase, latencies));
+                buckets_served += 1;
+                self.driver.close_bucket();
+                if tx.send(true).is_err() {
+                    // The tuning thread exited early (rollback failure);
+                    // stop serving and surface its error below.
+                    break;
+                }
+            }
+            let _ = tx.send(false);
+            tuner
+                .join()
+                .map_err(|_| Error::invalid("tuning thread panicked"))?
+        })?;
+
+        // Post-workload cooldown: idle buckets drain whatever is still
+        // queued so the run ends with a settled configuration.
+        let mut ticks = 0usize;
+        while self.driver.pending_actions() > 0 && ticks < self.config.drain_ticks {
+            self.driver.close_bucket();
+            if let Err(cause) = self.driver.drain_pending_slice(self.config.slice_budget) {
+                self.driver.rollback_to_last_good(&cause.to_string())?;
+            }
+            ticks += 1;
+        }
+
+        let (cold_mean, cold_p95) = heavy_metrics(&bucket_latencies, true);
+        let (tuned_mean, tuned_p95) = heavy_metrics(&bucket_latencies, false);
+        Ok(SoakOutcome {
+            stats: total,
+            buckets_served,
+            tuning: self.driver.tuning_state(),
+            tuner: tuner_report,
+            apply_attempts: self.executor.attempts(),
+            injected_failures: self.executor.injected_failures(),
+            cold_mean,
+            cold_p95,
+            tuned_mean,
+            tuned_p95,
+        })
+    }
+
+    /// Serves one bucket with the worker pool: queries are partitioned
+    /// round-robin, each worker verifies against the oracle and feeds
+    /// the driver's KPI window.
+    fn serve_bucket(
+        &self,
+        queries: &[Query],
+        oracle: &Arc<ResultOracle>,
+    ) -> Result<(SessionStats, Vec<f64>)> {
+        let workers = self.config.workers.max(1);
+        let mut merged = SessionStats::default();
+        let mut latencies = Vec::with_capacity(queries.len());
+        std::thread::scope(|scope| -> Result<()> {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let db = Arc::clone(&self.db);
+                    let oracle = Arc::clone(oracle);
+                    let driver = Arc::clone(&self.driver);
+                    scope.spawn(move || {
+                        let mut session = Session::with_oracle(db, w as u64, oracle);
+                        let mut lats = Vec::new();
+                        for q in queries.iter().skip(w).step_by(workers) {
+                            // Engine errors are counted in the session
+                            // stats; serving continues.
+                            if let Ok(r) = session.run(q) {
+                                driver.record_query(r.output.sim_cost);
+                                lats.push(r.output.sim_cost.ms());
+                            }
+                        }
+                        (session.into_stats(), lats)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (stats, lats) = handle
+                    .join()
+                    .map_err(|_| Error::invalid("worker thread panicked"))?;
+                merged.merge(&stats);
+                latencies.extend(lats);
+            }
+            Ok(())
+        })?;
+        Ok((merged, latencies))
+    }
+}
+
+/// The tuning thread: one step per closed bucket.
+fn tuner_loop(
+    driver: &Driver,
+    config: &RuntimeConfig,
+    rx: &mpsc::Receiver<bool>,
+) -> Result<TunerReport> {
+    let mut report = TunerReport::default();
+    let mut cooldown = 0u64;
+    while let Ok(tick) = rx.recv() {
+        if !tick {
+            break;
+        }
+        report.ticks += 1;
+        if driver.organizer().is_paused() {
+            // Degraded mode after a rollback: serve-only until the
+            // cooldown elapses.
+            cooldown = cooldown.saturating_sub(1);
+            if cooldown == 0 {
+                driver.organizer().resume();
+            }
+            continue;
+        }
+        let step: Result<()> = if driver.pending_actions() > 0 {
+            driver.drain_pending_slice(config.slice_budget).map(|n| {
+                report.drained += n as u64;
+            })
+        } else {
+            driver.maybe_tune().map(|run| {
+                if run.is_some() {
+                    report.tunings += 1;
+                }
+            })
+        };
+        if let Err(cause) = step {
+            // A failed apply left the engine mid-reconfiguration: restore
+            // the last good instance, then pause tuning. If even the
+            // rollback fails the loop exits with the error — serving is
+            // unaffected, but the run reports the broken state.
+            driver.rollback_to_last_good(&cause.to_string())?;
+            report.failures_handled += 1;
+            driver.organizer().pause();
+            cooldown = config.cooldown_buckets.max(1);
+        }
+    }
+    Ok(report)
+}
+
+/// Mean and p95 over the first (`first = true`) or last heavy bucket.
+fn heavy_metrics(buckets: &[(Phase, Vec<f64>)], first: bool) -> (Cost, Cost) {
+    let mut iter = buckets.iter().filter(|(p, _)| *p == Phase::Heavy);
+    let found = if first { iter.next() } else { iter.next_back() };
+    let Some((_, lats)) = found else {
+        return (Cost::ZERO, Cost::ZERO);
+    };
+    if lats.is_empty() {
+        return (Cost::ZERO, Cost::ZERO);
+    }
+    let mean = lats.iter().sum::<f64>() / lats.len() as f64;
+    let mut sorted = lats.clone();
+    sorted.sort_by(f64::total_cmp);
+    let idx = ((sorted.len() as f64 * 0.95).ceil() as usize).min(sorted.len()) - 1;
+    (Cost(mean), Cost(sorted[idx]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{events_database, generate, StreamConfig};
+
+    fn small_plan() -> (Arc<Database>, Vec<BucketPlan>) {
+        let (db, table) = events_database(6, 500).expect("fixture builds");
+        let config = StreamConfig {
+            buckets: 10,
+            heavy_queries: 60,
+            light_queries: 8,
+            heavy_len: 3,
+            light_len: 2,
+            ..StreamConfig::default()
+        };
+        (db, generate(table, 3_000, &config))
+    }
+
+    #[test]
+    fn soak_serves_everything_correctly_and_tunes() {
+        let (db, plan) = small_plan();
+        let runtime = Runtime::new(
+            db,
+            RuntimeConfig {
+                workers: 3,
+                bucket_capacity: Cost(500.0),
+                ..RuntimeConfig::default()
+            },
+        );
+        let outcome = runtime.run(&plan).expect("soak runs");
+        let planned: usize = plan.iter().map(|b| b.queries.len()).sum();
+        assert_eq!(outcome.stats.queries as usize, planned);
+        assert_eq!(outcome.stats.errors, 0);
+        assert_eq!(outcome.stats.wrong_results, 0);
+        assert_eq!(outcome.buckets_served, plan.len());
+        assert!(outcome.tuning.actions_applied > 0, "{:?}", outcome.tuning);
+        assert_eq!(outcome.tuning.pending_actions, 0, "drained at the end");
+        assert!(outcome.cold_mean.ms() > 0.0);
+        assert!(
+            outcome.tuned_mean.ms() < outcome.cold_mean.ms(),
+            "tuning should speed up the heavy phase: cold {} tuned {}",
+            outcome.cold_mean,
+            outcome.tuned_mean
+        );
+    }
+
+    #[test]
+    fn digest_is_worker_count_invariant() {
+        let (db_a, plan) = small_plan();
+        let (db_b, _) = small_plan();
+        let a = Runtime::new(
+            db_a,
+            RuntimeConfig {
+                workers: 1,
+                bucket_capacity: Cost(500.0),
+                ..RuntimeConfig::default()
+            },
+        )
+        .run(&plan)
+        .expect("runs");
+        let b = Runtime::new(
+            db_b,
+            RuntimeConfig {
+                workers: 4,
+                bucket_capacity: Cost(500.0),
+                ..RuntimeConfig::default()
+            },
+        )
+        .run(&plan)
+        .expect("runs");
+        assert_eq!(a.stats.queries, b.stats.queries);
+        assert_eq!(a.stats.result_digest, b.stats.result_digest);
+        assert_eq!(a.stats.wrong_results + b.stats.wrong_results, 0);
+    }
+
+    #[test]
+    fn injected_failures_roll_back_and_serving_survives() {
+        let (db, plan) = small_plan();
+        let runtime = Runtime::new(
+            db,
+            RuntimeConfig {
+                workers: 2,
+                bucket_capacity: Cost(500.0),
+                fault_plan: FaultPlan::failing_attempts([0]),
+                ..RuntimeConfig::default()
+            },
+        );
+        let outcome = runtime.run(&plan).expect("soak survives the fault");
+        assert_eq!(outcome.stats.wrong_results, 0);
+        assert_eq!(outcome.stats.errors, 0);
+        assert_eq!(outcome.injected_failures, 1);
+        assert_eq!(outcome.tuning.rollbacks, 1);
+        assert!(outcome.tuner.failures_handled >= 1);
+        assert_eq!(outcome.tuning.pending_actions, 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Deterministic phased workload stream.
+//!
+//! The soak fixture: an `events` table spread over many chunks and a
+//! bucket-by-bucket query plan alternating *heavy* segments (high volume
+//! — utilization saturates, the executor defers) and *light* segments
+//! (low volume — the low-utilization windows in which deferred actions
+//! drain). The phase swings are also what makes the Organizer fire: the
+//! moving-average forecast lags each volume shift by design.
+//!
+//! Everything is generated from one seed, up front, on one thread — the
+//! serving runtime only partitions the pre-built plan, so the workload
+//! is identical regardless of worker count.
+
+use std::sync::Arc;
+
+use rand::RngExt;
+use smdb_common::rng::{derive_seed, seeded_rng};
+use smdb_common::{ColumnId, Result, TableId};
+use smdb_query::{Database, Query};
+use smdb_storage::value::ColumnValues;
+use smdb_storage::{
+    Aggregate, AggregateOp, ColumnDef, DataType, ScanPredicate, Schema, StorageEngine, Table,
+};
+
+/// Serving intensity of one bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// High query volume: utilization saturates, reconfiguration defers.
+    Heavy,
+    /// Low query volume: the low-utilization window tuning waits for.
+    Light,
+}
+
+/// One bucket's worth of pre-generated queries.
+#[derive(Debug, Clone)]
+pub struct BucketPlan {
+    pub phase: Phase,
+    pub queries: Vec<Query>,
+}
+
+/// Shape of the generated stream.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Workload seed; every query literal derives from it.
+    pub seed: u64,
+    /// Total buckets to generate.
+    pub buckets: usize,
+    /// Queries per heavy bucket.
+    pub heavy_queries: usize,
+    /// Queries per light bucket.
+    pub light_queries: usize,
+    /// Consecutive heavy buckets per cycle.
+    pub heavy_len: usize,
+    /// Consecutive light buckets per cycle.
+    pub light_len: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            seed: 42,
+            buckets: 24,
+            heavy_queries: 160,
+            light_queries: 16,
+            heavy_len: 5,
+            light_len: 3,
+        }
+    }
+}
+
+/// Number of distinct `k` values in the events table.
+pub const K_CARDINALITY: i64 = 100;
+/// Number of distinct `grp` values.
+pub const GRP_CARDINALITY: i64 = 8;
+
+/// Builds the `events` database: columns `k` (skewless point-lookup
+/// key), `v` (float payload), `grp` (low-cardinality group key) and `ts`
+/// (sorted, so range scans prune chunks), spread over `chunks` chunks of
+/// `chunk_rows` rows. Returns the database and the table id.
+pub fn events_database(chunks: usize, chunk_rows: usize) -> Result<(Arc<Database>, TableId)> {
+    let rows = (chunks * chunk_rows) as i64;
+    let schema = Schema::new(vec![
+        ColumnDef::new("k", DataType::Int),
+        ColumnDef::new("v", DataType::Float),
+        ColumnDef::new("grp", DataType::Int),
+        ColumnDef::new("ts", DataType::Int),
+    ])?;
+    let table = Table::from_columns(
+        "events",
+        schema,
+        vec![
+            ColumnValues::Int((0..rows).map(|i| i % K_CARDINALITY).collect()),
+            ColumnValues::Float((0..rows).map(|i| ((i % 997) as f64) * 0.5).collect()),
+            ColumnValues::Int((0..rows).map(|i| i % GRP_CARDINALITY).collect()),
+            ColumnValues::Int((0..rows).collect()),
+        ],
+        chunk_rows,
+    )?;
+    let mut engine = StorageEngine::default();
+    let table_id = engine.create_table(table)?;
+    Ok((Database::new(engine), table_id))
+}
+
+/// Generates the full bucket plan for `config`.
+pub fn generate(table: TableId, rows: i64, config: &StreamConfig) -> Vec<BucketPlan> {
+    let mut rng = seeded_rng(derive_seed(config.seed, 0xB0C4));
+    let cycle = (config.heavy_len + config.light_len).max(1);
+    (0..config.buckets)
+        .map(|b| {
+            let phase = if b % cycle < config.heavy_len {
+                Phase::Heavy
+            } else {
+                Phase::Light
+            };
+            let n = match phase {
+                Phase::Heavy => config.heavy_queries,
+                Phase::Light => config.light_queries,
+            };
+            let queries = (0..n).map(|_| one_query(table, rows, &mut rng)).collect();
+            BucketPlan { phase, queries }
+        })
+        .collect()
+}
+
+/// Draws one query from the template mix: point-sum on `k` (dominant,
+/// index-tunable), grouped sum by `grp`, and a pruned range-sum on `ts`.
+fn one_query(table: TableId, rows: i64, rng: &mut rand::rngs::StdRng) -> Query {
+    let pick: f64 = rng.random();
+    if pick < 0.70 {
+        Query::new(
+            table,
+            "events",
+            vec![ScanPredicate::eq(
+                ColumnId(0),
+                rng.random_range(0..K_CARDINALITY),
+            )],
+            Some(Aggregate::new(AggregateOp::Sum, ColumnId(1))),
+            "point_k_sum_v",
+        )
+    } else if pick < 0.85 {
+        Query::new(
+            table,
+            "events",
+            vec![ScanPredicate::eq(
+                ColumnId(0),
+                rng.random_range(0..K_CARDINALITY),
+            )],
+            Some(Aggregate::new(AggregateOp::Sum, ColumnId(1))),
+            "grouped_k_by_grp",
+        )
+        .with_group_by(ColumnId(2))
+    } else {
+        let lo = rng.random_range(0..rows.max(2) - 1);
+        let hi = (lo + rows / 64).min(rows - 1);
+        Query::new(
+            table,
+            "events",
+            vec![ScanPredicate::between(ColumnId(3), lo, hi)],
+            Some(Aggregate::new(AggregateOp::Sum, ColumnId(1))),
+            "range_ts_sum_v",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = StreamConfig::default();
+        let a = generate(TableId(0), 24_000, &config);
+        let b = generate(TableId(0), 24_000, &config);
+        assert_eq!(a.len(), config.buckets);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.phase, y.phase);
+            assert_eq!(x.queries, y.queries);
+        }
+        let mut c2 = config.clone();
+        c2.seed = 43;
+        let c = generate(TableId(0), 24_000, &c2);
+        assert_ne!(a[0].queries, c[0].queries, "different seed, different plan");
+    }
+
+    #[test]
+    fn phases_cycle_heavy_then_light() {
+        let config = StreamConfig {
+            buckets: 10,
+            heavy_len: 3,
+            light_len: 2,
+            ..StreamConfig::default()
+        };
+        let plan = generate(TableId(0), 24_000, &config);
+        let phases: Vec<Phase> = plan.iter().map(|b| b.phase).collect();
+        assert_eq!(
+            phases,
+            vec![
+                Phase::Heavy,
+                Phase::Heavy,
+                Phase::Heavy,
+                Phase::Light,
+                Phase::Light,
+                Phase::Heavy,
+                Phase::Heavy,
+                Phase::Heavy,
+                Phase::Light,
+                Phase::Light,
+            ]
+        );
+        assert_eq!(plan[0].queries.len(), config.heavy_queries);
+        assert_eq!(plan[3].queries.len(), config.light_queries);
+    }
+
+    #[test]
+    fn events_database_has_the_declared_shape() {
+        let (db, table) = events_database(12, 2_000).unwrap();
+        let engine = db.engine();
+        let t = engine.table(table).unwrap();
+        assert_eq!(t.chunk_count(), 12);
+        assert_eq!(t.rows(), 24_000);
+        // Every generated query answers without error.
+        drop(engine);
+        for bucket in generate(table, 24_000, &StreamConfig::default())
+            .iter()
+            .take(2)
+        {
+            for q in &bucket.queries {
+                db.run_query(q).unwrap();
+            }
+        }
+    }
+}

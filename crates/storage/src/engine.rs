@@ -157,10 +157,13 @@ impl StorageEngine {
                     if let Some(idx) = chunk.index(col) {
                         config.indexes.insert(target, idx.kind());
                     }
+                    // A schema column always has a segment; a mismatch is
+                    // treated as "unencoded" rather than a panic so the
+                    // snapshot path can never poison a running server.
                     let enc = chunk
                         .segment(col)
-                        .expect("segment exists for schema column")
-                        .encoding();
+                        .map(|s| s.encoding())
+                        .unwrap_or(crate::encoding::EncodingKind::Unencoded);
                     if enc != crate::encoding::EncodingKind::Unencoded {
                         config.encodings.insert(target, enc);
                     }
@@ -227,12 +230,122 @@ impl StorageEngine {
 
     /// Applies a list of actions, summing one-time costs. Stops at the
     /// first failure.
+    ///
+    /// Failure leaves the successfully applied prefix in place (DDL-batch
+    /// semantics); use [`StorageEngine::apply_all_atomic`] when a failed
+    /// batch must leave the configuration untouched.
     pub fn apply_all(&mut self, actions: &[ConfigAction]) -> Result<Cost> {
         let mut total = Cost::ZERO;
         for a in actions {
             total += self.apply_action(a)?;
         }
         Ok(total)
+    }
+
+    /// The action that undoes `action` given the engine's *current*
+    /// state. Errors when the action is not applicable (e.g. dropping an
+    /// index that does not exist) — in which case applying it would fail
+    /// too.
+    pub fn inverse_of(&self, action: &ConfigAction) -> Result<ConfigAction> {
+        match action {
+            ConfigAction::CreateIndex { target, .. } => {
+                Ok(ConfigAction::DropIndex { target: *target })
+            }
+            ConfigAction::DropIndex { target } => {
+                let chunk = self.table(target.table)?.chunk(target.chunk)?;
+                let kind = chunk
+                    .index(target.column)
+                    .map(|idx| idx.kind())
+                    .ok_or_else(|| Error::Configuration(format!("no index to drop at {target}")))?;
+                Ok(ConfigAction::CreateIndex {
+                    target: *target,
+                    kind,
+                })
+            }
+            ConfigAction::SetEncoding { target, .. } => {
+                let chunk = self.table(target.table)?.chunk(target.chunk)?;
+                let prior = chunk.segment(target.column)?.encoding();
+                Ok(ConfigAction::SetEncoding {
+                    target: *target,
+                    kind: prior,
+                })
+            }
+            ConfigAction::SetPlacement { table, chunk, .. } => {
+                let prior = self.table(*table)?.chunk(*chunk)?.tier();
+                Ok(ConfigAction::SetPlacement {
+                    table: *table,
+                    chunk: *chunk,
+                    tier: prior,
+                })
+            }
+            ConfigAction::SetKnob { knob, .. } => {
+                let prior = match knob {
+                    crate::config::KnobKind::BufferPoolMb => self.knobs.buffer_pool_mb,
+                };
+                Ok(ConfigAction::SetKnob {
+                    knob: *knob,
+                    value: prior,
+                })
+            }
+        }
+    }
+
+    /// Applies a list of actions atomically: if any action fails, every
+    /// already-applied action of the batch is undone (in reverse order)
+    /// before the error is returned, so a failed batch leaves the
+    /// configuration exactly as it was.
+    ///
+    /// The one-time cost of a failed batch is not charged; a batch either
+    /// lands completely or not at all. Should the undo itself fail — the
+    /// engine mutated underneath us, impossible while the caller holds
+    /// the engine write lock — the combined error is reported instead of
+    /// panicking.
+    pub fn apply_all_atomic(&mut self, actions: &[ConfigAction]) -> Result<Cost> {
+        let mut undo: Vec<ConfigAction> = Vec::with_capacity(actions.len());
+        let mut total = Cost::ZERO;
+        for action in actions {
+            let inverse = self.inverse_of(action);
+            match (inverse, action) {
+                (Ok(inv), _) => match self.apply_action(action) {
+                    Ok(cost) => {
+                        total += cost;
+                        undo.push(inv);
+                    }
+                    Err(e) => {
+                        self.undo_applied(&undo, &e)?;
+                        return Err(e);
+                    }
+                },
+                // No inverse means the action itself is invalid; surface
+                // its own application error after rolling back the prefix.
+                (Err(_), _) => {
+                    let e = match self.apply_action(action) {
+                        Err(e) => e,
+                        // Applied without a known inverse: refuse to
+                        // continue half-reversible and report it.
+                        Ok(_) => Error::Configuration(format!(
+                            "action {action} applied but has no inverse; batch aborted"
+                        )),
+                    };
+                    self.undo_applied(&undo, &e)?;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Reverts `undo` (inverses of an applied prefix, in application
+    /// order). On secondary failure, wraps both errors.
+    fn undo_applied(&mut self, undo: &[ConfigAction], cause: &Error) -> Result<()> {
+        for inv in undo.iter().rev() {
+            if let Err(e2) = self.apply_action(inv) {
+                return Err(Error::Configuration(format!(
+                    "rollback of failed batch ({cause}) itself failed: {e2}"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Executes a predicate scan (+ optional aggregate) with ground-truth
@@ -312,12 +425,14 @@ impl StorageEngine {
             let mut remaining: Vec<&ScanPredicate> = predicates.iter().collect();
 
             // Composite-index fast path: a pair of equality predicates
-            // answered by one multi-attribute probe.
-            if let Some((i, j)) = composite_pair(chunk, &remaining) {
+            // answered by one multi-attribute probe. If the index is gone
+            // by lookup time (cannot happen under the engine lock, but
+            // this path must never panic mid-serve) we fall through to
+            // the generic scan below.
+            let composite = composite_pair(chunk, &remaining)
+                .and_then(|(i, j)| chunk.index(remaining[i].column).map(|idx| (i, j, idx)));
+            if let Some((i, j, idx)) = composite {
                 let (first, second) = (remaining[i], remaining[j]);
-                let idx = chunk
-                    .index(first.column)
-                    .expect("checked by composite_pair");
                 idx.probe_composite(&first.value, &second.value, &mut positions);
                 out.index_probes += 1;
                 out.sim_cost += Cost(
@@ -863,6 +978,86 @@ mod tests {
             })
             .unwrap();
         assert!(build_dict.ms() < build.ms());
+    }
+
+    #[test]
+    fn apply_all_atomic_rolls_back_failed_batch() {
+        let (mut engine, t) = engine_with_table();
+        engine
+            .apply_action(&ConfigAction::SetEncoding {
+                target: ChunkColumnRef::new(t.0, 0, 1),
+                kind: EncodingKind::Dictionary,
+            })
+            .unwrap();
+        let before = engine.current_config();
+        // Batch: valid index + valid encoding + invalid placement.
+        let batch = vec![
+            ConfigAction::CreateIndex {
+                target: ChunkColumnRef::new(t.0, 0, 0),
+                kind: IndexKind::Hash,
+            },
+            ConfigAction::SetEncoding {
+                target: ChunkColumnRef::new(t.0, 0, 1),
+                kind: EncodingKind::RunLength,
+            },
+            ConfigAction::SetPlacement {
+                table: t,
+                chunk: ChunkId(0),
+                tier: crate::placement::Tier::Hot, // already hot: fails
+            },
+        ];
+        assert!(engine.apply_all_atomic(&batch).is_err());
+        // The whole batch was undone, including the re-encoding.
+        assert_eq!(engine.current_config(), before);
+        // A valid batch lands completely and reports a positive cost.
+        let ok = engine.apply_all_atomic(&batch[..2]).unwrap();
+        assert!(ok.ms() > 0.0);
+        assert_eq!(engine.current_config().indexes.len(), 1);
+    }
+
+    #[test]
+    fn inverse_of_round_trips_every_action_kind() {
+        let (mut engine, t) = engine_with_table();
+        let actions = vec![
+            ConfigAction::CreateIndex {
+                target: ChunkColumnRef::new(t.0, 0, 0),
+                kind: IndexKind::BTree,
+            },
+            ConfigAction::SetEncoding {
+                target: ChunkColumnRef::new(t.0, 0, 1),
+                kind: EncodingKind::Dictionary,
+            },
+            ConfigAction::SetPlacement {
+                table: t,
+                chunk: ChunkId(2),
+                tier: crate::placement::Tier::Warm,
+            },
+            ConfigAction::SetKnob {
+                knob: crate::config::KnobKind::BufferPoolMb,
+                value: 256.0,
+            },
+        ];
+        let before = engine.current_config();
+        let mut inverses = Vec::new();
+        for a in &actions {
+            inverses.push(engine.inverse_of(a).unwrap());
+            engine.apply_action(a).unwrap();
+        }
+        // Dropping the created index inverts to recreating it with kind.
+        let drop = ConfigAction::DropIndex {
+            target: ChunkColumnRef::new(t.0, 0, 0),
+        };
+        assert_eq!(
+            engine.inverse_of(&drop).unwrap(),
+            ConfigAction::CreateIndex {
+                target: ChunkColumnRef::new(t.0, 0, 0),
+                kind: IndexKind::BTree,
+            }
+        );
+        for inv in inverses.iter().rev() {
+            engine.apply_action(inv).unwrap();
+        }
+        assert_eq!(engine.current_config(), before);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! * [`forecast`] — the workload predictor (clustering, analyzers, scenarios),
 //! * [`lp`] — simplex + branch-and-bound ILP and the feature-ordering model,
 //! * [`core`] — the framework itself (driver, organizer, tuner pipeline),
+//! * [`runtime`] — the online serving runtime (worker pool, background
+//!   tuning thread, fault injection and rollback),
 //! * [`workload`] — deterministic data and workload generators.
 //!
 //! ```
@@ -69,6 +71,7 @@ pub use smdb_cost as cost;
 pub use smdb_forecast as forecast;
 pub use smdb_lp as lp;
 pub use smdb_query as query;
+pub use smdb_runtime as runtime;
 pub use smdb_storage as storage;
 pub use smdb_workload as workload;
 

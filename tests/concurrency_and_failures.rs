@@ -1,12 +1,17 @@
 //! Concurrency and failure-injection tests: the database facade must
 //! serve queries while configurations are applied, and the framework
-//! must propagate (not swallow) engine errors.
+//! must propagate (not swallow) engine errors. The runtime soak tests
+//! at the bottom exercise the full online loop — worker pool, live
+//! tuning thread, injected apply failures and rollback.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use smdb::common::{ChunkColumnRef, ColumnId, TableId};
+use smdb::common::{ChunkColumnRef, ColumnId, Cost, TableId};
 use smdb::query::{Database, Query};
+use smdb::runtime::{
+    events_database, generate, BucketPlan, FaultPlan, Runtime, RuntimeConfig, StreamConfig,
+};
 use smdb::storage::value::ColumnValues;
 use smdb::storage::{
     ColumnDef, ConfigAction, DataType, IndexKind, ScanPredicate, Schema, StorageEngine, Table,
@@ -159,4 +164,122 @@ fn monitoring_is_thread_safe_under_contention() {
     assert_eq!(db.plan_cache().len(), 1);
     let fp = query(0).fingerprint();
     assert_eq!(db.plan_cache().get(fp).expect("entry").executions, 800);
+}
+
+/// The bench `soak` binary's fixture, reused verbatim so the tier-1
+/// gate and `BENCH_runtime.json` measure the same scenario.
+fn soak_fixture() -> (Arc<Database>, Vec<BucketPlan>) {
+    let (db, table) = events_database(24, 1_000).expect("fixture builds");
+    let stream = StreamConfig {
+        buckets: 40,
+        ..StreamConfig::default()
+    };
+    (db, generate(table, 24_000, &stream))
+}
+
+fn soak_runtime(db: Arc<Database>, workers: usize) -> Runtime {
+    Runtime::new(
+        db,
+        RuntimeConfig {
+            workers,
+            bucket_capacity: Cost(800.0),
+            slice_budget: 6,
+            fault_plan: FaultPlan::failing_attempts([0, 1, 2]),
+            sla_p95: Some(Cost(1.0)),
+            ..RuntimeConfig::default()
+        },
+    )
+}
+
+#[test]
+fn runtime_soak_tunes_online_and_rolls_back_injected_failures() {
+    let (db, plan) = soak_fixture();
+    let runtime = soak_runtime(Arc::clone(&db), 4);
+    let outcome = runtime.run(&plan).expect("soak survives its faults");
+
+    // Correctness under concurrent reconfiguration: every planned query
+    // was served and every answer matched the pre-tuning oracle.
+    let planned: usize = plan.iter().map(|b| b.queries.len()).sum();
+    assert_eq!(outcome.stats.queries as usize, planned);
+    assert_eq!(outcome.stats.errors, 0, "serving never errored");
+    assert_eq!(outcome.stats.wrong_results, 0, "zero wrong results");
+
+    // The self-management loop did real online work.
+    assert!(
+        outcome.tuning.actions_applied >= 20,
+        "expected >= 20 online actions, got {}",
+        outcome.tuning.actions_applied
+    );
+    assert!(
+        outcome.injected_failures >= 3,
+        "expected >= 3 injected failures, got {}",
+        outcome.injected_failures
+    );
+    assert_eq!(
+        outcome.tuning.rollbacks, outcome.injected_failures,
+        "every injected failure rolled back"
+    );
+    assert_eq!(outcome.tuning.pending_actions, 0, "queue drained at end");
+    assert!(
+        !outcome.tuning.paused,
+        "tuning recovered from its cooldowns"
+    );
+
+    // Every rollback restored the *prior* good ConfigStorage instance:
+    // the injected failures all precede the first complete application,
+    // so each restored configuration is the build-time baseline.
+    let driver = runtime.driver();
+    let records = driver.config_storage().rollbacks();
+    assert_eq!(records.len(), outcome.tuning.rollbacks);
+    for record in &records {
+        assert_eq!(
+            &record.restored_config,
+            driver.baseline_config(),
+            "rollback target is the last good instance"
+        );
+        assert!(!record.abandoned_actions.is_empty() || !record.cause.is_empty());
+    }
+
+    // Once a reconfiguration finally sticks it is stored, and the
+    // engine's live configuration is exactly that instance.
+    assert!(outcome.tuning.stored_instances >= 1);
+    let latest = driver
+        .config_storage()
+        .latest_config()
+        .expect("a tuned instance was stored");
+    assert_eq!(db.engine().current_config(), latest);
+    assert!(
+        outcome.tuned_mean.ms() < outcome.cold_mean.ms(),
+        "tuned heavy phase ({}) faster than cold ({})",
+        outcome.tuned_mean,
+        outcome.cold_mean
+    );
+}
+
+#[test]
+fn runtime_soak_results_are_identical_across_worker_counts() {
+    // Smaller stream, same machinery: the merged digest must not depend
+    // on how the bucket is partitioned over threads.
+    let fixture = || {
+        let (db, table) = events_database(6, 500).expect("fixture builds");
+        let stream = StreamConfig {
+            buckets: 10,
+            heavy_queries: 60,
+            light_queries: 8,
+            heavy_len: 3,
+            light_len: 2,
+            ..StreamConfig::default()
+        };
+        (db, generate(table, 3_000, &stream))
+    };
+    let (db2, plan) = fixture();
+    let (db4, _) = fixture();
+    let two = soak_runtime(db2, 2).run(&plan).expect("2-worker soak runs");
+    let four = soak_runtime(db4, 4).run(&plan).expect("4-worker soak runs");
+    assert_eq!(two.stats.queries, four.stats.queries);
+    assert_eq!(two.stats.wrong_results + four.stats.wrong_results, 0);
+    assert_eq!(
+        two.stats.result_digest, four.stats.result_digest,
+        "result digest is worker-count invariant"
+    );
 }
