@@ -10,8 +10,14 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 run_soak() {
-    echo "==> online serving soak (seeded, deterministic) -> BENCH_runtime.json"
-    cargo run --release -q -p smdb-bench --bin soak -- --json BENCH_runtime.json
+    echo "==> online serving soak (seeded, deterministic) -> BENCH_runtime.json + TRAIL_soak.json"
+    cargo run --release -q -p smdb-bench --bin soak -- \
+        --json BENCH_runtime.json --trail TRAIL_soak.json
+}
+
+check_trail() {
+    echo "==> smdb-lint --check-trail TRAIL_soak.json"
+    cargo run -q -p smdb-lint -- --check-trail TRAIL_soak.json
 }
 
 if [[ "${1:-}" == "quick" ]]; then
@@ -20,6 +26,7 @@ if [[ "${1:-}" == "quick" ]]; then
     echo "==> tuning experiments (e3 e4 e5) -> BENCH_tuning.json"
     cargo run --release -q -p smdb-bench --bin experiments -- e3 e4 e5 --json BENCH_tuning.json
     run_soak
+    check_trail
     echo "Quick CI green."
     exit 0
 fi
@@ -42,6 +49,7 @@ echo "==> cargo test"
 cargo test -q --workspace
 
 run_soak
+check_trail
 
 echo "==> smdb-lint"
 cargo run -q -p smdb-lint

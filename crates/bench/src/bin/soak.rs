@@ -4,6 +4,7 @@
 //! cargo run --release -p smdb-bench --bin soak                      # defaults
 //! cargo run --release -p smdb-bench --bin soak -- --workers 8
 //! cargo run --release -p smdb-bench --bin soak -- --json BENCH_runtime.json
+//! cargo run --release -p smdb-bench --bin soak -- --trail TRAIL_soak.json
 //! ```
 //!
 //! Serves a seeded phased query stream with a worker pool while the
@@ -25,6 +26,7 @@ struct Args {
     seed: u64,
     buckets: usize,
     json_path: Option<String>,
+    trail_path: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -33,6 +35,7 @@ fn parse_args() -> Args {
         seed: 42,
         buckets: 40,
         json_path: None,
+        trail_path: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -48,9 +51,10 @@ fn parse_args() -> Args {
             "--seed" => parsed.seed = parse_num(&take("--seed"), "--seed"),
             "--buckets" => parsed.buckets = parse_num(&take("--buckets"), "--buckets"),
             "--json" => parsed.json_path = Some(take("--json")),
+            "--trail" => parsed.trail_path = Some(take("--trail")),
             other => {
                 eprintln!(
-                    "unknown argument {other} (valid: --workers N --seed N --buckets N --json PATH)"
+                    "unknown argument {other} (valid: --workers N --seed N --buckets N --json PATH --trail PATH)"
                 );
                 std::process::exit(2);
             }
@@ -104,6 +108,10 @@ fn main() {
         args.workers,
         args.seed
     );
+    // Per-(target, name) span tallies: coarse spans only (bucket, tuning
+    // tick, worker, drain), so the subscriber costs nothing per query.
+    let spans = smdb_obs::CountingSubscriber::new();
+    smdb_obs::trace::install(spans.clone());
     let start = Instant::now();
     let outcome = match runtime.run(&plan) {
         Ok(outcome) => outcome,
@@ -191,6 +199,55 @@ fn main() {
         "stored_instances",
         (outcome.tuning.stored_instances as u64).into(),
     );
+
+    // Observability section: span tallies, what-if cache traffic and the
+    // flight-recorder decision trail.
+    smdb_obs::trace::uninstall();
+    let recorder = runtime.driver().flight_recorder();
+    let events = recorder.events();
+    let rollback_events = events
+        .iter()
+        .filter(|(_, e)| e.kind() == "action_rolled_back")
+        .count();
+    let cache_hits = smdb_obs::metrics::counter("driver.whatif_cache_hits").get();
+    let cache_misses = smdb_obs::metrics::counter("driver.whatif_cache_misses").get();
+    let hit_rate = if cache_hits + cache_misses == 0 {
+        0.0
+    } else {
+        cache_hits as f64 / (cache_hits + cache_misses) as f64
+    };
+    println!(
+        "obs: {} spans, what-if cache {:.1}% hit ({} / {}), trail {} events ({} rollbacks)",
+        spans.total(),
+        hit_rate * 100.0,
+        cache_hits,
+        cache_misses,
+        events.len(),
+        rollback_events
+    );
+    report::record("obs", "spans_total", spans.total().into());
+    for (name, count) in spans.snapshot() {
+        report::record("obs", &format!("spans.{name}"), count.into());
+    }
+    report::record("obs", "whatif_cache_hits", cache_hits.into());
+    report::record("obs", "whatif_cache_misses", cache_misses.into());
+    report::record("obs", "whatif_cache_hit_rate", hit_rate.into());
+    report::record("obs", "trail_events", (events.len() as u64).into());
+    report::record("obs", "trail_dropped", recorder.dropped().into());
+    report::record(
+        "obs",
+        "trail_rollback_events",
+        (rollback_events as u64).into(),
+    );
+
+    if let Some(path) = args.trail_path {
+        let doc = recorder.to_json().to_string_pretty();
+        if let Err(e) = std::fs::write(&path, doc + "\n") {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote decision trail to {path}");
+    }
 
     if let Some(path) = args.json_path {
         let doc = report::to_json().to_string_pretty();

@@ -7,6 +7,21 @@
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static MONOTONIC: AtomicU64 = AtomicU64::new(1);
+
+/// Next value of the process-wide monotonic event counter.
+///
+/// This is the only "clock" the tracing facade (`smdb-obs`) may read:
+/// it orders events without touching wall time, so traces replay
+/// deterministically. Outside the obs facade and this module, calling
+/// it directly is a lint violation (`obs-clock` in `smdb-lint`) —
+/// instrumented code must go through `span!` / the flight recorder so
+/// timestamps never leak into decision logic.
+pub fn now() -> u64 {
+    MONOTONIC.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A discrete point in logical time (a bucket index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -83,6 +98,14 @@ mod tests {
         assert_eq!(LogicalTime(3) - LogicalTime(5), 0);
         assert_eq!(LogicalTime(5) - LogicalTime(3), 2);
         assert_eq!(LogicalTime(5).since(LogicalTime(2)), 3);
+    }
+
+    #[test]
+    fn monotonic_counter_is_strictly_increasing() {
+        let a = now();
+        let b = now();
+        let c = now();
+        assert!(a < b && b < c);
     }
 
     #[test]

@@ -187,6 +187,9 @@ impl Assessor for WhatIfAssessor {
         scenarios: &ForecastSet,
         candidates: &[Candidate],
     ) -> Result<Vec<Assessment>> {
+        let _span = smdb_obs::span!("assessor", "assess", { candidates: candidates.len() });
+        smdb_obs::metrics::counter("assessor.assess_calls").inc();
+        smdb_obs::metrics::counter("assessor.candidates_assessed").add(candidates.len() as u64);
         // Per-query base costs, footprints and the base context, computed
         // once and shared (read-only) by every candidate worker.
         let base_ctx = self.what_if.config_context(engine, base);

@@ -11,19 +11,20 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use smdb_common::{Cost, Result};
+use smdb_common::{Cost, LogicalTime, Result};
 use smdb_cost::{CalibratedCostModel, CostEstimator, WhatIf};
 use smdb_forecast::{
     ForecastSet, PredictorConfig, WorkloadAnalyzer, WorkloadHistory, WorkloadPredictor,
 };
+use smdb_obs::{span, FlightRecorder, TrailEvent};
 use smdb_query::{Database, Query};
 use smdb_storage::ConfigInstance;
 
 use crate::config_storage::{ConfigStorage, RollbackRecord, StoredInstance};
 use crate::constraints::ConstraintSet;
-use crate::executor::{Executor, SequentialExecutor};
+use crate::executor::{ExecutionReport, Executor, SequentialExecutor};
 use crate::feature::FeatureKind;
-use crate::kpi::KpiCollector;
+use crate::kpi::{KpiCollector, KpiSnapshot};
 use crate::multi::MultiFeatureTuner;
 use crate::organizer::{Organizer, OrganizerConfig, TuningTrigger};
 use crate::tuner::{standard_tuner, TuningProposal};
@@ -37,6 +38,34 @@ pub enum OrderingPolicy {
     Impact,
     /// The paper's LP-based order optimization (Section III-B).
     LpOptimized,
+}
+
+/// A consistent view of the serving state at one bucket boundary —
+/// everything a tuning decision reads, captured once so the decision is
+/// a pure function of the tick regardless of what worker threads do to
+/// the live collector afterwards. The serving runtime builds a tick
+/// after each [`Driver::close_bucket`] and hands it to the tuning
+/// thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningTick {
+    /// Logical time the tick was taken at.
+    pub now: LogicalTime,
+    /// KPI snapshot at the bucket boundary.
+    pub kpis: KpiSnapshot,
+    /// Observed workload cost of the last closed bucket.
+    pub bucket_cost: Cost,
+}
+
+/// How a tuning pass hands its chosen actions to the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TuningMode {
+    /// Run the executor right away (the embedded / single-threaded path).
+    Immediate,
+    /// Queue every action for the caller to drain at a bucket boundary —
+    /// the serving runtime's path, where the tuning thread only decides
+    /// and the control thread applies, so configuration changes never
+    /// race live query execution.
+    DeferAll,
 }
 
 /// Report of one driver-run bucket.
@@ -143,6 +172,9 @@ pub struct Driver {
     /// instance has been stored.
     baseline_config: ConfigInstance,
     counters: DriverCounters,
+    /// Flight recorder every tuning decision lands in (bounded ring;
+    /// exportable as JSON, dumped on rollback when auto-dump is on).
+    recorder: Arc<FlightRecorder>,
 }
 
 impl Driver {
@@ -187,6 +219,21 @@ impl Driver {
         &self.baseline_config
     }
 
+    /// The flight recorder holding the recent decision trail.
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Label of the configuration a rollback would restore right now:
+    /// the latest stored instance, or the build-time baseline.
+    fn restore_label(&self) -> String {
+        if self.storage.last_good_config().is_some() {
+            format!("instance-{}", self.storage.len() - 1)
+        } else {
+            "baseline".to_string()
+        }
+    }
+
     /// Records one served query's response time into the KPI window and
     /// the open bucket. The serving runtime calls this from worker
     /// threads; [`Driver::close_bucket`] consumes the accumulation.
@@ -199,6 +246,7 @@ impl Driver {
     /// snapshots the plan cache into the workload history, updates the
     /// observed bucket cost and advances the logical clock.
     pub fn close_bucket(&self) -> BucketReport {
+        let _span = span!("driver", "close_bucket");
         let now = self.db.now();
         {
             let engine = self.db.engine();
@@ -212,10 +260,28 @@ impl Driver {
         *self.last_bucket_cost.lock() = close.busy;
         self.db.advance_time();
         self.counters.buckets_closed.fetch_add(1, Ordering::Relaxed);
+        smdb_obs::metrics::counter("driver.buckets_closed").inc();
+        smdb_obs::metrics::observe("driver.bucket_busy_ms", close.busy.ms());
+        self.recorder.record(TrailEvent::BucketClosed {
+            at: now.raw(),
+            queries: close.queries,
+            busy_ms: close.busy.ms(),
+            utilization: close.utilization,
+        });
         BucketReport {
             queries_run: close.queries as usize,
             bucket_cost: close.busy,
             now,
+        }
+    }
+
+    /// Builds a [`TuningTick`] — the consistent bucket-boundary view the
+    /// serving runtime hands to the tuning thread.
+    pub fn tick(&self) -> TuningTick {
+        TuningTick {
+            now: self.db.now(),
+            kpis: self.kpis.snapshot(),
+            bucket_cost: *self.last_bucket_cost.lock(),
         }
     }
 
@@ -256,6 +322,23 @@ impl Driver {
     /// may hold a partial prefix of it — and the error propagates; the
     /// caller is expected to invoke [`Driver::rollback_to_last_good`].
     pub fn drain_pending_slice(&self, budget: usize) -> Result<usize> {
+        self.drain_slice_inner(&self.kpis.snapshot(), self.db.now(), budget)
+    }
+
+    /// Slice-budgeted drain driven by a [`TuningTick`]: the executor's
+    /// gating decision and every trail event use the tick's consistent
+    /// bucket-boundary view. This is the serving runtime's barrier-drain
+    /// entry point.
+    pub fn drain_pending_slice_at(&self, tick: &TuningTick, budget: usize) -> Result<usize> {
+        self.drain_slice_inner(&tick.kpis, tick.now, budget)
+    }
+
+    fn drain_slice_inner(
+        &self,
+        kpis: &KpiSnapshot,
+        at: LogicalTime,
+        budget: usize,
+    ) -> Result<usize> {
         let slice: Vec<smdb_storage::ConfigAction> = {
             let mut pending = self.pending_actions.lock();
             if pending.is_empty() || budget == 0 {
@@ -264,10 +347,12 @@ impl Driver {
             let n = budget.min(pending.len());
             pending.drain(..n).collect()
         };
-        let report = match self.executor.execute(&self.db, &self.kpis, &slice) {
+        let _span = span!("driver", "drain_slice", { actions: slice.len() });
+        let report = match self.executor.execute(&self.db, kpis, &slice) {
             Ok(report) => report,
             Err(e) => {
                 self.counters.apply_failures.fetch_add(1, Ordering::Relaxed);
+                smdb_obs::metrics::counter("driver.apply_failures").inc();
                 return Err(e);
             }
         };
@@ -275,22 +360,35 @@ impl Driver {
             // Still not a favorable point in time; requeue the slice in
             // front of whatever else is waiting.
             let mut pending = self.pending_actions.lock();
+            let deferred = slice.len();
             let mut restored = slice;
             restored.extend(pending.drain(..));
             *pending = restored;
+            drop(pending);
+            self.recorder.record(TrailEvent::SliceDeferred {
+                at: at.raw(),
+                deferred,
+            });
             return Ok(0);
         }
         self.counters
             .actions_applied
             .fetch_add(report.applied as u64, Ordering::Relaxed);
-        let drained = self.pending_actions.lock().is_empty();
+        smdb_obs::metrics::counter("driver.actions_applied").add(report.applied as u64);
+        let remaining = self.pending_actions.lock().len();
+        self.recorder.record(TrailEvent::SliceApplied {
+            at: at.raw(),
+            applied: report.applied,
+            remaining,
+        });
         if let Some(pr) = self.pending_reconfig.lock().as_mut() {
             pr.accrued_cost += report.reconfiguration_cost;
         }
-        if drained {
+        if remaining == 0 {
             // The deferred tuning is fully applied: store its instance so
             // the feedback loop (and the rollback target) see it.
             if let Some(pr) = self.pending_reconfig.lock().take() {
+                let actions = pr.actions.len();
                 self.storage.store(StoredInstance {
                     applied_at: self.db.now(),
                     feature: None,
@@ -302,6 +400,11 @@ impl Driver {
                     observed_after: None,
                 });
                 self.kpis.reset_latencies();
+                self.recorder.record(TrailEvent::InstanceStored {
+                    at: at.raw(),
+                    instance: format!("instance-{}", self.storage.len() - 1),
+                    actions,
+                });
             }
         }
         Ok(report.applied)
@@ -320,9 +423,11 @@ impl Driver {
     /// latency window. Serving continues throughout; only tuning state
     /// is touched.
     pub fn rollback_to_last_good(&self, cause: &str) -> Result<RollbackReport> {
+        let _span = span!("driver", "rollback");
         let abandoned: Vec<smdb_storage::ConfigAction> =
             std::mem::take(&mut *self.pending_actions.lock());
         *self.pending_reconfig.lock() = None;
+        let restored_label = self.restore_label();
         let target = self
             .storage
             .last_good_config()
@@ -339,6 +444,14 @@ impl Driver {
             cause: cause.to_string(),
         });
         self.kpis.reset_latencies();
+        smdb_obs::metrics::counter("driver.rollbacks").inc();
+        self.recorder.record(TrailEvent::ActionRolledBack {
+            at: self.db.now().raw(),
+            restored: restored_label,
+            undo_actions: undo.len(),
+            abandoned_actions: abandoned.len(),
+            cause: cause.to_string(),
+        });
         Ok(RollbackReport {
             undo_actions: undo.len(),
             abandoned_actions: abandoned.len(),
@@ -368,8 +481,32 @@ impl Driver {
         self.predictor.predict(&self.history.lock())
     }
 
-    /// Checks the organizer and, when it fires, runs a full tuning pass.
+    /// Checks the organizer and, when it fires, runs a full tuning pass
+    /// applying actions immediately (the embedded / single-threaded
+    /// path). Builds its own [`TuningTick`] from the live collector.
     pub fn maybe_tune(&self) -> Result<Option<TuningRunReport>> {
+        let tick = self.tick();
+        self.maybe_tune_with(&tick, TuningMode::Immediate)
+    }
+
+    /// Checks the organizer against a [`TuningTick`] and, when it fires,
+    /// runs a tuning pass that only *decides*: every chosen action is
+    /// queued for the caller to drain via
+    /// [`Driver::drain_pending_slice_at`] at the next bucket boundary.
+    /// No-op while a previous decision is still queued or draining.
+    pub fn maybe_tune_deferred(&self, tick: &TuningTick) -> Result<Option<TuningRunReport>> {
+        if !self.pending_actions.lock().is_empty() || self.pending_reconfig.lock().is_some() {
+            return Ok(None);
+        }
+        self.maybe_tune_with(tick, TuningMode::DeferAll)
+    }
+
+    fn maybe_tune_with(
+        &self,
+        tick: &TuningTick,
+        mode: TuningMode,
+    ) -> Result<Option<TuningRunReport>> {
+        let _span = span!("driver", "maybe_tune");
         let forecast = self.forecast();
         let Some(expected) = forecast.expected() else {
             return Ok(None);
@@ -381,37 +518,54 @@ impl Driver {
                 .what_if()
                 .workload_cost(&engine, &expected.workload, &config)?
         };
-        let observed = *self.last_bucket_cost.lock();
-        let now = self.db.now();
-        let Some(trigger) =
-            self.organizer
-                .should_tune(now, observed, forecast_cost, &self.kpis, &self.constraints)
-        else {
+        let Some(trigger) = self.organizer.should_tune(
+            tick.now,
+            tick.bucket_cost,
+            forecast_cost,
+            &tick.kpis,
+            &self.constraints,
+        ) else {
             return Ok(None);
         };
-        self.tune_with_trigger(trigger, forecast).map(Some)
+        self.tune_with(trigger, forecast, tick, mode).map(Some)
     }
 
-    /// Forces a tuning pass now (Manual trigger).
+    /// Forces a tuning pass now (Manual trigger), applying immediately.
     pub fn force_tune(&self) -> Result<TuningRunReport> {
         let forecast = self.forecast();
-        self.tune_with_trigger(TuningTrigger::Manual, forecast)
+        let tick = self.tick();
+        self.tune_with(
+            TuningTrigger::Manual,
+            forecast,
+            &tick,
+            TuningMode::Immediate,
+        )
     }
 
-    fn tune_with_trigger(
+    fn tune_with(
         &self,
         trigger: TuningTrigger,
         forecast: ForecastSet,
+        tick: &TuningTick,
+        mode: TuningMode,
     ) -> Result<TuningRunReport> {
+        let _span = span!("driver", "tune");
         if forecast.expected().is_none() {
             return Err(smdb_common::Error::invalid(
                 "cannot tune without an expected forecast",
             ));
         }
+        let at = tick.now.raw();
+        self.recorder.record(TrailEvent::TuningTriggered {
+            at,
+            trigger: format!("{trigger:?}"),
+        });
+        smdb_obs::metrics::counter(&format!("driver.tuning.{}", trigger.label())).inc();
         let (order_idx, proposals, final_config, base_config) = {
             let engine = self.db.engine();
             let base = engine.current_config();
             let n = self.multi.features().len();
+            let features = self.multi.features();
             let order_idx: Vec<usize> = match self.ordering_policy {
                 OrderingPolicy::Registration => (0..n).collect(),
                 OrderingPolicy::Impact => {
@@ -424,27 +578,78 @@ impl Driver {
                     let report =
                         self.multi
                             .analyze(&engine, &forecast, &base, &self.constraints)?;
-                    self.multi.lp_order(&report)?.order
+                    let solution = self.multi.lp_order(&report)?;
+                    self.recorder.record(TrailEvent::IlpOrderChosen {
+                        at,
+                        order: solution
+                            .order
+                            .iter()
+                            .map(|&i| features[i].label().to_string())
+                            .collect(),
+                        objective: solution.objective,
+                        dependence: report.dependence.clone(),
+                    });
+                    solution.order
                 }
             };
-            let run = self.multi.tune_in_order(
-                &engine,
-                &forecast,
-                &base,
-                &self.constraints,
-                &order_idx,
-            )?;
-            (order_idx, run.proposals, run.final_config, base)
+            // Tune feature by feature so each feature's what-if cache
+            // traffic (and proposal) lands in the decision trail
+            // individually; chaining the accepted configs is exactly what
+            // a single `tune_in_order` over the full order does.
+            let mut config = base.clone();
+            let mut proposals: Vec<TuningProposal> = Vec::new();
+            for &idx in &order_idx {
+                let _span = span!("driver", "tune_feature");
+                let before = self.multi.what_if().cache_stats().unwrap_or_default();
+                let run = self.multi.tune_in_order(
+                    &engine,
+                    &forecast,
+                    &config,
+                    &self.constraints,
+                    &[idx],
+                )?;
+                let stats = self
+                    .multi
+                    .what_if()
+                    .cache_stats()
+                    .unwrap_or_default()
+                    .since(&before);
+                for p in &run.proposals {
+                    self.recorder.record(TrailEvent::CandidateAssessed {
+                        at,
+                        feature: features[idx].label().to_string(),
+                        candidates: p.candidates_enumerated,
+                        predicted_benefit_ms: p.predicted_benefit.ms(),
+                        accepted: p.accepted,
+                        cache_hits: stats.hits,
+                        cache_misses: stats.misses,
+                    });
+                }
+                smdb_obs::metrics::counter("driver.whatif_cache_hits").add(stats.hits);
+                smdb_obs::metrics::counter("driver.whatif_cache_misses").add(stats.misses);
+                proposals.extend(run.proposals);
+                config = run.final_config;
+            }
+            (order_idx, proposals, config, base)
         };
 
-        // Execute the combined action list.
+        // Hand over the combined action list: execute it now, or queue it
+        // all for the caller's barrier drain.
         let actions = base_config.diff(&final_config);
-        let report = match self.executor.execute(&self.db, &self.kpis, &actions) {
-            Ok(report) => report,
-            Err(e) => {
-                self.counters.apply_failures.fetch_add(1, Ordering::Relaxed);
-                return Err(e);
-            }
+        let report = match mode {
+            TuningMode::Immediate => match self.executor.execute(&self.db, &tick.kpis, &actions) {
+                Ok(report) => report,
+                Err(e) => {
+                    self.counters.apply_failures.fetch_add(1, Ordering::Relaxed);
+                    smdb_obs::metrics::counter("driver.apply_failures").inc();
+                    return Err(e);
+                }
+            },
+            TuningMode::DeferAll => ExecutionReport {
+                applied: 0,
+                deferred: actions.len(),
+                reconfiguration_cost: Cost::ZERO,
+            },
         };
         self.counters.tunings_run.fetch_add(1, Ordering::Relaxed);
         self.counters
@@ -453,11 +658,11 @@ impl Driver {
         self.counters
             .actions_deferred
             .fetch_add(report.deferred as u64, Ordering::Relaxed);
-        let now = self.db.now();
+        let now = tick.now;
         self.organizer.record_tuning(now);
 
         // Feedback loop: complete the previous instance, store this one.
-        let observed_before = self.kpis.mean_response();
+        let observed_before = tick.kpis.mean_response;
         self.storage.complete_latest(observed_before);
         let predicted_cost = {
             let engine = self.db.engine();
@@ -469,9 +674,10 @@ impl Driver {
                 .workload_cost(&engine, &expected.workload, &final_config)?
         };
         if report.deferred > 0 {
-            // Utilization-gated executor postponed the change; queue it
-            // for the next low-utilization window and remember the
-            // tuning context so the completed drain stores its instance.
+            // The change waits — either the utilization-gated executor
+            // postponed it, or a defer-all tuning hands it to the caller's
+            // barrier drain. Queue it and remember the tuning context so
+            // the completed drain stores its instance.
             self.pending_actions.lock().extend(actions.iter().cloned());
             *self.pending_reconfig.lock() = Some(PendingReconfig {
                 final_config,
@@ -479,6 +685,10 @@ impl Driver {
                 predicted_cost,
                 observed_before,
                 accrued_cost: Cost::ZERO,
+            });
+            self.recorder.record(TrailEvent::ActionsQueued {
+                at,
+                actions: actions.len(),
             });
         } else if report.applied > 0 {
             self.storage.store(StoredInstance {
@@ -492,6 +702,16 @@ impl Driver {
                 observed_after: None,
             });
             self.kpis.reset_latencies();
+            self.recorder.record(TrailEvent::ActionsApplied {
+                at,
+                applied: report.applied,
+                reconfiguration_cost_ms: report.reconfiguration_cost.ms(),
+            });
+            self.recorder.record(TrailEvent::InstanceStored {
+                at,
+                instance: format!("instance-{}", self.storage.len() - 1),
+                actions: actions.len(),
+            });
         }
 
         let order: Vec<FeatureKind> = {
@@ -521,6 +741,7 @@ pub struct DriverBuilder {
     executor: Option<Box<dyn Executor>>,
     ordering_policy: OrderingPolicy,
     kpi_bucket_capacity: Cost,
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl DriverBuilder {
@@ -537,6 +758,7 @@ impl DriverBuilder {
             executor: None,
             ordering_policy: OrderingPolicy::Registration,
             kpi_bucket_capacity: Cost(1000.0),
+            recorder: None,
         }
     }
 
@@ -602,6 +824,13 @@ impl DriverBuilder {
         self
     }
 
+    /// Uses a caller-owned flight recorder (e.g. shared with a test or
+    /// the serving runtime's report). Defaults to a fresh 512-event ring.
+    pub fn flight_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// Assembles the driver.
     pub fn build(self) -> Driver {
         let estimator = self.estimator.unwrap_or_else(|| {
@@ -633,6 +862,9 @@ impl DriverBuilder {
             pending_reconfig: Mutex::new(None),
             baseline_config,
             counters: DriverCounters::default(),
+            recorder: self
+                .recorder
+                .unwrap_or_else(|| Arc::new(FlightRecorder::new(512))),
         }
     }
 }

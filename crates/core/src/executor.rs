@@ -10,7 +10,7 @@ use smdb_common::{Cost, Result};
 use smdb_query::Database;
 use smdb_storage::ConfigAction;
 
-use crate::kpi::KpiCollector;
+use crate::kpi::KpiSnapshot;
 
 /// When the executor applies the chosen actions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,10 +39,14 @@ pub trait Executor: Send + Sync {
     fn name(&self) -> &str;
 
     /// Applies (all or part of) `actions`, returning what happened.
+    ///
+    /// KPIs arrive as a [`KpiSnapshot`] — one consistent view taken at a
+    /// bucket boundary — so a gating decision cannot race live worker
+    /// updates to the collector.
     fn execute(
         &self,
         db: &Database,
-        kpis: &KpiCollector,
+        kpis: &KpiSnapshot,
         actions: &[ConfigAction],
     ) -> Result<ExecutionReport>;
 }
@@ -80,7 +84,7 @@ impl Executor for SequentialExecutor {
     fn execute(
         &self,
         db: &Database,
-        kpis: &KpiCollector,
+        kpis: &KpiSnapshot,
         actions: &[ConfigAction],
     ) -> Result<ExecutionReport> {
         if self.strategy == ExecutionStrategy::DuringLowUtilization && !kpis.is_low_utilization() {
@@ -102,6 +106,7 @@ impl Executor for SequentialExecutor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kpi::KpiCollector;
     use smdb_common::ChunkColumnRef;
     use smdb_storage::value::ColumnValues;
     use smdb_storage::{ColumnDef, DataType, IndexKind, Schema, StorageEngine, Table};
@@ -128,7 +133,7 @@ mod tests {
         let db = db();
         let kpis = KpiCollector::default();
         let report = SequentialExecutor::immediate()
-            .execute(&db, &kpis, &actions())
+            .execute(&db, &kpis.snapshot(), &actions())
             .unwrap();
         assert_eq!(report.applied, 1);
         assert_eq!(report.deferred, 0);
@@ -146,7 +151,7 @@ mod tests {
         }
         kpis.end_bucket(Cost(100.0) * 50.0);
         let report = SequentialExecutor::during_low_utilization()
-            .execute(&db, &kpis, &actions())
+            .execute(&db, &kpis.snapshot(), &actions())
             .unwrap();
         assert_eq!(report.applied, 0);
         assert_eq!(report.deferred, 1);
@@ -159,7 +164,7 @@ mod tests {
         let kpis = KpiCollector::default();
         kpis.end_bucket(Cost(0.1));
         let report = SequentialExecutor::during_low_utilization()
-            .execute(&db, &kpis, &actions())
+            .execute(&db, &kpis.snapshot(), &actions())
             .unwrap();
         assert_eq!(report.applied, 1);
     }

@@ -7,6 +7,16 @@
 //!
 //! DBMS KPIs here: query response times (simulated cost). System KPIs:
 //! memory usage and utilization (busy time per bucket capacity).
+//!
+//! Determinism: worker threads push latencies in scheduling order, so
+//! the raw arrival sequence differs run to run. The collector therefore
+//! keeps the latency window *bucket-aligned*: each closed bucket's
+//! samples are sorted at close (`f64::total_cmp`), eviction drops whole
+//! oldest buckets, and means/percentiles are computed over a sorted
+//! view — every statistic read at a bucket boundary is a pure function
+//! of the bucket's sample *multiset*, independent of worker count and
+//! interleaving. That is what lets the flight-recorder trail serve as a
+//! byte-identical oracle across same-seed runs.
 
 use std::collections::VecDeque;
 
@@ -18,7 +28,14 @@ const BUCKET_WINDOW: usize = 256;
 
 #[derive(Debug, Default)]
 struct Inner {
-    latencies: VecDeque<f64>,
+    /// Closed latency buckets, oldest first; each bucket is sorted at
+    /// close so every derived statistic is arrival-order-independent.
+    closed: VecDeque<Vec<f64>>,
+    /// Total samples across `closed`.
+    closed_len: usize,
+    /// Latencies recorded since the last bucket close (arrival order;
+    /// sorted on demand).
+    open: Vec<f64>,
     utilization: VecDeque<f64>,
     memory: VecDeque<usize>,
     /// Queries served per closed bucket (throughput history).
@@ -26,12 +43,24 @@ struct Inner {
     queries_total: u64,
     /// Queries recorded since the last bucket close.
     open_bucket_queries: u64,
-    /// Busy ms accumulated since the last bucket close.
-    open_bucket_busy: f64,
-    /// Set by [`KpiCollector::reset_latencies`]: the utilization window
-    /// predates the reconfiguration that cleared the latency window, so
-    /// it must not be reported as current until a new bucket closes.
+    /// Set by [`KpiCollector::reset_latencies`]: the utilization and
+    /// throughput figures predate the reconfiguration that cleared the
+    /// latency window, so they must not be reported as current until a
+    /// new bucket closes.
     utilization_stale: bool,
+}
+
+impl Inner {
+    /// All windowed latencies (closed buckets + open bucket), sorted.
+    fn sorted_window(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.closed_len + self.open.len());
+        for bucket in &self.closed {
+            v.extend_from_slice(bucket);
+        }
+        v.extend_from_slice(&self.open);
+        v.sort_by(f64::total_cmp);
+        v
+    }
 }
 
 /// What one bucket close observed.
@@ -43,6 +72,45 @@ pub struct BucketClose {
     pub utilization: f64,
     /// Queries served in the bucket.
     pub queries: u64,
+}
+
+/// A point-in-time copy of every KPI a tuning decision reads, taken
+/// under one lock. Decisions made from a snapshot see one consistent
+/// bucket boundary instead of a live window that worker threads keep
+/// mutating — the serving runtime hands a snapshot to the tuning thread
+/// with each tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KpiSnapshot {
+    /// Mean response over the latency window.
+    pub mean_response: Cost,
+    /// 95th-percentile response over the latency window.
+    pub p95_response: Cost,
+    /// 99th-percentile response over the latency window.
+    pub p99_response: Cost,
+    /// Most recent bucket utilization (`None` before the first close or
+    /// while stale after a reset).
+    pub utilization: Option<f64>,
+    /// Latest memory sample.
+    pub memory: Option<usize>,
+    /// Queries served in the most recently closed bucket (`None` before
+    /// the first close or while stale after a reset).
+    pub last_bucket_throughput: Option<u64>,
+    /// Total queries observed.
+    pub queries_total: u64,
+    /// The collector's low-utilization threshold, carried along so the
+    /// executor can gate on the snapshot alone.
+    pub low_utilization_threshold: f64,
+}
+
+impl KpiSnapshot {
+    /// Whether the system is idle enough for expensive reconfigurations.
+    /// Unknown utilization counts as idle (startup window).
+    pub fn is_low_utilization(&self) -> bool {
+        match self.utilization {
+            None => true,
+            Some(u) => u < self.low_utilization_threshold,
+        }
+    }
 }
 
 /// Thread-safe runtime KPI collector.
@@ -80,13 +148,9 @@ impl KpiCollector {
     /// Records one query's response time.
     pub fn record_query(&self, latency: Cost) {
         let mut inner = self.inner.lock();
-        if inner.latencies.len() == LATENCY_WINDOW {
-            inner.latencies.pop_front();
-        }
-        inner.latencies.push_back(latency.ms());
+        inner.open.push(latency.ms());
         inner.queries_total += 1;
         inner.open_bucket_queries += 1;
-        inner.open_bucket_busy += latency.ms();
     }
 
     /// Records a memory usage sample.
@@ -102,6 +166,19 @@ impl KpiCollector {
     pub fn end_bucket(&self, busy: Cost) -> BucketClose {
         let utilization = (busy.ms() / self.bucket_capacity.ms().max(1e-9)).max(0.0);
         let mut inner = self.inner.lock();
+        // Seal the open latency bucket, sorted so downstream sums and
+        // percentiles are independent of worker push order.
+        let mut bucket = std::mem::take(&mut inner.open);
+        bucket.sort_by(f64::total_cmp);
+        inner.closed_len += bucket.len();
+        inner.closed.push_back(bucket);
+        // Evict whole oldest buckets past the window, always keeping the
+        // newest one (a single oversized bucket stays intact).
+        while inner.closed_len > LATENCY_WINDOW && inner.closed.len() > 1 {
+            if let Some(old) = inner.closed.pop_front() {
+                inner.closed_len -= old.len();
+            }
+        }
         if inner.utilization.len() == BUCKET_WINDOW {
             inner.utilization.pop_front();
         }
@@ -112,8 +189,7 @@ impl KpiCollector {
         }
         inner.bucket_queries.push_back(queries);
         inner.open_bucket_queries = 0;
-        inner.open_bucket_busy = 0.0;
-        // A fresh bucket supersedes any pre-reset utilization.
+        // A fresh bucket supersedes any pre-reset staleness.
         inner.utilization_stale = false;
         BucketClose {
             busy,
@@ -125,18 +201,25 @@ impl KpiCollector {
     /// Closes a time bucket using the busy time accumulated by
     /// [`KpiCollector::record_query`] since the previous close — the
     /// serving-runtime path, where no single caller owns the bucket cost.
+    /// The busy sum is taken over the *sorted* samples, so it is exact
+    /// and identical regardless of worker count.
     pub fn end_bucket_accumulated(&self) -> BucketClose {
-        let busy = Cost(self.inner.lock().open_bucket_busy);
+        let busy = {
+            let inner = self.inner.lock();
+            let mut v = inner.open.clone();
+            v.sort_by(f64::total_cmp);
+            Cost(v.iter().sum())
+        };
         self.end_bucket(busy)
     }
 
     /// Mean response time over the rolling latency window.
     pub fn mean_response(&self) -> Cost {
-        let inner = self.inner.lock();
-        if inner.latencies.is_empty() {
+        let window = self.inner.lock().sorted_window();
+        if window.is_empty() {
             return Cost::ZERO;
         }
-        Cost(inner.latencies.iter().sum::<f64>() / inner.latencies.len() as f64)
+        Cost(window.iter().sum::<f64>() / window.len() as f64)
     }
 
     /// 95th-percentile response time over the rolling window.
@@ -149,15 +232,12 @@ impl KpiCollector {
         self.percentile_response(0.99)
     }
 
-    fn percentile_response(&self, p: f64) -> Cost {
-        let inner = self.inner.lock();
-        if inner.latencies.is_empty() {
-            return Cost::ZERO;
-        }
-        let mut v: Vec<f64> = inner.latencies.iter().copied().collect();
-        v.sort_by(f64::total_cmp);
-        let idx = ((v.len() as f64 * p).ceil() as usize).min(v.len()) - 1;
-        Cost(v[idx])
+    /// The `ceil(n·p)`-th smallest response time over the rolling window
+    /// (`Cost::ZERO` when empty) — the rank rule `smdb_obs` histogram
+    /// quantiles mirror.
+    pub fn percentile_response(&self, p: f64) -> Cost {
+        let window = self.inner.lock().sorted_window();
+        Cost(percentile_of_sorted(&window, p))
     }
 
     /// Most recent bucket utilization. `None` before the first bucket
@@ -172,14 +252,20 @@ impl KpiCollector {
         inner.utilization.back().copied()
     }
 
-    /// Queries served in the most recently closed bucket (`None` before
-    /// the first bucket closes).
+    /// Queries served in the most recently closed bucket. `None` before
+    /// the first bucket closes, and `None` again after
+    /// [`KpiCollector::reset_latencies`] until a new bucket closes — a
+    /// post-reset reading would describe the pre-reconfiguration bucket.
     pub fn last_bucket_throughput(&self) -> Option<u64> {
-        self.inner.lock().bucket_queries.back().copied()
+        let inner = self.inner.lock();
+        if inner.utilization_stale {
+            return None;
+        }
+        inner.bucket_queries.back().copied()
     }
 
     /// Per-bucket query counts over the rolling bucket window, oldest
-    /// first.
+    /// first (history accessor; unaffected by staleness).
     pub fn bucket_throughputs(&self) -> Vec<u64> {
         self.inner.lock().bucket_queries.iter().copied().collect()
     }
@@ -203,16 +289,58 @@ impl KpiCollector {
         self.inner.lock().queries_total
     }
 
+    /// Takes a consistent [`KpiSnapshot`] under one lock.
+    pub fn snapshot(&self) -> KpiSnapshot {
+        let inner = self.inner.lock();
+        let window = inner.sorted_window();
+        let mean_response = if window.is_empty() {
+            Cost::ZERO
+        } else {
+            Cost(window.iter().sum::<f64>() / window.len() as f64)
+        };
+        let (utilization, last_bucket_throughput) = if inner.utilization_stale {
+            (None, None)
+        } else {
+            (
+                inner.utilization.back().copied(),
+                inner.bucket_queries.back().copied(),
+            )
+        };
+        KpiSnapshot {
+            mean_response,
+            p95_response: Cost(percentile_of_sorted(&window, 0.95)),
+            p99_response: Cost(percentile_of_sorted(&window, 0.99)),
+            utilization,
+            memory: inner.memory.back().copied(),
+            last_bucket_throughput,
+            queries_total: inner.queries_total,
+            low_utilization_threshold: self.low_utilization_threshold,
+        }
+    }
+
     /// Clears the latency window (used after reconfigurations so the
     /// feedback loop compares before/after cleanly). Also marks the
-    /// utilization window stale: until the next bucket closes,
-    /// [`KpiCollector::current_utilization`] returns `None` instead of a
-    /// pre-reconfiguration figure.
+    /// utilization and throughput figures stale: until the next bucket
+    /// closes, [`KpiCollector::current_utilization`] and
+    /// [`KpiCollector::last_bucket_throughput`] return `None` instead of
+    /// pre-reconfiguration values.
     pub fn reset_latencies(&self) {
         let mut inner = self.inner.lock();
-        inner.latencies.clear();
+        inner.closed.clear();
+        inner.closed_len = 0;
+        inner.open.clear();
         inner.utilization_stale = true;
     }
+}
+
+/// The `ceil(n·p)`-th smallest element of a sorted slice (0.0 if empty)
+/// — the rank rule `smdb_obs::metrics::Histogram::quantile` mirrors.
+fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
 }
 
 #[cfg(test)]
@@ -290,13 +418,106 @@ mod tests {
         assert_eq!(k.current_utilization(), Some(0.1));
     }
 
+    /// Regression for the post-reset accessor contract: a reset marks
+    /// everything derived from the pre-reconfiguration bucket stale, so
+    /// percentile accessors return a defined zero and the throughput
+    /// accessor returns `None` — never whatever the last bucket held.
+    #[test]
+    fn reset_yields_defined_zero_and_none_until_next_close() {
+        let k = KpiCollector::new(Cost(100.0), 0.3);
+        for _ in 0..10 {
+            k.record_query(Cost(5.0));
+        }
+        k.end_bucket_accumulated();
+        assert_eq!(k.last_bucket_throughput(), Some(10));
+        assert!(k.p99_response().ms() > 0.0);
+
+        k.reset_latencies();
+        assert_eq!(k.p99_response(), Cost::ZERO);
+        assert_eq!(k.p95_response(), Cost::ZERO);
+        assert_eq!(k.mean_response(), Cost::ZERO);
+        assert_eq!(k.last_bucket_throughput(), None);
+        assert_eq!(k.current_utilization(), None);
+        let snap = k.snapshot();
+        assert_eq!(snap.p99_response, Cost::ZERO);
+        assert_eq!(snap.last_bucket_throughput, None);
+        assert_eq!(snap.utilization, None);
+
+        // The next close refreshes both.
+        k.record_query(Cost(2.0));
+        k.end_bucket_accumulated();
+        assert_eq!(k.last_bucket_throughput(), Some(1));
+        assert_eq!(k.p99_response(), Cost(2.0));
+    }
+
+    #[test]
+    fn snapshot_is_consistent_and_gates_like_the_collector() {
+        let k = KpiCollector::new(Cost(100.0), 0.3);
+        for i in 1..=20 {
+            k.record_query(Cost(i as f64));
+        }
+        k.record_memory(4096);
+        k.end_bucket_accumulated();
+        let snap = k.snapshot();
+        assert_eq!(snap.mean_response, k.mean_response());
+        assert_eq!(snap.p95_response, k.p95_response());
+        assert_eq!(snap.p99_response, k.p99_response());
+        assert_eq!(snap.utilization, k.current_utilization());
+        assert_eq!(snap.memory, Some(4096));
+        assert_eq!(snap.last_bucket_throughput, Some(20));
+        assert_eq!(snap.queries_total, 20);
+        assert_eq!(snap.is_low_utilization(), k.is_low_utilization());
+        // A snapshot is a copy: later traffic does not change it.
+        k.record_query(Cost(1000.0));
+        assert_eq!(snap.queries_total, 20);
+    }
+
+    #[test]
+    fn statistics_are_push_order_independent() {
+        let asc = KpiCollector::default();
+        let desc = KpiCollector::default();
+        for i in 1..=100 {
+            asc.record_query(Cost(i as f64));
+            desc.record_query(Cost((101 - i) as f64));
+        }
+        let a = asc.end_bucket_accumulated();
+        let b = desc.end_bucket_accumulated();
+        assert_eq!(a.busy, b.busy, "sorted sum is exact");
+        assert_eq!(asc.snapshot(), desc.snapshot());
+    }
+
     #[test]
     fn windows_are_bounded() {
+        let k = KpiCollector::default();
+        // 8 closed buckets of 1024 samples: eviction keeps whole buckets
+        // and the total within the window.
+        for bucket in 0..8 {
+            for i in 0..1024 {
+                k.record_query(Cost((bucket * 1024 + i) as f64));
+            }
+            k.end_bucket_accumulated();
+        }
+        let inner = k.inner.lock();
+        assert!(inner.closed_len <= LATENCY_WINDOW);
+        assert_eq!(inner.closed_len, 4096, "4 whole buckets retained");
+        drop(inner);
+        // The retained window is the most recent samples: its minimum is
+        // the first sample of bucket 4.
+        let p_min = k.percentile_response(0.0);
+        assert_eq!(p_min.ms(), (4 * 1024) as f64);
+    }
+
+    #[test]
+    fn one_oversized_bucket_is_kept_intact() {
         let k = KpiCollector::default();
         for i in 0..(LATENCY_WINDOW + 10) {
             k.record_query(Cost(i as f64));
         }
-        let inner_len = k.inner.lock().latencies.len();
-        assert_eq!(inner_len, LATENCY_WINDOW);
+        k.end_bucket_accumulated();
+        assert_eq!(k.inner.lock().closed_len, LATENCY_WINDOW + 10);
+        // A following small bucket evicts the oversized one whole.
+        k.record_query(Cost(1.0));
+        k.end_bucket_accumulated();
+        assert_eq!(k.inner.lock().closed_len, 1);
     }
 }

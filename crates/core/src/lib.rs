@@ -44,12 +44,13 @@ pub use candidate::{Assessment, Candidate, SelectionInput};
 pub use config_storage::{ConfigStorage, RollbackRecord, StoredInstance};
 pub use constraints::ConstraintSet;
 pub use driver::{
-    BucketReport, Driver, DriverBuilder, RollbackReport, TuningRunReport, TuningState,
+    BucketReport, Driver, DriverBuilder, OrderingPolicy, RollbackReport, TuningRunReport,
+    TuningState, TuningTick,
 };
 pub use enumerator::Enumerator;
 pub use executor::{ExecutionReport, ExecutionStrategy, Executor, SequentialExecutor};
 pub use feature::FeatureKind;
-pub use kpi::{BucketClose, KpiCollector};
+pub use kpi::{BucketClose, KpiCollector, KpiSnapshot};
 pub use multi::{DependencyReport, MultiFeatureTuner};
 pub use organizer::{Organizer, OrganizerConfig, TuningTrigger};
 pub use plugin::{PluginHost, SelfDrivingPlugin, SelfManagementPlugin};

@@ -13,7 +13,7 @@ use parking_lot::Mutex;
 use smdb_common::{Cost, LogicalTime};
 
 use crate::constraints::ConstraintSet;
-use crate::kpi::KpiCollector;
+use crate::kpi::KpiSnapshot;
 
 /// Why the organizer triggered a tuning run.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +30,20 @@ pub enum TuningTrigger {
     MemoryPressure { bytes: usize },
     /// The caller forced a run.
     Manual,
+}
+
+impl TuningTrigger {
+    /// Stable short name, used as a metric label (`organizer.trigger.*`)
+    /// and in flight-recorder events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TuningTrigger::ForecastShift { .. } => "forecast_shift",
+            TuningTrigger::SlaViolation { .. } => "sla_violation",
+            TuningTrigger::P95Violation { .. } => "p95_violation",
+            TuningTrigger::MemoryPressure { .. } => "memory_pressure",
+            TuningTrigger::Manual => "manual",
+        }
+    }
 }
 
 /// Organizer thresholds.
@@ -111,7 +125,29 @@ impl Organizer {
         now: LogicalTime,
         observed_cost: Cost,
         forecast_cost_current_config: Cost,
-        kpis: &KpiCollector,
+        kpis: &KpiSnapshot,
+        constraints: &ConstraintSet,
+    ) -> Option<TuningTrigger> {
+        let trigger = self.evaluate(
+            now,
+            observed_cost,
+            forecast_cost_current_config,
+            kpis,
+            constraints,
+        );
+        smdb_obs::metrics::counter("organizer.checks").inc();
+        if let Some(t) = &trigger {
+            smdb_obs::metrics::counter(&format!("organizer.trigger.{}", t.label())).inc();
+        }
+        trigger
+    }
+
+    fn evaluate(
+        &self,
+        now: LogicalTime,
+        observed_cost: Cost,
+        forecast_cost_current_config: Cost,
+        kpis: &KpiSnapshot,
         constraints: &ConstraintSet,
     ) -> Option<TuningTrigger> {
         // Degraded mode: a failed reconfiguration paused tuning.
@@ -129,17 +165,17 @@ impl Organizer {
             return None;
         }
         // SLA violations always justify tuning.
-        let mean = kpis.mean_response();
+        let mean = kpis.mean_response;
         if constraints.violates_sla(mean) {
             return Some(TuningTrigger::SlaViolation {
                 mean_response: mean,
             });
         }
-        let p95 = kpis.p95_response();
+        let p95 = kpis.p95_response;
         if constraints.violates_p95(p95) {
             return Some(TuningTrigger::P95Violation { p95_response: p95 });
         }
-        if let Some(bytes) = kpis.current_memory() {
+        if let Some(bytes) = kpis.memory {
             if constraints.violates_memory(bytes) {
                 return Some(TuningTrigger::MemoryPressure { bytes });
             }
@@ -170,6 +206,7 @@ impl Default for Organizer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kpi::KpiCollector;
 
     fn organizer() -> Organizer {
         Organizer::default()
@@ -183,7 +220,7 @@ mod tests {
             LogicalTime(10),
             Cost(100.0),
             Cost(140.0),
-            &k,
+            &k.snapshot(),
             &ConstraintSet::none(),
         );
         assert!(matches!(t, Some(TuningTrigger::ForecastShift { .. })));
@@ -192,7 +229,7 @@ mod tests {
             LogicalTime(10),
             Cost(100.0),
             Cost(110.0),
-            &k,
+            &k.snapshot(),
             &ConstraintSet::none(),
         );
         assert!(t.is_none());
@@ -209,7 +246,13 @@ mod tests {
             sla_mean_response: Some(Cost(10.0)),
             ..ConstraintSet::default()
         };
-        let t = o.should_tune(LogicalTime(5), Cost(100.0), Cost(100.0), &k, &constraints);
+        let t = o.should_tune(
+            LogicalTime(5),
+            Cost(100.0),
+            Cost(100.0),
+            &k.snapshot(),
+            &constraints,
+        );
         assert!(matches!(t, Some(TuningTrigger::SlaViolation { .. })));
     }
 
@@ -229,7 +272,13 @@ mod tests {
             sla_p95_response: Some(Cost(50.0)),
             ..ConstraintSet::default()
         };
-        let t = o.should_tune(LogicalTime(5), Cost(100.0), Cost(100.0), &k, &constraints);
+        let t = o.should_tune(
+            LogicalTime(5),
+            Cost(100.0),
+            Cost(100.0),
+            &k.snapshot(),
+            &constraints,
+        );
         assert!(
             matches!(t, Some(TuningTrigger::P95Violation { .. })),
             "{t:?}"
@@ -240,7 +289,13 @@ mod tests {
             ..ConstraintSet::default()
         };
         k.record_memory(2_000);
-        let t = o.should_tune(LogicalTime(5), Cost(100.0), Cost(100.0), &k, &constraints);
+        let t = o.should_tune(
+            LogicalTime(5),
+            Cost(100.0),
+            Cost(100.0),
+            &k.snapshot(),
+            &constraints,
+        );
         assert!(
             matches!(t, Some(TuningTrigger::MemoryPressure { bytes: 2_000 })),
             "{t:?}"
@@ -257,7 +312,7 @@ mod tests {
             LogicalTime(10),
             Cost(100.0),
             Cost(900.0),
-            &k,
+            &k.snapshot(),
             &ConstraintSet::none(),
         );
         assert!(t.is_none(), "paused organizer never fires");
@@ -266,7 +321,7 @@ mod tests {
             LogicalTime(10),
             Cost(100.0),
             Cost(900.0),
-            &k,
+            &k.snapshot(),
             &ConstraintSet::none(),
         );
         assert!(t.is_some());
@@ -281,7 +336,7 @@ mod tests {
             LogicalTime(11),
             Cost(100.0),
             Cost(500.0),
-            &k,
+            &k.snapshot(),
             &ConstraintSet::none(),
         );
         assert!(t.is_none(), "within min_interval");
@@ -289,7 +344,7 @@ mod tests {
             LogicalTime(12),
             Cost(100.0),
             Cost(500.0),
-            &k,
+            &k.snapshot(),
             &ConstraintSet::none(),
         );
         assert!(t.is_some());
@@ -308,7 +363,7 @@ mod tests {
             LogicalTime(5),
             Cost(100.0),
             Cost(500.0),
-            &k,
+            &k.snapshot(),
             &ConstraintSet::none(),
         );
         assert!(t.is_none());
@@ -317,7 +372,7 @@ mod tests {
             LogicalTime(5),
             Cost(100.0),
             Cost(500.0),
-            &k,
+            &k.snapshot(),
             &ConstraintSet::none(),
         );
         assert!(t.is_some());
@@ -331,7 +386,7 @@ mod tests {
             LogicalTime(0),
             Cost::ZERO,
             Cost(50.0),
-            &k,
+            &k.snapshot(),
             &ConstraintSet::none(),
         );
         assert!(matches!(t, Some(TuningTrigger::ForecastShift { .. })));

@@ -20,7 +20,7 @@ use parking_lot::RwLock;
 const SHARDS: usize = 16;
 
 /// Hit/miss counters, for experiment reporting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
@@ -34,6 +34,16 @@ impl CacheStats {
             return 0.0;
         }
         self.hits as f64 / total as f64
+    }
+
+    /// Counter growth since an earlier reading of the same cache —
+    /// attributes hits/misses to one phase (e.g. a single feature's
+    /// what-if assessments) when counters only ever accumulate.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
     }
 }
 

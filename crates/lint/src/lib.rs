@@ -16,6 +16,7 @@ pub mod config;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod trail;
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -24,6 +25,7 @@ pub use config::LintConfig;
 pub use report::{Allowance, LintReport};
 pub use rules::{registry, Finding, Rule, Severity};
 pub use scan::{scan_source, ScannedFile};
+pub use trail::{validate_trail, TrailSummary};
 
 /// Directories never scanned regardless of configuration.
 const ALWAYS_SKIPPED: &[&str] = &["target", ".git"];

@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! smdb-lint [--root PATH] [--config PATH] [--json] [--audit-lp] [--list-rules]
+//!           [--check-trail PATH]
 //! ```
 //!
-//! Exit codes: 0 = clean, 1 = violations or failed audit checks,
-//! 2 = usage / configuration / IO error.
+//! Exit codes: 0 = clean, 1 = violations, failed audit checks, or an
+//! invalid trail, 2 = usage / configuration / IO error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -16,6 +17,7 @@ struct Options {
     json: bool,
     audit_lp: bool,
     list_rules: bool,
+    check_trail: Option<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -25,6 +27,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         json: false,
         audit_lp: false,
         list_rules: false,
+        check_trail: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -40,6 +43,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--json" => opts.json = true,
             "--audit-lp" => opts.audit_lp = true,
             "--list-rules" => opts.list_rules = true,
+            "--check-trail" => {
+                let v = it.next().ok_or("--check-trail requires a path")?;
+                opts.check_trail = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
@@ -47,8 +54,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-const USAGE: &str =
-    "usage: smdb-lint [--root PATH] [--config PATH] [--json] [--audit-lp] [--list-rules]";
+const USAGE: &str = "usage: smdb-lint [--root PATH] [--config PATH] [--json] [--audit-lp] \
+     [--list-rules] [--check-trail PATH]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -72,10 +79,45 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if let Some(path) = &opts.check_trail {
+        return run_check_trail(path);
+    }
     if opts.audit_lp {
         return run_audit(&opts);
     }
     run_lint(&opts)
+}
+
+fn run_check_trail(path: &std::path::Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("smdb-lint: reading {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let doc = match smdb_common::json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("smdb-lint: {}: not valid JSON: {e}", path.display());
+            return ExitCode::from(1);
+        }
+    };
+    match smdb_lint::validate_trail(&doc) {
+        Ok(summary) => {
+            println!(
+                "{}: valid trail, {} events ({} decisions)",
+                path.display(),
+                summary.events,
+                summary.decisions
+            );
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("smdb-lint: {}: {msg}", path.display());
+            ExitCode::from(1)
+        }
+    }
 }
 
 fn run_lint(opts: &Options) -> ExitCode {

@@ -18,6 +18,10 @@
 //! * **L4 `no-wall-clock`** — no `std::thread::sleep` or raw
 //!   `Instant::now` inside `crates/core` outside the KPI clock; the
 //!   framework runs on [`LogicalTime`](smdb_common::LogicalTime).
+//! * **L5 `obs-clock`** — no direct `time::now()` (the monotonic span
+//!   clock) outside the obs tracing facade. Span timestamps must flow
+//!   through `smdb_obs::span!` so the flight-recorder trail stays a
+//!   pure function of logical time.
 
 use crate::scan::ScannedFile;
 
@@ -115,6 +119,16 @@ pub fn registry() -> Vec<Rule> {
             exclude: &["crates/core/src/kpi.rs"],
             skip_test_code: true,
             check: Check::Tokens(&["thread::sleep", "Instant::now"]),
+        },
+        Rule {
+            id: "obs-clock",
+            severity: Severity::Error,
+            description:
+                "no direct time::now() outside the obs facade and its seam in crates/common",
+            include: &["crates/", "src/"],
+            exclude: &["crates/obs/", "crates/common/src/time.rs"],
+            skip_test_code: true,
+            check: Check::Tokens(&["time::now"]),
         },
     ]
 }
@@ -404,6 +418,26 @@ mod tests {
             "fn f() { x == 0.0; }\n",
         );
         assert!(f.is_empty());
+    }
+
+    #[test]
+    fn obs_clock_scope() {
+        let src = "fn f() { let t = smdb_common::time::now(); }\n";
+        // Flagged anywhere in the framework…
+        assert_eq!(
+            findings_for("obs-clock", "crates/core/src/driver.rs", src).len(),
+            1
+        );
+        // …but not in the facade itself or the clock's seam.
+        assert!(findings_for("obs-clock", "crates/obs/src/trace.rs", src).is_empty());
+        assert!(findings_for("obs-clock", "crates/common/src/time.rs", src).is_empty());
+        // `SystemTime::now` is a different needle (and no-entropy's job).
+        let f = findings_for(
+            "obs-clock",
+            "crates/core/src/driver.rs",
+            "fn f() { let t = SystemTime::now(); }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

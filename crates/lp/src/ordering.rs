@@ -212,6 +212,8 @@ impl OrderingProblem {
     /// Solves the ordering ILP to optimality, warm-started with the
     /// greedy heuristic incumbent.
     pub fn solve(&self, options: &IlpOptions) -> Result<OrderingSolution> {
+        let _span = smdb_obs::span!("lp", "ordering_solve", { features: self.num_features() });
+        smdb_obs::metrics::counter("lp.ordering_solves").inc();
         let n = self.num_features();
         if n == 1 {
             return Ok(OrderingSolution {
@@ -245,6 +247,8 @@ impl OrderingProblem {
                 "ordering ILP produced no valid permutation".into(),
             ));
         }
+        smdb_obs::metrics::gauge("lp.ordering_objective").set(sol.objective);
+        smdb_obs::metrics::observe("lp.ordering_nodes", sol.nodes as f64);
         Ok(OrderingSolution {
             order,
             objective: sol.objective,

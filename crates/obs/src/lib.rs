@@ -1,0 +1,22 @@
+//! # smdb-obs — decision-trail observability
+//!
+//! The paper's Organizer is defined by what it *observes*; this crate
+//! makes the reproduction's decisions observable in three layers, all
+//! std-only and deterministic:
+//!
+//! * [`trace`] — a `span!` facade with monotonic (never wall-clock)
+//!   stamps, zero-cost when no [`trace::Subscriber`] is installed;
+//! * [`metrics`] — a process-global registry of counters, gauges and
+//!   mergeable log-linear histograms whose quantile rule matches
+//!   `KpiCollector`'s percentiles;
+//! * [`recorder`] — the bounded [`recorder::FlightRecorder`] ring of
+//!   [`recorder::TrailEvent`]s. Event order is seeded-RNG-deterministic,
+//!   so same-seed runs export byte-identical JSON trails and tests use
+//!   the trail as a correctness oracle.
+
+pub mod metrics;
+pub mod recorder;
+pub mod trace;
+
+pub use recorder::{FlightRecorder, PanicDump, TrailEvent};
+pub use trace::{CollectingSubscriber, CountingSubscriber, SpanRecord, Subscriber};

@@ -1,0 +1,421 @@
+//! The flight recorder: a bounded ring buffer of decision events.
+//!
+//! Every tuning decision the driver makes — trigger fired, candidate
+//! assessed, ILP order chosen, actions queued/applied/rolled back — is
+//! appended as a [`TrailEvent`]. The buffer keeps the most recent
+//! `capacity` events (older ones are dropped and counted), exports as
+//! JSON via `smdb_common::json`, and dumps itself to stderr
+//! automatically when a rollback is recorded or (via [`PanicDump`])
+//! when a test fails.
+//!
+//! Event `at` stamps are *logical* bucket times, not the monotonic span
+//! counter: logical time is seeded-RNG-deterministic, so same-seed runs
+//! produce byte-identical trails — the trail is a correctness oracle.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use smdb_common::json::Json;
+
+/// One decision event on the trail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrailEvent {
+    /// A KPI bucket closed (serving progress; not a decision).
+    BucketClosed {
+        at: u64,
+        queries: u64,
+        busy_ms: f64,
+        utilization: f64,
+    },
+    /// The organizer fired a tuning trigger.
+    TuningTriggered { at: u64, trigger: String },
+    /// One feature's tuner ran: how many candidates it enumerated, the
+    /// predicted benefit of its pick, whether the proposal was accepted,
+    /// and the what-if cache traffic the assessment generated.
+    CandidateAssessed {
+        at: u64,
+        feature: String,
+        candidates: usize,
+        predicted_benefit_ms: f64,
+        accepted: bool,
+        cache_hits: u64,
+        cache_misses: u64,
+    },
+    /// The ordering ILP chose a permutation, with its `d_{A,B}` inputs.
+    IlpOrderChosen {
+        at: u64,
+        order: Vec<String>,
+        objective: f64,
+        dependence: Vec<Vec<f64>>,
+    },
+    /// A tuning's actions were queued for a low-utilization window.
+    ActionsQueued { at: u64, actions: usize },
+    /// A tuning's actions were applied immediately.
+    ActionsApplied {
+        at: u64,
+        applied: usize,
+        reconfiguration_cost_ms: f64,
+    },
+    /// A budgeted drain slice applied part of the queue.
+    SliceApplied {
+        at: u64,
+        applied: usize,
+        remaining: usize,
+    },
+    /// A budgeted drain slice was deferred (still not a good time).
+    SliceDeferred { at: u64, deferred: usize },
+    /// A completed reconfiguration was stored as a config instance.
+    InstanceStored {
+        at: u64,
+        instance: String,
+        actions: usize,
+    },
+    /// A failed apply rolled the engine back, naming the restored
+    /// config instance.
+    ActionRolledBack {
+        at: u64,
+        restored: String,
+        undo_actions: usize,
+        abandoned_actions: usize,
+        cause: String,
+    },
+}
+
+impl TrailEvent {
+    /// The event's kind tag as it appears in the JSON export.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TrailEvent::BucketClosed { .. } => "bucket_closed",
+            TrailEvent::TuningTriggered { .. } => "tuning_triggered",
+            TrailEvent::CandidateAssessed { .. } => "candidate_assessed",
+            TrailEvent::IlpOrderChosen { .. } => "ilp_order_chosen",
+            TrailEvent::ActionsQueued { .. } => "actions_queued",
+            TrailEvent::ActionsApplied { .. } => "actions_applied",
+            TrailEvent::SliceApplied { .. } => "slice_applied",
+            TrailEvent::SliceDeferred { .. } => "slice_deferred",
+            TrailEvent::InstanceStored { .. } => "instance_stored",
+            TrailEvent::ActionRolledBack { .. } => "action_rolled_back",
+        }
+    }
+
+    /// Whether this is a tuning-thread *decision* (everything except
+    /// serving progress). The decision subsequence is invariant across
+    /// worker counts; bucket closes are too, but tests filter on this to
+    /// state the invariant the issue cares about.
+    pub fn is_decision(&self) -> bool {
+        !matches!(self, TrailEvent::BucketClosed { .. })
+    }
+
+    fn json_fields(&self) -> Vec<(&'static str, Json)> {
+        fn num(n: usize) -> Json {
+            Json::Num(n as f64)
+        }
+        match self {
+            TrailEvent::BucketClosed {
+                at,
+                queries,
+                busy_ms,
+                utilization,
+            } => vec![
+                ("at", Json::Num(*at as f64)),
+                ("queries", Json::Num(*queries as f64)),
+                ("busy_ms", Json::Num(*busy_ms)),
+                ("utilization", Json::Num(*utilization)),
+            ],
+            TrailEvent::TuningTriggered { at, trigger } => vec![
+                ("at", Json::Num(*at as f64)),
+                ("trigger", Json::Str(trigger.clone())),
+            ],
+            TrailEvent::CandidateAssessed {
+                at,
+                feature,
+                candidates,
+                predicted_benefit_ms,
+                accepted,
+                cache_hits,
+                cache_misses,
+            } => vec![
+                ("at", Json::Num(*at as f64)),
+                ("feature", Json::Str(feature.clone())),
+                ("candidates", num(*candidates)),
+                ("predicted_benefit_ms", Json::Num(*predicted_benefit_ms)),
+                ("accepted", Json::Bool(*accepted)),
+                ("cache_hits", Json::Num(*cache_hits as f64)),
+                ("cache_misses", Json::Num(*cache_misses as f64)),
+            ],
+            TrailEvent::IlpOrderChosen {
+                at,
+                order,
+                objective,
+                dependence,
+            } => vec![
+                ("at", Json::Num(*at as f64)),
+                (
+                    "order",
+                    Json::Arr(order.iter().map(|f| Json::Str(f.clone())).collect()),
+                ),
+                ("objective", Json::Num(*objective)),
+                (
+                    "dependence",
+                    Json::Arr(
+                        dependence
+                            .iter()
+                            .map(|row| Json::Arr(row.iter().map(|&d| Json::Num(d)).collect()))
+                            .collect(),
+                    ),
+                ),
+            ],
+            TrailEvent::ActionsQueued { at, actions } => {
+                vec![("at", Json::Num(*at as f64)), ("actions", num(*actions))]
+            }
+            TrailEvent::ActionsApplied {
+                at,
+                applied,
+                reconfiguration_cost_ms,
+            } => vec![
+                ("at", Json::Num(*at as f64)),
+                ("applied", num(*applied)),
+                (
+                    "reconfiguration_cost_ms",
+                    Json::Num(*reconfiguration_cost_ms),
+                ),
+            ],
+            TrailEvent::SliceApplied {
+                at,
+                applied,
+                remaining,
+            } => vec![
+                ("at", Json::Num(*at as f64)),
+                ("applied", num(*applied)),
+                ("remaining", num(*remaining)),
+            ],
+            TrailEvent::SliceDeferred { at, deferred } => {
+                vec![("at", Json::Num(*at as f64)), ("deferred", num(*deferred))]
+            }
+            TrailEvent::InstanceStored {
+                at,
+                instance,
+                actions,
+            } => vec![
+                ("at", Json::Num(*at as f64)),
+                ("instance", Json::Str(instance.clone())),
+                ("actions", num(*actions)),
+            ],
+            TrailEvent::ActionRolledBack {
+                at,
+                restored,
+                undo_actions,
+                abandoned_actions,
+                cause,
+            } => vec![
+                ("at", Json::Num(*at as f64)),
+                ("restored", Json::Str(restored.clone())),
+                ("undo_actions", num(*undo_actions)),
+                ("abandoned_actions", num(*abandoned_actions)),
+                ("cause", Json::Str(cause.clone())),
+            ],
+        }
+    }
+
+    /// The event as a JSON object (with its sequence number).
+    pub fn to_json(&self, seq: u64) -> Json {
+        let mut fields = vec![
+            ("seq", Json::Num(seq as f64)),
+            ("event", Json::Str(self.kind().to_string())),
+        ];
+        fields.extend(self.json_fields());
+        Json::obj(fields)
+    }
+}
+
+#[derive(Debug, Default)]
+struct RecorderInner {
+    events: VecDeque<(u64, TrailEvent)>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A bounded ring buffer of the most recent decision events.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    inner: Mutex<RecorderInner>,
+    capacity: usize,
+    /// Dump to stderr when a rollback is recorded (on by default; tests
+    /// asserting on stderr-free output can switch it off).
+    auto_dump: std::sync::atomic::AtomicBool,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(512)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events (min 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            inner: Mutex::new(RecorderInner::default()),
+            capacity: capacity.max(1),
+            auto_dump: std::sync::atomic::AtomicBool::new(true),
+        }
+    }
+
+    /// The configured ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enables/disables the automatic stderr dump on rollback events.
+    pub fn set_auto_dump(&self, enabled: bool) {
+        self.auto_dump
+            .store(enabled, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn record(&self, event: TrailEvent) {
+        let is_rollback = matches!(event, TrailEvent::ActionRolledBack { .. });
+        {
+            let mut inner = self.inner.lock();
+            let seq = inner.next_seq;
+            inner.next_seq += 1;
+            inner.events.push_back((seq, event));
+            while inner.events.len() > self.capacity {
+                inner.events.pop_front();
+                inner.dropped += 1;
+            }
+        }
+        if is_rollback && self.auto_dump.load(std::sync::atomic::Ordering::Relaxed) {
+            self.dump_to_stderr("rollback");
+        }
+    }
+
+    /// Events currently retained, oldest first, with sequence numbers.
+    pub fn events(&self) -> Vec<(u64, TrailEvent)> {
+        self.inner.lock().events.iter().cloned().collect()
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted by the ring bound so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// The whole trail as JSON.
+    pub fn to_json(&self) -> Json {
+        let inner = self.inner.lock();
+        Json::obj(vec![
+            ("capacity", Json::Num(self.capacity as f64)),
+            ("dropped", Json::Num(inner.dropped as f64)),
+            (
+                "events",
+                Json::Arr(
+                    inner
+                        .events
+                        .iter()
+                        .map(|(seq, e)| e.to_json(*seq))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Writes the trail to stderr, labelled with `why`.
+    pub fn dump_to_stderr(&self, why: &str) {
+        eprintln!(
+            "[flight-recorder dump: {why}]\n{}",
+            self.to_json().to_string_compact()
+        );
+    }
+}
+
+/// Drop guard that dumps the trail when the current thread is panicking
+/// — put one at the top of a test to get the decision trail on failure.
+pub struct PanicDump {
+    recorder: Arc<FlightRecorder>,
+}
+
+impl PanicDump {
+    /// Guards `recorder` for the current scope.
+    pub fn new(recorder: Arc<FlightRecorder>) -> PanicDump {
+        PanicDump { recorder }
+    }
+}
+
+impl Drop for PanicDump {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.recorder.dump_to_stderr("test failure");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn closed(at: u64) -> TrailEvent {
+        TrailEvent::BucketClosed {
+            at,
+            queries: 10,
+            busy_ms: 1.5,
+            utilization: 0.1,
+        }
+    }
+
+    #[test]
+    fn ring_bounds_and_keeps_the_most_recent() {
+        let rec = FlightRecorder::new(3);
+        for at in 0..10 {
+            rec.record(closed(at));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.dropped(), 7);
+        let events = rec.events();
+        // Sequence numbers keep counting across evictions.
+        assert_eq!(events[0].0, 7);
+        assert_eq!(events[2].0, 9);
+        assert!(matches!(
+            events[2].1,
+            TrailEvent::BucketClosed { at: 9, .. }
+        ));
+    }
+
+    #[test]
+    fn json_export_round_trips() {
+        let rec = FlightRecorder::new(8);
+        rec.set_auto_dump(false);
+        rec.record(closed(0));
+        rec.record(TrailEvent::ActionRolledBack {
+            at: 4,
+            restored: "baseline".into(),
+            undo_actions: 2,
+            abandoned_actions: 3,
+            cause: "injected".into(),
+        });
+        let text = rec.to_json().to_string_pretty();
+        let parsed = smdb_common::json::parse(&text).expect("trail parses");
+        let events = parsed.get("events").and_then(Json::as_array).expect("arr");
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[1].get("event").and_then(Json::as_str),
+            Some("action_rolled_back")
+        );
+        assert_eq!(
+            events[1].get("restored").and_then(Json::as_str),
+            Some("baseline")
+        );
+        assert_eq!(events[0].get("seq").and_then(Json::as_u64), Some(0));
+        assert_eq!(events[1].get("seq").and_then(Json::as_u64), Some(1));
+    }
+}

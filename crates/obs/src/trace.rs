@@ -1,0 +1,287 @@
+//! A lightweight tracing facade.
+//!
+//! [`crate::span!`] opens a span that closes when its guard drops; the
+//! installed [`Subscriber`] (if any) is notified with a [`SpanRecord`]
+//! carrying start/end stamps from the process-wide monotonic event
+//! counter (`smdb_common::time::now`) — never wall time, so traces are
+//! replay-deterministic.
+//!
+//! When no subscriber is installed the facade is zero-cost: `span!`
+//! performs a single relaxed atomic load and allocates nothing (field
+//! expressions are not even evaluated). Spans nest per thread: a span
+//! opened while another is live on the same thread records it as its
+//! parent, which is how the runtime's per-bucket span trees form.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use smdb_common::time;
+
+/// A finished span, as delivered to the installed subscriber.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Process-unique span id.
+    pub id: u64,
+    /// The span live on the same thread when this one opened.
+    pub parent: Option<u64>,
+    /// Subsystem label (e.g. `"core"`, `"runtime"`, `"lp"`).
+    pub target: &'static str,
+    /// Operation label (e.g. `"maybe_tune"`).
+    pub name: &'static str,
+    /// Monotonic event stamp at open.
+    pub start: u64,
+    /// Monotonic event stamp at close.
+    pub end: u64,
+    /// Key/value fields captured at open.
+    pub fields: Vec<(&'static str, f64)>,
+}
+
+/// Receives spans as they close. Implementations must tolerate calls
+/// from any thread.
+pub trait Subscriber: Send + Sync {
+    /// Called once per span, at close.
+    fn on_close(&self, span: &SpanRecord);
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static SUBSCRIBER: Mutex<Option<Arc<dyn Subscriber>>> = Mutex::new(None);
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Whether a subscriber is installed. The `span!` macro checks this
+/// before evaluating field expressions — the disabled fast path.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs the process-wide subscriber, replacing any previous one.
+pub fn install(subscriber: Arc<dyn Subscriber>) {
+    *SUBSCRIBER.lock() = Some(subscriber);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Removes the process-wide subscriber; `span!` returns to zero-cost.
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::SeqCst);
+    *SUBSCRIBER.lock() = None;
+}
+
+/// RAII guard for an open span. Hold it for the instrumented scope
+/// (`let _span = span!(...)`) — binding to `_` drops it immediately.
+#[must_use = "a span closes when its guard drops; bind it with `let _span = ...`"]
+pub struct Span(Option<SpanRecord>);
+
+impl Span {
+    /// Opens a span. Called by the `span!` macro; prefer the macro.
+    pub fn enter(
+        target: &'static str,
+        name: &'static str,
+        fields: Vec<(&'static str, f64)>,
+    ) -> Span {
+        if !enabled() {
+            return Span(None);
+        }
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().copied();
+            stack.push(id);
+            parent
+        });
+        Span(Some(SpanRecord {
+            id,
+            parent,
+            target,
+            name,
+            start: time::now(),
+            end: 0,
+            fields,
+        }))
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(mut record) = self.0.take() else {
+            return;
+        };
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        record.end = time::now();
+        let subscriber = SUBSCRIBER.lock().clone();
+        if let Some(subscriber) = subscriber {
+            subscriber.on_close(&record);
+        }
+    }
+}
+
+/// Opens a span that closes when the returned guard drops.
+///
+/// ```
+/// let _span = smdb_obs::span!("core", "maybe_tune");
+/// let _with_fields = smdb_obs::span!("runtime", "serve_bucket", { bucket: 3, queries: 160 });
+/// ```
+///
+/// Field values are coerced with `as f64` and are only evaluated when a
+/// subscriber is installed.
+#[macro_export]
+macro_rules! span {
+    ($target:expr, $name:expr) => {
+        $crate::trace::Span::enter($target, $name, ::std::vec::Vec::new())
+    };
+    ($target:expr, $name:expr, { $($key:ident : $value:expr),* $(,)? }) => {
+        $crate::trace::Span::enter(
+            $target,
+            $name,
+            if $crate::trace::enabled() {
+                ::std::vec![$((stringify!($key), ($value) as f64)),*]
+            } else {
+                ::std::vec::Vec::new()
+            },
+        )
+    };
+}
+
+/// A subscriber that counts closed spans per `(target, name)` — what
+/// the soak binary installs to report span counts.
+#[derive(Debug, Default)]
+pub struct CountingSubscriber {
+    counts: Mutex<BTreeMap<(&'static str, &'static str), u64>>,
+}
+
+impl CountingSubscriber {
+    /// A fresh counting subscriber, ready for [`install`].
+    pub fn new() -> Arc<CountingSubscriber> {
+        Arc::new(CountingSubscriber::default())
+    }
+
+    /// Closed spans for one `(target, name)` pair.
+    pub fn count(&self, target: &str, name: &str) -> u64 {
+        self.counts
+            .lock()
+            .iter()
+            .filter(|((t, n), _)| *t == target && *n == name)
+            .map(|(_, c)| *c)
+            .sum()
+    }
+
+    /// Total closed spans.
+    pub fn total(&self) -> u64 {
+        self.counts.lock().values().sum()
+    }
+
+    /// Per-`(target, name)` counts, sorted.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.counts
+            .lock()
+            .iter()
+            .map(|((t, n), c)| (format!("{t}.{n}"), *c))
+            .collect()
+    }
+}
+
+impl Subscriber for CountingSubscriber {
+    fn on_close(&self, span: &SpanRecord) {
+        *self
+            .counts
+            .lock()
+            .entry((span.target, span.name))
+            .or_insert(0) += 1;
+    }
+}
+
+/// A subscriber that keeps every closed span — test support for
+/// asserting on span trees.
+#[derive(Debug, Default)]
+pub struct CollectingSubscriber {
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl CollectingSubscriber {
+    /// A fresh collecting subscriber, ready for [`install`].
+    pub fn new() -> Arc<CollectingSubscriber> {
+        Arc::new(CollectingSubscriber::default())
+    }
+
+    /// All spans closed so far, in close order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.lock().clone()
+    }
+}
+
+impl Subscriber for CollectingSubscriber {
+    fn on_close(&self, span: &SpanRecord) {
+        self.spans.lock().push(span.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The subscriber slot is process-global, so every test that installs
+    // one serializes here (cargo runs tests in parallel threads).
+    static TEST_GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_spans_record_nothing_and_skip_fields() {
+        let _guard = TEST_GUARD.lock();
+        uninstall();
+        let mut evaluated = false;
+        {
+            let _span = crate::span!("test", "noop", {
+                value: {
+                    evaluated = true;
+                    1.0
+                }
+            });
+        }
+        assert!(!evaluated, "fields must not be evaluated when disabled");
+    }
+
+    #[test]
+    fn spans_nest_and_report_to_the_subscriber() {
+        let _guard = TEST_GUARD.lock();
+        let collector = CollectingSubscriber::new();
+        install(collector.clone());
+        {
+            let _outer = crate::span!("test", "outer");
+            let _inner = crate::span!("test", "inner", { depth: 2 });
+        }
+        uninstall();
+        let spans = collector.spans();
+        assert_eq!(spans.len(), 2);
+        // Inner closes first and names the outer as its parent.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[0].parent, Some(spans[1].id));
+        assert_eq!(spans[0].fields, vec![("depth", 2.0)]);
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[1].parent, None);
+        assert!(spans[0].start < spans[0].end);
+    }
+
+    #[test]
+    fn counting_subscriber_tallies_per_name() {
+        let _guard = TEST_GUARD.lock();
+        let counter = CountingSubscriber::new();
+        install(counter.clone());
+        for _ in 0..3 {
+            let _span = crate::span!("test", "tick");
+        }
+        {
+            let _span = crate::span!("test", "other");
+        }
+        uninstall();
+        assert_eq!(counter.count("test", "tick"), 3);
+        assert_eq!(counter.count("test", "other"), 1);
+        assert_eq!(counter.total(), 4);
+    }
+}

@@ -19,13 +19,59 @@ use crate::query::Query;
 #[derive(Debug, Clone)]
 pub struct PlanCacheEntry {
     pub template: LogicalTemplate,
-    /// A concrete instance of the template (the first recorded one; kept
-    /// stable so the hot recording path stays allocation-free).
+    /// A concrete instance of the template (what-if cost estimation
+    /// needs concrete literals). Of all instances recorded so far, the
+    /// one with the smallest content hash is kept — a pure function of
+    /// the observed query *set*, so the snapshot (and everything tuning
+    /// derives from it) is identical however worker threads interleave.
     pub example: Query,
+    /// Content hash of `example` (see [`example_rank`]).
+    example_rank: u64,
     pub executions: u64,
     pub total_cost: Cost,
     pub first_seen: LogicalTime,
     pub last_seen: LogicalTime,
+}
+
+/// FNV-1a over a query's concrete literals (predicate values and the
+/// group-by column) — the arrival-order-independent tie-break that picks
+/// each template's representative example.
+fn example_rank(query: &Query) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |byte: u8| h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+    let eat_value = |v: &smdb_storage::Value, eat: &mut dyn FnMut(u8)| match v {
+        smdb_storage::Value::Int(v) => {
+            for b in v.to_le_bytes() {
+                eat(b);
+            }
+        }
+        smdb_storage::Value::Float(v) => {
+            for b in v.to_bits().to_le_bytes() {
+                eat(b);
+            }
+        }
+        smdb_storage::Value::Text(s) => {
+            for &b in s.as_bytes() {
+                eat(b);
+            }
+        }
+    };
+    for p in query.predicates() {
+        eat_value(&p.value, &mut eat);
+        eat(0xfe);
+        if let Some(upper) = &p.upper {
+            eat_value(upper, &mut eat);
+        }
+        eat(0xff);
+    }
+    if let Some(col) = query.group_by() {
+        for b in col.0.to_le_bytes() {
+            eat(b);
+        }
+    }
+    h
 }
 
 impl PlanCacheEntry {
@@ -71,6 +117,13 @@ impl PlanCache {
                 e.executions += 1;
                 e.total_cost += cost;
                 e.last_seen = now;
+                // Min-rank representative: independent of which instance
+                // happened to arrive first under concurrent workers.
+                let rank = example_rank(query);
+                if rank < e.example_rank {
+                    e.example = query.clone();
+                    e.example_rank = rank;
+                }
             }
             None => {
                 if self.entries.len() >= self.max_entries {
@@ -81,6 +134,7 @@ impl PlanCache {
                     PlanCacheEntry {
                         template: query.template(),
                         example: query.clone(),
+                        example_rank: example_rank(query),
                         executions: 1,
                         total_cost: cost,
                         first_seen: now,
@@ -165,8 +219,17 @@ mod tests {
         assert_eq!(e.mean_cost(), Cost(3.0));
         assert_eq!(e.first_seen, LogicalTime(0));
         assert_eq!(e.last_seen, LogicalTime(1));
-        // Example keeps the first instance (stable, allocation-free path).
-        assert_eq!(e.example.predicates()[0].value, smdb_storage::Value::Int(1));
+        // The representative example is the min-rank instance — the same
+        // whichever order the two instances were recorded in.
+        let mut reversed = PlanCache::default();
+        reversed.record(&q(0, 2), Cost(4.0), LogicalTime(0));
+        reversed.record(&q(0, 1), Cost(2.0), LogicalTime(1));
+        let r = reversed.get(q(0, 9).fingerprint()).unwrap();
+        assert_eq!(
+            e.example.predicates()[0].value,
+            r.example.predicates()[0].value,
+            "example selection must not depend on arrival order"
+        );
     }
 
     #[test]

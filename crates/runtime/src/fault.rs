@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use smdb_common::{Cost, Error, Result};
-use smdb_core::{ExecutionReport, ExecutionStrategy, Executor, KpiCollector};
+use smdb_core::{ExecutionReport, ExecutionStrategy, Executor, KpiSnapshot};
 use smdb_query::Database;
 use smdb_storage::ConfigAction;
 
@@ -114,7 +114,7 @@ impl Executor for FaultInjectingExecutor {
     fn execute(
         &self,
         db: &Database,
-        kpis: &KpiCollector,
+        kpis: &KpiSnapshot,
         actions: &[ConfigAction],
     ) -> Result<ExecutionReport> {
         if self.strategy == ExecutionStrategy::DuringLowUtilization && !kpis.is_low_utilization() {
@@ -156,6 +156,7 @@ impl Executor for FaultInjectingExecutor {
 mod tests {
     use super::*;
     use smdb_common::{ChunkColumnRef, Cost};
+    use smdb_core::KpiCollector;
     use smdb_storage::value::ColumnValues;
     use smdb_storage::{ColumnDef, DataType, IndexKind, Schema, StorageEngine, Table};
 
@@ -193,10 +194,12 @@ mod tests {
         let exec = FaultInjectingExecutor::immediate(FaultPlan::failing_attempts([1]));
         let batch = vec![create_index(0), create_index(1), create_index(2)];
         // Attempt 0 succeeds.
-        let report = exec.execute(&db, &kpis, &batch[..1]).unwrap();
+        let report = exec.execute(&db, &kpis.snapshot(), &batch[..1]).unwrap();
         assert_eq!(report.applied, 1);
         // Attempt 1 applies half (1 of 2) then fails.
-        let err = exec.execute(&db, &kpis, &batch[1..]).unwrap_err();
+        let err = exec
+            .execute(&db, &kpis.snapshot(), &batch[1..])
+            .unwrap_err();
         assert!(matches!(err, Error::Configuration(_)), "{err}");
         assert_eq!(db.engine().current_config().indexes.len(), 2);
         assert_eq!(exec.attempts(), 2);
@@ -209,12 +212,16 @@ mod tests {
         let kpis = KpiCollector::new(Cost(10.0), 0.3);
         kpis.end_bucket(Cost(100.0)); // busy
         let exec = FaultInjectingExecutor::during_low_utilization(FaultPlan::failing_attempts([0]));
-        let report = exec.execute(&db, &kpis, &[create_index(0)]).unwrap();
+        let report = exec
+            .execute(&db, &kpis.snapshot(), &[create_index(0)])
+            .unwrap();
         assert_eq!(report.deferred, 1);
         assert_eq!(exec.attempts(), 0, "deferral is not an attempt");
         // Now idle: attempt 0 fires and is the injected failure.
         kpis.end_bucket(Cost(0.0));
-        let err = exec.execute(&db, &kpis, &[create_index(0)]).unwrap_err();
+        let err = exec
+            .execute(&db, &kpis.snapshot(), &[create_index(0)])
+            .unwrap_err();
         assert!(matches!(err, Error::Configuration(_)));
         assert_eq!(exec.injected_failures(), 1);
     }

@@ -7,26 +7,33 @@
 //! * **workers** partition each bucket's queries round-robin and serve
 //!   them through [`Session`]s that verify every answer against a
 //!   [`ResultOracle`] — reconfiguration must never change results;
-//! * the **control thread** closes a KPI bucket after each served bucket
-//!   and hands the tuning thread a tick, so tuning decisions always see
-//!   fresh utilization/latency/memory signals;
-//! * the **tuning thread** reacts to each tick *concurrently with the
-//!   next bucket's serving*: it drains deferred actions in budgeted
-//!   slices during low-utilization windows, or asks the organizer
-//!   whether to tune;
+//! * the **control thread** closes a KPI bucket after each served
+//!   bucket, applies any actions the tuning thread queued (a budgeted
+//!   drain at the bucket *barrier*, never mid-bucket), and hands the
+//!   tuning thread a [`TuningTick`] — a consistent snapshot of the
+//!   boundary's KPIs;
+//! * the **tuning thread** only *decides*, concurrently with the next
+//!   bucket's serving: it evaluates the organizer against the tick and
+//!   queues chosen actions for the control thread's next barrier. The
+//!   control thread waits for the previous tick's acknowledgement
+//!   before closing the next bucket, so a decision never overlaps the
+//!   history/KPI mutation it reads from;
 //! * **failures** (e.g. injected by [`FaultInjectingExecutor`]) roll the
 //!   engine back to the last good stored configuration instance and
 //!   pause tuning for a cooldown — serving never stops.
 //!
-//! The workload is pre-generated from a seed and the per-query answer
-//! digest is order-independent, so the served results are identical
-//! regardless of worker count.
+//! The workload is pre-generated from a seed, the per-query answer
+//! digest is order-independent, and every tuning decision reads a
+//! bucket-boundary snapshot, so the served results — and the driver's
+//! flight-recorder decision trail — are identical regardless of worker
+//! count and scheduling.
 
 use std::sync::mpsc;
 use std::sync::Arc;
 
 use smdb_common::{Cost, Error, Result};
-use smdb_core::{ConstraintSet, Driver, FeatureKind, OrganizerConfig, TuningState};
+use smdb_core::{ConstraintSet, Driver, FeatureKind, OrganizerConfig, TuningState, TuningTick};
+use smdb_obs::span;
 use smdb_query::{Database, Query, ResultOracle, Session, SessionStats};
 
 use crate::fault::{FaultInjectingExecutor, FaultPlan};
@@ -169,45 +176,71 @@ impl Runtime {
         let mut total = SessionStats::default();
         let mut bucket_latencies: Vec<(Phase, Vec<f64>)> = Vec::with_capacity(plan.len());
         let mut buckets_served = 0usize;
+        let mut barrier = BarrierState::default();
 
-        let tuner_report = std::thread::scope(|scope| -> Result<TunerReport> {
-            // Capacity 1: the control thread may run at most one bucket
-            // ahead of the tuning thread, so ticks are never lost and
-            // tuning genuinely overlaps serving.
-            let (tx, rx) = mpsc::sync_channel::<bool>(1);
+        let mut tuner_report = std::thread::scope(|scope| -> Result<TunerReport> {
+            // Capacity 1: the control thread may serve at most one bucket
+            // while the tuning thread still decides on the previous tick.
+            let (tick_tx, tick_rx) = mpsc::sync_channel::<Option<TuningTick>>(1);
+            let (ack_tx, ack_rx) = mpsc::channel::<()>();
             let tuner = {
                 let driver = Arc::clone(&self.driver);
                 let config = self.config.clone();
-                scope.spawn(move || tuner_loop(&driver, &config, &rx))
+                scope.spawn(move || tuner_loop(&driver, &config, &tick_rx, &ack_tx))
             };
+            let mut in_flight = false;
             for bucket in plan {
+                let _span = span!("runtime", "bucket", { queries: bucket.queries.len() });
                 let (stats, latencies) = self.serve_bucket(&bucket.queries, &oracle)?;
                 total.merge(&stats);
                 bucket_latencies.push((bucket.phase, latencies));
                 buckets_served += 1;
+                // Rendezvous: the decision on the previous tick must be in
+                // (queued actions and all) before this bucket closes — a
+                // decision never overlaps the history mutation it read.
+                if in_flight {
+                    if ack_rx.recv().is_err() {
+                        // The tuning thread exited early (it hit an
+                        // error); stop serving and surface it via join.
+                        break;
+                    }
+                    in_flight = false;
+                }
                 self.driver.close_bucket();
-                if tx.send(true).is_err() {
-                    // The tuning thread exited early (rollback failure);
-                    // stop serving and surface its error below.
+                // Barrier: apply whatever the tuning thread queued, in
+                // budgeted slices, strictly between buckets.
+                self.barrier_drain(&mut barrier)?;
+                // The drain may have reset the KPI window — build the tick
+                // the tuning thread sees only now.
+                if tick_tx.send(Some(self.driver.tick())).is_err() {
                     break;
                 }
+                in_flight = true;
             }
-            let _ = tx.send(false);
+            if in_flight {
+                let _ = ack_rx.recv();
+            }
+            let _ = tick_tx.send(None);
             tuner
                 .join()
                 .map_err(|_| Error::invalid("tuning thread panicked"))?
         })?;
+        tuner_report.drained = barrier.drained;
+        tuner_report.failures_handled = barrier.failures_handled;
 
         // Post-workload cooldown: idle buckets drain whatever is still
         // queued so the run ends with a settled configuration.
         let mut ticks = 0usize;
         while self.driver.pending_actions() > 0 && ticks < self.config.drain_ticks {
             self.driver.close_bucket();
-            if let Err(cause) = self.driver.drain_pending_slice(self.config.slice_budget) {
-                self.driver.rollback_to_last_good(&cause.to_string())?;
+            if self.driver.organizer().is_paused() {
+                self.driver.organizer().resume();
             }
+            self.barrier_drain(&mut barrier)?;
             ticks += 1;
         }
+        tuner_report.drained = barrier.drained;
+        tuner_report.failures_handled = barrier.failures_handled;
 
         let (cold_mean, cold_p95) = heavy_metrics(&bucket_latencies, true);
         let (tuned_mean, tuned_p95) = heavy_metrics(&bucket_latencies, false);
@@ -223,6 +256,33 @@ impl Runtime {
             tuned_mean,
             tuned_p95,
         })
+    }
+
+    /// One barrier drain step: applies a budgeted slice of queued
+    /// actions strictly between buckets, rolling back (and pausing
+    /// tuning) when an apply fails. Skipped while tuning is paused.
+    fn barrier_drain(&self, state: &mut BarrierState) -> Result<()> {
+        if self.driver.organizer().is_paused() || self.driver.pending_actions() == 0 {
+            return Ok(());
+        }
+        let _span = span!("runtime", "barrier_drain");
+        let tick = self.driver.tick();
+        match self
+            .driver
+            .drain_pending_slice_at(&tick, self.config.slice_budget)
+        {
+            Ok(n) => state.drained += n as u64,
+            Err(cause) => {
+                // A failed apply left the engine mid-reconfiguration:
+                // restore the last good instance, then pause tuning for a
+                // cooldown. If even the rollback fails the run reports
+                // the broken state.
+                self.driver.rollback_to_last_good(&cause.to_string())?;
+                state.failures_handled += 1;
+                self.driver.organizer().pause();
+            }
+        }
+        Ok(())
     }
 
     /// Serves one bucket with the worker pool: queries are partitioned
@@ -243,6 +303,7 @@ impl Runtime {
                     let oracle = Arc::clone(oracle);
                     let driver = Arc::clone(&self.driver);
                     scope.spawn(move || {
+                        let _span = span!("runtime", "worker", { worker: w });
                         let mut session = Session::with_oracle(db, w as u64, oracle);
                         let mut lats = Vec::new();
                         for q in queries.iter().skip(w).step_by(workers) {
@@ -270,48 +331,48 @@ impl Runtime {
     }
 }
 
-/// The tuning thread: one step per closed bucket.
+/// Counters the control thread accumulates at bucket barriers.
+#[derive(Debug, Default)]
+struct BarrierState {
+    drained: u64,
+    failures_handled: u64,
+}
+
+/// The tuning thread: one *decision* per closed bucket. It never touches
+/// the engine — chosen actions are queued for the control thread's next
+/// barrier drain — so faults and rollbacks happen at deterministic
+/// points regardless of how this thread is scheduled.
 fn tuner_loop(
     driver: &Driver,
     config: &RuntimeConfig,
-    rx: &mpsc::Receiver<bool>,
+    ticks: &mpsc::Receiver<Option<TuningTick>>,
+    acks: &mpsc::Sender<()>,
 ) -> Result<TunerReport> {
     let mut report = TunerReport::default();
-    let mut cooldown = 0u64;
-    while let Ok(tick) = rx.recv() {
-        if !tick {
-            break;
-        }
+    let mut cooldown: Option<u64> = None;
+    while let Ok(Some(tick)) = ticks.recv() {
+        let _span = span!("runtime", "tuning_tick");
         report.ticks += 1;
         if driver.organizer().is_paused() {
             // Degraded mode after a rollback: serve-only until the
             // cooldown elapses.
-            cooldown = cooldown.saturating_sub(1);
-            if cooldown == 0 {
+            let left = cooldown.get_or_insert(config.cooldown_buckets.max(1));
+            *left = left.saturating_sub(1);
+            if *left == 0 {
                 driver.organizer().resume();
+                cooldown = None;
             }
-            continue;
-        }
-        let step: Result<()> = if driver.pending_actions() > 0 {
-            driver.drain_pending_slice(config.slice_budget).map(|n| {
-                report.drained += n as u64;
-            })
         } else {
-            driver.maybe_tune().map(|run| {
-                if run.is_some() {
-                    report.tunings += 1;
-                }
-            })
-        };
-        if let Err(cause) = step {
-            // A failed apply left the engine mid-reconfiguration: restore
-            // the last good instance, then pause tuning. If even the
-            // rollback fails the loop exits with the error — serving is
-            // unaffected, but the run reports the broken state.
-            driver.rollback_to_last_good(&cause.to_string())?;
-            report.failures_handled += 1;
-            driver.organizer().pause();
-            cooldown = config.cooldown_buckets.max(1);
+            cooldown = None;
+            // Decide only: a triggered tuning queues its actions. On an
+            // analysis error the loop exits — the dropped ack channel
+            // stops the control loop, and join surfaces the error.
+            if driver.maybe_tune_deferred(&tick)?.is_some() {
+                report.tunings += 1;
+            }
+        }
+        if acks.send(()).is_err() {
+            break;
         }
     }
     Ok(report)

@@ -15,7 +15,9 @@
 //! * [`core`] — the framework itself (driver, organizer, tuner pipeline),
 //! * [`runtime`] — the online serving runtime (worker pool, background
 //!   tuning thread, fault injection and rollback),
-//! * [`workload`] — deterministic data and workload generators.
+//! * [`workload`] — deterministic data and workload generators,
+//! * [`obs`] — decision-trail observability (tracing spans, metrics,
+//!   the flight recorder every tuning decision lands in).
 //!
 //! ```
 //! use std::sync::Arc;
@@ -70,6 +72,7 @@ pub use smdb_core as core;
 pub use smdb_cost as cost;
 pub use smdb_forecast as forecast;
 pub use smdb_lp as lp;
+pub use smdb_obs as obs;
 pub use smdb_query as query;
 pub use smdb_runtime as runtime;
 pub use smdb_storage as storage;

@@ -7,7 +7,9 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use smdb::common::json::Json;
 use smdb::common::{ChunkColumnRef, ColumnId, Cost, TableId};
+use smdb::obs::TrailEvent;
 use smdb::query::{Database, Query};
 use smdb::runtime::{
     events_database, generate, BucketPlan, FaultPlan, Runtime, RuntimeConfig, StreamConfig,
@@ -195,6 +197,7 @@ fn soak_runtime(db: Arc<Database>, workers: usize) -> Runtime {
 fn runtime_soak_tunes_online_and_rolls_back_injected_failures() {
     let (db, plan) = soak_fixture();
     let runtime = soak_runtime(Arc::clone(&db), 4);
+    runtime.driver().flight_recorder().set_auto_dump(false);
     let outcome = runtime.run(&plan).expect("soak survives its faults");
 
     // Correctness under concurrent reconfiguration: every planned query
@@ -239,6 +242,42 @@ fn runtime_soak_tunes_online_and_rolls_back_injected_failures() {
         );
         assert!(!record.abandoned_actions.is_empty() || !record.cause.is_empty());
     }
+
+    // The decision trail matches the rollback records one-to-one: each
+    // injected fault produced exactly one action_rolled_back event, and
+    // every one names the restored instance — the build-time baseline,
+    // since the injected failures all precede the first stored instance.
+    let trail = driver.flight_recorder().events();
+    let rolled: Vec<(&String, &String)> = trail
+        .iter()
+        .filter_map(|(_, e)| match e {
+            TrailEvent::ActionRolledBack {
+                restored, cause, ..
+            } => Some((restored, cause)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        rolled.len(),
+        outcome.injected_failures,
+        "one rollback event per injected fault"
+    );
+    for (restored, cause) in &rolled {
+        assert_eq!(restored.as_str(), "baseline", "rollback names its target");
+        assert!(cause.contains("injected"), "cause names the fault: {cause}");
+    }
+
+    // The trail's JSON export round-trips through the std-only parser
+    // with every event intact.
+    let text = driver.flight_recorder().to_json().to_string_compact();
+    let parsed = smdb::common::json::parse(&text).expect("trail JSON parses");
+    assert_eq!(
+        parsed
+            .get("events")
+            .and_then(Json::as_array)
+            .map(<[_]>::len),
+        Some(trail.len())
+    );
 
     // Once a reconfiguration finally sticks it is stored, and the
     // engine's live configuration is exactly that instance.

@@ -1,0 +1,159 @@
+//! Deterministic trace-replay tests over the flight-recorder trail.
+//!
+//! The decision trail is a correctness oracle: every event's `at` stamp
+//! is logical time and every input to a decision is seeded, so the same
+//! seed must replay the *byte-identical* trail, and the tuning thread's
+//! decision subsequence must not depend on how many workers served the
+//! buckets.
+
+use std::sync::Arc;
+
+use smdb::common::Cost;
+use smdb::core::driver::{Driver, OrderingPolicy};
+use smdb::core::FeatureKind;
+use smdb::obs::{PanicDump, TrailEvent};
+use smdb::query::Database;
+use smdb::runtime::{
+    events_database, generate, BucketPlan, FaultPlan, Runtime, RuntimeConfig, StreamConfig,
+};
+
+/// The small soak fixture from `tests/concurrency_and_failures.rs`, with
+/// one injected apply failure so the trail contains a rollback.
+fn fixture() -> (Arc<Database>, Vec<BucketPlan>) {
+    let (db, table) = events_database(6, 500).expect("fixture builds");
+    let stream = StreamConfig {
+        buckets: 10,
+        heavy_queries: 60,
+        light_queries: 8,
+        heavy_len: 3,
+        light_len: 2,
+        ..StreamConfig::default()
+    };
+    (db, generate(table, 3_000, &stream))
+}
+
+fn soak_runtime(db: Arc<Database>, workers: usize) -> Runtime {
+    Runtime::new(
+        db,
+        RuntimeConfig {
+            workers,
+            bucket_capacity: Cost(500.0),
+            slice_budget: 6,
+            fault_plan: FaultPlan::failing_attempts([0]),
+            sla_p95: Some(Cost(1.0)),
+            ..RuntimeConfig::default()
+        },
+    )
+}
+
+/// Runs the fixture soak and returns the trail (events + JSON export).
+fn run_soak(workers: usize) -> (Vec<(u64, TrailEvent)>, String) {
+    let (db, plan) = fixture();
+    let runtime = soak_runtime(db, workers);
+    let recorder = Arc::clone(runtime.driver().flight_recorder());
+    recorder.set_auto_dump(false);
+    let _dump = PanicDump::new(Arc::clone(&recorder));
+    runtime.run(&plan).expect("soak runs");
+    (recorder.events(), recorder.to_json().to_string_pretty())
+}
+
+#[test]
+fn same_seed_soaks_replay_byte_identical_trails() {
+    let (first_events, first_json) = run_soak(2);
+    let (second_events, second_json) = run_soak(2);
+    assert!(
+        first_events.len() > 10,
+        "expected a substantial trail, got {} events",
+        first_events.len()
+    );
+    assert_eq!(
+        first_events, second_events,
+        "same seed must replay the same decisions"
+    );
+    assert_eq!(first_json, second_json, "JSON export is byte-identical");
+    // The trail saw the whole loop: trigger, assessment, queueing, the
+    // injected failure's rollback, and a stored instance afterwards.
+    for kind in [
+        "tuning_triggered",
+        "candidate_assessed",
+        "actions_queued",
+        "action_rolled_back",
+        "instance_stored",
+    ] {
+        assert!(
+            first_events.iter().any(|(_, e)| e.kind() == kind),
+            "no {kind} event in the trail"
+        );
+    }
+}
+
+#[test]
+fn decision_subsequence_is_worker_count_invariant() {
+    let decisions = |events: &[(u64, TrailEvent)]| -> Vec<TrailEvent> {
+        events
+            .iter()
+            .filter(|(_, e)| e.is_decision())
+            .map(|(_, e)| e.clone())
+            .collect()
+    };
+    let (two, _) = run_soak(2);
+    let (four, _) = run_soak(4);
+    let two = decisions(&two);
+    let four = decisions(&four);
+    assert!(!two.is_empty(), "the tuning thread made decisions");
+    assert_eq!(
+        two, four,
+        "tuning decisions must not depend on the worker count"
+    );
+}
+
+#[test]
+fn lp_ordering_decision_records_objective_and_dependence() {
+    let (db, plan) = fixture();
+    let driver = Driver::builder(db)
+        .features(vec![FeatureKind::Indexing, FeatureKind::Compression])
+        .ordering_policy(OrderingPolicy::LpOptimized)
+        .kpi_bucket_capacity(Cost(500.0))
+        .build();
+    driver.flight_recorder().set_auto_dump(false);
+    let _dump = PanicDump::new(Arc::clone(driver.flight_recorder()));
+    for bucket in plan.iter().take(3) {
+        driver.run_bucket(&bucket.queries).expect("bucket runs");
+    }
+    driver.force_tune().expect("tuning runs");
+
+    let events = driver.flight_recorder().events();
+    let (order, objective, dependence) = events
+        .iter()
+        .find_map(|(_, e)| match e {
+            TrailEvent::IlpOrderChosen {
+                order,
+                objective,
+                dependence,
+                ..
+            } => Some((order.clone(), *objective, dependence.clone())),
+            _ => None,
+        })
+        .expect("an ilp_order_chosen event");
+    let mut sorted = order.clone();
+    sorted.sort();
+    assert_eq!(sorted, vec!["compression", "indexing"]);
+    assert!(objective.is_finite(), "objective {objective} is finite");
+    assert_eq!(dependence.len(), 2, "d_{{A,B}} is |S| x |S|");
+    assert!(dependence.iter().all(|row| row.len() == 2));
+    assert!(dependence
+        .iter()
+        .flatten()
+        .all(|d| d.is_finite() && *d >= 0.0));
+    // The per-feature assessments around the ordering decision name the
+    // same features the order lists.
+    for feature in ["indexing", "compression"] {
+        assert!(
+            events.iter().any(|(_, e)| matches!(
+                e,
+                TrailEvent::CandidateAssessed { feature: f, .. } if f == feature
+            )),
+            "no candidate_assessed event for {feature}"
+        );
+    }
+}
