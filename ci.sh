@@ -1,60 +1,139 @@
 #!/usr/bin/env bash
-# CI gate: formatting, release build, full test suite, static analysis.
-# Any failing step aborts with a non-zero exit code.
+# CI gate: formatting, release build, full test suite, static analysis,
+# benchmarks and the bench-regression gate. Any failing step aborts with
+# a non-zero exit code. Every run writes CI_SUMMARY.json with per-step
+# timings and pass/fail, even when a step fails.
 #
-#   ./ci.sh          # full gate (includes the soak step)
-#   ./ci.sh quick    # release build + tuning experiments -> BENCH_tuning.json
-#                    # + serving soak -> BENCH_runtime.json
-#   ./ci.sh soak     # online serving soak only -> BENCH_runtime.json
+#   ./ci.sh               # full gate (build, tests, lint, bench + gate)
+#   ./ci.sh quick         # release build + tuning experiments + soak
+#                         # -> target/ci/BENCH_*.json, gated vs committed
+#   ./ci.sh soak          # online serving soak only -> BENCH_runtime.json
+#   ./ci.sh bench-gate    # regenerate benches into target/ci and compare
+#                         # against the committed BENCH_*.json baselines
+#   ./ci.sh bench-gate --update-baselines
+#                         # regenerate and bless the committed baselines
 set -euo pipefail
 cd "$(dirname "$0")"
 
-run_soak() {
-    echo "==> online serving soak (seeded, deterministic) -> BENCH_runtime.json + TRAIL_soak.json"
+MODE="${1:-full}"
+CI_DIR="target/ci"
+SUMMARY="CI_SUMMARY.json"
+
+# --- per-step timing + machine-readable summary -----------------------------
+STEP_NAMES=()
+STEP_SECS=()
+STEP_STATUS=()
+
+write_summary() {
+    local overall="pass"
+    {
+        echo '{'
+        echo "  \"mode\": \"${MODE}\","
+        echo '  "steps": ['
+        local i last=$((${#STEP_NAMES[@]} - 1))
+        for i in "${!STEP_NAMES[@]}"; do
+            local comma=','
+            [[ "$i" == "$last" ]] && comma=''
+            [[ "${STEP_STATUS[$i]}" == "fail" ]] && overall="fail"
+            printf '    {"step": "%s", "seconds": %s, "status": "%s"}%s\n' \
+                "${STEP_NAMES[$i]}" "${STEP_SECS[$i]}" "${STEP_STATUS[$i]}" "$comma"
+        done
+        echo '  ],'
+        echo "  \"status\": \"${overall}\""
+        echo '}'
+    } > "$SUMMARY"
+    echo "--- step summary ($SUMMARY) ---"
+    local i
+    for i in "${!STEP_NAMES[@]}"; do
+        printf '  %-28s %8ss  %s\n' "${STEP_NAMES[$i]}" "${STEP_SECS[$i]}" "${STEP_STATUS[$i]}"
+    done
+}
+trap write_summary EXIT
+
+step() {
+    local name="$1"
+    shift
+    echo "==> ${name}"
+    local t0 t1 rc=0
+    t0=$SECONDS
+    "$@" || rc=$?
+    t1=$SECONDS
+    STEP_NAMES+=("$name")
+    STEP_SECS+=("$((t1 - t0))")
+    if [[ $rc -ne 0 ]]; then
+        STEP_STATUS+=("fail")
+        echo "step '${name}' FAILED (exit $rc)" >&2
+        exit "$rc"
+    fi
+    STEP_STATUS+=("pass")
+}
+
+# --- benchmark helpers -------------------------------------------------------
+run_experiments() { # outdir
+    cargo run --release -q -p smdb-bench --bin experiments -- \
+        e3 e4 e5 --json "$1/BENCH_tuning.json"
+}
+
+run_soak() { # outdir
     cargo run --release -q -p smdb-bench --bin soak -- \
-        --json BENCH_runtime.json --trail TRAIL_soak.json
+        --scan-threads 4 \
+        --json "$1/BENCH_runtime.json" --trail "$1/TRAIL_soak.json"
 }
 
-check_trail() {
-    echo "==> smdb-lint --check-trail TRAIL_soak.json"
-    cargo run -q -p smdb-lint -- --check-trail TRAIL_soak.json
+check_trail() { # trail path
+    cargo run -q -p smdb-lint -- --check-trail "$1"
 }
 
-if [[ "${1:-}" == "quick" ]]; then
-    echo "==> cargo build --release (quick mode)"
-    cargo build --release -p smdb-bench
-    echo "==> tuning experiments (e3 e4 e5) -> BENCH_tuning.json"
-    cargo run --release -q -p smdb-bench --bin experiments -- e3 e4 e5 --json BENCH_tuning.json
-    run_soak
-    check_trail
+run_gate() { # candidate dir
+    cargo run --release -q -p smdb-bench --bin bench_gate -- \
+        --runtime BENCH_runtime.json "$1/BENCH_runtime.json" \
+        --tuning BENCH_tuning.json "$1/BENCH_tuning.json"
+}
+
+fresh_bench_and_gate() { # build fresh candidates into target/ci, gate them
+    mkdir -p "$CI_DIR"
+    step "experiments (e3 e4 e5)" run_experiments "$CI_DIR"
+    step "soak" run_soak "$CI_DIR"
+    step "check-trail" check_trail "$CI_DIR/TRAIL_soak.json"
+    step "bench-gate" run_gate "$CI_DIR"
+}
+
+case "$MODE" in
+quick)
+    step "build (release, bench)" cargo build --release -p smdb-bench
+    fresh_bench_and_gate
     echo "Quick CI green."
-    exit 0
-fi
-
-if [[ "${1:-}" == "soak" ]]; then
-    echo "==> cargo build --release (soak mode)"
-    cargo build --release -p smdb-bench --bin soak
-    run_soak
+    ;;
+soak)
+    step "build (release, soak)" cargo build --release -p smdb-bench --bin soak
+    step "soak" run_soak .
     echo "Soak CI green."
-    exit 0
-fi
-
-echo "==> cargo fmt --check"
-cargo fmt --all --check
-
-echo "==> cargo build --release"
-cargo build --workspace --release
-
-echo "==> cargo test"
-cargo test -q --workspace
-
-run_soak
-check_trail
-
-echo "==> smdb-lint"
-cargo run -q -p smdb-lint
-
-echo "==> smdb-lint --audit-lp"
-cargo run -q -p smdb-lint -- --audit-lp
-
-echo "CI green."
+    ;;
+bench-gate)
+    step "build (release, bench)" cargo build --release -p smdb-bench
+    mkdir -p "$CI_DIR"
+    step "experiments (e3 e4 e5)" run_experiments "$CI_DIR"
+    step "soak" run_soak "$CI_DIR"
+    if [[ "${2:-}" == "--update-baselines" ]]; then
+        step "update-baselines" cp "$CI_DIR/BENCH_runtime.json" \
+            "$CI_DIR/BENCH_tuning.json" "$CI_DIR/TRAIL_soak.json" .
+        echo "Baselines updated from $CI_DIR — commit BENCH_*.json + TRAIL_soak.json."
+    else
+        step "bench-gate" run_gate "$CI_DIR"
+        echo "Bench gate green."
+    fi
+    ;;
+full)
+    step "cargo fmt --check" cargo fmt --all --check
+    step "cargo build --release" cargo build --workspace --release
+    step "cargo test" cargo test -q --workspace
+    fresh_bench_and_gate
+    step "smdb-lint" cargo run -q -p smdb-lint
+    step "smdb-lint --audit-lp" cargo run -q -p smdb-lint -- --audit-lp
+    echo "CI green."
+    ;;
+*)
+    echo "unknown mode '${MODE}' (valid: full quick soak bench-gate)" >&2
+    exit 2
+    ;;
+esac

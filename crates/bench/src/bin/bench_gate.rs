@@ -1,0 +1,77 @@
+//! Bench-regression gate CLI.
+//!
+//! ```text
+//! cargo run -p smdb-bench --bin bench_gate -- \
+//!     --runtime BENCH_runtime.json target/ci/BENCH_runtime.json \
+//!     --tuning  BENCH_tuning.json  target/ci/BENCH_tuning.json
+//! ```
+//!
+//! Each `--runtime` / `--tuning` flag takes a BASELINE and a CANDIDATE
+//! path and checks the candidate against the committed baseline with
+//! the tolerances in `smdb_bench::gate`. Exits non-zero if any metric
+//! regressed past its tolerance, if a gated metric is missing, or if an
+//! exact metric (result digest, error counters) diverged.
+
+use smdb_bench::gate;
+use smdb_common::json::{parse, Json};
+
+fn load(path: &str) -> Json {
+    let raw = match std::fs::read_to_string(path) {
+        Ok(raw) => raw,
+        Err(e) => {
+            eprintln!("bench-gate: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match parse(&raw) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("bench-gate: {path} is not valid JSON: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut report = gate::GateReport::default();
+    let mut compared = 0usize;
+    while let Some(flag) = args.next() {
+        let (label, (metrics, exact)) = match flag.as_str() {
+            "--runtime" => ("runtime", gate::runtime_specs()),
+            "--tuning" => ("tuning", gate::tuning_specs()),
+            other => {
+                eprintln!(
+                    "bench-gate: unknown argument {other} \
+                     (usage: bench_gate [--runtime BASELINE CANDIDATE] [--tuning BASELINE CANDIDATE])"
+                );
+                std::process::exit(2);
+            }
+        };
+        let (baseline_path, candidate_path) = match (args.next(), args.next()) {
+            (Some(b), Some(c)) => (b, c),
+            _ => {
+                eprintln!("bench-gate: --{label} requires BASELINE and CANDIDATE paths");
+                std::process::exit(2);
+            }
+        };
+        println!("{label}: {baseline_path} (baseline) vs {candidate_path} (candidate)");
+        let baseline = load(&baseline_path);
+        let candidate = load(&candidate_path);
+        report.extend(gate::compare(&baseline, &candidate, &metrics, &exact));
+        compared += 1;
+    }
+    if compared == 0 {
+        eprintln!(
+            "bench-gate: nothing to compare \
+             (usage: bench_gate [--runtime BASELINE CANDIDATE] [--tuning BASELINE CANDIDATE])"
+        );
+        std::process::exit(2);
+    }
+    print!("{}", report.render_human());
+    if report.failed() {
+        eprintln!("bench-gate: FAILED — benchmark regression past tolerance");
+        std::process::exit(1);
+    }
+    println!("bench-gate: passed");
+}

@@ -23,6 +23,8 @@ use smdb_runtime::{events_database, generate, FaultPlan, Runtime, RuntimeConfig,
 
 struct Args {
     workers: usize,
+    scan_threads: usize,
+    morsel_chunks: usize,
     seed: u64,
     buckets: usize,
     json_path: Option<String>,
@@ -32,6 +34,8 @@ struct Args {
 fn parse_args() -> Args {
     let mut parsed = Args {
         workers: 4,
+        scan_threads: 1,
+        morsel_chunks: smdb_storage::parallel::DEFAULT_MORSEL_CHUNKS,
         seed: 42,
         buckets: 40,
         json_path: None,
@@ -48,13 +52,20 @@ fn parse_args() -> Args {
         };
         match arg.as_str() {
             "--workers" => parsed.workers = parse_num(&take("--workers"), "--workers"),
+            "--scan-threads" => {
+                parsed.scan_threads = parse_num(&take("--scan-threads"), "--scan-threads");
+            }
+            "--morsel-chunks" => {
+                parsed.morsel_chunks = parse_num(&take("--morsel-chunks"), "--morsel-chunks");
+            }
             "--seed" => parsed.seed = parse_num(&take("--seed"), "--seed"),
             "--buckets" => parsed.buckets = parse_num(&take("--buckets"), "--buckets"),
             "--json" => parsed.json_path = Some(take("--json")),
             "--trail" => parsed.trail_path = Some(take("--trail")),
             other => {
                 eprintln!(
-                    "unknown argument {other} (valid: --workers N --seed N --buckets N --json PATH --trail PATH)"
+                    "unknown argument {other} (valid: --workers N --scan-threads N \
+                     --morsel-chunks N --seed N --buckets N --json PATH --trail PATH)"
                 );
                 std::process::exit(2);
             }
@@ -97,15 +108,19 @@ fn main() {
             slice_budget: 6,
             fault_plan: FaultPlan::failing_attempts([0, 1, 2]),
             sla_p95: Some(Cost(1.0)),
+            scan_threads: args.scan_threads,
+            morsel_chunks: args.morsel_chunks,
             ..RuntimeConfig::default()
         },
     );
 
     println!(
-        "soak: {} buckets / {} queries, {} workers, seed {}",
+        "soak: {} buckets / {} queries, {} workers, {} scan threads (morsels of {} chunks), seed {}",
         plan.len(),
         planned,
         args.workers,
+        args.scan_threads,
+        args.morsel_chunks,
         args.seed
     );
     // Per-(target, name) span tallies: coarse spans only (bucket, tuning
@@ -146,7 +161,18 @@ fn main() {
         outcome.tuning.paused
     );
 
+    let scans = db.scan_stats();
+    println!(
+        "scans: {} parallel / {} inline, {} morsels dispatched",
+        scans.parallel_scans, scans.inline_scans, scans.morsels
+    );
+
     report::record("soak", "workers", (args.workers as u64).into());
+    report::record("soak", "scan_threads", (args.scan_threads as u64).into());
+    report::record("soak", "morsel_chunks", (args.morsel_chunks as u64).into());
+    report::record("soak", "parallel_scans", scans.parallel_scans.into());
+    report::record("soak", "inline_scans", scans.inline_scans.into());
+    report::record("soak", "morsels_dispatched", scans.morsels.into());
     report::record("soak", "seed", args.seed.into());
     report::record(
         "soak",

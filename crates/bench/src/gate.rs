@@ -1,0 +1,345 @@
+//! Bench-regression gate: compares a freshly produced benchmark report
+//! (`BENCH_runtime.json` / `BENCH_tuning.json`) against the committed
+//! baseline with per-metric directions and tolerances.
+//!
+//! The gate is deliberately dumb: it reads the same
+//! `{"experiments": [{"id": ..., key: value}]}` documents the bench
+//! binaries write, checks each registered metric in its improvement
+//! direction (a *better* candidate never fails), and treats a missing
+//! section or key as a failure — a metric silently disappearing is
+//! itself a regression. Exact checks (the soak result digest, error
+//! counters) must match bit-for-bit; the digest is the witness that
+//! morsel-parallel scans changed nothing but latency.
+
+use smdb_common::json::Json;
+
+/// Which way a metric improves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Latencies, node counts: the candidate may exceed the baseline by
+    /// at most the relative tolerance.
+    LowerIsBetter,
+    /// Throughput, hit rates: the candidate may fall short of the
+    /// baseline by at most the relative tolerance.
+    HigherIsBetter,
+}
+
+/// One gated numeric metric.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricSpec {
+    /// Section id inside the `experiments` array (`soak`, `obs`, `e5`…).
+    pub section: &'static str,
+    pub key: &'static str,
+    pub direction: Direction,
+    /// Allowed relative slack in the *worsening* direction
+    /// (0.10 = 10 %).
+    pub rel_tolerance: f64,
+}
+
+/// One metric that must match the baseline exactly (compared as JSON
+/// values, so digests and booleans work unchanged).
+#[derive(Debug, Clone, Copy)]
+pub struct ExactSpec {
+    pub section: &'static str,
+    pub key: &'static str,
+}
+
+/// Outcome of one check.
+#[derive(Debug, Clone)]
+pub struct CheckResult {
+    /// `section.key`.
+    pub metric: String,
+    pub passed: bool,
+    /// Human-readable comparison, e.g. `0.36 -> 0.48 (+33.3% > +10%)`.
+    pub detail: String,
+}
+
+/// All checks of one gate run.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    pub checks: Vec<CheckResult>,
+}
+
+impl GateReport {
+    /// Whether any check failed.
+    pub fn failed(&self) -> bool {
+        self.checks.iter().any(|c| !c.passed)
+    }
+
+    /// One line per check, failures marked.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for c in &self.checks {
+            let mark = if c.passed { "ok  " } else { "FAIL" };
+            out.push_str(&format!("{mark} {:40} {}\n", c.metric, c.detail));
+        }
+        let failed = self.checks.iter().filter(|c| !c.passed).count();
+        out.push_str(&format!(
+            "{} check(s), {} failed\n",
+            self.checks.len(),
+            failed
+        ));
+        out
+    }
+
+    /// Merges another report's checks into this one.
+    pub fn extend(&mut self, other: GateReport) {
+        self.checks.extend(other.checks);
+    }
+}
+
+/// The runtime-soak gate (`BENCH_runtime.json`). Simulated latencies are
+/// deterministic, so their tolerance only absorbs model-level drift;
+/// `sustained_qps` is wall-clock and gets a wide band for noisy CI
+/// machines. The digest and the error counters must match exactly.
+pub fn runtime_specs() -> (Vec<MetricSpec>, Vec<ExactSpec>) {
+    let metrics = vec![
+        MetricSpec {
+            section: "soak",
+            key: "cold_p95_ms",
+            direction: Direction::LowerIsBetter,
+            rel_tolerance: 0.10,
+        },
+        MetricSpec {
+            section: "soak",
+            key: "tuned_p95_ms",
+            direction: Direction::LowerIsBetter,
+            rel_tolerance: 0.10,
+        },
+        MetricSpec {
+            section: "soak",
+            key: "tuned_mean_ms",
+            direction: Direction::LowerIsBetter,
+            rel_tolerance: 0.10,
+        },
+        MetricSpec {
+            section: "soak",
+            key: "sustained_qps",
+            direction: Direction::HigherIsBetter,
+            rel_tolerance: 0.50,
+        },
+        MetricSpec {
+            section: "obs",
+            key: "whatif_cache_hit_rate",
+            direction: Direction::HigherIsBetter,
+            rel_tolerance: 0.05,
+        },
+    ];
+    let exact = vec![
+        ExactSpec {
+            section: "soak",
+            key: "result_digest",
+        },
+        ExactSpec {
+            section: "soak",
+            key: "errors",
+        },
+        ExactSpec {
+            section: "soak",
+            key: "wrong_results",
+        },
+    ];
+    (metrics, exact)
+}
+
+/// The tuning-experiments gate (`BENCH_tuning.json`, quick-mode subset
+/// e3/e4/e5): cache hit rates and the warm-assessment speedup must not
+/// erode; branch-and-bound node counts are deterministic and get a
+/// narrow band.
+pub fn tuning_specs() -> (Vec<MetricSpec>, Vec<ExactSpec>) {
+    let metrics = vec![
+        MetricSpec {
+            section: "e3",
+            key: "cache_hit_rate",
+            direction: Direction::HigherIsBetter,
+            rel_tolerance: 0.05,
+        },
+        MetricSpec {
+            section: "e4",
+            key: "bb_nodes_warm",
+            direction: Direction::LowerIsBetter,
+            rel_tolerance: 0.10,
+        },
+        MetricSpec {
+            section: "e5",
+            key: "cache_hit_rate",
+            direction: Direction::HigherIsBetter,
+            rel_tolerance: 0.05,
+        },
+        MetricSpec {
+            section: "e5",
+            key: "warm_speedup",
+            direction: Direction::HigherIsBetter,
+            rel_tolerance: 0.30,
+        },
+    ];
+    let exact = vec![ExactSpec {
+        section: "e5",
+        key: "assessments_identical",
+    }];
+    (metrics, exact)
+}
+
+/// Runs every spec of `baseline` vs `candidate`. Missing sections or
+/// keys fail the corresponding check rather than erroring out, so one
+/// run reports everything that is wrong at once.
+pub fn compare(
+    baseline: &Json,
+    candidate: &Json,
+    metrics: &[MetricSpec],
+    exact: &[ExactSpec],
+) -> GateReport {
+    let mut report = GateReport::default();
+    for spec in metrics {
+        let metric = format!("{}.{}", spec.section, spec.key);
+        let (b, c) = (
+            lookup(baseline, spec.section, spec.key).and_then(|j| j.as_f64()),
+            lookup(candidate, spec.section, spec.key).and_then(|j| j.as_f64()),
+        );
+        let check = match (b, c) {
+            (Some(b), Some(c)) => numeric_check(metric, b, c, spec),
+            _ => CheckResult {
+                metric,
+                passed: false,
+                detail: format!(
+                    "missing in {}",
+                    if b.is_none() { "baseline" } else { "candidate" }
+                ),
+            },
+        };
+        report.checks.push(check);
+    }
+    for spec in exact {
+        let metric = format!("{}.{}", spec.section, spec.key);
+        let (b, c) = (
+            lookup(baseline, spec.section, spec.key),
+            lookup(candidate, spec.section, spec.key),
+        );
+        let check = match (b, c) {
+            (Some(b), Some(c)) => {
+                let passed = json_eq(b, c);
+                CheckResult {
+                    metric,
+                    passed,
+                    detail: if passed {
+                        format!("= {}", render(b))
+                    } else {
+                        format!("{} -> {} (must match exactly)", render(b), render(c))
+                    },
+                }
+            }
+            _ => CheckResult {
+                metric,
+                passed: false,
+                detail: format!(
+                    "missing in {}",
+                    if b.is_none() { "baseline" } else { "candidate" }
+                ),
+            },
+        };
+        report.checks.push(check);
+    }
+    report
+}
+
+fn numeric_check(metric: String, baseline: f64, candidate: f64, spec: &MetricSpec) -> CheckResult {
+    // Relative worsening, positive when the candidate is worse in the
+    // spec's direction. Zero baselines compare absolutely.
+    let scale = baseline.abs().max(1e-12);
+    let worsening = match spec.direction {
+        Direction::LowerIsBetter => (candidate - baseline) / scale,
+        Direction::HigherIsBetter => (baseline - candidate) / scale,
+    };
+    let passed = worsening <= spec.rel_tolerance;
+    CheckResult {
+        metric,
+        passed,
+        detail: format!(
+            "{baseline:.4} -> {candidate:.4} ({:+.1}% worse, tolerance {:.0}%)",
+            worsening * 100.0,
+            spec.rel_tolerance * 100.0
+        ),
+    }
+}
+
+/// Finds `key` inside the experiments entry whose `id` is `section`.
+fn lookup<'a>(doc: &'a Json, section: &str, key: &str) -> Option<&'a Json> {
+    doc.get("experiments")?
+        .as_array()?
+        .iter()
+        .find(|e| e.get("id").and_then(|id| id.as_str()) == Some(section))?
+        .get(key)
+}
+
+/// Structural equality over the JSON subset the reports use.
+fn json_eq(a: &Json, b: &Json) -> bool {
+    render(a) == render(b)
+}
+
+fn render(j: &Json) -> String {
+    j.to_string_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smdb_common::json::parse;
+
+    fn runtime_doc(p95: f64, digest: u64) -> Json {
+        parse(&format!(
+            r#"{{"experiments": [
+                 {{"id": "soak", "cold_p95_ms": 2.4, "tuned_p95_ms": {p95},
+                  "tuned_mean_ms": 0.3, "sustained_qps": 30000.0,
+                  "result_digest": {digest}, "errors": 0, "wrong_results": 0}},
+                 {{"id": "obs", "whatif_cache_hit_rate": 0.97}}]}}"#
+        ))
+        .expect("fixture parses")
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let (m, e) = runtime_specs();
+        let doc = runtime_doc(0.36, 7);
+        let report = compare(&doc, &doc, &m, &e);
+        assert!(!report.failed(), "{}", report.render_human());
+    }
+
+    #[test]
+    fn twenty_percent_worse_p95_fails() {
+        let (m, e) = runtime_specs();
+        let baseline = runtime_doc(0.36, 7);
+        let candidate = runtime_doc(0.36 * 1.2, 7);
+        let report = compare(&baseline, &candidate, &m, &e);
+        assert!(report.failed(), "{}", report.render_human());
+        assert!(report.render_human().contains("soak.tuned_p95_ms"));
+    }
+
+    #[test]
+    fn improvement_never_fails() {
+        let (m, e) = runtime_specs();
+        let baseline = runtime_doc(0.36, 7);
+        let candidate = runtime_doc(0.36 / 3.0, 7);
+        let report = compare(&baseline, &candidate, &m, &e);
+        assert!(!report.failed(), "{}", report.render_human());
+    }
+
+    #[test]
+    fn digest_must_match_exactly() {
+        let (m, e) = runtime_specs();
+        let report = compare(&runtime_doc(0.36, 7), &runtime_doc(0.36, 8), &m, &e);
+        assert!(report.failed());
+        let failed: Vec<_> = report.checks.iter().filter(|c| !c.passed).collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].metric, "soak.result_digest");
+    }
+
+    #[test]
+    fn missing_metric_fails_loudly() {
+        let (m, e) = runtime_specs();
+        let baseline = runtime_doc(0.36, 7);
+        let candidate = parse(r#"{"experiments": [{"id": "soak"}]}"#).expect("parses");
+        let report = compare(&baseline, &candidate, &m, &e);
+        assert!(report.failed());
+        assert!(report.render_human().contains("missing in candidate"));
+    }
+}

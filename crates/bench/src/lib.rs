@@ -5,6 +5,7 @@
 //! Criterion benches.
 
 pub mod experiments;
+pub mod gate;
 pub mod report;
 pub mod setup;
 pub mod table;

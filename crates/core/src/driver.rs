@@ -241,6 +241,16 @@ impl Driver {
         self.kpis.record_query(latency);
     }
 
+    /// Records one served query's scan-dispatch footprint alongside its
+    /// response time: `latency` is the (possibly parallel) simulated
+    /// latency and `morsels` how many morsels the scan pool executed for
+    /// it (0 = inline). The serving runtime calls this instead of
+    /// [`Driver::record_query`] when morsel-driven scans are enabled.
+    pub fn record_scan(&self, latency: Cost, morsels: u64) {
+        self.kpis.record_query(latency);
+        self.kpis.record_morsels(morsels);
+    }
+
     /// Closes the current KPI bucket from whatever
     /// [`Driver::record_query`] accumulated: samples engine memory,
     /// snapshots the plan cache into the workload history, updates the
@@ -262,11 +272,15 @@ impl Driver {
         self.counters.buckets_closed.fetch_add(1, Ordering::Relaxed);
         smdb_obs::metrics::counter("driver.buckets_closed").inc();
         smdb_obs::metrics::observe("driver.bucket_busy_ms", close.busy.ms());
+        if close.morsels > 0 {
+            smdb_obs::metrics::counter("driver.morsels").add(close.morsels);
+        }
         self.recorder.record(TrailEvent::BucketClosed {
             at: now.raw(),
             queries: close.queries,
             busy_ms: close.busy.ms(),
             utilization: close.utilization,
+            morsels: close.morsels,
         });
         BucketReport {
             queries_run: close.queries as usize,

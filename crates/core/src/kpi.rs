@@ -43,6 +43,9 @@ struct Inner {
     queries_total: u64,
     /// Queries recorded since the last bucket close.
     open_bucket_queries: u64,
+    /// Scan-pool morsels dispatched since the last bucket close (0 when
+    /// every scan ran inline).
+    open_bucket_morsels: u64,
     /// Set by [`KpiCollector::reset_latencies`]: the utilization and
     /// throughput figures predate the reconfiguration that cleared the
     /// latency window, so they must not be reported as current until a
@@ -72,6 +75,8 @@ pub struct BucketClose {
     pub utilization: f64,
     /// Queries served in the bucket.
     pub queries: u64,
+    /// Scan-pool morsels dispatched in the bucket (0 = all inline).
+    pub morsels: u64,
 }
 
 /// A point-in-time copy of every KPI a tuning decision reads, taken
@@ -153,6 +158,17 @@ impl KpiCollector {
         inner.open_bucket_queries += 1;
     }
 
+    /// Records morsels dispatched to the scan pool on behalf of queries
+    /// in the open bucket. Separate from [`KpiCollector::record_query`]
+    /// because a query knows its morsel count only after execution, and
+    /// inline scans contribute none.
+    pub fn record_morsels(&self, morsels: u64) {
+        if morsels == 0 {
+            return;
+        }
+        self.inner.lock().open_bucket_morsels += morsels;
+    }
+
     /// Records a memory usage sample.
     pub fn record_memory(&self, bytes: usize) {
         let mut inner = self.inner.lock();
@@ -189,12 +205,15 @@ impl KpiCollector {
         }
         inner.bucket_queries.push_back(queries);
         inner.open_bucket_queries = 0;
+        let morsels = inner.open_bucket_morsels;
+        inner.open_bucket_morsels = 0;
         // A fresh bucket supersedes any pre-reset staleness.
         inner.utilization_stale = false;
         BucketClose {
             busy,
             utilization,
             queries,
+            morsels,
         }
     }
 
@@ -399,6 +418,20 @@ mod tests {
         let close = k.end_bucket_accumulated();
         assert_eq!(close.queries, 1);
         assert_eq!(k.bucket_throughputs(), vec![100, 1]);
+    }
+
+    #[test]
+    fn morsels_are_sealed_per_bucket() {
+        let k = KpiCollector::default();
+        k.record_query(Cost(1.0));
+        k.record_morsels(6);
+        k.record_morsels(0); // inline scan contributes nothing
+        k.record_morsels(2);
+        let close = k.end_bucket_accumulated();
+        assert_eq!(close.morsels, 8);
+        // The next bucket starts from zero again.
+        k.record_query(Cost(1.0));
+        assert_eq!(k.end_bucket_accumulated().morsels, 0);
     }
 
     #[test]

@@ -7,6 +7,14 @@
 //! estimated tier multiplier. The engine's true cost is (close to) linear
 //! in these features, so the calibrated regression model can learn the
 //! "hardware" coefficients from observations (Section II-A(d)).
+//!
+//! Morsel-parallel scans need no mirroring here: the engine computes
+//! per-chunk partials with the same access-path rules regardless of
+//! execution mode, and `sim_cost` is total work summed in chunk-index
+//! order — so the quantity this extractor predicts is independent of
+//! thread count and morsel size by construction (the estimator cannot
+//! drift from the parallel access-path choice the way it could if the
+//! parallel path re-decided access paths per morsel).
 
 use smdb_common::{ChunkColumnRef, Result};
 use smdb_query::Query;

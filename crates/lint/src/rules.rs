@@ -22,6 +22,11 @@
 //!   clock) outside the obs tracing facade. Span timestamps must flow
 //!   through `smdb_obs::span!` so the flight-recorder trail stays a
 //!   pure function of logical time.
+//! * **L6 `thread-discipline`** — no `thread::spawn`/`thread::Builder`/
+//!   `thread::scope` outside the two designated pools (the storage scan
+//!   pool and the runtime worker pool) and test code. Ad-hoc threads
+//!   bypass the morsel scheduler's determinism argument and the
+//!   bucket-barrier protocol that keeps the decision trail replayable.
 
 use crate::scan::ScannedFile;
 
@@ -129,6 +134,21 @@ pub fn registry() -> Vec<Rule> {
             exclude: &["crates/obs/", "crates/common/src/time.rs"],
             skip_test_code: true,
             check: Check::Tokens(&["time::now"]),
+        },
+        Rule {
+            id: "thread-discipline",
+            severity: Severity::Error,
+            description:
+                "no thread::spawn/Builder/scope outside the scan pool and the runtime worker pool",
+            include: &["crates/", "src/"],
+            // The two designated thread seams: the morsel scheduler's
+            // helper pool and the serving runtime's scoped worker pool.
+            exclude: &[
+                "crates/storage/src/parallel.rs",
+                "crates/runtime/src/runtime.rs",
+            ],
+            skip_test_code: true,
+            check: Check::Tokens(&["thread::spawn", "thread::Builder", "thread::scope"]),
         },
     ]
 }
@@ -438,6 +458,30 @@ mod tests {
             "fn f() { let t = SystemTime::now(); }\n",
         );
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn thread_discipline_scope() {
+        let spawn = "fn f() { std::thread::spawn(|| {}); }\n";
+        let scoped = "fn f() { crossbeam::thread::scope(|s| {}); }\n";
+        // Flagged in ordinary library code, whichever flavour…
+        assert_eq!(
+            findings_for("thread-discipline", "crates/core/src/driver.rs", spawn).len(),
+            1
+        );
+        assert_eq!(
+            findings_for("thread-discipline", "crates/core/src/assessor.rs", scoped).len(),
+            1
+        );
+        // …but not in the designated pools or in test code.
+        assert!(
+            findings_for("thread-discipline", "crates/storage/src/parallel.rs", spawn).is_empty()
+        );
+        assert!(
+            findings_for("thread-discipline", "crates/runtime/src/runtime.rs", scoped).is_empty()
+        );
+        let in_test = "#[cfg(test)]\nmod t { fn f() { std::thread::spawn(|| {}); } }\n";
+        assert!(findings_for("thread-discipline", "crates/core/src/driver.rs", in_test).is_empty());
     }
 
     #[test]

@@ -17,6 +17,7 @@ const EVENT_KINDS: &[(&str, &[(&str, FieldType)])] = &[
             ("queries", FieldType::U64),
             ("busy_ms", FieldType::Num),
             ("utilization", FieldType::Num),
+            ("morsels", FieldType::U64),
         ],
     ),
     ("tuning_triggered", &[("trigger", FieldType::Str)]),
@@ -203,7 +204,7 @@ mod tests {
           "dropped": 0,
           "events": [
             {"seq": 0, "event": "bucket_closed", "at": 1,
-             "queries": 10, "busy_ms": 1.5, "utilization": 0.2},
+             "queries": 10, "busy_ms": 1.5, "utilization": 0.2, "morsels": 4},
             {"seq": 1, "event": "tuning_triggered", "at": 2, "trigger": "SlaViolation"},
             {"seq": 2, "event": "candidate_assessed", "at": 2, "feature": "indexing",
              "candidates": 3, "predicted_benefit_ms": 0.5, "accepted": true,

@@ -27,6 +27,9 @@ pub enum TrailEvent {
         queries: u64,
         busy_ms: f64,
         utilization: f64,
+        /// Scan-pool morsels dispatched during the bucket (0 = every
+        /// scan ran inline).
+        morsels: u64,
     },
     /// The organizer fired a tuning trigger.
     TuningTriggered { at: u64, trigger: String },
@@ -117,11 +120,13 @@ impl TrailEvent {
                 queries,
                 busy_ms,
                 utilization,
+                morsels,
             } => vec![
                 ("at", Json::Num(*at as f64)),
                 ("queries", Json::Num(*queries as f64)),
                 ("busy_ms", Json::Num(*busy_ms)),
                 ("utilization", Json::Num(*utilization)),
+                ("morsels", Json::Num(*morsels as f64)),
             ],
             TrailEvent::TuningTriggered { at, trigger } => vec![
                 ("at", Json::Num(*at as f64)),
@@ -370,6 +375,7 @@ mod tests {
             queries: 10,
             busy_ms: 1.5,
             utilization: 0.1,
+            morsels: 4,
         }
     }
 

@@ -6,14 +6,14 @@
 //! concurrent readers; the framework takes the engine write lock only
 //! while applying configuration actions.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 
 use smdb_common::{Cost, LogicalTime, Result};
-use smdb_storage::{ConfigAction, ScanOutput, StorageEngine};
+use smdb_storage::{ConfigAction, ScanOutput, ScanPool, StorageEngine};
 
 use crate::plan_cache::PlanCache;
 use crate::query::Query;
@@ -28,6 +28,18 @@ pub struct QueryRunResult {
     pub wall_ns: u64,
 }
 
+/// Cumulative scan-dispatch counters for one database.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Queries executed on the morsel scheduler.
+    pub parallel_scans: u64,
+    /// Queries executed inline (no pool installed, pool of one thread,
+    /// or too few morsels to be worth dispatching).
+    pub inline_scans: u64,
+    /// Total morsels dispatched across all parallel scans.
+    pub morsels: u64,
+}
+
 /// A self-manageable database: engine, plan cache, logical clock and the
 /// monitoring switch.
 pub struct Database {
@@ -35,6 +47,14 @@ pub struct Database {
     plan_cache: Mutex<PlanCache>,
     monitoring: AtomicBool,
     clock: AtomicU64,
+    /// Shared morsel scheduler; `None` means every scan runs inline.
+    scan_pool: RwLock<Option<Arc<ScanPool>>>,
+    /// Chunks per morsel when the pool is installed (0 = whole table,
+    /// i.e. effectively inline).
+    morsel_chunks: AtomicUsize,
+    parallel_scans: AtomicU64,
+    inline_scans: AtomicU64,
+    morsels_dispatched: AtomicU64,
 }
 
 impl Database {
@@ -45,7 +65,34 @@ impl Database {
             plan_cache: Mutex::new(PlanCache::default()),
             monitoring: AtomicBool::new(true),
             clock: AtomicU64::new(0),
+            scan_pool: RwLock::new(None),
+            morsel_chunks: AtomicUsize::new(smdb_storage::parallel::DEFAULT_MORSEL_CHUNKS),
+            parallel_scans: AtomicU64::new(0),
+            inline_scans: AtomicU64::new(0),
+            morsels_dispatched: AtomicU64::new(0),
         })
+    }
+
+    /// Installs (or removes, with `None`) the shared morsel scheduler and
+    /// sets the morsel granularity. Results are bit-identical either way;
+    /// only the simulated latency model changes.
+    pub fn set_scan_pool(&self, pool: Option<Arc<ScanPool>>, morsel_chunks: usize) {
+        self.morsel_chunks.store(morsel_chunks, Ordering::Relaxed);
+        *self.scan_pool.write() = pool;
+    }
+
+    /// The installed scan pool, if any.
+    pub fn scan_pool(&self) -> Option<Arc<ScanPool>> {
+        self.scan_pool.read().clone()
+    }
+
+    /// Cumulative scan-dispatch counters.
+    pub fn scan_stats(&self) -> ScanStats {
+        ScanStats {
+            parallel_scans: self.parallel_scans.load(Ordering::Relaxed),
+            inline_scans: self.inline_scans.load(Ordering::Relaxed),
+            morsels: self.morsels_dispatched.load(Ordering::Relaxed),
+        }
     }
 
     /// Read access to the engine.
@@ -88,15 +135,33 @@ impl Database {
     /// records the execution in the plan cache.
     pub fn run_query(&self, query: &Query) -> Result<QueryRunResult> {
         let start = Instant::now();
+        let pool = self.scan_pool.read().clone();
         let output = {
             let engine = self.engine.read();
-            engine.scan_grouped(
-                query.table(),
-                query.predicates(),
-                query.aggregate(),
-                query.group_by(),
-            )?
+            match &pool {
+                Some(pool) if pool.threads() > 1 => engine.scan_grouped_parallel(
+                    query.table(),
+                    query.predicates(),
+                    query.aggregate(),
+                    query.group_by(),
+                    pool,
+                    self.morsel_chunks.load(Ordering::Relaxed),
+                )?,
+                _ => engine.scan_grouped(
+                    query.table(),
+                    query.predicates(),
+                    query.aggregate(),
+                    query.group_by(),
+                )?,
+            }
         };
+        if output.morsels > 0 {
+            self.parallel_scans.fetch_add(1, Ordering::Relaxed);
+            self.morsels_dispatched
+                .fetch_add(output.morsels, Ordering::Relaxed);
+        } else {
+            self.inline_scans.fetch_add(1, Ordering::Relaxed);
+        }
         let wall_ns = start.elapsed().as_nanos() as u64;
         if self.monitoring() {
             self.plan_cache
@@ -192,6 +257,37 @@ mod tests {
         let r = db.run_query(&q(7)).unwrap();
         assert_eq!(r.output.rows_matched, 1);
         assert!(r.output.sim_cost.ms() > 0.0);
+    }
+
+    #[test]
+    fn scan_pool_changes_latency_model_but_nothing_else() {
+        let db = db();
+        let baseline = db.run_query(&q(7)).unwrap().output;
+        assert_eq!(baseline.morsels, 0);
+        assert_eq!(baseline.sim_latency, baseline.sim_cost);
+
+        db.set_scan_pool(Some(ScanPool::new(2)), 1);
+        let parallel = db.run_query(&q(7)).unwrap().output;
+        assert_eq!(parallel.rows_matched, baseline.rows_matched);
+        assert_eq!(parallel.agg_value, baseline.agg_value);
+        assert_eq!(parallel.sim_cost, baseline.sim_cost);
+        assert_eq!(parallel.morsels, 2); // 100 rows / 50-row chunks, 1 chunk per morsel
+        assert_ne!(parallel.sim_latency, parallel.sim_cost);
+
+        // A full scan splits into two equal-cost lanes, so the critical
+        // path is about half the total work.
+        let full = Query::new(TableId(0), "t", vec![], None, "full");
+        let out = db.run_query(&full).unwrap().output;
+        assert!(out.sim_latency.ms() < out.sim_cost.ms());
+
+        let stats = db.scan_stats();
+        assert_eq!(stats.parallel_scans, 2);
+        assert_eq!(stats.inline_scans, 1);
+        assert_eq!(stats.morsels, 4);
+
+        db.set_scan_pool(None, 4);
+        let again = db.run_query(&q(7)).unwrap().output;
+        assert_eq!(again, baseline);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod query;
 pub mod session;
 pub mod workload_spec;
 
-pub use database::{Database, QueryRunResult};
+pub use database::{Database, QueryRunResult, ScanStats};
 pub use logical::LogicalTemplate;
 pub use plan_cache::{PlanCache, PlanCacheEntry};
 pub use query::Query;

@@ -134,6 +134,9 @@ pub struct SessionStats {
     pub wrong_results: u64,
     /// Summed simulated cost of served queries.
     pub busy: Cost,
+    /// Morsels dispatched to the scan pool by this session's queries
+    /// (0 when every scan ran inline).
+    pub morsels: u64,
     /// Order-independent digest of the configuration-independent result
     /// parts (instance fingerprint, row count, group keys). Combined by
     /// wrapping addition (commutative, duplicate-safe), so the union over
@@ -150,6 +153,7 @@ impl SessionStats {
         self.errors += other.errors;
         self.wrong_results += other.wrong_results;
         self.busy += other.busy;
+        self.morsels += other.morsels;
         self.result_digest = self.result_digest.wrapping_add(other.result_digest);
     }
 }
@@ -191,6 +195,7 @@ impl Session {
             Ok(result) => {
                 self.stats.queries += 1;
                 self.stats.busy += result.output.sim_cost;
+                self.stats.morsels += result.output.morsels;
                 self.stats.result_digest = self
                     .stats
                     .result_digest

@@ -60,6 +60,15 @@ pub struct RuntimeConfig {
     pub cost_delta_threshold: f64,
     /// Organizer rate limit (buckets between tunings).
     pub min_tuning_interval: u64,
+    /// Scan-pool threads for morsel-driven parallel scans. `1` (the
+    /// default) serves every scan inline; `> 1` installs a shared
+    /// [`smdb_storage::ScanPool`] on the database and workers submit
+    /// morsels instead of whole queries. Results and the soak digest are
+    /// bit-identical either way — only the simulated latency model (and
+    /// on multicore hosts, wall clock) changes.
+    pub scan_threads: usize,
+    /// Chunks per morsel when `scan_threads > 1` (0 = whole table).
+    pub morsel_chunks: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -74,6 +83,8 @@ impl Default for RuntimeConfig {
             sla_p95: None,
             cost_delta_threshold: 0.25,
             min_tuning_interval: 2,
+            scan_threads: 1,
+            morsel_chunks: smdb_storage::parallel::DEFAULT_MORSEL_CHUNKS,
         }
     }
 }
@@ -147,6 +158,14 @@ impl Runtime {
                 .kpi_bucket_capacity(config.bucket_capacity)
                 .build(),
         );
+        if config.scan_threads > 1 {
+            db.set_scan_pool(
+                Some(smdb_storage::ScanPool::new(config.scan_threads)),
+                config.morsel_chunks,
+            );
+        } else {
+            db.set_scan_pool(None, config.morsel_chunks);
+        }
         Runtime {
             db,
             driver,
@@ -310,8 +329,11 @@ impl Runtime {
                             // Engine errors are counted in the session
                             // stats; serving continues.
                             if let Ok(r) = session.run(q) {
-                                driver.record_query(r.output.sim_cost);
-                                lats.push(r.output.sim_cost.ms());
+                                // KPIs see the (possibly parallel)
+                                // simulated latency; sim_cost stays the
+                                // work the cost model is calibrated on.
+                                driver.record_scan(r.output.sim_latency, r.output.morsels);
+                                lats.push(r.output.sim_latency.ms());
                             }
                         }
                         (session.into_stats(), lats)
@@ -468,6 +490,44 @@ mod tests {
         assert_eq!(a.stats.queries, b.stats.queries);
         assert_eq!(a.stats.result_digest, b.stats.result_digest);
         assert_eq!(a.stats.wrong_results + b.stats.wrong_results, 0);
+    }
+
+    #[test]
+    fn digest_is_scan_thread_invariant() {
+        // Morsel-parallel scans change the latency model, never the
+        // results: same digest, zero wrong answers, and the parallel run
+        // actually dispatched morsels.
+        let (db_seq, plan) = small_plan();
+        let seq = Runtime::new(
+            db_seq,
+            RuntimeConfig {
+                workers: 2,
+                bucket_capacity: Cost(500.0),
+                ..RuntimeConfig::default()
+            },
+        )
+        .run(&plan)
+        .expect("runs");
+        for (scan_threads, morsel_chunks) in [(2, 1), (4, 2)] {
+            let (db_par, _) = small_plan();
+            let par = Runtime::new(
+                db_par,
+                RuntimeConfig {
+                    workers: 2,
+                    bucket_capacity: Cost(500.0),
+                    scan_threads,
+                    morsel_chunks,
+                    ..RuntimeConfig::default()
+                },
+            )
+            .run(&plan)
+            .expect("runs");
+            assert_eq!(par.stats.result_digest, seq.stats.result_digest);
+            assert_eq!(par.stats.queries, seq.stats.queries);
+            assert_eq!(par.stats.wrong_results, 0);
+            assert_eq!(seq.stats.morsels, 0);
+            assert!(par.stats.morsels > 0, "parallel run dispatched morsels");
+        }
     }
 
     #[test]

@@ -23,8 +23,19 @@ pub struct ScanOutput {
     /// Per-group aggregate values when a GROUP BY was requested, sorted
     /// by group key.
     pub groups: Option<Vec<(Value, f64)>>,
-    /// Ground-truth simulated cost of the scan.
+    /// Ground-truth simulated cost of the scan: the total *work*
+    /// performed, summed over chunks in chunk-index order. Independent
+    /// of how (or whether) the scan was parallelised — cost estimators
+    /// learn from this figure.
     pub sim_cost: Cost,
+    /// Ground-truth simulated *latency* of the scan: equal to
+    /// [`ScanOutput::sim_cost`] for an inline scan; for a morsel-driven
+    /// parallel scan, the deterministic critical-path latency of
+    /// [`crate::parallel::simulated_latency`] (max lane sum plus
+    /// per-morsel dispatch overhead). This is what serving KPIs record.
+    pub sim_latency: Cost,
+    /// Morsels dispatched to the scan pool (0 for an inline scan).
+    pub morsels: u64,
     /// Rows actually touched by the driving filter (scan or probe output).
     pub rows_scanned: u64,
     /// Chunks skipped by min/max pruning.
@@ -369,6 +380,44 @@ impl StorageEngine {
         aggregate: Option<&Aggregate>,
         group_by: Option<smdb_common::ColumnId>,
     ) -> Result<ScanOutput> {
+        self.scan_grouped_with(table_id, predicates, aggregate, group_by, None)
+    }
+
+    /// Like [`StorageEngine::scan_grouped`], executed morsel-parallel on
+    /// `pool`: the chunk list is split into morsels of `morsel_chunks`
+    /// chunks, dispatched to the pool, and the per-chunk partials are
+    /// merged in chunk-index order — so every result field except
+    /// [`ScanOutput::sim_latency`] and [`ScanOutput::morsels`] is
+    /// bit-identical to the sequential scan, for any thread count and
+    /// morsel size. Scans that produce fewer than two morsels run
+    /// inline (the pool cannot help them).
+    pub fn scan_grouped_parallel(
+        &self,
+        table_id: TableId,
+        predicates: &[ScanPredicate],
+        aggregate: Option<&Aggregate>,
+        group_by: Option<smdb_common::ColumnId>,
+        pool: &crate::parallel::ScanPool,
+        morsel_chunks: usize,
+    ) -> Result<ScanOutput> {
+        self.scan_grouped_with(
+            table_id,
+            predicates,
+            aggregate,
+            group_by,
+            Some((pool, morsel_chunks)),
+        )
+    }
+
+    /// Validates the query, picks the execution mode and dispatches.
+    fn scan_grouped_with(
+        &self,
+        table_id: TableId,
+        predicates: &[ScanPredicate],
+        aggregate: Option<&Aggregate>,
+        group_by: Option<smdb_common::ColumnId>,
+        parallel: Option<(&crate::parallel::ScanPool, usize)>,
+    ) -> Result<ScanOutput> {
         let table = self.table(table_id)?;
         if let Some(g) = group_by {
             table.schema().column(g)?;
@@ -385,11 +434,281 @@ impl StorageEngine {
             }
         }
 
+        let chunks: Vec<&crate::chunk::Chunk> = table.chunks().map(|(_, c)| c).collect();
+        if let Some((pool, morsel_chunks)) = parallel {
+            let ranges = crate::parallel::morsel_ranges(chunks.len(), morsel_chunks);
+            // A single morsel (or a helper-less pool) has no parallelism
+            // to exploit — run inline and skip the dispatch overhead.
+            if pool.threads() > 1 && ranges.len() > 1 {
+                return self
+                    .scan_chunks_parallel(&chunks, predicates, aggregate, group_by, pool, &ranges);
+            }
+        }
+        self.scan_chunks_sequential(&chunks, predicates, aggregate, group_by)
+    }
+
+    /// Inline execution: per-chunk partials computed on this thread,
+    /// merged in chunk order. Latency equals work.
+    fn scan_chunks_sequential(
+        &self,
+        chunks: &[&crate::chunk::Chunk],
+        predicates: &[ScanPredicate],
+        aggregate: Option<&Aggregate>,
+        group_by: Option<smdb_common::ColumnId>,
+    ) -> Result<ScanOutput> {
+        let mut positions: Vec<u32> = Vec::new();
+        let mut partials = Vec::with_capacity(chunks.len());
+        for chunk in chunks {
+            partials.push(self.scan_chunk(
+                chunk,
+                predicates,
+                aggregate,
+                group_by,
+                &mut positions,
+            )?);
+        }
+        let mut out = self.merge_partials(partials, aggregate, group_by);
+        out.sim_latency = out.sim_cost;
+        out.morsels = 0;
+        Ok(out)
+    }
+
+    /// Morsel-parallel execution: contiguous chunk ranges are dispatched
+    /// to the scan pool, each producing its chunks' partials; the
+    /// submitting thread merges them in chunk-index order, so the merge
+    /// tree — and therefore every float in the result — is identical to
+    /// the sequential path's.
+    fn scan_chunks_parallel(
+        &self,
+        chunks: &[&crate::chunk::Chunk],
+        predicates: &[ScanPredicate],
+        aggregate: Option<&Aggregate>,
+        group_by: Option<smdb_common::ColumnId>,
+        pool: &crate::parallel::ScanPool,
+        ranges: &[(usize, usize)],
+    ) -> Result<ScanOutput> {
+        let slots: Vec<parking_lot::Mutex<Option<Result<Vec<ChunkPartial>>>>> = ranges
+            .iter()
+            .map(|_| parking_lot::Mutex::new(None))
+            .collect();
+        let clean = pool.run(ranges.len(), |m| {
+            let (start, end) = ranges[m];
+            let mut positions: Vec<u32> = Vec::new();
+            let mut parts = Vec::with_capacity(end - start);
+            let mut failed = None;
+            for chunk in &chunks[start..end] {
+                match self.scan_chunk(chunk, predicates, aggregate, group_by, &mut positions) {
+                    Ok(p) => parts.push(p),
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+            *slots[m].lock() = Some(match failed {
+                None => Ok(parts),
+                Some(e) => Err(e),
+            });
+        });
+        if !clean {
+            return Err(Error::invalid("a parallel scan morsel panicked"));
+        }
+        let mut morsel_costs_ms = Vec::with_capacity(ranges.len());
+        let mut all = Vec::with_capacity(chunks.len());
+        for slot in &slots {
+            let morsel = slot
+                .lock()
+                .take()
+                .ok_or_else(|| Error::invalid("a parallel scan morsel produced no output"))??;
+            morsel_costs_ms.push(morsel.iter().map(|p| p.cost.ms()).sum::<f64>());
+            all.extend(morsel);
+        }
+        let mut out = self.merge_partials(all, aggregate, group_by);
+        let lanes = pool.threads().min(ranges.len());
+        out.sim_latency = crate::parallel::simulated_latency(
+            &morsel_costs_ms,
+            lanes,
+            self.params.morsel_dispatch_ms,
+        );
+        out.morsels = ranges.len() as u64;
+        Ok(out)
+    }
+
+    /// Scans one chunk, returning its partial: counters, aggregate state
+    /// and the chunk's share of the simulated work. `positions` is
+    /// caller-provided scratch (cleared per call) so a morsel reuses one
+    /// allocation across its chunks. A partial is a pure function of
+    /// (chunk, query, configuration) — which execution mode computed it,
+    /// and in which order, cannot matter.
+    fn scan_chunk(
+        &self,
+        chunk: &crate::chunk::Chunk,
+        predicates: &[ScanPredicate],
+        aggregate: Option<&Aggregate>,
+        group_by: Option<smdb_common::ColumnId>,
+        positions: &mut Vec<u32>,
+    ) -> Result<ChunkPartial> {
+        let mut part = ChunkPartial::new(aggregate.map(|a| a.op));
+        // Min/max pruning over every predicate column.
+        for p in predicates {
+            if !chunk.stats(p.column)?.can_match(p) {
+                part.pruned = true;
+                part.cost += Cost(self.params.prune_check_ms);
+                return Ok(part);
+            }
+        }
+        let tier_mult = self.params.effective_tier_multiplier(
+            chunk.tier(),
+            self.knobs.buffer_pool_mb,
+            self.nonhot_bytes,
+        );
+        part.cost += Cost(self.params.chunk_visit_ms);
+
+        positions.clear();
+        let mut remaining: Vec<&ScanPredicate> = predicates.iter().collect();
+
+        // Composite-index fast path: a pair of equality predicates
+        // answered by one multi-attribute probe. If the index is gone
+        // by lookup time (cannot happen under the engine lock, but
+        // this path must never panic mid-serve) we fall through to
+        // the generic scan below.
+        let composite = composite_pair(chunk, &remaining)
+            .and_then(|(i, j)| chunk.index(remaining[i].column).map(|idx| (i, j, idx)));
+        if let Some((i, j, idx)) = composite {
+            let (first, second) = (remaining[i], remaining[j]);
+            idx.probe_composite(&first.value, &second.value, positions);
+            part.index_probes += 1;
+            part.cost += Cost(
+                self.params.index_probe_ms + positions.len() as f64 * self.params.index_match_ms,
+            ) * tier_mult;
+            // Drop both consumed predicates (higher index first).
+            let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+            remaining.remove(hi);
+            remaining.remove(lo);
+            for p in remaining {
+                if positions.is_empty() {
+                    break;
+                }
+                let before = positions.len();
+                chunk.segment(p.column)?.refine(p, positions);
+                part.cost += Cost(before as f64 * self.params.refine_ms_per_row) * tier_mult;
+            }
+            part.rows_matched += positions.len() as u64;
+            if let Some(agg) = aggregate {
+                part.cost += self.aggregate_positions(
+                    chunk,
+                    agg,
+                    group_by,
+                    positions,
+                    &mut part.agg,
+                    &mut part.groups,
+                )?;
+            }
+            return Ok(part);
+        }
+
+        if remaining.is_empty() {
+            // Full-chunk selection.
+            positions.extend(0..chunk.rows() as u32);
+            part.rows_scanned += chunk.rows() as u64;
+            let (units, enc) = chunk
+                .segment(smdb_common::ColumnId(0))
+                .map(|s| (s.scan_units(), s.encoding()))
+                .unwrap_or((chunk.rows(), crate::encoding::EncodingKind::Unencoded));
+            part.cost += Cost(
+                units as f64 * self.params.scan_ms_per_row * self.params.encoding_scan_factor(enc),
+            ) * tier_mult;
+        } else {
+            // Driving predicate: prefer one an index can answer.
+            let drive_pos = remaining
+                .iter()
+                .position(|p| {
+                    chunk.index(p.column).is_some_and(|idx| {
+                        // Composite indexes cannot drive alone; broad
+                        // predicates scan (access-path rule).
+                        !matches!(idx.kind(), crate::index::IndexKind::CompositeHash { .. })
+                            && idx.kind().supports(p.op)
+                            && chunk
+                                .stats(p.column)
+                                .map(|s| {
+                                    s.estimate_selectivity(p)
+                                        <= crate::scan::INDEX_SELECTIVITY_THRESHOLD
+                                })
+                                .unwrap_or(false)
+                    })
+                })
+                .unwrap_or(0);
+            let driving = remaining.remove(drive_pos);
+
+            let seg = chunk.segment(driving.column)?;
+            match chunk.index(driving.column) {
+                // Composite indexes cannot answer a lone predicate
+                // (their fast path ran above when both were present).
+                Some(idx)
+                    if !matches!(idx.kind(), crate::index::IndexKind::CompositeHash { .. })
+                        && idx.kind().supports(driving.op) =>
+                {
+                    let answered = idx.probe(driving, positions);
+                    debug_assert!(answered, "single-attribute probe must answer");
+                    part.index_probes += 1;
+                    part.cost += Cost(
+                        self.params.index_probe_ms
+                            + positions.len() as f64 * self.params.index_match_ms,
+                    ) * tier_mult;
+                }
+                _ => {
+                    seg.filter(driving, positions);
+                    part.rows_scanned += chunk.rows() as u64;
+                    part.cost += Cost(
+                        seg.scan_units() as f64
+                            * self.params.scan_ms_per_row
+                            * self.params.encoding_scan_factor(seg.encoding()),
+                    ) * tier_mult;
+                }
+            }
+
+            // Residual predicates refine the position list.
+            for p in remaining {
+                if positions.is_empty() {
+                    break;
+                }
+                let before = positions.len();
+                chunk.segment(p.column)?.refine(p, positions);
+                part.cost += Cost(before as f64 * self.params.refine_ms_per_row) * tier_mult;
+            }
+        }
+
+        part.rows_matched += positions.len() as u64;
+        if let Some(agg) = aggregate {
+            part.cost += self.aggregate_positions(
+                chunk,
+                agg,
+                group_by,
+                positions,
+                &mut part.agg,
+                &mut part.groups,
+            )?;
+        }
+        Ok(part)
+    }
+
+    /// Folds per-chunk partials — in chunk-index order — into one
+    /// [`ScanOutput`]. This is the *only* combine tree either execution
+    /// mode uses, which is the determinism argument: float accumulation
+    /// order is fixed by chunk index, never by scheduling.
+    fn merge_partials(
+        &self,
+        partials: Vec<ChunkPartial>,
+        aggregate: Option<&Aggregate>,
+        group_by: Option<smdb_common::ColumnId>,
+    ) -> ScanOutput {
         let mut out = ScanOutput {
             rows_matched: 0,
             agg_value: None,
             groups: None,
             sim_cost: Cost::ZERO,
+            sim_latency: Cost::ZERO,
+            morsels: 0,
             rows_scanned: 0,
             chunks_pruned: 0,
             chunks_visited: 0,
@@ -397,157 +716,22 @@ impl StorageEngine {
         };
         let mut agg_state = AggState::new(aggregate.map(|a| a.op));
         let mut group_state: HashMap<Value, AggState> = HashMap::new();
-
-        let mut positions: Vec<u32> = Vec::new();
-        for (_chunk_id, chunk) in table.chunks() {
-            // Min/max pruning over every predicate column.
-            let mut prunable = false;
-            for p in predicates {
-                if !chunk.stats(p.column)?.can_match(p) {
-                    prunable = true;
-                    break;
-                }
-            }
-            if prunable {
+        for part in partials {
+            out.sim_cost += part.cost;
+            if part.pruned {
                 out.chunks_pruned += 1;
-                out.sim_cost += Cost(self.params.prune_check_ms);
                 continue;
             }
             out.chunks_visited += 1;
-            let tier_mult = self.params.effective_tier_multiplier(
-                chunk.tier(),
-                self.knobs.buffer_pool_mb,
-                self.nonhot_bytes,
-            );
-            out.sim_cost += Cost(self.params.chunk_visit_ms);
-
-            positions.clear();
-            let mut remaining: Vec<&ScanPredicate> = predicates.iter().collect();
-
-            // Composite-index fast path: a pair of equality predicates
-            // answered by one multi-attribute probe. If the index is gone
-            // by lookup time (cannot happen under the engine lock, but
-            // this path must never panic mid-serve) we fall through to
-            // the generic scan below.
-            let composite = composite_pair(chunk, &remaining)
-                .and_then(|(i, j)| chunk.index(remaining[i].column).map(|idx| (i, j, idx)));
-            if let Some((i, j, idx)) = composite {
-                let (first, second) = (remaining[i], remaining[j]);
-                idx.probe_composite(&first.value, &second.value, &mut positions);
-                out.index_probes += 1;
-                out.sim_cost += Cost(
-                    self.params.index_probe_ms
-                        + positions.len() as f64 * self.params.index_match_ms,
-                ) * tier_mult;
-                // Drop both consumed predicates (higher index first).
-                let (hi, lo) = if i > j { (i, j) } else { (j, i) };
-                remaining.remove(hi);
-                remaining.remove(lo);
-                for p in remaining {
-                    if positions.is_empty() {
-                        break;
-                    }
-                    let before = positions.len();
-                    chunk.segment(p.column)?.refine(p, &mut positions);
-                    out.sim_cost += Cost(before as f64 * self.params.refine_ms_per_row) * tier_mult;
-                }
-                out.rows_matched += positions.len() as u64;
-                if let Some(agg) = aggregate {
-                    out.sim_cost += self.aggregate_positions(
-                        chunk,
-                        agg,
-                        group_by,
-                        &positions,
-                        &mut agg_state,
-                        &mut group_state,
-                    )?;
-                }
-                continue;
-            }
-
-            if remaining.is_empty() {
-                // Full-chunk selection.
-                positions.extend(0..chunk.rows() as u32);
-                out.rows_scanned += chunk.rows() as u64;
-                let (units, enc) = chunk
-                    .segment(smdb_common::ColumnId(0))
-                    .map(|s| (s.scan_units(), s.encoding()))
-                    .unwrap_or((chunk.rows(), crate::encoding::EncodingKind::Unencoded));
-                out.sim_cost += Cost(
-                    units as f64
-                        * self.params.scan_ms_per_row
-                        * self.params.encoding_scan_factor(enc),
-                ) * tier_mult;
-            } else {
-                // Driving predicate: prefer one an index can answer.
-                let drive_pos = remaining
-                    .iter()
-                    .position(|p| {
-                        chunk.index(p.column).is_some_and(|idx| {
-                            // Composite indexes cannot drive alone; broad
-                            // predicates scan (access-path rule).
-                            !matches!(idx.kind(), crate::index::IndexKind::CompositeHash { .. })
-                                && idx.kind().supports(p.op)
-                                && chunk
-                                    .stats(p.column)
-                                    .map(|s| {
-                                        s.estimate_selectivity(p)
-                                            <= crate::scan::INDEX_SELECTIVITY_THRESHOLD
-                                    })
-                                    .unwrap_or(false)
-                        })
-                    })
-                    .unwrap_or(0);
-                let driving = remaining.remove(drive_pos);
-
-                let seg = chunk.segment(driving.column)?;
-                match chunk.index(driving.column) {
-                    // Composite indexes cannot answer a lone predicate
-                    // (their fast path ran above when both were present).
-                    Some(idx)
-                        if !matches!(idx.kind(), crate::index::IndexKind::CompositeHash { .. })
-                            && idx.kind().supports(driving.op) =>
-                    {
-                        let answered = idx.probe(driving, &mut positions);
-                        debug_assert!(answered, "single-attribute probe must answer");
-                        out.index_probes += 1;
-                        out.sim_cost += Cost(
-                            self.params.index_probe_ms
-                                + positions.len() as f64 * self.params.index_match_ms,
-                        ) * tier_mult;
-                    }
-                    _ => {
-                        seg.filter(driving, &mut positions);
-                        out.rows_scanned += chunk.rows() as u64;
-                        out.sim_cost += Cost(
-                            seg.scan_units() as f64
-                                * self.params.scan_ms_per_row
-                                * self.params.encoding_scan_factor(seg.encoding()),
-                        ) * tier_mult;
-                    }
-                }
-
-                // Residual predicates refine the position list.
-                for p in remaining {
-                    if positions.is_empty() {
-                        break;
-                    }
-                    let before = positions.len();
-                    chunk.segment(p.column)?.refine(p, &mut positions);
-                    out.sim_cost += Cost(before as f64 * self.params.refine_ms_per_row) * tier_mult;
-                }
-            }
-
-            out.rows_matched += positions.len() as u64;
-            if let Some(agg) = aggregate {
-                out.sim_cost += self.aggregate_positions(
-                    chunk,
-                    agg,
-                    group_by,
-                    &positions,
-                    &mut agg_state,
-                    &mut group_state,
-                )?;
+            out.rows_matched += part.rows_matched;
+            out.rows_scanned += part.rows_scanned;
+            out.index_probes += part.index_probes;
+            agg_state.merge(&part.agg);
+            for (key, state) in part.groups {
+                group_state
+                    .entry(key)
+                    .or_insert_with(|| AggState::new(aggregate.map(|a| a.op)))
+                    .merge(&state);
             }
         }
 
@@ -564,7 +748,7 @@ impl StorageEngine {
         } else {
             out.agg_value = agg_state.finish(out.rows_matched);
         }
-        Ok(out)
+        out
     }
 
     /// Accumulates aggregate state for the matched positions of one
@@ -677,6 +861,38 @@ fn composite_pair(
     None
 }
 
+/// One chunk's contribution to a scan. Partials are produced by
+/// [`StorageEngine::scan_chunk`] (on whichever thread ran the morsel) and
+/// folded by [`StorageEngine::merge_partials`] in chunk-index order.
+struct ChunkPartial {
+    /// The chunk was eliminated by min/max statistics; only
+    /// `cost` (the prune check) is meaningful.
+    pruned: bool,
+    rows_matched: u64,
+    rows_scanned: u64,
+    index_probes: u64,
+    /// The chunk's share of the simulated work.
+    cost: Cost,
+    /// Ungrouped aggregate state over this chunk's matches.
+    agg: AggState,
+    /// Per-group aggregate state over this chunk's matches.
+    groups: HashMap<Value, AggState>,
+}
+
+impl ChunkPartial {
+    fn new(op: Option<AggregateOp>) -> Self {
+        ChunkPartial {
+            pruned: false,
+            rows_matched: 0,
+            rows_scanned: 0,
+            index_probes: 0,
+            cost: Cost::ZERO,
+            agg: AggState::new(op),
+            groups: HashMap::new(),
+        }
+    }
+}
+
 /// Streaming aggregate state across chunks.
 struct AggState {
     op: Option<AggregateOp>,
@@ -721,6 +937,25 @@ impl AggState {
             self.max = Some(self.max.map_or(x, |m| m.max(x)));
         }
         Ok(())
+    }
+
+    /// Folds another partial state into this one. Sum accumulation order
+    /// is the caller's responsibility — [`StorageEngine::merge_partials`]
+    /// always merges in chunk-index order, which is what keeps grouped
+    /// floats bit-identical across execution modes.
+    fn merge(&mut self, other: &AggState) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, None) => a,
+            (None, b) => b,
+        };
     }
 
     fn finish(&self, matched: u64) -> Option<f64> {

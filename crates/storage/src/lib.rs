@@ -30,6 +30,13 @@
 //!   The framework's cost *estimators* (crate `smdb-cost`) must
 //!   approximate this ground truth from observations — they never see the
 //!   formula.
+//! * **Morsel-driven parallel scans.** A scan's chunk list can be split
+//!   into [morsels](parallel::morsel_ranges) and executed on a shared
+//!   [`parallel::ScanPool`]; per-chunk partials merge in chunk-index
+//!   order, so results (and total simulated work) are bit-identical for
+//!   every thread count and morsel size, while a deterministic lane
+//!   model ([`parallel::simulated_latency`]) reports the scan's
+//!   simulated parallel *latency*.
 //!
 //! The engine applies [`config::ConfigAction`]s (create /
 //! drop index, re-encode, move tier, set knob) and reports their one-time
@@ -42,6 +49,7 @@ pub mod encoding;
 pub mod engine;
 pub mod index;
 pub mod memory;
+pub mod parallel;
 pub mod placement;
 pub mod scan;
 pub mod schema;
@@ -54,6 +62,7 @@ pub use config::{ConfigAction, ConfigInstance, ConfigSnapshot, KnobKind, Knobs};
 pub use encoding::EncodingKind;
 pub use engine::{ScanOutput, StorageEngine};
 pub use index::IndexKind;
+pub use parallel::ScanPool;
 pub use placement::Tier;
 pub use scan::{Aggregate, AggregateOp, PredicateOp, ScanPredicate};
 pub use schema::{ColumnDef, Schema};

@@ -42,6 +42,12 @@ pub struct SimCostParams {
     pub move_ms_per_mb: f64,
     /// Fixed cost of resizing the buffer pool, ms.
     pub knob_change_ms: f64,
+    /// Scheduling overhead charged per dispatched morsel in the
+    /// simulated parallel-latency model (see
+    /// [`crate::parallel::simulated_latency`]), ms. Total simulated
+    /// *work* (`sim_cost`) never includes it — only the critical-path
+    /// latency does, so tiny morsels model real dispatch overhead.
+    pub morsel_dispatch_ms: f64,
 }
 
 impl Default for SimCostParams {
@@ -59,6 +65,7 @@ impl Default for SimCostParams {
             reencode_ms_per_row: 5e-4,
             move_ms_per_mb: 10.0,
             knob_change_ms: 1.0,
+            morsel_dispatch_ms: 5e-4,
         }
     }
 }

@@ -1,13 +1,22 @@
 //! Offline shim for `crossbeam`.
 //!
-//! Only `crossbeam::thread::scope` is consumed by this workspace (the
-//! assessor's candidate fan-out); std has had scoped threads since 1.63,
-//! so the shim adapts the call signature: crossbeam passes the scope
-//! handle back into each spawned closure and returns `Result` (Err when a
-//! child panicked), while std re-raises child panics at the end of the
-//! scope. Under the shim a child panic therefore propagates as a panic
-//! out of `scope` rather than as `Err`, which is equivalent for callers
-//! that `expect` the result.
+//! Two slices of crossbeam are consumed by this workspace:
+//! `crossbeam::thread::scope` (the assessor's candidate fan-out) and
+//! `crossbeam::deque::Injector` (the scan pool's shared work queue).
+//!
+//! Std has had scoped threads since 1.63, so the `thread` shim adapts
+//! the call signature: crossbeam passes the scope handle back into each
+//! spawned closure and returns `Result` (Err when a child panicked),
+//! while std re-raises child panics at the end of the scope. Under the
+//! shim a child panic therefore propagates as a panic out of `scope`
+//! rather than as `Err`, which is equivalent for callers that `expect`
+//! the result.
+//!
+//! The `deque` shim keeps crossbeam's `Injector` / `Steal` API but backs
+//! it with a mutexed ring buffer instead of a lock-free deque — the
+//! workspace's consumers batch work into morsels, so queue operations
+//! are far off the hot path and the simple backend keeps the shim
+//! std-only and obviously correct.
 
 /// Scoped threads, mirroring `crossbeam::thread`.
 pub mod thread {
@@ -42,6 +51,87 @@ pub mod thread {
     }
 }
 
+/// A shared FIFO work queue, mirroring `crossbeam::deque::Injector`.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Outcome of a steal attempt, mirroring `crossbeam::deque::Steal`.
+    /// The mutexed backend never loses a race mid-pop, so `Retry` is
+    /// never produced — it exists for API compatibility.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// A race was lost; try again (unused by this backend).
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// A FIFO injector queue shared by any number of producers and
+    /// stealers.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// An empty queue.
+        pub fn new() -> Injector<T> {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Appends a task at the back.
+        pub fn push(&self, task: T) {
+            match self.queue.lock() {
+                Ok(mut q) => q.push_back(task),
+                Err(poisoned) => poisoned.into_inner().push_back(task),
+            }
+        }
+
+        /// Steals the task at the front.
+        pub fn steal(&self) -> Steal<T> {
+            let mut q = match self.queue.lock() {
+                Ok(q) => q,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            match q.pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            match self.queue.lock() {
+                Ok(q) => q.is_empty(),
+                Err(poisoned) => poisoned.into_inner().is_empty(),
+            }
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            match self.queue.lock() {
+                Ok(q) => q.len(),
+                Err(poisoned) => poisoned.into_inner().len(),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -56,5 +146,29 @@ mod tests {
         })
         .expect("no panics");
         assert_eq!(slots, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn injector_is_fifo_and_shared() {
+        let q = super::deque::Injector::new();
+        assert!(q.is_empty());
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.steal(), super::deque::Steal::Success(1));
+        assert_eq!(q.steal().success(), Some(2));
+        assert_eq!(q.steal(), super::deque::Steal::<i32>::Empty);
+
+        let shared = std::sync::Arc::new(super::deque::Injector::new());
+        super::thread::scope(|scope| {
+            for i in 0..4 {
+                let q = std::sync::Arc::clone(&shared);
+                scope.spawn(move |_| q.push(i));
+            }
+        })
+        .expect("no panics");
+        let mut got: Vec<i32> = std::iter::from_fn(|| shared.steal().success()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
     }
 }
