@@ -6,7 +6,8 @@
 #
 #   ./ci.sh               # full gate (build, tests, lint, bench + gate)
 #   ./ci.sh quick         # release build + tuning experiments + soak
-#                         # -> target/ci/BENCH_*.json, gated vs committed
+#                         # + concurrency audit -> target/ci/BENCH_*.json
+#                         # and AUDIT_concurrency.json, gated vs committed
 #   ./ci.sh soak          # online serving soak only -> BENCH_runtime.json
 #   ./ci.sh bench-gate    # regenerate benches into target/ci and compare
 #                         # against the committed BENCH_*.json baselines
@@ -84,6 +85,15 @@ check_trail() { # trail path
     cargo run -q -p smdb-lint -- --check-trail "$1"
 }
 
+run_concurrency_audit() { # outdir -> AUDIT_concurrency.json
+    cargo run -q -p smdb-lint -- --audit-concurrency --json \
+        > "$1/AUDIT_concurrency.json"
+}
+
+check_audit() { # audit path
+    cargo run -q -p smdb-lint -- --check-audit "$1"
+}
+
 run_gate() { # candidate dir
     cargo run --release -q -p smdb-bench --bin bench_gate -- \
         --runtime BENCH_runtime.json "$1/BENCH_runtime.json" \
@@ -98,10 +108,17 @@ fresh_bench_and_gate() { # build fresh candidates into target/ci, gate them
     step "bench-gate" run_gate "$CI_DIR"
 }
 
+concurrency_audit_and_check() { # emit + schema-validate the audit artifact
+    mkdir -p "$CI_DIR"
+    step "audit-concurrency" run_concurrency_audit "$CI_DIR"
+    step "check-audit" check_audit "$CI_DIR/AUDIT_concurrency.json"
+}
+
 case "$MODE" in
 quick)
     step "build (release, bench)" cargo build --release -p smdb-bench
     fresh_bench_and_gate
+    concurrency_audit_and_check
     echo "Quick CI green."
     ;;
 soak)
@@ -130,6 +147,7 @@ full)
     fresh_bench_and_gate
     step "smdb-lint" cargo run -q -p smdb-lint
     step "smdb-lint --audit-lp" cargo run -q -p smdb-lint -- --audit-lp
+    concurrency_audit_and_check
     echo "CI green."
     ;;
 *)

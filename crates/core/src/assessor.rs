@@ -5,9 +5,11 @@
 //! (reconfiguration) cost. The default implementation is what-if based:
 //! it evaluates the forecast workload cost with and without the candidate
 //! using an exchangeable cost estimator. Candidate assessment is
-//! embarrassingly parallel and fans out over scoped threads.
+//! embarrassingly parallel and fans out over the storage scan pool —
+//! the workspace's designated thread seam — rather than ad-hoc threads.
 
 use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use smdb_common::{Cost, Result, TableId};
 use smdb_cost::features::ConfigContext;
@@ -16,6 +18,7 @@ use smdb_cost::what_if::estimate_action_cost;
 use smdb_cost::{sizes, WhatIf};
 use smdb_forecast::ForecastSet;
 use smdb_query::Query;
+use smdb_storage::parallel::ScanPool;
 use smdb_storage::{ConfigAction, ConfigInstance, StorageEngine, Tier};
 
 use crate::candidate::{Assessment, Candidate};
@@ -75,6 +78,9 @@ pub struct WhatIfAssessor {
     pub confidence: f64,
     /// Number of worker threads for candidate fan-out (1 = sequential).
     pub threads: usize,
+    /// Lazily-built scan pool for the fan-out, sized from `threads` at
+    /// first parallel use.
+    pool: OnceLock<Arc<ScanPool>>,
 }
 
 impl WhatIfAssessor {
@@ -84,6 +90,7 @@ impl WhatIfAssessor {
             what_if,
             confidence,
             threads: 4,
+            pool: OnceLock::new(),
         }
     }
 
@@ -231,38 +238,37 @@ impl Assessor for WhatIfAssessor {
                 .collect();
         }
 
-        // Scoped fan-out; results keep candidate order via indexed slots.
-        // Workers share one Sync cost cache through `self.what_if`;
-        // results are deterministic regardless of thread count because
-        // cached and freshly computed costs are bit-identical.
-        let mut slots: Vec<Option<Result<Assessment>>> = Vec::new();
-        slots.resize_with(candidates.len(), || None);
-        let chunk = candidates.len().div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
-            for (t, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
-                let base_ctx = &base_ctx;
-                let scen = &scen;
-                let nonhot_tables = &nonhot_tables;
-                scope.spawn(move |_| {
-                    for (off, slot) in slot_chunk.iter_mut().enumerate() {
-                        let i = t * chunk + off;
-                        *slot = Some(self.assess_one(
-                            engine,
-                            base,
-                            base_ctx,
-                            scen,
-                            nonhot_tables,
-                            i,
-                            &candidates[i],
-                        ));
-                    }
-                });
-            }
-        })
-        .expect("assessment workers must not panic");
+        // Fan out one morsel per candidate over the shared scan pool;
+        // results keep candidate order via indexed slots. Workers share
+        // one Sync cost cache through `self.what_if`; results are
+        // deterministic regardless of thread count because cached and
+        // freshly computed costs are bit-identical.
+        let pool = self.pool.get_or_init(|| ScanPool::new(threads));
+        let slots: Vec<Mutex<Option<Result<Assessment>>>> =
+            (0..candidates.len()).map(|_| Mutex::new(None)).collect();
+        pool.run(candidates.len(), |i| {
+            let out = self.assess_one(
+                engine,
+                base,
+                &base_ctx,
+                &scen,
+                &nonhot_tables,
+                i,
+                &candidates[i],
+            );
+            *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(out);
+        });
         slots
             .into_iter()
-            .map(|s| s.expect("every slot filled"))
+            .map(|slot| match slot.into_inner() {
+                Ok(Some(result)) => result,
+                // A panicked morsel leaves its slot empty (or poisoned);
+                // surface that candidate as an error instead of taking
+                // down the whole process.
+                _ => Err(smdb_common::Error::invalid(
+                    "candidate assessment worker failed",
+                )),
+            })
             .collect()
     }
 }

@@ -1,0 +1,437 @@
+//! `--audit-concurrency`: the machine-readable concurrency report.
+//!
+//! Bundles the three whole-workspace analyses — crate layering
+//! ([`crate::graph`]), the atomic-ordering census (L8 sites with their
+//! justification status), and the lock graph ([`crate::locks`]) — into
+//! one JSON document that `ci.sh` writes to `AUDIT_concurrency.json`,
+//! validates with [`validate_concurrency_audit`], and uploads next to
+//! the bench and trail artifacts. The audit *fails* (exit 1) on a
+//! layering violation or a lock-graph cycle; the atomic census is
+//! informational (the lint pass itself enforces the ratchet).
+
+use std::collections::BTreeMap;
+
+use smdb_common::json::Json;
+
+use crate::graph::{self, LayerReport};
+use crate::locks::{self, LockAnalysis};
+use crate::parse::TokenKind;
+use crate::scan::ScannedFile;
+
+/// One `Ordering::` site in the census.
+#[derive(Debug, Clone)]
+pub struct AtomicSite {
+    pub path: String,
+    pub line: usize,
+    /// `Relaxed` | `Acquire` | `Release` | `AcqRel` | `SeqCst`.
+    pub ordering: String,
+    /// Whether a `// ordering:` justification comment covers the site.
+    pub justified: bool,
+}
+
+/// The full concurrency audit.
+#[derive(Debug, Clone)]
+pub struct ConcurrencyAudit {
+    pub layering: LayerReport,
+    pub atomics: Vec<AtomicSite>,
+    pub locks: LockAnalysis,
+}
+
+impl ConcurrencyAudit {
+    /// Hard failures: layering violations/cycles or lock-graph cycles.
+    pub fn failed(&self) -> bool {
+        self.layering.edges.iter().any(|e| !e.legal)
+            || !self.layering.acyclic()
+            || !self.locks.acyclic()
+    }
+
+    /// Census by ordering, sorted by variant name.
+    pub fn atomic_census(&self) -> BTreeMap<&str, usize> {
+        let mut census: BTreeMap<&str, usize> = BTreeMap::new();
+        for site in &self.atomics {
+            *census.entry(site.ordering.as_str()).or_default() += 1;
+        }
+        census
+    }
+}
+
+/// The memory orderings counted by the census (mirrors the L8 rule).
+const MEMORY_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Collects every `Ordering::<memory ordering>` site, including test
+/// code and justified sites (the census reports; the rule enforces).
+fn atomic_sites(files: &[ScannedFile]) -> Vec<AtomicSite> {
+    let mut out = Vec::new();
+    for file in files {
+        let toks: Vec<&crate::parse::Token> = file.code_tokens().collect();
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident || !MEMORY_ORDERINGS.contains(&file.text(t)) {
+                continue;
+            }
+            if i < 3
+                || file.text(toks[i - 1]) != ":"
+                || file.text(toks[i - 2]) != ":"
+                || file.text(toks[i - 3]) != "Ordering"
+            {
+                continue;
+            }
+            let justified = file
+                .lines
+                .get(t.line.wrapping_sub(1))
+                .is_some_and(|l| has_marker(&l.raw))
+                || (t.line >= 2
+                    && file
+                        .lines
+                        .get(t.line - 2)
+                        .is_some_and(|l| has_marker(&l.raw)));
+            out.push(AtomicSite {
+                path: file.path.clone(),
+                line: t.line,
+                ordering: file.text(t).to_owned(),
+                justified,
+            });
+        }
+    }
+    out
+}
+
+fn has_marker(raw: &str) -> bool {
+    raw.find("//")
+        .is_some_and(|i| raw[i..].contains("ordering:"))
+}
+
+/// Runs all three analyses over already-scanned files.
+pub fn audit_concurrency(files: &[ScannedFile]) -> ConcurrencyAudit {
+    ConcurrencyAudit {
+        layering: graph::analyze_layering(files),
+        atomics: atomic_sites(files),
+        locks: locks::analyze_locks(files),
+    }
+}
+
+/// Renders the audit as the `AUDIT_concurrency.json` document.
+pub fn audit_to_json(audit: &ConcurrencyAudit) -> Json {
+    let crates: Json = audit
+        .layering
+        .crates
+        .iter()
+        .map(|(name, layer)| {
+            Json::obj([
+                ("name", Json::from(name.as_str())),
+                (
+                    "layer",
+                    if *layer == u32::MAX {
+                        Json::from("outside")
+                    } else {
+                        Json::from(*layer as usize)
+                    },
+                ),
+            ])
+        })
+        .collect();
+    let layer_edges: Json = audit
+        .layering
+        .edges
+        .iter()
+        .map(|e| {
+            Json::obj([
+                ("from", Json::from(e.from.as_str())),
+                ("to", Json::from(e.to.as_str())),
+                ("path", Json::from(e.path.as_str())),
+                ("line", Json::from(e.line)),
+                ("legal", Json::from(e.legal)),
+            ])
+        })
+        .collect();
+    let layering = Json::obj([
+        ("crates", crates),
+        ("edges", layer_edges),
+        (
+            "violations",
+            Json::from(audit.layering.edges.iter().filter(|e| !e.legal).count()),
+        ),
+        ("acyclic", Json::from(audit.layering.acyclic())),
+    ]);
+
+    let census: Json = audit
+        .atomic_census()
+        .into_iter()
+        .map(|(ordering, count)| {
+            Json::obj([
+                ("ordering", Json::from(ordering)),
+                ("count", Json::from(count)),
+            ])
+        })
+        .collect();
+    let sites: Json = audit
+        .atomics
+        .iter()
+        .map(|s| {
+            Json::obj([
+                ("path", Json::from(s.path.as_str())),
+                ("line", Json::from(s.line)),
+                ("ordering", Json::from(s.ordering.as_str())),
+                ("justified", Json::from(s.justified)),
+            ])
+        })
+        .collect();
+    let atomics = Json::obj([
+        ("total", Json::from(audit.atomics.len())),
+        ("census", census),
+        ("sites", sites),
+    ]);
+
+    let nodes: Json = audit
+        .locks
+        .nodes
+        .iter()
+        .map(|n| Json::from(n.as_str()))
+        .collect();
+    let lock_edges: Json = audit
+        .locks
+        .edges
+        .iter()
+        .map(|e| {
+            Json::obj([
+                ("from", Json::from(e.from.as_str())),
+                ("to", Json::from(e.to.as_str())),
+                ("path", Json::from(e.path.as_str())),
+                ("line", Json::from(e.line)),
+                ("via_call", Json::from(e.via_call)),
+            ])
+        })
+        .collect();
+    let cycles: Json = audit
+        .locks
+        .cycles
+        .iter()
+        .map(|c| c.iter().map(|n| Json::from(n.as_str())).collect::<Json>())
+        .collect();
+    let locks = Json::obj([
+        ("nodes", nodes),
+        ("edges", lock_edges),
+        ("cycles", cycles),
+        ("acyclic", Json::from(audit.locks.acyclic())),
+    ]);
+
+    Json::obj([
+        ("schema", Json::from("smdb-audit-concurrency/v1")),
+        ("failed", Json::from(audit.failed())),
+        ("layering", layering),
+        ("atomics", atomics),
+        ("locks", locks),
+    ])
+}
+
+/// Structural validation of an `AUDIT_concurrency.json` document, used
+/// by `ci.sh` (via `smdb-lint --check-audit`) before uploading it.
+pub fn validate_concurrency_audit(doc: &Json) -> Result<(), String> {
+    if doc.get("schema").and_then(Json::as_str) != Some("smdb-audit-concurrency/v1") {
+        return Err("schema must be \"smdb-audit-concurrency/v1\"".into());
+    }
+    if !matches!(doc.get("failed"), Some(Json::Bool(_))) {
+        return Err("missing boolean `failed`".into());
+    }
+
+    let layering = doc.get("layering").ok_or("missing `layering`")?;
+    for key in ["crates", "edges"] {
+        let arr = layering
+            .get(key)
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("`layering.{key}` must be an array"))?;
+        for (i, item) in arr.iter().enumerate() {
+            let probe = if key == "crates" { "name" } else { "from" };
+            if item.get(probe).and_then(Json::as_str).is_none() {
+                return Err(format!("`layering.{key}[{i}].{probe}` must be a string"));
+            }
+        }
+    }
+    if layering.get("violations").and_then(Json::as_u64).is_none() {
+        return Err("`layering.violations` must be a number".into());
+    }
+    if !matches!(layering.get("acyclic"), Some(Json::Bool(_))) {
+        return Err("`layering.acyclic` must be a boolean".into());
+    }
+
+    let atomics = doc.get("atomics").ok_or("missing `atomics`")?;
+    let total = atomics
+        .get("total")
+        .and_then(Json::as_u64)
+        .ok_or("`atomics.total` must be a number")?;
+    let sites = atomics
+        .get("sites")
+        .and_then(Json::as_array)
+        .ok_or("`atomics.sites` must be an array")?;
+    if sites.len() as u64 != total {
+        return Err(format!(
+            "`atomics.total` ({total}) disagrees with sites ({})",
+            sites.len()
+        ));
+    }
+    let census = atomics
+        .get("census")
+        .and_then(Json::as_array)
+        .ok_or("`atomics.census` must be an array")?;
+    let census_sum: u64 = census
+        .iter()
+        .filter_map(|c| c.get("count").and_then(Json::as_u64))
+        .sum();
+    if census_sum != total {
+        return Err(format!(
+            "`atomics.census` counts sum to {census_sum}, expected {total}"
+        ));
+    }
+    for (i, s) in sites.iter().enumerate() {
+        let ordering = s
+            .get("ordering")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("`atomics.sites[{i}].ordering` must be a string"))?;
+        if !MEMORY_ORDERINGS.contains(&ordering) {
+            return Err(format!("unknown memory ordering `{ordering}`"));
+        }
+        if s.get("path").and_then(Json::as_str).is_none()
+            || s.get("line").and_then(Json::as_u64).is_none()
+        {
+            return Err(format!("`atomics.sites[{i}]` needs path + line"));
+        }
+    }
+
+    let locks = doc.get("locks").ok_or("missing `locks`")?;
+    for key in ["nodes", "edges", "cycles"] {
+        if locks.get(key).and_then(Json::as_array).is_none() {
+            return Err(format!("`locks.{key}` must be an array"));
+        }
+    }
+    if !matches!(locks.get("acyclic"), Some(Json::Bool(_))) {
+        return Err("`locks.acyclic` must be a boolean".into());
+    }
+    let cycles = locks.get("cycles").and_then(Json::as_array).unwrap_or(&[]);
+    if (locks.get("acyclic") == Some(&Json::Bool(true))) != cycles.is_empty() {
+        return Err("`locks.acyclic` disagrees with `locks.cycles`".into());
+    }
+    Ok(())
+}
+
+/// Human-readable one-screen summary for the CLI.
+pub fn render_concurrency(audit: &ConcurrencyAudit) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "layering: {} crate(s), {} edge(s), {} violation(s), {}\n",
+        audit.layering.crates.len(),
+        audit.layering.edges.len(),
+        audit.layering.edges.iter().filter(|e| !e.legal).count(),
+        if audit.layering.acyclic() {
+            "acyclic"
+        } else {
+            "CYCLIC"
+        }
+    ));
+    for e in audit.layering.edges.iter().filter(|e| !e.legal) {
+        out.push_str(&format!(
+            "  illegal edge {} → {} ({}:{})\n",
+            e.from, e.to, e.path, e.line
+        ));
+    }
+    out.push_str("atomics:");
+    for (ordering, count) in audit.atomic_census() {
+        out.push_str(&format!(" {ordering}={count}"));
+    }
+    let justified = audit.atomics.iter().filter(|s| s.justified).count();
+    out.push_str(&format!(
+        " (total {}, justified {justified})\n",
+        audit.atomics.len()
+    ));
+    out.push_str(&format!(
+        "locks: {} node(s), {} edge(s), {}\n",
+        audit.locks.nodes.len(),
+        audit.locks.edges.len(),
+        if audit.locks.acyclic() {
+            "acyclic"
+        } else {
+            "CYCLIC"
+        }
+    ));
+    for c in &audit.locks.cycles {
+        out.push_str(&format!("  cycle: {}\n", c.join(" → ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_source;
+
+    fn audit_of(files: &[(&str, &str)]) -> ConcurrencyAudit {
+        let scanned: Vec<ScannedFile> = files.iter().map(|(p, s)| scan_source(p, s)).collect();
+        audit_concurrency(&scanned)
+    }
+
+    #[test]
+    fn clean_audit_round_trips_and_validates() {
+        let a = audit_of(&[(
+            "crates/core/src/driver.rs",
+            "struct D { q: Mutex<u32> }\n\
+             fn tick(d: &D) {\n\
+                 // ordering: monotonic counter, no synchronisation\n\
+                 SEQ.fetch_add(1, Ordering::Relaxed);\n\
+                 let g = d.q.lock();\n\
+             }\n\
+             fn dep() { smdb_cost::noop(); }\n",
+        )]);
+        assert!(!a.failed());
+        assert_eq!(a.atomics.len(), 1);
+        assert!(a.atomics[0].justified);
+        let json = audit_to_json(&a);
+        validate_concurrency_audit(&json).expect("self-produced audit validates");
+        let back = smdb_common::json::parse(&json.to_string_pretty()).expect("parses");
+        validate_concurrency_audit(&back).expect("round-tripped audit validates");
+    }
+
+    #[test]
+    fn lock_cycle_fails_the_audit() {
+        let a = audit_of(&[(
+            "crates/core/src/driver.rs",
+            "struct D { a: Mutex<u32>, b: Mutex<u32> }\n\
+             fn f(d: &D) { let x = d.a.lock(); let y = d.b.lock(); }\n\
+             fn g(d: &D) { let y = d.b.lock(); let x = d.a.lock(); }\n",
+        )]);
+        assert!(a.failed());
+        let json = audit_to_json(&a);
+        assert_eq!(json.get("failed"), Some(&Json::Bool(true)));
+        validate_concurrency_audit(&json).expect("failed audits still validate");
+    }
+
+    #[test]
+    fn layering_violation_fails_the_audit() {
+        let a = audit_of(&[("crates/storage/src/engine.rs", "use smdb_core::Driver;\n")]);
+        assert!(a.failed());
+    }
+
+    #[test]
+    fn validator_rejects_tampered_documents() {
+        let a = audit_of(&[("crates/core/src/driver.rs", "fn f() {}\n")]);
+        let good = audit_to_json(&a).to_string_pretty();
+
+        let bad_schema = good.replace("smdb-audit-concurrency/v1", "nope/v0");
+        let doc = smdb_common::json::parse(&bad_schema).expect("parses");
+        assert!(validate_concurrency_audit(&doc).is_err());
+
+        let no_locks = good.replace("\"locks\"", "\"locked\"");
+        let doc = smdb_common::json::parse(&no_locks).expect("parses");
+        assert!(validate_concurrency_audit(&doc).is_err());
+    }
+
+    #[test]
+    fn census_total_mismatch_is_rejected() {
+        let a = audit_of(&[(
+            "crates/core/src/driver.rs",
+            "fn f() { X.store(1, Ordering::Relaxed); }\n",
+        )]);
+        let text = audit_to_json(&a)
+            .to_string_pretty()
+            .replace("\"total\": 1", "\"total\": 2");
+        let doc = smdb_common::json::parse(&text).expect("parses");
+        assert!(validate_concurrency_audit(&doc).is_err());
+    }
+}

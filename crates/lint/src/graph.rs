@@ -1,0 +1,372 @@
+//! Crate-layering enforcement from source tokens.
+//!
+//! The workspace is a strict DAG (see DESIGN.md §8):
+//!
+//! ```text
+//! layer 0   common
+//! layer 1   obs
+//! layer 2   storage   lp
+//! layer 3   query
+//! layer 4   cost   forecast   workload
+//! layer 5   core
+//! layer 6   runtime
+//! layer 7   bench
+//! layer 8   smdb (root facade)
+//! outside   lint  (may use common + lp only; nothing may use lint)
+//! ```
+//!
+//! Rather than trusting `Cargo.toml` (which tells you what a crate *may*
+//! use), this pass reads what the source *actually* references: every
+//! `smdb_<crate>` path token in non-test code of `crates/<c>/src/**`
+//! becomes an edge `c → crate`. An edge is legal only when it points to
+//! a strictly lower layer — same-layer and upward edges, unknown target
+//! crates, and any dependency cycle are findings under the
+//! `crate-layering` rule. Test-gated tokens are exempt (dev-dependencies
+//! may reach sideways).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::rules::{Finding, Severity};
+use crate::scan::ScannedFile;
+
+/// The fixed layer assignment. Lower layers must not reference higher
+/// ones; `lint` sits outside the stack with an explicit allowlist.
+const LAYERS: &[(&str, u32)] = &[
+    ("common", 0),
+    ("obs", 1),
+    ("storage", 2),
+    ("lp", 2),
+    ("query", 3),
+    ("cost", 4),
+    ("forecast", 4),
+    ("workload", 4),
+    ("core", 5),
+    ("runtime", 6),
+    ("bench", 7),
+    ("smdb", 8),
+];
+
+/// Crates `lint` may reference (it audits the others' *source*, not
+/// their APIs, except for the LP audit re-derivation).
+const LINT_ALLOWED: &[&str] = &["common", "lp"];
+
+/// One observed source-level dependency edge.
+#[derive(Debug, Clone)]
+pub struct CrateEdge {
+    pub from: String,
+    pub to: String,
+    /// Example reference site.
+    pub path: String,
+    pub line: usize,
+    /// Whether the edge respects the layering.
+    pub legal: bool,
+}
+
+/// The result of the layering pass.
+#[derive(Debug, Clone)]
+pub struct LayerReport {
+    /// `(crate, layer)` for every crate seen in the scan; `lint` is
+    /// reported with layer `u32::MAX` (outside the stack).
+    pub crates: Vec<(String, u32)>,
+    /// Deduplicated edges in deterministic order.
+    pub edges: Vec<CrateEdge>,
+    /// Dependency cycles found (each a closed walk of crate names).
+    pub cycles: Vec<Vec<String>>,
+}
+
+impl LayerReport {
+    /// Whether the observed graph is a DAG.
+    pub fn acyclic(&self) -> bool {
+        self.cycles.is_empty()
+    }
+}
+
+/// Which crate a repo-relative path belongs to, if it is enforced
+/// library source (`crates/<c>/src/**` or the root facade `src/**`).
+fn owning_crate(path: &str) -> Option<&str> {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        let (name, tail) = rest.split_once('/')?;
+        if tail.starts_with("src/") {
+            return Some(name);
+        }
+        return None;
+    }
+    if path.starts_with("src/") {
+        return Some("smdb");
+    }
+    None
+}
+
+fn layer_of(name: &str) -> Option<u32> {
+    LAYERS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, layer)| layer)
+}
+
+/// Is a source-level edge `from → to` allowed?
+fn edge_legal(from: &str, to: &str) -> bool {
+    if to == "lint" {
+        return false; // nothing may depend on the auditor
+    }
+    if from == "lint" {
+        return LINT_ALLOWED.contains(&to);
+    }
+    match (layer_of(from), layer_of(to)) {
+        (Some(f), Some(t)) => t < f,
+        _ => false, // unknown crates have no legal edges
+    }
+}
+
+/// Runs the layering pass over all scanned files.
+pub fn analyze_layering(files: &[ScannedFile]) -> LayerReport {
+    // (from, to) → example site; BTreeMap for deterministic output.
+    let mut edges: BTreeMap<(String, String), (String, usize)> = BTreeMap::new();
+    let mut crates: BTreeSet<String> = BTreeSet::new();
+
+    for file in files {
+        let Some(owner) = owning_crate(&file.path) else {
+            continue;
+        };
+        crates.insert(owner.to_owned());
+        for tok in file.code_tokens() {
+            if tok.in_test {
+                continue;
+            }
+            let text = file.text(tok);
+            let Some(dep) = text.strip_prefix("smdb_") else {
+                continue;
+            };
+            if dep == owner {
+                continue; // `smdb_x` inside crate x (e.g. macro paths)
+            }
+            crates.insert(dep.to_owned());
+            edges
+                .entry((owner.to_owned(), dep.to_owned()))
+                .or_insert_with(|| (file.path.clone(), tok.line));
+        }
+    }
+
+    let edges: Vec<CrateEdge> = edges
+        .into_iter()
+        .map(|((from, to), (path, line))| {
+            let legal = edge_legal(&from, &to);
+            CrateEdge {
+                from,
+                to,
+                path,
+                line,
+                legal,
+            }
+        })
+        .collect();
+
+    let adjacency: BTreeMap<&str, Vec<&str>> =
+        edges
+            .iter()
+            .fold(BTreeMap::new(), |mut acc: BTreeMap<&str, Vec<&str>>, e| {
+                acc.entry(e.from.as_str()).or_default().push(e.to.as_str());
+                acc
+            });
+    let cycles = find_cycles(&adjacency);
+
+    let crates = crates
+        .into_iter()
+        .map(|name| {
+            let layer = if name == "lint" {
+                u32::MAX
+            } else {
+                layer_of(&name).unwrap_or(u32::MAX)
+            };
+            (name, layer)
+        })
+        .collect();
+
+    LayerReport {
+        crates,
+        edges,
+        cycles,
+    }
+}
+
+/// Turns a layer report into `crate-layering` findings: one per illegal
+/// edge and one per cycle.
+pub fn layering_findings(report: &LayerReport) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for e in report.edges.iter().filter(|e| !e.legal) {
+        out.push(Finding {
+            rule: "crate-layering",
+            severity: Severity::Error,
+            path: e.path.clone(),
+            line: e.line,
+            message: format!(
+                "`{}` references `smdb_{}` — upward or sideways edge in the crate \
+                 layering DAG (see DESIGN.md §8)",
+                e.from, e.to
+            ),
+            excerpt: String::new(),
+            exempt_from_budget: true,
+        });
+    }
+    for cycle in &report.cycles {
+        out.push(Finding {
+            rule: "crate-layering",
+            severity: Severity::Error,
+            path: cycle.first().cloned().unwrap_or_default(),
+            line: 0,
+            message: format!("crate dependency cycle: {}", cycle.join(" → ")),
+            excerpt: String::new(),
+            exempt_from_budget: true,
+        });
+    }
+    out
+}
+
+/// Finds elementary cycles reachable in `adjacency` via DFS; returns each
+/// as a closed walk (first node repeated last). Deterministic: nodes and
+/// neighbours are visited in sorted order, and each cycle is reported
+/// once, rotated to start at its smallest node.
+pub fn find_cycles(adjacency: &BTreeMap<&str, Vec<&str>>) -> Vec<Vec<String>> {
+    let mut cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    for &start in adjacency.keys() {
+        // DFS with an explicit stack of (node, next-neighbour-index).
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        let mut path: Vec<&str> = vec![start];
+        while let Some((node, idx)) = stack.last_mut() {
+            let mut neighbours: Vec<&str> = adjacency
+                .get(*node)
+                .map(|v| v.iter().copied().collect())
+                .unwrap_or_default();
+            neighbours.sort_unstable();
+            if *idx >= neighbours.len() {
+                stack.pop();
+                path.pop();
+                continue;
+            }
+            let next = neighbours[*idx];
+            *idx += 1;
+            if let Some(pos) = path.iter().position(|&n| n == next) {
+                // Found a cycle: path[pos..] ++ next.
+                let mut cycle: Vec<String> = path[pos..].iter().map(|s| s.to_string()).collect();
+                cycle.push(next.to_owned());
+                cycles.insert(canonical_cycle(cycle));
+                continue;
+            }
+            if path.len() < 64 {
+                path.push(next);
+                stack.push((next, 0));
+            }
+        }
+    }
+    cycles.into_iter().collect()
+}
+
+/// Rotates a closed walk (`a b c a`) so it starts at its smallest node,
+/// giving every rotation of the same cycle one canonical spelling.
+fn canonical_cycle(mut cycle: Vec<String>) -> Vec<String> {
+    cycle.pop(); // drop the duplicated closing node
+    let Some(min_pos) = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, n)| n.as_str())
+        .map(|(i, _)| i)
+    else {
+        return cycle;
+    };
+    cycle.rotate_left(min_pos);
+    let first = cycle.first().cloned().unwrap_or_default();
+    cycle.push(first);
+    cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_source;
+
+    fn layering(files: &[(&str, &str)]) -> LayerReport {
+        let scanned: Vec<ScannedFile> = files
+            .iter()
+            .map(|(path, src)| scan_source(path, src))
+            .collect();
+        analyze_layering(&scanned)
+    }
+
+    #[test]
+    fn downward_edges_are_legal() {
+        let r = layering(&[
+            ("crates/core/src/lib.rs", "use smdb_cost::Model;\n"),
+            ("crates/cost/src/lib.rs", "use smdb_storage::Table;\n"),
+        ]);
+        assert!(r.edges.iter().all(|e| e.legal), "{:?}", r.edges);
+        assert!(r.acyclic());
+        assert!(layering_findings(&r).is_empty());
+    }
+
+    #[test]
+    fn upward_edge_is_flagged() {
+        let r = layering(&[("crates/storage/src/engine.rs", "use smdb_core::Driver;\n")]);
+        assert_eq!(r.edges.len(), 1);
+        assert!(!r.edges[0].legal);
+        let f = layering_findings(&r);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].exempt_from_budget, "layering is never budgetable");
+        assert!(f[0].message.contains("smdb_core"));
+    }
+
+    #[test]
+    fn sideways_edge_is_flagged() {
+        let r = layering(&[("crates/cost/src/lib.rs", "use smdb_forecast::Predictor;\n")]);
+        assert_eq!(layering_findings(&r).len(), 1, "cost and forecast tie");
+    }
+
+    #[test]
+    fn lint_is_fenced_both_ways() {
+        let ok = layering(&[(
+            "crates/lint/src/lib.rs",
+            "use smdb_lp::audit; use smdb_common::json::Json;\n",
+        )]);
+        assert!(layering_findings(&ok).is_empty(), "{:?}", ok.edges);
+        let bad = layering(&[
+            ("crates/lint/src/lib.rs", "use smdb_core::Driver;\n"),
+            ("crates/query/src/lib.rs", "use smdb_lint::registry;\n"),
+        ]);
+        assert_eq!(layering_findings(&bad).len(), 2);
+    }
+
+    #[test]
+    fn test_gated_references_are_exempt() {
+        let r = layering(&[(
+            "crates/storage/src/engine.rs",
+            "fn lib() {}\n#[cfg(test)]\nmod t { use smdb_core::Driver; }\n",
+        )]);
+        assert!(r.edges.is_empty(), "{:?}", r.edges);
+    }
+
+    #[test]
+    fn non_library_paths_are_not_enforced() {
+        let r = layering(&[
+            ("tests/integration.rs", "use smdb_core::Driver;\n"),
+            ("crates/storage/tests/t.rs", "use smdb_core::Driver;\n"),
+        ]);
+        assert!(r.edges.is_empty());
+    }
+
+    #[test]
+    fn cycles_are_detected_and_canonical() {
+        let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        adj.insert("a", vec!["b"]);
+        adj.insert("b", vec!["c"]);
+        adj.insert("c", vec!["a"]);
+        let cycles = find_cycles(&adj);
+        assert_eq!(
+            cycles,
+            vec![vec![
+                "a".to_owned(),
+                "b".to_owned(),
+                "c".to_owned(),
+                "a".to_owned(),
+            ]]
+        );
+    }
+}

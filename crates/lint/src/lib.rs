@@ -1,18 +1,27 @@
 //! # smdb-lint — repo-specific static analysis with paper-invariant audits
 //!
 //! A std-only lint engine for this repository (the offline build bans
-//! external analysis dependencies). It walks every `.rs` file, runs the
-//! comment-/string-/`#[cfg(test)]`-aware scanner ([`scan`]), applies the
-//! rule registry ([`rules`]) under the `lint.toml` allowlist ratchet
-//! ([`config`], [`report`]), and — beyond lexical rules — re-derives the
-//! paper's ordering-ILP size formulas through `smdb_lp::audit` so a drift
-//! in the model builder fails the same gate as a stray `unwrap()`.
+//! external analysis dependencies). It lexes every `.rs` file into a
+//! spanned token stream ([`parse`]), projects it to sanitized lines
+//! ([`scan`]), applies the rule registry ([`rules`]) under the
+//! `lint.toml` allowlist ratchet ([`config`], [`report`]), then runs two
+//! whole-workspace passes — crate-layering ([`graph`]) and lock-order
+//! ([`locks`]) — whose findings can never be budgeted away. Beyond
+//! that, it re-derives the paper's ordering-ILP size formulas through
+//! `smdb_lp::audit`, and [`audit`] exports the combined concurrency
+//! picture as a validated JSON artifact, so a drift in the model builder
+//! or a new deadlock-shaped lock pair fails the same gate as a stray
+//! `unwrap()`.
 //!
 //! The engine is a library first: `tests/lint_enforcement.rs` runs the
 //! full pass during `cargo test`, and the `smdb-lint` binary wraps the
 //! same entry points with CLI flags and exit codes for `ci.sh`.
 
+pub mod audit;
 pub mod config;
+pub mod graph;
+pub mod locks;
+pub mod parse;
 pub mod report;
 pub mod rules;
 pub mod scan;
@@ -21,7 +30,10 @@ pub mod trail;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+pub use audit::{audit_concurrency, validate_concurrency_audit, ConcurrencyAudit};
 pub use config::LintConfig;
+pub use graph::{analyze_layering, LayerReport};
+pub use locks::{analyze_locks, LockAnalysis};
 pub use report::{Allowance, LintReport};
 pub use rules::{registry, Finding, Rule, Severity};
 pub use scan::{scan_source, ScannedFile};
@@ -81,20 +93,34 @@ pub fn relative_path(root: &Path, path: &Path) -> String {
     parts.join("/")
 }
 
-/// Runs the full lexical pass over the repository at `root`.
-pub fn run_lint(root: &Path, cfg: &LintConfig) -> Result<LintReport, String> {
+/// Scans every `.rs` file under `root` into token streams + sanitized
+/// lines, in sorted path order.
+pub fn scan_repo(root: &Path, cfg: &LintConfig) -> Result<Vec<ScannedFile>, String> {
     let files = collect_rs_files(root, cfg)?;
-    let rules = rules::registry();
-    let mut findings = Vec::new();
+    let mut scanned = Vec::with_capacity(files.len());
     for path in &files {
         let source =
             fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
-        let scanned = scan::scan_source(&relative_path(root, path), &source);
+        scanned.push(scan::scan_source(&relative_path(root, path), &source));
+    }
+    Ok(scanned)
+}
+
+/// Runs the full analysis pass over the repository at `root`: the
+/// per-file rule registry, then the global crate-layering and
+/// lock-order passes.
+pub fn run_lint(root: &Path, cfg: &LintConfig) -> Result<LintReport, String> {
+    let scanned = scan_repo(root, cfg)?;
+    let rules = rules::registry();
+    let mut findings = Vec::new();
+    for file in &scanned {
         for rule in &rules {
-            rule.check_file(&scanned, &mut findings);
+            rule.check_file(file, &mut findings);
         }
     }
-    Ok(LintReport::assemble(files.len(), findings, cfg))
+    findings.extend(graph::layering_findings(&graph::analyze_layering(&scanned)));
+    findings.extend(locks::lock_findings(&locks::analyze_locks(&scanned)));
+    Ok(LintReport::assemble(scanned.len(), findings, cfg))
 }
 
 /// Convenience entry point: load config and lint `root`.

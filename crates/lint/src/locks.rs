@@ -1,0 +1,611 @@
+//! L9 `lock-order`: static lock-acquisition-order analysis.
+//!
+//! A deadlock needs two functions that take the same pair of locks in
+//! opposite orders. This pass reconstructs, per function, the sequence
+//! of `Mutex`/`RwLock` guard acquisitions with a small liveness model
+//! (let-bound guards live to the end of their block, temporaries to the
+//! end of the statement — or the end of the following block for
+//! `for … in x.lock()…` style headers, and an explicit `drop(guard)`
+//! releases early). Every "lock B acquired while lock A is held" becomes
+//! an edge `A → B` in a global lock graph; acquisitions are also
+//! propagated one level through the call graph (a call made while
+//! holding A contributes edges from A to everything the callee takes
+//! directly). A cycle in the global graph is a finding — and, like
+//! layering violations, it can never be budgeted away in `lint.toml`.
+//!
+//! Heuristics and their bias: lock *names* are `<file stem>.<binding>`,
+//! so two same-named fields in different files stay distinct (misses
+//! shared locks used from several files rather than inventing false
+//! cycles); `.read()`/`.write()`/`.lock()` only count when the receiver's
+//! last path segment is a binding declared with a `Mutex`/`RwLock` type
+//! somewhere in the workspace; call propagation only follows callees that
+//! are unambiguous (defined in the same file, or with a workspace-unique
+//! name).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::graph::find_cycles;
+use crate::parse::{Token, TokenKind};
+use crate::rules::{Finding, Severity};
+use crate::scan::ScannedFile;
+
+/// One observed hold-while-acquiring edge.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// Held lock (`<file stem>.<binding>`).
+    pub from: String,
+    /// Lock acquired while holding `from`.
+    pub to: String,
+    /// Example acquisition site.
+    pub path: String,
+    pub line: usize,
+    /// Whether the edge came from one-level call propagation rather
+    /// than a direct acquisition in the same function body.
+    pub via_call: bool,
+}
+
+/// The global lock-order analysis result.
+#[derive(Debug, Clone, Default)]
+pub struct LockAnalysis {
+    /// All lock nodes seen, sorted.
+    pub nodes: Vec<String>,
+    /// Deduplicated edges in deterministic order.
+    pub edges: Vec<LockEdge>,
+    /// Cycles in the global lock graph (closed walks).
+    pub cycles: Vec<Vec<String>>,
+}
+
+impl LockAnalysis {
+    pub fn acyclic(&self) -> bool {
+        self.cycles.is_empty()
+    }
+}
+
+/// A guard currently held while walking a function body.
+struct Guard {
+    lock: String,
+    /// Variable bound to the guard, for `drop(var)` release (let-bound
+    /// guards only).
+    var: Option<String>,
+    /// Block depth the guard dies at (`None` = temporary, dies at `;`).
+    bound_depth: Option<i64>,
+}
+
+/// One function's extracted facts.
+#[derive(Default)]
+struct FnFacts {
+    /// Locks acquired directly anywhere in the body.
+    acquires: BTreeSet<String>,
+    /// Direct hold-while-acquiring pairs with an example site.
+    edges: Vec<(String, String, usize)>,
+    /// `(callee simple name, held locks, line)` for propagation.
+    calls: Vec<(String, Vec<String>, usize)>,
+}
+
+/// Collects every binding declared with a `Mutex<`/`RwLock<` type or
+/// initialised via `Mutex::new`/`RwLock::new`, workspace-wide.
+fn declared_locks(files: &[ScannedFile]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for file in files {
+        let toks: Vec<&Token> = file.code_tokens().collect();
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let text = file.text(t);
+            if text != "Mutex" && text != "RwLock" {
+                continue;
+            }
+            let mut j = i;
+            while j > 0 {
+                let prev = toks[j - 1];
+                let pt = file.text(prev);
+                if pt == "&" || pt == "mut" || prev.kind == TokenKind::Lifetime {
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+            if j < 2 {
+                continue;
+            }
+            if !matches!(file.text(toks[j - 1]), ":" | "=") {
+                continue;
+            }
+            let name = toks[j - 2];
+            if name.kind == TokenKind::Ident {
+                out.insert(file.text(name).to_owned());
+            }
+        }
+    }
+    out
+}
+
+/// `crates/runtime/src/runtime.rs` → `runtime`.
+fn file_stem(path: &str) -> &str {
+    path.rsplit('/')
+        .next()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or(path)
+}
+
+/// Extracts per-function facts for one file. Keys are simple function
+/// names; a file defining the same name twice merges the facts (an
+/// over-approximation that only ever adds edges).
+fn file_facts(file: &ScannedFile, locks: &BTreeSet<String>) -> BTreeMap<String, FnFacts> {
+    let stem = file_stem(&file.path);
+    let toks: Vec<&Token> = file.code_tokens().collect();
+    let mut out: BTreeMap<String, FnFacts> = BTreeMap::new();
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = toks[i];
+        if t.kind == TokenKind::Ident && file.text(t) == "fn" && !t.in_test {
+            if let Some((name, body_start, body_end)) = fn_body(file, &toks, i) {
+                let facts = out.entry(name).or_default();
+                walk_body(file, &toks[body_start..body_end], stem, locks, facts);
+                // Continue after the signature so nested `fn`s are seen
+                // (their tokens are deliberately also part of this body:
+                // acquisitions in a nested item over-approximate the
+                // outer function's behaviour instead of vanishing).
+                i = body_start;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// For a `fn` keyword at `toks[i]`, returns `(name, body start, body
+/// end)` as indices into `toks` — or `None` for body-less declarations.
+fn fn_body(file: &ScannedFile, toks: &[&Token], i: usize) -> Option<(String, usize, usize)> {
+    let name_tok = toks.get(i + 1)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    let name = file.text(name_tok).to_owned();
+    // Scan to the body's `{`; a `;` first means a trait/extern decl.
+    let mut j = i + 2;
+    while j < toks.len() {
+        match file.text(toks[j]) {
+            "{" => break,
+            ";" => return None,
+            _ => j += 1,
+        }
+    }
+    let body_start = j;
+    let mut depth = 0i64;
+    while j < toks.len() {
+        match file.text(toks[j]) {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((name, body_start + 1, j));
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    Some((name, body_start + 1, toks.len()))
+}
+
+/// Is `toks[i]` an acquisition method call on a declared lock? Returns
+/// the receiver binding name.
+fn acquisition<'f>(
+    file: &'f ScannedFile,
+    toks: &[&Token],
+    i: usize,
+    locks: &BTreeSet<String>,
+) -> Option<&'f str> {
+    let t = toks[i];
+    if t.kind != TokenKind::Ident || !matches!(file.text(t), "lock" | "read" | "write") {
+        return None;
+    }
+    // `recv . lock ( )`
+    if i < 2 || file.text(toks[i - 1]) != "." || toks.get(i + 1).map(|n| file.text(n)) != Some("(")
+    {
+        return None;
+    }
+    let recv = toks[i - 2];
+    if recv.kind != TokenKind::Ident {
+        return None;
+    }
+    let name = file.text(recv);
+    locks.contains(name).then_some(name)
+}
+
+/// Walks one function body, tracking guard liveness and emitting direct
+/// edges, the acquisition set, and call sites into `facts`.
+fn walk_body(
+    file: &ScannedFile,
+    body: &[&Token],
+    stem: &str,
+    locks: &BTreeSet<String>,
+    facts: &mut FnFacts,
+) {
+    let mut depth: i64 = 0;
+    let mut guards: Vec<Guard> = Vec::new();
+    // Was the current statement opened by `let` (then the guard is
+    // let-bound, living to the end of the block)?
+    let mut stmt_let_var: Option<String> = None;
+    let mut stmt_start = true;
+
+    for (i, t) in body.iter().enumerate() {
+        let text = file.text(t);
+        if stmt_start && t.kind == TokenKind::Ident && text == "let" {
+            // `let [mut] name = …`
+            let mut j = i + 1;
+            if body.get(j).is_some_and(|n| file.text(n) == "mut") {
+                j += 1;
+            }
+            stmt_let_var = body
+                .get(j)
+                .filter(|n| n.kind == TokenKind::Ident)
+                .map(|n| file.text(n).to_owned());
+        }
+        stmt_start = false;
+
+        match text {
+            "{" => {
+                depth += 1;
+                // Temporaries live through an attached block (loop/if
+                // headers like `for x in m.lock().iter() {`): bind them
+                // to the block just opened so they die at its `}`.
+                for g in guards.iter_mut().filter(|g| g.bound_depth.is_none()) {
+                    g.bound_depth = Some(depth);
+                }
+                stmt_start = true;
+                stmt_let_var = None;
+            }
+            "}" => {
+                depth -= 1;
+                // A guard bound at depth d dies when its block closes
+                // (depth drops below d); a still-unbound temporary dies
+                // with the block's final expression.
+                guards.retain(|g| g.bound_depth.is_some_and(|d| d <= depth));
+                stmt_start = true;
+                stmt_let_var = None;
+            }
+            ";" => {
+                guards.retain(|g| g.bound_depth.is_some());
+                stmt_start = true;
+                stmt_let_var = None;
+            }
+            _ => {}
+        }
+
+        if let Some(binding) = acquisition(file, body, i, locks) {
+            let lock = format!("{stem}.{binding}");
+            for held in &guards {
+                if held.lock != lock {
+                    facts.edges.push((held.lock.clone(), lock.clone(), t.line));
+                }
+            }
+            facts.acquires.insert(lock.clone());
+            guards.push(Guard {
+                lock,
+                var: stmt_let_var.clone(),
+                bound_depth: stmt_let_var.as_ref().map(|_| depth),
+            });
+            continue;
+        }
+
+        // `drop(var)` releases a let-bound guard early.
+        if t.kind == TokenKind::Ident
+            && text == "drop"
+            && body.get(i + 1).is_some_and(|n| file.text(n) == "(")
+        {
+            if let Some(var) = body.get(i + 2).filter(|n| n.kind == TokenKind::Ident) {
+                let var = file.text(var);
+                guards.retain(|g| g.var.as_deref() != Some(var));
+            }
+            continue;
+        }
+
+        // A call made while holding locks: `name(` or `.name(`, where
+        // `name` is neither an acquisition nor a declared lock.
+        if t.kind == TokenKind::Ident
+            && !guards.is_empty()
+            && body.get(i + 1).is_some_and(|n| file.text(n) == "(")
+            && !matches!(text, "lock" | "read" | "write" | "drop")
+            && !KEYWORDS.contains(&text)
+        {
+            facts.calls.push((
+                text.to_owned(),
+                guards.iter().map(|g| g.lock.clone()).collect(),
+                t.line,
+            ));
+        }
+    }
+}
+
+/// Idents that look like calls but never are.
+const KEYWORDS: &[&str] = &[
+    "if",
+    "while",
+    "for",
+    "match",
+    "return",
+    "loop",
+    "in",
+    "let",
+    "fn",
+    "move",
+    "Some",
+    "Ok",
+    "Err",
+    "None",
+    "Box",
+    "Vec",
+    "assert",
+    "debug_assert",
+];
+
+/// Runs the global lock-order analysis.
+pub fn analyze_locks(files: &[ScannedFile]) -> LockAnalysis {
+    let locks = declared_locks(files);
+    if locks.is_empty() {
+        return LockAnalysis::default();
+    }
+
+    // Per-file facts plus a global name → defining-files index.
+    let mut per_file: Vec<(&ScannedFile, BTreeMap<String, FnFacts>)> = Vec::new();
+    let mut fn_files: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for file in files {
+        let facts = file_facts(file, &locks);
+        per_file.push((file, facts));
+    }
+    for (idx, (_, facts)) in per_file.iter().enumerate() {
+        for name in facts.keys() {
+            fn_files.entry(name.as_str()).or_default().push(idx);
+        }
+    }
+
+    // (from, to) → (example path, line, via_call); direct edges win over
+    // propagated ones as examples.
+    let mut edges: BTreeMap<(String, String), (String, usize, bool)> = BTreeMap::new();
+    for (file, facts) in &per_file {
+        for f in facts.values() {
+            for (from, to, line) in &f.edges {
+                edges
+                    .entry((from.clone(), to.clone()))
+                    .and_modify(|e| {
+                        if e.2 {
+                            *e = (file.path.clone(), *line, false);
+                        }
+                    })
+                    .or_insert_with(|| (file.path.clone(), *line, false));
+            }
+        }
+    }
+
+    // One-level call propagation: a call under held locks contributes
+    // edges to everything the callee acquires directly. Only unambiguous
+    // callees are followed: same file first, else a workspace-unique name.
+    for (file_idx, (file, facts)) in per_file.iter().enumerate() {
+        for f in facts.values() {
+            for (callee, held, line) in &f.calls {
+                let target = if facts.contains_key(callee) {
+                    Some(file_idx)
+                } else {
+                    match fn_files.get(callee.as_str()).map(Vec::as_slice) {
+                        Some([only]) => Some(*only),
+                        _ => None,
+                    }
+                };
+                let Some(target) = target else { continue };
+                let Some(callee_facts) = per_file[target].1.get(callee) else {
+                    continue;
+                };
+                for acquired in &callee_facts.acquires {
+                    for from in held {
+                        if from != acquired {
+                            edges
+                                .entry((from.clone(), acquired.clone()))
+                                .or_insert_with(|| (file.path.clone(), *line, true));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let edges: Vec<LockEdge> = edges
+        .into_iter()
+        .map(|((from, to), (path, line, via_call))| LockEdge {
+            from,
+            to,
+            path,
+            line,
+            via_call,
+        })
+        .collect();
+
+    let mut nodes: BTreeSet<String> = BTreeSet::new();
+    for e in &edges {
+        nodes.insert(e.from.clone());
+        nodes.insert(e.to.clone());
+    }
+    for (file, facts) in &per_file {
+        let _ = file;
+        for f in facts.values() {
+            nodes.extend(f.acquires.iter().cloned());
+        }
+    }
+
+    let adjacency: BTreeMap<&str, Vec<&str>> =
+        edges
+            .iter()
+            .fold(BTreeMap::new(), |mut acc: BTreeMap<&str, Vec<&str>>, e| {
+                acc.entry(e.from.as_str()).or_default().push(e.to.as_str());
+                acc
+            });
+    let cycles = find_cycles(&adjacency);
+
+    LockAnalysis {
+        nodes: nodes.into_iter().collect(),
+        edges,
+        cycles,
+    }
+}
+
+/// Turns lock-graph cycles into `lock-order` findings (never budgetable).
+pub fn lock_findings(analysis: &LockAnalysis) -> Vec<Finding> {
+    analysis
+        .cycles
+        .iter()
+        .map(|cycle| {
+            let example = cycle
+                .first()
+                .and_then(|first| analysis.edges.iter().find(|e| &e.from == first));
+            Finding {
+                rule: "lock-order",
+                severity: Severity::Error,
+                path: example.map(|e| e.path.clone()).unwrap_or_default(),
+                line: example.map(|e| e.line).unwrap_or(0),
+                message: format!(
+                    "lock-order cycle (potential deadlock): {}",
+                    cycle.join(" → ")
+                ),
+                excerpt: String::new(),
+                exempt_from_budget: true,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_source;
+
+    fn analyze(files: &[(&str, &str)]) -> LockAnalysis {
+        let scanned: Vec<ScannedFile> = files
+            .iter()
+            .map(|(path, src)| scan_source(path, src))
+            .collect();
+        analyze_locks(&scanned)
+    }
+
+    const DECLS: &str = "struct S { a: Mutex<u32>, b: Mutex<u32>, c: Mutex<u32> }\n";
+
+    #[test]
+    fn nested_acquisition_makes_an_edge() {
+        let src = format!("{DECLS}fn f(s: &S) {{ let ga = s.a.lock(); let gb = s.b.lock(); }}\n");
+        let r = analyze(&[("crates/x/src/m.rs", &src)]);
+        assert_eq!(r.edges.len(), 1);
+        assert_eq!(r.edges[0].from, "m.a");
+        assert_eq!(r.edges[0].to, "m.b");
+        assert!(r.acyclic());
+    }
+
+    #[test]
+    fn two_cycle_is_found() {
+        let src = format!(
+            "{DECLS}\
+fn f(s: &S) {{ let ga = s.a.lock(); let gb = s.b.lock(); }}\n\
+fn g(s: &S) {{ let gb = s.b.lock(); let ga = s.a.lock(); }}\n"
+        );
+        let r = analyze(&[("crates/x/src/m.rs", &src)]);
+        assert_eq!(r.cycles.len(), 1, "{:?}", r.edges);
+        assert_eq!(r.cycles[0], ["m.a", "m.b", "m.a"]);
+        let f = lock_findings(&r);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].exempt_from_budget);
+    }
+
+    #[test]
+    fn three_cycle_is_found() {
+        let src = format!(
+            "{DECLS}\
+fn f(s: &S) {{ let g1 = s.a.lock(); let g2 = s.b.lock(); }}\n\
+fn g(s: &S) {{ let g1 = s.b.lock(); let g2 = s.c.lock(); }}\n\
+fn h(s: &S) {{ let g1 = s.c.lock(); let g2 = s.a.lock(); }}\n"
+        );
+        let r = analyze(&[("crates/x/src/m.rs", &src)]);
+        assert_eq!(r.cycles.len(), 1, "{:?}", r.edges);
+        assert_eq!(r.cycles[0].len(), 4);
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = format!(
+            "{DECLS}\
+fn f(s: &S) {{ let g1 = s.a.lock(); let g2 = s.b.lock(); }}\n\
+fn g(s: &S) {{ let g1 = s.a.lock(); let g2 = s.c.lock(); }}\n\
+fn h(s: &S) {{ let g1 = s.b.lock(); let g2 = s.c.lock(); }}\n"
+        );
+        let r = analyze(&[("crates/x/src/m.rs", &src)]);
+        assert!(r.acyclic(), "{:?}", r.cycles);
+        assert!(lock_findings(&r).is_empty());
+    }
+
+    #[test]
+    fn temporaries_do_not_overlap_across_statements() {
+        let src = format!(
+            "{DECLS}fn f(s: &S) {{ s.a.lock().push(1); s.b.lock().push(2); }}\n\
+             fn g(s: &S) {{ s.b.lock().push(1); s.a.lock().push(2); }}\n"
+        );
+        let r = analyze(&[("crates/x/src/m.rs", &src)]);
+        assert!(r.edges.is_empty(), "{:?}", r.edges);
+    }
+
+    #[test]
+    fn drop_releases_early() {
+        let src = format!(
+            "{DECLS}fn f(s: &S) {{ let ga = s.a.lock(); drop(ga); let gb = s.b.lock(); }}\n\
+             fn g(s: &S) {{ let gb = s.b.lock(); drop(gb); let ga = s.a.lock(); }}\n"
+        );
+        let r = analyze(&[("crates/x/src/m.rs", &src)]);
+        assert!(r.edges.is_empty(), "{:?}", r.edges);
+    }
+
+    #[test]
+    fn for_loop_header_guard_lives_through_body() {
+        let src = format!(
+            "{DECLS}fn f(s: &S) {{ for x in s.a.lock().iter() {{ let gb = s.b.lock(); }} }}\n"
+        );
+        let r = analyze(&[("crates/x/src/m.rs", &src)]);
+        assert_eq!(r.edges.len(), 1, "{:?}", r.edges);
+        assert_eq!(r.edges[0].from, "m.a");
+    }
+
+    #[test]
+    fn call_propagation_one_level() {
+        let src = format!(
+            "{DECLS}\
+fn callee(s: &S) {{ let gb = s.b.lock(); }}\n\
+fn caller(s: &S) {{ let ga = s.a.lock(); callee(s); }}\n"
+        );
+        let r = analyze(&[("crates/x/src/m.rs", &src)]);
+        let e: Vec<_> = r.edges.iter().filter(|e| e.via_call).collect();
+        assert_eq!(e.len(), 1, "{:?}", r.edges);
+        assert_eq!(e[0].from, "m.a");
+        assert_eq!(e[0].to, "m.b");
+    }
+
+    #[test]
+    fn rwlock_read_write_counts_only_declared_receivers() {
+        let src = "struct S { state: RwLock<u32> }\n\
+                   fn f(s: &S, file: &File) {\n\
+                       let g = s.state.read();\n\
+                       let n = file.read();\n\
+                   }\n";
+        let r = analyze(&[("crates/x/src/m.rs", src)]);
+        assert_eq!(r.nodes, ["m.state"]);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = format!(
+            "{DECLS}#[cfg(test)]\nmod t {{\n\
+fn f(s: &S) {{ let ga = s.a.lock(); let gb = s.b.lock(); }}\n\
+fn g(s: &S) {{ let gb = s.b.lock(); let ga = s.a.lock(); }}\n}}\n"
+        );
+        let r = analyze(&[("crates/x/src/m.rs", &src)]);
+        assert!(r.edges.is_empty(), "{:?}", r.edges);
+    }
+}

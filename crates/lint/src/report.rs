@@ -51,6 +51,12 @@ pub struct LintReport {
 impl LintReport {
     /// Builds the report by splitting raw findings against the config.
     pub fn assemble(files_scanned: usize, findings: Vec<Finding>, config: &LintConfig) -> Self {
+        // Budget-exempt findings (SeqCst atomics) bypass the allowlist
+        // entirely: they are violations outright and do not count toward
+        // any group's budget.
+        let (exempt, findings): (Vec<Finding>, Vec<Finding>) =
+            findings.into_iter().partition(|f| f.exempt_from_budget);
+
         let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
         for f in &findings {
             *counts
@@ -77,16 +83,15 @@ impl LintReport {
         // A finding escapes the violation list only when its group sits
         // within budget; over-budget groups surface every finding so the
         // regression is visible in full.
-        let violations = findings
-            .into_iter()
-            .filter(|f| {
-                let count = counts
-                    .get(&(f.rule.to_owned(), f.path.clone()))
-                    .copied()
-                    .unwrap_or(0);
-                count > config.budget(f.rule, &f.path)
-            })
-            .collect();
+        let mut violations: Vec<Finding> = exempt;
+        violations.extend(findings.into_iter().filter(|f| {
+            let count = counts
+                .get(&(f.rule.to_owned(), f.path.clone()))
+                .copied()
+                .unwrap_or(0);
+            count > config.budget(f.rule, &f.path)
+        }));
+        violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
 
         LintReport {
             files_scanned,
@@ -208,7 +213,22 @@ mod tests {
             line,
             message: "m".to_owned(),
             excerpt: "e".to_owned(),
+            exempt_from_budget: false,
         }
+    }
+
+    #[test]
+    fn exempt_findings_ignore_budgets() {
+        let cfg = config::parse("[allow.atomic-ordering]\n\"crates/a.rs\" = 5\n").expect("cfg");
+        let mut f = finding("atomic-ordering", "crates/a.rs", 1);
+        f.exempt_from_budget = true;
+        let r = LintReport::assemble(1, vec![f], &cfg);
+        assert!(r.failed(), "SeqCst-style findings must not be absorbed");
+        assert_eq!(r.violations.len(), 1);
+        // …and they do not eat into the budget of the same group.
+        let hints = r.tightening_hints();
+        assert_eq!(hints.len(), 1);
+        assert_eq!(hints[0].slack(), 5);
     }
 
     #[test]

@@ -27,7 +27,23 @@
 //!   pool and the runtime worker pool) and test code. Ad-hoc threads
 //!   bypass the morsel scheduler's determinism argument and the
 //!   bucket-barrier protocol that keeps the decision trail replayable.
+//! * **L7 `map-iteration`** — no `HashMap`/`HashSet` iteration on
+//!   deterministic-output paths (trail, metrics export, cost
+//!   fingerprints, plan-cache snapshots). Hash iteration order varies
+//!   per process, so one `.iter()` there breaks trail byte-identity.
+//!   Use `BTreeMap`, sort first, or justify with a `// det:` comment.
+//! * **L8 `atomic-ordering`** — every `Ordering::` memory-ordering site
+//!   must carry a `// ordering:` justification comment or a `lint.toml`
+//!   allowance; `SeqCst` is never grandfathered (it usually papers over
+//!   an unarticulated protocol — say why or weaken it).
+//!
+//! Two further passes live outside this per-file registry because they
+//! need whole-workspace state: **L9 `lock-order`** ([`crate::locks`])
+//! and **`crate-layering`** ([`crate::graph`]).
 
+use std::collections::BTreeSet;
+
+use crate::parse::{Token, TokenKind};
 use crate::scan::ScannedFile;
 
 /// How bad a finding is. `Error` findings fail the build (exit code 1 /
@@ -58,14 +74,22 @@ pub struct Finding {
     pub message: String,
     /// The offending source line, trimmed, for context.
     pub excerpt: String,
+    /// Findings that no `lint.toml` budget may absorb (e.g. `SeqCst`
+    /// atomics): they fail the run even in allowlisted files.
+    pub exempt_from_budget: bool,
 }
 
-/// How a rule inspects sanitized lines.
+/// How a rule inspects a scanned file.
 enum Check {
     /// Match any of the needle tokens (with identifier-boundary checks).
     Tokens(&'static [&'static str]),
     /// Match `==` / `!=` where either operand is a float literal.
     FloatEq,
+    /// Token-level: iteration over `HashMap`/`HashSet`-typed bindings.
+    MapIteration,
+    /// Token-level: `Ordering::<memory ordering>` sites without a
+    /// justification comment.
+    AtomicOrdering,
 }
 
 /// A registered rule.
@@ -150,7 +174,74 @@ pub fn registry() -> Vec<Rule> {
             skip_test_code: true,
             check: Check::Tokens(&["thread::spawn", "thread::Builder", "thread::scope"]),
         },
+        Rule {
+            id: "map-iteration",
+            severity: Severity::Error,
+            description: "no HashMap/HashSet iteration on deterministic-output paths; \
+                 use BTreeMap or sort first (`// det:` to justify)",
+            // The paths whose output must be a pure function of input:
+            // the decision trail and metrics export, cost fingerprints,
+            // plan-cache snapshots, grouped aggregation, bench reports,
+            // and the serving runtime's trail emission.
+            include: &[
+                "crates/obs/",
+                "crates/cost/",
+                "crates/query/src/plan_cache.rs",
+                "crates/storage/src/engine.rs",
+                "crates/bench/src/report.rs",
+                "crates/runtime/src/runtime.rs",
+            ],
+            exclude: &[],
+            skip_test_code: true,
+            check: Check::MapIteration,
+        },
+        Rule {
+            id: "atomic-ordering",
+            severity: Severity::Error,
+            description: "every Ordering:: site needs a `// ordering:` justification or \
+                 a lint.toml allowance; SeqCst is never grandfathered",
+            include: &["crates/", "src/"],
+            exclude: &[],
+            skip_test_code: true,
+            check: Check::AtomicOrdering,
+        },
     ]
+}
+
+/// Methods whose call on a hash container iterates it in hash order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// The five memory orderings of `std::sync::atomic::Ordering` (the
+/// `cmp::Ordering` variants do not collide with these).
+const MEMORY_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Does `raw` carry a `// …marker…` justification comment?
+fn line_justifies(raw: &str, marker: &str) -> bool {
+    raw.find("//").is_some_and(|i| raw[i..].contains(marker))
+}
+
+/// A site at `line` (1-based) is justified when the same line or the one
+/// above carries the marker inside a line comment.
+fn justified(file: &ScannedFile, line: usize, marker: &str) -> bool {
+    file.lines
+        .get(line.wrapping_sub(1))
+        .is_some_and(|l| line_justifies(&l.raw, marker))
+        || (line >= 2
+            && file
+                .lines
+                .get(line - 2)
+                .is_some_and(|l| line_justifies(&l.raw, marker)))
 }
 
 impl Rule {
@@ -164,6 +255,11 @@ impl Rule {
     pub fn check_file(&self, file: &ScannedFile, out: &mut Vec<Finding>) {
         if !self.applies_to(&file.path) {
             return;
+        }
+        match &self.check {
+            Check::MapIteration => return self.check_map_iteration(file, out),
+            Check::AtomicOrdering => return self.check_atomic_ordering(file, out),
+            Check::Tokens(_) | Check::FloatEq => {}
         }
         for line in &file.lines {
             if self.skip_test_code && line.in_test {
@@ -184,17 +280,191 @@ impl Rule {
                         ));
                     }
                 }
+                Check::MapIteration | Check::AtomicOrdering => {}
             }
             for message in messages {
-                out.push(Finding {
-                    rule: self.id,
-                    severity: self.severity,
-                    path: file.path.clone(),
-                    line: line.number,
-                    message,
-                    excerpt: line.raw.trim().chars().take(120).collect(),
-                });
+                out.push(self.finding_at(file, line.number, message, false));
             }
+        }
+    }
+
+    /// Builds a finding at a 1-based line of `file`.
+    fn finding_at(
+        &self,
+        file: &ScannedFile,
+        line: usize,
+        message: String,
+        exempt_from_budget: bool,
+    ) -> Finding {
+        let excerpt = file
+            .lines
+            .get(line.wrapping_sub(1))
+            .map(|l| l.raw.trim().chars().take(120).collect())
+            .unwrap_or_default();
+        Finding {
+            rule: self.id,
+            severity: self.severity,
+            path: file.path.clone(),
+            line,
+            message,
+            excerpt,
+            exempt_from_budget,
+        }
+    }
+
+    /// L7: iteration over `HashMap`/`HashSet`-typed bindings.
+    ///
+    /// Pass 1 collects every identifier declared with a hash-container
+    /// type (`name: HashMap<…>`, `name = HashMap::new()`, struct fields,
+    /// fn params — the token before the separator names the binding).
+    /// Pass 2 flags `.iter()`-family calls and `for … in` loops whose
+    /// receiver is one of those names.
+    fn check_map_iteration(&self, file: &ScannedFile, out: &mut Vec<Finding>) {
+        let toks: Vec<&Token> = file.code_tokens().collect();
+        let mut maps: BTreeSet<&str> = BTreeSet::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let text = file.text(t);
+            if text != "HashMap" && text != "HashSet" {
+                continue;
+            }
+            // Walk left over `&`, `mut`, lifetimes to the separator.
+            let mut j = i;
+            while j > 0 {
+                let prev = toks[j - 1];
+                let pt = file.text(prev);
+                if pt == "&" || pt == "mut" || prev.kind == TokenKind::Lifetime {
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+            if j < 2 {
+                continue;
+            }
+            let sep = file.text(toks[j - 1]);
+            // `name: HashMap<…>` or `name = HashMap::new()`; a preceding
+            // `::` (path segment like `collections::HashMap`) leaves a
+            // `:` at j-2 and is rejected by the ident check below.
+            if sep != ":" && sep != "=" {
+                continue;
+            }
+            let name = toks[j - 2];
+            if name.kind == TokenKind::Ident {
+                maps.insert(file.text(name));
+            }
+        }
+        if maps.is_empty() {
+            return;
+        }
+
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let text = file.text(t);
+            let receiver = if ITER_METHODS.contains(&text)
+                && i >= 2
+                && file.text(toks[i - 1]) == "."
+                && toks[i - 2].kind == TokenKind::Ident
+                && maps.contains(file.text(toks[i - 2]))
+            {
+                Some((file.text(toks[i - 2]), format!(".{text}()")))
+            } else if text == "in" {
+                // `for … in [&][mut] path.to.name {` — the last segment
+                // of the field chain names the container; method chains
+                // (`.iter()` etc.) are caught by the arm above.
+                let mut j = i + 1;
+                while j < toks.len() && matches!(file.text(toks[j]), "&" | "mut") {
+                    j += 1;
+                }
+                let mut last = None;
+                while let Some(seg) = toks.get(j) {
+                    if seg.kind != TokenKind::Ident {
+                        break;
+                    }
+                    last = Some(*seg);
+                    if toks.get(j + 1).is_some_and(|d| file.text(d) == ".")
+                        && toks.get(j + 2).is_some_and(|n| n.kind == TokenKind::Ident)
+                    {
+                        j += 2;
+                    } else {
+                        break;
+                    }
+                }
+                match last {
+                    Some(name)
+                        if maps.contains(file.text(name))
+                            && toks.get(j + 1).is_some_and(|n| file.text(n) == "{") =>
+                    {
+                        Some((file.text(name), "for … in".to_owned()))
+                    }
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            let Some((name, how)) = receiver else {
+                continue;
+            };
+            if self.skip_test_code && t.in_test {
+                continue;
+            }
+            if justified(file, t.line, "det:") {
+                continue;
+            }
+            out.push(self.finding_at(
+                file,
+                t.line,
+                format!(
+                    "`{name}` is HashMap/HashSet-typed and `{how}` iterates it in hash \
+                     order on a deterministic-output path ({})",
+                    self.description
+                ),
+                false,
+            ));
+        }
+    }
+
+    /// L8: `Ordering::<memory ordering>` sites without a `// ordering:`
+    /// justification. Non-`SeqCst` sites can be budgeted in `lint.toml`;
+    /// `SeqCst` findings are exempt from budgets and always fail.
+    fn check_atomic_ordering(&self, file: &ScannedFile, out: &mut Vec<Finding>) {
+        let toks: Vec<&Token> = file.code_tokens().collect();
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident || !MEMORY_ORDERINGS.contains(&file.text(t)) {
+                continue;
+            }
+            // Must be preceded by `Ordering ::` (two `:` puncts).
+            if i < 3
+                || file.text(toks[i - 1]) != ":"
+                || file.text(toks[i - 2]) != ":"
+                || toks[i - 3].kind != TokenKind::Ident
+                || file.text(toks[i - 3]) != "Ordering"
+            {
+                continue;
+            }
+            if self.skip_test_code && t.in_test {
+                continue;
+            }
+            if justified(file, t.line, "ordering:") {
+                continue;
+            }
+            let variant = file.text(t);
+            let exempt = variant == "SeqCst";
+            let why = if exempt {
+                "SeqCst is never grandfathered — justify with `// ordering:` or weaken"
+            } else {
+                "justify with `// ordering:` or budget in lint.toml"
+            };
+            out.push(self.finding_at(
+                file,
+                t.line,
+                format!("`Ordering::{variant}` without justification ({why})"),
+                exempt,
+            ));
         }
     }
 }
@@ -482,6 +752,93 @@ mod tests {
         );
         let in_test = "#[cfg(test)]\nmod t { fn f() { std::thread::spawn(|| {}); } }\n";
         assert!(findings_for("thread-discipline", "crates/core/src/driver.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn map_iteration_flags_hash_containers_only() {
+        let src = "\
+struct S { m: HashMap<u32, u32>, b: BTreeMap<u32, u32> }
+fn f(s: &S) {
+    for (k, v) in &s.m { use_it(k, v); }
+    let total: u32 = s.m.values().sum();
+    for (k, v) in &s.b { use_it(k, v); }
+    let sorted: Vec<_> = s.b.iter().collect();
+}
+";
+        let f = findings_for("map-iteration", "crates/obs/src/metrics.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.message.contains('m')));
+        assert_eq!(f[0].line, 3);
+        assert_eq!(f[1].line, 4);
+    }
+
+    #[test]
+    fn map_iteration_respects_scope_justification_and_tests() {
+        let src = "\
+fn f() {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    // det: order-insensitive sum
+    let total: u32 = m.values().sum();
+}
+#[cfg(test)]
+mod t {
+    fn g() { let m = HashMap::new(); for x in &m {} }
+}
+";
+        // Justified + test-gated sites stay quiet…
+        assert!(findings_for("map-iteration", "crates/obs/src/metrics.rs", src).is_empty());
+        // …and out-of-scope paths are not policed at all.
+        let hot = "fn f() { let m = HashMap::new(); for x in &m {} }\n";
+        assert!(findings_for("map-iteration", "crates/core/src/driver.rs", hot).is_empty());
+        assert_eq!(
+            findings_for("map-iteration", "crates/cost/src/cache.rs", hot).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn map_iteration_lookups_do_not_fire() {
+        let src = "\
+fn f() {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    let v = m.get(&1);
+    let n = m.len();
+}
+";
+        let f = findings_for("map-iteration", "crates/obs/src/metrics.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn atomic_ordering_needs_justification() {
+        let src = "fn f(a: &AtomicU64) { a.store(1, Ordering::Relaxed); }\n";
+        let f = findings_for("atomic-ordering", "crates/core/src/driver.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(!f[0].exempt_from_budget);
+
+        let justified = "\
+fn f(a: &AtomicU64) {
+    // ordering: counter only read for reports, no ordering needed
+    a.store(1, Ordering::Relaxed);
+}
+";
+        assert!(findings_for("atomic-ordering", "crates/core/src/driver.rs", justified).is_empty());
+    }
+
+    #[test]
+    fn atomic_ordering_seqcst_is_budget_exempt() {
+        let src = "fn f(a: &AtomicU64) { a.store(1, Ordering::SeqCst); }\n";
+        let f = findings_for("atomic-ordering", "crates/core/src/driver.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].exempt_from_budget);
+    }
+
+    #[test]
+    fn atomic_ordering_ignores_cmp_ordering() {
+        let src = "fn f(a: u32, b: u32) -> Ordering { if a < b { Ordering::Less } else { Ordering::Greater } }\n";
+        let f = findings_for("atomic-ordering", "crates/core/src/driver.rs", src);
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

@@ -2,11 +2,15 @@
 //!
 //! Rules must never fire on the word `panic!` inside a doc comment or a
 //! string literal, and must not police test-only code for panic-freedom.
-//! A regex over raw lines cannot deliver that, so the scanner runs a
-//! small character-level state machine over each file and produces, per
-//! line, a *sanitized* copy — comments and literal contents replaced by
-//! spaces, delimiters kept, so byte offsets still line up — plus a flag
-//! saying whether the line sits inside a `#[cfg(test)]`-gated item.
+//! The heavy lifting lives in the lexer ([`crate::parse`]): this module
+//! projects its spanned token stream into the per-line *sanitized* view
+//! the legacy line rules consume — comments and literal contents blanked
+//! out so byte offsets still line up, plus a flag saying whether the
+//! line sits inside a `#[cfg(test)]`-gated item — and carries the raw
+//! token stream along for the token-level passes (map-iteration,
+//! atomic-ordering, lock-order, crate layering).
+
+use crate::parse::{self, Token, TokenKind};
 
 /// One scanned source line.
 #[derive(Debug, Clone)]
@@ -28,249 +32,85 @@ pub struct ScannedFile {
     /// Repo-relative path with forward slashes.
     pub path: String,
     pub lines: Vec<ScannedLine>,
+    /// The original source, for resolving token spans.
+    pub source: String,
+    /// The full lexed token stream the line view is projected from.
+    pub tokens: Vec<Token>,
 }
 
-/// Lexical mode carried across lines.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Mode {
-    Code,
-    /// Rust block comments nest; the payload is the nesting depth.
-    BlockComment(u32),
-    /// Inside a normal `"…"` string (may span lines via `\` continuation).
-    Str,
-    /// Inside a raw string closed by `"` followed by this many `#`s.
-    RawStr(u8),
+impl ScannedFile {
+    /// Code tokens only (no whitespace/comments).
+    pub fn code_tokens(&self) -> impl Iterator<Item = &Token> {
+        self.tokens.iter().filter(|t| t.is_code())
+    }
+
+    /// The text of a token within this file.
+    pub fn text(&self, token: &Token) -> &str {
+        token.text(&self.source)
+    }
 }
 
-/// Tracks one active `#[cfg(test)]` region (brace-delimited item body).
-#[derive(Debug, Clone, Copy)]
-enum TestRegion {
-    /// Saw the attribute; waiting for the item's opening `{` (or a `;`
-    /// ending a body-less item).
-    Pending,
-    /// Inside the braces; region ends when depth returns to the value
-    /// recorded at the opening brace.
-    Active { close_depth: i64 },
-}
-
-/// Scans `source`, producing sanitized lines and test-region flags.
+/// Scans `source`: lexes it once, then derives sanitized lines and
+/// test-region flags from the token stream.
 pub fn scan_source(path: &str, source: &str) -> ScannedFile {
-    let mut mode = Mode::Code;
-    let mut depth: i64 = 0;
-    let mut region: Option<TestRegion> = None;
-    let mut lines = Vec::new();
+    let stream = parse::lex(source);
 
-    for (idx, raw) in source.lines().enumerate() {
-        let mut code = String::with_capacity(raw.len());
-        let bytes: Vec<char> = raw.chars().collect();
-        let mut i = 0usize;
-        let mut in_test = matches!(region, Some(TestRegion::Active { .. }));
-
-        while i < bytes.len() {
-            match mode {
-                Mode::BlockComment(nest) => {
-                    if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
-                        mode = if nest > 1 {
-                            Mode::BlockComment(nest - 1)
-                        } else {
-                            Mode::Code
-                        };
-                        code.push_str("  ");
-                        i += 2;
-                    } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
-                        mode = Mode::BlockComment(nest + 1);
-                        code.push_str("  ");
-                        i += 2;
-                    } else {
-                        code.push(' ');
-                        i += 1;
-                    }
-                }
-                Mode::Str => {
-                    if bytes[i] == '\\' {
-                        code.push_str("  ");
-                        i += 2; // skip the escaped character (may run off the line: continuation)
-                    } else if bytes[i] == '"' {
-                        mode = Mode::Code;
-                        code.push(' ');
-                        i += 1;
-                    } else {
-                        code.push(' ');
-                        i += 1;
-                    }
-                }
-                Mode::RawStr(hashes) => {
-                    if bytes[i] == '"' && closes_raw(&bytes, i + 1, hashes) {
-                        mode = Mode::Code;
-                        let skip = 1 + hashes as usize;
-                        for _ in 0..skip {
-                            code.push(' ');
-                        }
-                        i += skip;
-                    } else {
-                        code.push(' ');
-                        i += 1;
-                    }
-                }
-                Mode::Code => {
-                    let c = bytes[i];
-                    if c == '/' && bytes.get(i + 1) == Some(&'/') {
-                        // Line comment: blank the rest of the line.
-                        while i < bytes.len() {
-                            code.push(' ');
-                            i += 1;
-                        }
-                    } else if c == '/' && bytes.get(i + 1) == Some(&'*') {
-                        mode = Mode::BlockComment(1);
-                        code.push_str("  ");
-                        i += 2;
-                    } else if let Some(hashes) = raw_string_open(&bytes, i) {
-                        mode = Mode::RawStr(hashes.1);
-                        for _ in 0..hashes.0 {
-                            code.push(' ');
-                        }
-                        i += hashes.0;
-                    } else if c == '"' {
-                        mode = Mode::Str;
-                        code.push(' ');
-                        i += 1;
-                    } else if c == '\'' {
-                        let consumed = char_literal_len(&bytes, i);
-                        if consumed == 1 {
-                            // Lifetime (or stray quote): keep it visible.
-                            code.push('\'');
-                        } else {
-                            for _ in 0..consumed {
-                                code.push(' ');
-                            }
-                        }
-                        i += consumed;
-                    } else {
-                        code.push(c);
-                        i += 1;
-                    }
+    // Sanitize byte-wise: blank every byte covered by a comment or a
+    // string/char literal (newlines kept so the line structure is
+    // untouched). Multi-byte characters are blanked whole, so the result
+    // stays valid UTF-8.
+    let mut sanitized = source.as_bytes().to_vec();
+    for t in &stream.tokens {
+        if matches!(
+            t.kind,
+            TokenKind::LineComment | TokenKind::BlockComment | TokenKind::Str | TokenKind::Char
+        ) {
+            for b in &mut sanitized[t.start..t.end] {
+                if *b != b'\n' && *b != b'\r' {
+                    *b = b' ';
                 }
             }
         }
+    }
+    let sanitized = String::from_utf8(sanitized).unwrap_or_default();
 
-        // Region tracking runs on the sanitized text, in character order.
-        let sanitized: Vec<char> = code.chars().collect();
-        let mut j = 0usize;
-        while j < sanitized.len() {
-            if region.is_none() && starts_cfg_test(&sanitized, j) {
-                region = Some(TestRegion::Pending);
-            }
-            match sanitized[j] {
-                '{' => {
-                    if let Some(TestRegion::Pending) = region {
-                        region = Some(TestRegion::Active { close_depth: depth });
-                        in_test = true;
-                    }
-                    depth += 1;
-                }
-                '}' => {
-                    depth -= 1;
-                    if let Some(TestRegion::Active { close_depth }) = region {
-                        if depth <= close_depth {
-                            region = None;
-                        }
-                    }
-                }
-                ';' => {
-                    if let Some(TestRegion::Pending) = region {
-                        // `#[cfg(test)] mod x;` — no body to gate.
-                        region = None;
-                    }
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        if matches!(region, Some(TestRegion::Active { .. })) {
-            in_test = true;
-        }
-
-        lines.push(ScannedLine {
+    let mut lines: Vec<ScannedLine> = source
+        .lines()
+        .zip(sanitized.lines())
+        .enumerate()
+        .map(|(idx, (raw, code))| ScannedLine {
             number: idx + 1,
             raw: raw.to_owned(),
-            code,
-            in_test,
-        });
+            code: code.to_owned(),
+            in_test: false,
+        })
+        .collect();
+
+    // A line is test-gated when any token touching it is. Multi-line
+    // tokens (whitespace runs, block comments, strings) mark every line
+    // they span.
+    for t in &stream.tokens {
+        if !t.in_test {
+            continue;
+        }
+        let span_lines = source[t.start..t.end]
+            .as_bytes()
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count();
+        for number in t.line..=t.line + span_lines {
+            if let Some(line) = lines.get_mut(number - 1) {
+                line.in_test = true;
+            }
+        }
     }
 
     ScannedFile {
         path: path.to_owned(),
         lines,
+        source: source.to_owned(),
+        tokens: stream.tokens,
     }
-}
-
-/// Does a `#[cfg(test)]`-style attribute start at `pos`? Also accepts
-/// `cfg(all(test, …))` / `cfg(any(test, …))` forms.
-fn starts_cfg_test(chars: &[char], pos: usize) -> bool {
-    if chars[pos] != '#' {
-        return false;
-    }
-    let rest: String = chars[pos..].iter().collect::<String>();
-    let compact: String = rest.chars().filter(|c| !c.is_whitespace()).collect();
-    compact.starts_with("#[cfg(test)")
-        || compact.starts_with("#[cfg(all(test")
-        || compact.starts_with("#[cfg(any(test")
-}
-
-/// If a raw (byte) string opens at `pos`, returns
-/// `(prefix_len_including_quote, hash_count)`.
-fn raw_string_open(chars: &[char], pos: usize) -> Option<(usize, u8)> {
-    let mut k = pos;
-    if chars.get(k) == Some(&'b') {
-        k += 1;
-    }
-    if chars.get(k) != Some(&'r') {
-        return None;
-    }
-    k += 1;
-    let mut hashes = 0u8;
-    while chars.get(k) == Some(&'#') {
-        hashes += 1;
-        k += 1;
-    }
-    if chars.get(k) == Some(&'"') {
-        // Reject identifiers ending in …br"! by checking the char before.
-        if pos > 0 && is_ident_char(chars[pos - 1]) {
-            return None;
-        }
-        Some((k - pos + 1, hashes))
-    } else {
-        None
-    }
-}
-
-/// Does `"` at some position close a raw string with `hashes` trailing `#`s?
-fn closes_raw(chars: &[char], after_quote: usize, hashes: u8) -> bool {
-    (0..hashes as usize).all(|k| chars.get(after_quote + k) == Some(&'#'))
-}
-
-/// Number of characters consumed by the token starting with `'` — a char
-/// literal (`'x'`, `'\n'`, `'\u{1F600}'`) or a lifetime (`'a`, just the
-/// quote is consumed so the identifier stays visible).
-fn char_literal_len(chars: &[char], pos: usize) -> usize {
-    match chars.get(pos + 1) {
-        Some('\\') => {
-            // Escaped char literal: the escaped character itself may be a
-            // quote (`'\''`), so start looking for the closing quote after
-            // it.
-            let mut k = pos + 3;
-            while k < chars.len() && chars[k] != '\'' {
-                k += 1;
-            }
-            (k + 1).min(chars.len()) - pos
-        }
-        Some(_) if chars.get(pos + 2) == Some(&'\'') => 3,
-        _ => 1, // lifetime or stray quote: keep what follows visible
-    }
-}
-
-fn is_ident_char(c: char) -> bool {
-    c.is_alphanumeric() || c == '_'
 }
 
 #[cfg(test)]
@@ -372,5 +212,12 @@ fn not_this() { }
         let f = scan_source("t.rs", src);
         assert!(f.lines[1].in_test);
         assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn tokens_are_exposed_alongside_lines() {
+        let f = scan_source("t.rs", "fn f() { map.iter(); } // trailing\n");
+        assert!(f.code_tokens().any(|t| f.text(t) == "iter"));
+        assert!(f.code_tokens().all(|t| f.text(t) != "trailing"));
     }
 }

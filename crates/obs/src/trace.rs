@@ -64,12 +64,18 @@ pub fn enabled() -> bool {
 /// Installs the process-wide subscriber, replacing any previous one.
 pub fn install(subscriber: Arc<dyn Subscriber>) {
     *SUBSCRIBER.lock() = Some(subscriber);
-    ENABLED.store(true, Ordering::SeqCst);
+    // Readers that observe `true` then take the SUBSCRIBER lock, which
+    // fully synchronises — SeqCst would add nothing here.
+    // ordering: Release publishes the subscriber write above.
+    ENABLED.store(true, Ordering::Release);
 }
 
 /// Removes the process-wide subscriber; `span!` returns to zero-cost.
 pub fn uninstall() {
-    ENABLED.store(false, Ordering::SeqCst);
+    // A racing span that still loads `true` falls through to the
+    // SUBSCRIBER lock and sees `None` there.
+    // ordering: Release pairs with the Acquire-free fast path going dark.
+    ENABLED.store(false, Ordering::Release);
     *SUBSCRIBER.lock() = None;
 }
 

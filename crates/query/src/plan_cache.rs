@@ -8,7 +8,7 @@
 //! O(1) — the "no further overhead … during query execution time"
 //! property the paper attributes to plan-cache-driven observation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use smdb_common::{Cost, LogicalTime};
 
@@ -88,7 +88,7 @@ impl PlanCacheEntry {
 /// A bounded, LRU-evicting query plan cache.
 #[derive(Debug)]
 pub struct PlanCache {
-    entries: HashMap<u64, PlanCacheEntry>,
+    entries: BTreeMap<u64, PlanCacheEntry>,
     max_entries: usize,
     evictions: u64,
 }
@@ -103,7 +103,7 @@ impl PlanCache {
     /// Creates a cache bounded to `max_entries` templates.
     pub fn new(max_entries: usize) -> Self {
         PlanCache {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             max_entries: max_entries.max(1),
             evictions: 0,
         }
@@ -169,7 +169,8 @@ impl PlanCache {
     /// can analyse without holding the cache lock).
     pub fn snapshot(&self) -> Vec<PlanCacheEntry> {
         let mut v: Vec<_> = self.entries.values().cloned().collect();
-        // Deterministic order for downstream consumers.
+        // Deterministic order for downstream consumers (entries iterate
+        // in query-fingerprint order; resort by template fingerprint).
         v.sort_by_key(|e| e.template.fingerprint());
         v
     }

@@ -38,7 +38,10 @@ impl DictionarySegment {
                 dict.dedup();
                 let codes = v
                     .iter()
-                    .map(|x| dict.binary_search(x).expect("value in dict") as u32)
+                    // Every source value is in the dict by construction, so
+                    // `Err` is unreachable; its insertion point is a benign
+                    // fallback that keeps this path panic-free.
+                    .map(|x| dict.binary_search(x).unwrap_or_else(|i| i) as u32)
                     .collect();
                 Some(DictionarySegment {
                     dict: Dict::Int(dict),
@@ -51,7 +54,7 @@ impl DictionarySegment {
                 dict.dedup();
                 let codes = v
                     .iter()
-                    .map(|x| dict.binary_search(x).expect("value in dict") as u32)
+                    .map(|x| dict.binary_search(x).unwrap_or_else(|i| i) as u32)
                     .collect();
                 Some(DictionarySegment {
                     dict: Dict::Text(dict),

@@ -25,8 +25,9 @@ impl ForSegment {
                 offsets: Vec::new(),
             });
         }
-        let base = *v.iter().min().expect("non-empty");
-        let max = *v.iter().max().expect("non-empty");
+        let (base, max) = v
+            .iter()
+            .fold((i64::MAX, i64::MIN), |(lo, hi), &x| (lo.min(x), hi.max(x)));
         let range = (max as i128) - (base as i128);
         if range > u32::MAX as i128 {
             return None;

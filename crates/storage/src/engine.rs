@@ -1,7 +1,7 @@
 //! The storage engine: catalog, scan execution with ground-truth costing,
 //! and configuration application.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use smdb_common::{ChunkColumnRef, Cost, Error, Result, TableId};
 
@@ -715,7 +715,7 @@ impl StorageEngine {
             index_probes: 0,
         };
         let mut agg_state = AggState::new(aggregate.map(|a| a.op));
-        let mut group_state: HashMap<Value, AggState> = HashMap::new();
+        let mut group_state: BTreeMap<Value, AggState> = BTreeMap::new();
         for part in partials {
             out.sim_cost += part.cost;
             if part.pruned {
@@ -760,7 +760,7 @@ impl StorageEngine {
         group_by: Option<smdb_common::ColumnId>,
         positions: &[u32],
         agg_state: &mut AggState,
-        group_state: &mut HashMap<Value, AggState>,
+        group_state: &mut BTreeMap<Value, AggState>,
     ) -> Result<Cost> {
         match group_by {
             None => {
@@ -875,8 +875,10 @@ struct ChunkPartial {
     cost: Cost,
     /// Ungrouped aggregate state over this chunk's matches.
     agg: AggState,
-    /// Per-group aggregate state over this chunk's matches.
-    groups: HashMap<Value, AggState>,
+    /// Per-group aggregate state over this chunk's matches. Ordered so
+    /// every per-chunk merge and the final group output are independent
+    /// of hash-seed and worker interleaving.
+    groups: BTreeMap<Value, AggState>,
 }
 
 impl ChunkPartial {
@@ -888,7 +890,7 @@ impl ChunkPartial {
             index_probes: 0,
             cost: Cost::ZERO,
             agg: AggState::new(op),
-            groups: HashMap::new(),
+            groups: BTreeMap::new(),
         }
     }
 }

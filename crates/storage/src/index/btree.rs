@@ -50,9 +50,11 @@ impl BTreeIndex {
             PredicateOp::Le => (Bound::Unbounded, Bound::Included(&pred.value)),
             PredicateOp::Gt => (Bound::Excluded(&pred.value), Bound::Unbounded),
             PredicateOp::Ge => (Bound::Included(&pred.value), Bound::Unbounded),
+            // A Between with no upper bound degrades to equality — the
+            // same fallback `ScanPredicate::matches` uses.
             PredicateOp::Between => (
                 Bound::Included(&pred.value),
-                Bound::Included(pred.upper.as_ref().expect("Between requires upper")),
+                Bound::Included(pred.upper.as_ref().unwrap_or(&pred.value)),
             ),
         };
         for (_, postings) in self.map.range::<Value, _>((lo, hi)) {

@@ -87,9 +87,10 @@ impl ChunkIndex {
         match kind {
             IndexKind::Hash => ChunkIndex::Hash(HashIndex::build(segment)),
             IndexKind::BTree => ChunkIndex::BTree(BTreeIndex::build(segment)),
-            IndexKind::CompositeHash { .. } => {
-                panic!("composite indexes need both segments; use build_composite")
-            }
+            // Composite kinds need the second segment; every real caller
+            // routes them through `build_composite`. Degrade to a hash
+            // index on the leading column rather than panicking.
+            IndexKind::CompositeHash { .. } => ChunkIndex::Hash(HashIndex::build(segment)),
         }
     }
 

@@ -89,7 +89,8 @@ impl ScanPredicate {
             PredicateOp::Gt => v > &self.value,
             PredicateOp::Ge => v >= &self.value,
             PredicateOp::Between => {
-                let hi = self.upper.as_ref().expect("Between requires upper bound");
+                // No upper bound degrades to equality.
+                let hi = self.upper.as_ref().unwrap_or(&self.value);
                 v >= &self.value && v <= hi
             }
         }
@@ -105,7 +106,7 @@ impl ScanPredicate {
             PredicateOp::Gt => max > &self.value,
             PredicateOp::Ge => max >= &self.value,
             PredicateOp::Between => {
-                let hi = self.upper.as_ref().expect("Between requires upper bound");
+                let hi = self.upper.as_ref().unwrap_or(&self.value);
                 max >= &self.value && min <= hi
             }
         }
