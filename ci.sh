@@ -13,6 +13,8 @@
 #                         # against the committed BENCH_*.json baselines
 #   ./ci.sh bench-gate --update-baselines
 #                         # regenerate and bless the committed baselines
+#   ./ci.sh calibrate     # measured kernel timings + cost-model
+#                         # calibration -> target/ci/BENCH_kernels.json
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -72,7 +74,12 @@ step() {
 # --- benchmark helpers -------------------------------------------------------
 run_experiments() { # outdir
     cargo run --release -q -p smdb-bench --bin experiments -- \
-        e3 e4 e5 --json "$1/BENCH_tuning.json"
+        e3 e4 e5 calibration --json "$1/BENCH_tuning.json"
+}
+
+run_calibrate() { # outdir -> BENCH_kernels.json
+    cargo run --release -q -p smdb-bench --bin calibrate -- \
+        --json "$1/BENCH_kernels.json"
 }
 
 run_soak() { # outdir
@@ -102,7 +109,7 @@ run_gate() { # candidate dir
 
 fresh_bench_and_gate() { # build fresh candidates into target/ci, gate them
     mkdir -p "$CI_DIR"
-    step "experiments (e3 e4 e5)" run_experiments "$CI_DIR"
+    step "experiments (e3-e5, calibration)" run_experiments "$CI_DIR"
     step "soak" run_soak "$CI_DIR"
     step "check-trail" check_trail "$CI_DIR/TRAIL_soak.json"
     step "bench-gate" run_gate "$CI_DIR"
@@ -126,10 +133,16 @@ soak)
     step "soak" run_soak .
     echo "Soak CI green."
     ;;
+calibrate)
+    step "build (release, calibrate)" cargo build --release -p smdb-bench --bin calibrate
+    mkdir -p "$CI_DIR"
+    step "calibrate" run_calibrate "$CI_DIR"
+    echo "Calibration artifacts in $CI_DIR/BENCH_kernels.json."
+    ;;
 bench-gate)
     step "build (release, bench)" cargo build --release -p smdb-bench
     mkdir -p "$CI_DIR"
-    step "experiments (e3 e4 e5)" run_experiments "$CI_DIR"
+    step "experiments (e3-e5, calibration)" run_experiments "$CI_DIR"
     step "soak" run_soak "$CI_DIR"
     if [[ "${2:-}" == "--update-baselines" ]]; then
         step "update-baselines" cp "$CI_DIR/BENCH_runtime.json" \
@@ -151,7 +164,7 @@ full)
     echo "CI green."
     ;;
 *)
-    echo "unknown mode '${MODE}' (valid: full quick soak bench-gate)" >&2
+    echo "unknown mode '${MODE}' (valid: full quick soak bench-gate calibrate)" >&2
     exit 2
     ;;
 esac

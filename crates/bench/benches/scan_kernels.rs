@@ -1,0 +1,134 @@
+//! Criterion bench for the vectorized scan kernels: per-encoding driving
+//! filters, residual refinement and (grouped) aggregation, each measured
+//! with the kernel layer on and off over the same engine. The calibrate
+//! bin derives per-row µs from the same primitives; this bench is the
+//! quick interactive view (`cargo bench --bench scan_kernels`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use smdb_common::{ChunkColumnRef, ColumnId};
+use smdb_storage::{
+    Aggregate, AggregateOp, ColumnDef, ConfigAction, DataType, EncodingKind, PredicateOp,
+    ScanPredicate, Schema, StorageEngine, Table,
+};
+
+const ROWS: usize = 40_000;
+const CHUNK: usize = 4_000;
+
+/// One table exercising every encoding-relevant shape: `k` (1000
+/// distinct ints, dictionary/FoR-friendly), `r` (runs of 40, RLE-
+/// friendly), `f` (floats), `g` (8 distinct group keys).
+fn build() -> (StorageEngine, smdb_common::TableId) {
+    let schema = Schema::new(vec![
+        ColumnDef::new("k", DataType::Int),
+        ColumnDef::new("r", DataType::Int),
+        ColumnDef::new("f", DataType::Float),
+        ColumnDef::new("g", DataType::Int),
+    ])
+    .unwrap();
+    let table = Table::from_columns(
+        "kernel_bench",
+        schema,
+        vec![
+            smdb_storage::value::ColumnValues::Int((0..ROWS as i64).map(|i| i % 1000).collect()),
+            smdb_storage::value::ColumnValues::Int((0..ROWS as i64).map(|i| i / 40).collect()),
+            smdb_storage::value::ColumnValues::Float((0..ROWS).map(|i| i as f64 * 0.5).collect()),
+            smdb_storage::value::ColumnValues::Int((0..ROWS as i64).map(|i| i % 8).collect()),
+        ],
+        CHUNK,
+    )
+    .unwrap();
+    let mut engine = StorageEngine::default();
+    let t = engine.create_table(table).unwrap();
+    (engine, t)
+}
+
+fn encode_column(
+    engine: &mut StorageEngine,
+    t: smdb_common::TableId,
+    col: u16,
+    kind: EncodingKind,
+) {
+    for chunk in 0..(ROWS / CHUNK) as u32 {
+        engine
+            .apply_action(&ConfigAction::SetEncoding {
+                target: ChunkColumnRef::new(t.0, col, chunk),
+                kind,
+            })
+            .unwrap();
+    }
+}
+
+fn bench_pair(
+    c: &mut Criterion,
+    name: &str,
+    engine: &mut StorageEngine,
+    run: impl Fn(&StorageEngine),
+) {
+    let mut group = c.benchmark_group("scan_kernels");
+    group.sample_size(30);
+    engine.set_kernels_enabled(true);
+    group.bench_function(format!("{name}/kernel"), |b| b.iter(|| run(engine)));
+    engine.set_kernels_enabled(false);
+    group.bench_function(format!("{name}/scalar"), |b| b.iter(|| run(engine)));
+    engine.set_kernels_enabled(true);
+    group.finish();
+}
+
+fn bench_scan_kernels(c: &mut Criterion) {
+    let pred_k = ScanPredicate::between(ColumnId(0), 100i64, 299i64);
+    let pred_r = ScanPredicate::between(ColumnId(1), 100i64, 299i64);
+    let pred_f = ScanPredicate::cmp(ColumnId(2), PredicateOp::Lt, 10_000.0);
+
+    // Driving filter per encoding of the predicate column.
+    for (label, col, kind, pred) in [
+        ("filter_raw", 0u16, None, &pred_k),
+        ("filter_dict", 0, Some(EncodingKind::Dictionary), &pred_k),
+        (
+            "filter_for",
+            0,
+            Some(EncodingKind::FrameOfReference),
+            &pred_k,
+        ),
+        ("filter_rle", 1, Some(EncodingKind::RunLength), &pred_r),
+    ] {
+        let (mut engine, t) = build();
+        if let Some(kind) = kind {
+            encode_column(&mut engine, t, col, kind);
+        }
+        let preds = [pred.clone()];
+        bench_pair(c, label, &mut engine, |e| {
+            black_box(e.scan(t, &preds, None).unwrap());
+        });
+    }
+
+    // Residual refinement: float column refined after the driving filter.
+    {
+        let (mut engine, t) = build();
+        let preds = [pred_k.clone(), pred_f.clone()];
+        bench_pair(c, "refine_float", &mut engine, |e| {
+            black_box(e.scan(t, &preds, None).unwrap());
+        });
+    }
+
+    // Ungrouped SUM and grouped SUM over the float column.
+    {
+        let (mut engine, t) = build();
+        let preds = [pred_k.clone()];
+        let sum = Aggregate::new(AggregateOp::Sum, ColumnId(2));
+        bench_pair(c, "agg_sum", &mut engine, |e| {
+            black_box(e.scan(t, &preds, Some(&sum)).unwrap());
+        });
+        let sum2 = Aggregate::new(AggregateOp::Sum, ColumnId(2));
+        bench_pair(c, "group_sum", &mut engine, |e| {
+            black_box(
+                e.scan_grouped(t, &preds, Some(&sum2), Some(ColumnId(3)))
+                    .unwrap(),
+            );
+        });
+    }
+}
+
+criterion_group!(benches, bench_scan_kernels);
+criterion_main!(benches);

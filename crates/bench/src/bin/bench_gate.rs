@@ -8,9 +8,12 @@
 //!
 //! Each `--runtime` / `--tuning` flag takes a BASELINE and a CANDIDATE
 //! path and checks the candidate against the committed baseline with
-//! the tolerances in `smdb_bench::gate`. Exits non-zero if any metric
-//! regressed past its tolerance, if a gated metric is missing, or if an
-//! exact metric (result digest, error counters) diverged.
+//! the tolerances in `smdb_bench::gate`. `--tuning` additionally checks
+//! the candidate's E11 calibration errors against their absolute 30 %
+//! ceiling (`gate::tuning_bounds`) — fit quality is bounded, not
+//! baseline-relative. Exits non-zero if any metric regressed past its
+//! tolerance, if a gated metric is missing, or if an exact metric
+//! (result digest, error counters) diverged.
 
 use smdb_bench::gate;
 use smdb_common::json::{parse, Json};
@@ -59,6 +62,9 @@ fn main() {
         let baseline = load(&baseline_path);
         let candidate = load(&candidate_path);
         report.extend(gate::compare(&baseline, &candidate, &metrics, &exact));
+        if flag == "--tuning" {
+            report.extend(gate::check_bounds(&candidate, &gate::tuning_bounds()));
+        }
         compared += 1;
     }
     if compared == 0 {

@@ -1,0 +1,136 @@
+//! Micro-calibration harness: measured kernel timings plus the
+//! wall-clock cost-model fit.
+//!
+//! ```text
+//! cargo run --release -p smdb-bench --bin calibrate                 # print only
+//! cargo run --release -p smdb-bench --bin calibrate -- --json BENCH_kernels.json
+//! cargo run --release -p smdb-bench --bin calibrate -- --repeats 15
+//! ```
+//!
+//! Prints (a) median µs/row per kernel shape with the vectorized layer
+//! on and off, and (b) the calibrated cost model's per-term fitted
+//! weights and sim-vs-measured relative errors. With `--json PATH` the
+//! same numbers are written machine-readable (the `BENCH_kernels.json`
+//! artifact `./ci.sh calibrate` produces).
+
+use smdb_bench::calibrate::{self, DEFAULT_REPEATS};
+use smdb_bench::report;
+use smdb_bench::TableBuilder;
+
+struct Args {
+    repeats: usize,
+    verbose: bool,
+    json_path: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        repeats: DEFAULT_REPEATS,
+        verbose: false,
+        json_path: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("{name} requires a value");
+                std::process::exit(2);
+            }
+        };
+        match arg.as_str() {
+            "--repeats" => {
+                parsed.repeats = match take("--repeats").parse() {
+                    Ok(v) => v,
+                    Err(_) => {
+                        eprintln!("--repeats: invalid number");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--json" => parsed.json_path = Some(take("--json")),
+            "--verbose" => parsed.verbose = true,
+            other => {
+                eprintln!("unknown argument {other} (valid: --repeats N --verbose --json PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+
+    println!(
+        "calibrate: {} rows/shape, {} repeats (best-of)",
+        calibrate::ROWS,
+        args.repeats
+    );
+
+    let timings = match calibrate::kernel_micro(args.repeats) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("kernel micro failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut table = TableBuilder::new(&["shape", "kernel µs/row", "scalar µs/row", "speedup"]);
+    for t in &timings {
+        table.row(vec![
+            t.shape.to_string(),
+            format!("{:.5}", t.kernel_us_per_row),
+            format!("{:.5}", t.scalar_us_per_row),
+            format!("{:.2}x", t.speedup()),
+        ]);
+    }
+    println!("{}", table.render());
+    calibrate::record_kernel_micro(&timings);
+
+    let fit = match calibrate::run_calibration(args.repeats) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("calibration failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if args.verbose {
+        let mut table = TableBuilder::new(&["probe", "measured ms", "predicted ms"]);
+        for p in &fit.probes {
+            table.row(vec![
+                p.term.to_string(),
+                format!("{:.5}", p.measured_ms),
+                format!("{:.5}", p.predicted_ms),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    let mut table = TableBuilder::new(&["term", "weight (ms/unit)", "sim-vs-measured err"]);
+    for term in &fit.terms {
+        table.row(vec![
+            term.term.to_string(),
+            format!("{:.6}", term.weight_ms_per_unit),
+            format!("{:.3}", term.median_rel_err),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "{} observations, max term err {:.3}, estimator version {} -> {}, \
+         what-if cache flushed: {}",
+        fit.observations,
+        fit.max_term_err,
+        fit.version_before,
+        fit.version_after,
+        fit.cache_flushed()
+    );
+    calibrate::record_report(&fit);
+
+    if let Some(path) = args.json_path {
+        let doc = report::to_json().to_string_pretty();
+        if let Err(e) = std::fs::write(&path, doc + "\n") {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote kernel + calibration metrics to {path}");
+    }
+}

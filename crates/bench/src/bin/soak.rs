@@ -27,6 +27,7 @@ struct Args {
     morsel_chunks: usize,
     seed: u64,
     buckets: usize,
+    kernels: bool,
     json_path: Option<String>,
     trail_path: Option<String>,
 }
@@ -38,6 +39,7 @@ fn parse_args() -> Args {
         morsel_chunks: smdb_storage::parallel::DEFAULT_MORSEL_CHUNKS,
         seed: 42,
         buckets: 40,
+        kernels: true,
         json_path: None,
         trail_path: None,
     };
@@ -60,12 +62,14 @@ fn parse_args() -> Args {
             }
             "--seed" => parsed.seed = parse_num(&take("--seed"), "--seed"),
             "--buckets" => parsed.buckets = parse_num(&take("--buckets"), "--buckets"),
+            "--no-kernels" => parsed.kernels = false,
             "--json" => parsed.json_path = Some(take("--json")),
             "--trail" => parsed.trail_path = Some(take("--trail")),
             other => {
                 eprintln!(
                     "unknown argument {other} (valid: --workers N --scan-threads N \
-                     --morsel-chunks N --seed N --buckets N --json PATH --trail PATH)"
+                     --morsel-chunks N --seed N --buckets N --no-kernels \
+                     --json PATH --trail PATH)"
                 );
                 std::process::exit(2);
             }
@@ -98,6 +102,9 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if !args.kernels {
+        db.engine_mut().set_kernels_enabled(false);
+    }
     let plan = generate(table, 24_000, &stream);
     let planned: usize = plan.iter().map(|b| b.queries.len()).sum();
     let runtime = Runtime::new(
@@ -166,6 +173,14 @@ fn main() {
         "scans: {} parallel / {} inline, {} morsels dispatched",
         scans.parallel_scans, scans.inline_scans, scans.morsels
     );
+    println!(
+        "access paths: {} pruned / {} index / {} kernel / {} scalar chunks, {} kernel batches",
+        scans.chunks_pruned,
+        scans.chunks_index,
+        scans.chunks_kernel,
+        scans.chunks_scalar,
+        scans.kernel_batches
+    );
 
     report::record("soak", "workers", (args.workers as u64).into());
     report::record("soak", "scan_threads", (args.scan_threads as u64).into());
@@ -173,6 +188,11 @@ fn main() {
     report::record("soak", "parallel_scans", scans.parallel_scans.into());
     report::record("soak", "inline_scans", scans.inline_scans.into());
     report::record("soak", "morsels_dispatched", scans.morsels.into());
+    report::record("soak", "chunks_pruned", scans.chunks_pruned.into());
+    report::record("soak", "chunks_index", scans.chunks_index.into());
+    report::record("soak", "chunks_kernel", scans.chunks_kernel.into());
+    report::record("soak", "chunks_scalar", scans.chunks_scalar.into());
+    report::record("soak", "kernel_batches", scans.kernel_batches.into());
     report::record("soak", "seed", args.seed.into());
     report::record(
         "soak",

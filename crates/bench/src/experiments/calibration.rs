@@ -1,0 +1,46 @@
+//! E11 — measured cost-model calibration (Section V: "at database
+//! system start, a minimal set of queries is run to create training
+//! data"). Times the per-term probe grid wall-clock, fits the
+//! calibrated model on the measurements, and prints the per-term
+//! weights and sim-vs-measured errors. The recorded
+//! `sim_vs_measured_err_*` metrics are bound-gated at ≤ 30 %.
+
+use crate::calibrate::{self, DEFAULT_REPEATS};
+use crate::table::TableBuilder;
+
+fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+pub fn run() {
+    println!("\n=== E11: measured cost-model calibration ===\n");
+    let report = calibrate::run_calibration(DEFAULT_REPEATS).expect("calibration runs");
+
+    let mut table =
+        TableBuilder::new(&["term", "weight (ms/unit)", "sim-vs-measured err", "samples"]);
+    for term in &report.terms {
+        table.row(vec![
+            term.term.to_string(),
+            format!("{:.6}", term.weight_ms_per_unit),
+            f3(term.median_rel_err),
+            term.samples.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "{} observations, max term err {:.3}, estimator version {} -> {}, \
+         what-if cache {} -> {} entries after refit ({})",
+        report.observations,
+        report.max_term_err,
+        report.version_before,
+        report.version_after,
+        report.cache_entries_warm,
+        report.cache_entries_after_refit,
+        if report.cache_flushed() {
+            "flushed"
+        } else {
+            "NOT FLUSHED"
+        },
+    );
+    calibrate::record_report(&report);
+}

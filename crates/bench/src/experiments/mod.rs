@@ -1,7 +1,8 @@
-//! The experiment suite E1–E10 (see `DESIGN.md` §5 and
+//! The experiment suite E1–E11 (see `DESIGN.md` §5 and
 //! `EXPERIMENTS.md`). Each module prints the table(s) for one
 //! experiment; `run` dispatches by id.
 
+pub mod calibration;
 pub mod e10_stability;
 pub mod e1_end_to_end;
 pub mod e2_overhead;
@@ -13,12 +14,26 @@ pub mod e7_chunking;
 pub mod e8_clustering;
 pub mod e9_cost_models;
 
-/// All experiment ids in order.
-pub const ALL: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+/// All experiment ids in order. `calibration` (E11) runs last: it
+/// measures wall-clock, so it benefits from a warmed process.
+pub const ALL: [&str; 11] = [
+    "e1",
+    "e2",
+    "e3",
+    "e4",
+    "e5",
+    "e6",
+    "e7",
+    "e8",
+    "e9",
+    "e10",
+    "calibration",
+];
 
 /// Runs one experiment by id. Returns `false` for unknown ids.
 pub fn run(id: &str) -> bool {
     match id {
+        "calibration" => calibration::run(),
         "e1" => e1_end_to_end::run(),
         "e2" => e2_overhead::run(),
         "e3" => e3_dependence::run(),

@@ -1,9 +1,11 @@
 //! # smdb-bench — experiment harness and benchmarks
 //!
 //! Shared setup for the `experiments` binary (which regenerates every
-//! experiment table E1–E10 listed in `DESIGN.md` §5) and for the
+//! experiment table E1–E11 listed in `DESIGN.md` §5), the `calibrate`
+//! binary (measured kernel timings + cost-model calibration) and the
 //! Criterion benches.
 
+pub mod calibrate;
 pub mod experiments;
 pub mod gate;
 pub mod report;

@@ -1,0 +1,102 @@
+//! Predicted vs executed access paths over the soak query stream.
+//!
+//! `StorageEngine::predict_access_paths` claims to mirror the
+//! executor's per-chunk decision sequence exactly. This test replays
+//! the seeded soak stream — the same generator the `soak` binary
+//! serves — and asserts the predicted partition (pruned / index /
+//! kernel / scalar) equals the executed one on *every* query, across
+//! several storage configurations and with the kernel layer both on
+//! and off.
+
+use smdb_common::ChunkColumnRef;
+use smdb_runtime::{events_database, generate, StreamConfig};
+use smdb_storage::{ConfigAction, EncodingKind, IndexKind};
+
+#[test]
+fn predicted_paths_match_executed_on_every_soak_query() {
+    let (db, table) = events_database(24, 1_000).expect("fixture builds");
+    let plan = generate(
+        table,
+        24_000,
+        &StreamConfig {
+            seed: 42,
+            buckets: 12,
+            ..StreamConfig::default()
+        },
+    );
+
+    // Reconfigurations applied between buckets, shifting chunks across
+    // the index / kernel / scalar buckets mid-stream the way the online
+    // tuner does: hash indexes on part of `k`, dictionary and run-length
+    // encodings elsewhere, and finally the kernel layer switched off.
+    let reconfigure = |bucket: usize| -> Vec<ConfigAction> {
+        match bucket {
+            3 => (0..8)
+                .map(|c| ConfigAction::CreateIndex {
+                    target: ChunkColumnRef::new(table.0, 0, c),
+                    kind: IndexKind::Hash,
+                })
+                .collect(),
+            6 => (8..16)
+                .map(|c| ConfigAction::SetEncoding {
+                    target: ChunkColumnRef::new(table.0, 0, c),
+                    kind: EncodingKind::Dictionary,
+                })
+                .chain((0..8).map(|c| ConfigAction::SetEncoding {
+                    target: ChunkColumnRef::new(table.0, 2, c),
+                    kind: EncodingKind::RunLength,
+                }))
+                .collect(),
+            _ => Vec::new(),
+        }
+    };
+
+    let mut checked = 0usize;
+    for (bi, bucket) in plan.iter().enumerate() {
+        let actions = reconfigure(bi);
+        if !actions.is_empty() {
+            db.apply_config(&actions).expect("reconfiguration applies");
+        }
+        if bi == 9 {
+            db.engine_mut().set_kernels_enabled(false);
+        }
+        for q in &bucket.queries {
+            let predicted = db
+                .engine()
+                .predict_access_paths(q.table(), q.predicates())
+                .expect("prediction runs");
+            let out = db.run_query(q).expect("query runs").output;
+            let executed = (
+                out.chunks_pruned,
+                out.index_probes,
+                out.chunks_kernel,
+                out.chunks_scalar,
+            );
+            assert_eq!(
+                (
+                    predicted.pruned,
+                    predicted.index,
+                    predicted.kernel,
+                    predicted.scalar
+                ),
+                executed,
+                "bucket {bi}, query {q:?}: predicted != executed (pruned, index, kernel, scalar)"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 100, "stream produced only {checked} queries");
+
+    // The cumulative partition in scan_stats is the sum of the per-query
+    // partitions, and every visited chunk landed in exactly one bucket.
+    let stats = db.scan_stats();
+    assert_eq!(
+        stats.chunks_index + stats.chunks_kernel + stats.chunks_scalar + stats.chunks_pruned,
+        checked as u64 * 24,
+        "every (query, chunk) pair must be classified exactly once"
+    );
+    assert!(stats.chunks_kernel > 0, "kernel path never taken");
+    assert!(stats.chunks_scalar > 0, "scalar path never taken");
+    assert!(stats.chunks_index > 0, "index path never taken");
+    assert!(stats.chunks_pruned > 0, "pruning never happened");
+}

@@ -72,6 +72,15 @@ impl QueryFootprint {
     /// `config`; it (and the buffer-pool knob) enter the hash only when
     /// the query's table has a non-hot chunk, because all-hot tables have
     /// a tier multiplier of exactly 1.0 regardless of buffer pressure.
+    ///
+    /// Only entries that *deviate from the defaults* (non-hot tiers,
+    /// present indexes, non-unencoded encodings) are hashed, as sorted
+    /// `(chunk, value)` pairs from BTreeMap range scans. Probing every
+    /// `chunk x column` slot instead costs a map lookup per slot, and
+    /// this hash runs once per what-if cache lookup — the hottest loop
+    /// of the assessment fan-out. Explicitly-stored default values hash
+    /// identically to absent entries either way, so two configurations
+    /// agreeing on the slice still produce the same key.
     pub fn config_hash(
         &self,
         engine: &StorageEngine,
@@ -84,22 +93,36 @@ impl QueryFootprint {
         engine.catalog_token().hash(&mut h);
         self.table.hash(&mut h);
         let mut any_nonhot = false;
-        for k in 0..chunks {
-            let tier = config.tier_of(self.table, ChunkId(k));
-            tier.hash(&mut h);
+        let tier_range = (self.table, ChunkId(0))..=(self.table, ChunkId(chunks.saturating_sub(1)));
+        for (&(_, chunk), &tier) in config.placements.range(tier_range) {
             if tier != Tier::Hot {
                 any_nonhot = true;
+                chunk.hash(&mut h);
+                tier.hash(&mut h);
             }
         }
         for &column in &self.columns {
-            for k in 0..chunks {
-                let target = ChunkColumnRef {
-                    table: self.table,
-                    column,
-                    chunk: ChunkId(k),
-                };
-                config.index_of(target).hash(&mut h);
-                config.encoding_of(target).hash(&mut h);
+            // Section separator: disambiguates per-column entry lists.
+            u64::MAX.hash(&mut h);
+            let span = ChunkColumnRef {
+                table: self.table,
+                column,
+                chunk: ChunkId(0),
+            }..=ChunkColumnRef {
+                table: self.table,
+                column,
+                chunk: ChunkId(chunks.saturating_sub(1)),
+            };
+            for (target, &kind) in config.indexes.range(span.clone()) {
+                target.chunk.hash(&mut h);
+                kind.hash(&mut h);
+            }
+            u64::MAX.hash(&mut h);
+            for (target, &kind) in config.encodings.range(span) {
+                if kind != smdb_storage::EncodingKind::Unencoded {
+                    target.chunk.hash(&mut h);
+                    kind.hash(&mut h);
+                }
             }
         }
         if any_nonhot {

@@ -36,6 +36,11 @@
 //!   must carry a `// ordering:` justification comment or a `lint.toml`
 //!   allowance; `SeqCst` is never grandfathered (it usually papers over
 //!   an unarticulated protocol — say why or weaken it).
+//! * **L10 `kernel-fallback`** — every `uncovered()` call in the storage
+//!   kernel layer (the marker for a segment/predicate combination the
+//!   vectorized path refuses) must carry a `// kernel-fallback: <reason>`
+//!   comment in the contiguous comment block above it. New combinations
+//!   cannot silently drop to the scalar path without a written reason.
 //!
 //! Two further passes live outside this per-file registry because they
 //! need whole-workspace state: **L9 `lock-order`** ([`crate::locks`])
@@ -90,6 +95,9 @@ enum Check {
     /// Token-level: `Ordering::<memory ordering>` sites without a
     /// justification comment.
     AtomicOrdering,
+    /// Token-level: `uncovered()` kernel-fallback call sites without a
+    /// `// kernel-fallback:` justification comment.
+    KernelFallback,
 }
 
 /// A registered rule.
@@ -205,6 +213,16 @@ pub fn registry() -> Vec<Rule> {
             skip_test_code: true,
             check: Check::AtomicOrdering,
         },
+        Rule {
+            id: "kernel-fallback",
+            severity: Severity::Error,
+            description: "every uncovered() call needs a `// kernel-fallback: <reason>` \
+                 comment explaining why the vectorized path refuses this shape",
+            include: &["crates/storage/"],
+            exclude: &[],
+            skip_test_code: true,
+            check: Check::KernelFallback,
+        },
     ]
 }
 
@@ -259,6 +277,7 @@ impl Rule {
         match &self.check {
             Check::MapIteration => return self.check_map_iteration(file, out),
             Check::AtomicOrdering => return self.check_atomic_ordering(file, out),
+            Check::KernelFallback => return self.check_kernel_fallback(file, out),
             Check::Tokens(_) | Check::FloatEq => {}
         }
         for line in &file.lines {
@@ -280,7 +299,7 @@ impl Rule {
                         ));
                     }
                 }
-                Check::MapIteration | Check::AtomicOrdering => {}
+                Check::MapIteration | Check::AtomicOrdering | Check::KernelFallback => {}
             }
             for message in messages {
                 out.push(self.finding_at(file, line.number, message, false));
@@ -464,6 +483,52 @@ impl Rule {
                 t.line,
                 format!("`Ordering::{variant}` without justification ({why})"),
                 exempt,
+            ));
+        }
+    }
+
+    /// L10: `uncovered()` kernel-fallback call sites without a
+    /// `// kernel-fallback:` justification. Unlike L7/L8, the fallback
+    /// reasons are prose that rarely fits one line, so the marker may sit
+    /// anywhere in the contiguous `//` comment block directly above the
+    /// call (or on the call line itself).
+    fn check_kernel_fallback(&self, file: &ScannedFile, out: &mut Vec<Finding>) {
+        let toks: Vec<&Token> = file.code_tokens().collect();
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident || file.text(t) != "uncovered" {
+                continue;
+            }
+            // Only calls: `uncovered (` — the definition (`fn uncovered`)
+            // and path/use mentions carry no fallback decision.
+            if i > 0 && file.text(toks[i - 1]) == "fn" {
+                continue;
+            }
+            if toks.get(i + 1).map(|n| file.text(n)) != Some("(") {
+                continue;
+            }
+            if self.skip_test_code && t.in_test {
+                continue;
+            }
+            let call_line = file
+                .lines
+                .get(t.line.wrapping_sub(1))
+                .is_some_and(|l| line_justifies(&l.raw, "kernel-fallback:"));
+            let block_above = file.lines[..t.line.saturating_sub(1)]
+                .iter()
+                .rev()
+                .take_while(|l| l.raw.trim_start().starts_with("//"))
+                .any(|l| line_justifies(&l.raw, "kernel-fallback:"));
+            if call_line || block_above {
+                continue;
+            }
+            out.push(self.finding_at(
+                file,
+                t.line,
+                format!(
+                    "`uncovered()` without a `// kernel-fallback:` comment ({})",
+                    self.description
+                ),
+                false,
             ));
         }
     }
@@ -839,6 +904,71 @@ fn f(a: &AtomicU64) {
         let src = "fn f(a: u32, b: u32) -> Ordering { if a < b { Ordering::Less } else { Ordering::Greater } }\n";
         let f = findings_for("atomic-ordering", "crates/core/src/driver.rs", src);
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn kernel_fallback_needs_justification() {
+        let src = "fn scan() -> bool { if odd { return uncovered(); } true }\n";
+        let f = findings_for("kernel-fallback", "crates/storage/src/kernels.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "kernel-fallback");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn kernel_fallback_accepts_marker_in_comment_block_above() {
+        // The marker may sit anywhere in the contiguous comment block
+        // above the call, not just the adjacent line.
+        let src = "\
+fn scan() -> bool {
+    if odd {
+        // kernel-fallback: Text segments have no fixed-width code
+        // domain, so the batch comparator cannot be formed; the
+        // scalar path handles them.
+        return uncovered();
+    }
+    true
+}
+";
+        let f = findings_for("kernel-fallback", "crates/storage/src/kernels.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn kernel_fallback_marker_must_be_contiguous() {
+        // A blank line breaks the comment block: the marker no longer
+        // covers the call.
+        let src = "\
+fn scan() -> bool {
+    // kernel-fallback: stale reason, detached from the call
+
+    return uncovered();
+}
+";
+        let f = findings_for("kernel-fallback", "crates/storage/src/kernels.rs", src);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn kernel_fallback_skips_definition_tests_and_other_crates() {
+        let def = "fn uncovered() -> bool { false }\n";
+        assert!(findings_for("kernel-fallback", "crates/storage/src/kernels.rs", def).is_empty());
+
+        let in_test = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { assert!(!uncovered()); }
+}
+";
+        assert!(
+            findings_for("kernel-fallback", "crates/storage/src/kernels.rs", in_test).is_empty()
+        );
+
+        let elsewhere = "fn f() -> bool { uncovered() }\n";
+        assert!(
+            findings_for("kernel-fallback", "crates/query/src/database.rs", elsewhere).is_empty()
+        );
     }
 
     #[test]

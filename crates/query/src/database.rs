@@ -38,6 +38,19 @@ pub struct ScanStats {
     pub inline_scans: u64,
     /// Total morsels dispatched across all parallel scans.
     pub morsels: u64,
+    /// Chunks skipped by min/max pruning, across all scans.
+    pub chunks_pruned: u64,
+    /// Chunks whose driving predicate(s) an index probe answered.
+    pub chunks_index: u64,
+    /// Chunks whose driving selection ran on a batch kernel. With
+    /// [`ScanStats::chunks_index`] and [`ScanStats::chunks_scalar`] this
+    /// partitions every visited chunk — the per-chunk access-path
+    /// decision, observable without touching engine internals.
+    pub chunks_kernel: u64,
+    /// Chunks whose driving selection fell back to the scalar path.
+    pub chunks_scalar: u64,
+    /// Batch-kernel invocations (filters, refines, aggregate folds).
+    pub kernel_batches: u64,
 }
 
 /// A self-manageable database: engine, plan cache, logical clock and the
@@ -55,6 +68,11 @@ pub struct Database {
     parallel_scans: AtomicU64,
     inline_scans: AtomicU64,
     morsels_dispatched: AtomicU64,
+    chunks_pruned: AtomicU64,
+    chunks_index: AtomicU64,
+    chunks_kernel: AtomicU64,
+    chunks_scalar: AtomicU64,
+    kernel_batches: AtomicU64,
 }
 
 impl Database {
@@ -70,6 +88,11 @@ impl Database {
             parallel_scans: AtomicU64::new(0),
             inline_scans: AtomicU64::new(0),
             morsels_dispatched: AtomicU64::new(0),
+            chunks_pruned: AtomicU64::new(0),
+            chunks_index: AtomicU64::new(0),
+            chunks_kernel: AtomicU64::new(0),
+            chunks_scalar: AtomicU64::new(0),
+            kernel_batches: AtomicU64::new(0),
         })
     }
 
@@ -86,12 +109,24 @@ impl Database {
         self.scan_pool.read().clone()
     }
 
-    /// Cumulative scan-dispatch counters.
+    /// Cumulative scan-dispatch counters, including the per-chunk
+    /// access-path partition (pruned / index / kernel / scalar).
     pub fn scan_stats(&self) -> ScanStats {
+        // Relaxed loads throughout: independent statistics counters with
+        // no cross-counter invariant a reader could rely on.
+        fn read(counter: &AtomicU64) -> u64 {
+            // ordering: relaxed statistics read, see scan_stats.
+            counter.load(Ordering::Relaxed)
+        }
         ScanStats {
-            parallel_scans: self.parallel_scans.load(Ordering::Relaxed),
-            inline_scans: self.inline_scans.load(Ordering::Relaxed),
-            morsels: self.morsels_dispatched.load(Ordering::Relaxed),
+            parallel_scans: read(&self.parallel_scans),
+            inline_scans: read(&self.inline_scans),
+            morsels: read(&self.morsels_dispatched),
+            chunks_pruned: read(&self.chunks_pruned),
+            chunks_index: read(&self.chunks_index),
+            chunks_kernel: read(&self.chunks_kernel),
+            chunks_scalar: read(&self.chunks_scalar),
+            kernel_batches: read(&self.kernel_batches),
         }
     }
 
@@ -162,6 +197,17 @@ impl Database {
         } else {
             self.inline_scans.fetch_add(1, Ordering::Relaxed);
         }
+        // Pure statistics folded from the scan's own output after it
+        // completed; no other thread orders against these counters.
+        fn bump(counter: &AtomicU64, by: u64) {
+            // ordering: relaxed statistics add, see run_query.
+            counter.fetch_add(by, Ordering::Relaxed);
+        }
+        bump(&self.chunks_pruned, output.chunks_pruned);
+        bump(&self.chunks_index, output.index_probes);
+        bump(&self.chunks_kernel, output.chunks_kernel);
+        bump(&self.chunks_scalar, output.chunks_scalar);
+        bump(&self.kernel_batches, output.kernel_batches);
         let wall_ns = start.elapsed().as_nanos() as u64;
         if self.monitoring() {
             self.plan_cache

@@ -312,7 +312,17 @@ impl Runtime {
         queries: &[Query],
         oracle: &Arc<ResultOracle>,
     ) -> Result<(SessionStats, Vec<f64>)> {
-        let workers = self.config.workers.max(1);
+        // Physical worker threads are capped at the host's parallelism:
+        // extra workers on an oversubscribed host only add spawn and
+        // context-switch overhead. Every statistic this function returns
+        // is partition-independent (the digest by construction, latency
+        // aggregates as multisets), so the clamp cannot change any
+        // deterministic output — `digest_is_worker_count_invariant`
+        // below is the witness.
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(usize::MAX);
+        let workers = self.config.workers.max(1).min(host);
         let mut merged = SessionStats::default();
         let mut latencies = Vec::with_capacity(queries.len());
         std::thread::scope(|scope| -> Result<()> {

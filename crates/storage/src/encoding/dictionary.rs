@@ -115,6 +115,35 @@ impl DictionarySegment {
         self.codes[row]
     }
 
+    /// The per-row code array; the kernel layer scans it directly.
+    pub(crate) fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The sorted integer dictionary, when the payload is integers.
+    pub(crate) fn int_dict(&self) -> Option<&[i64]> {
+        match &self.dict {
+            Dict::Int(d) => Some(d),
+            Dict::Text(_) => None,
+        }
+    }
+
+    /// The sorted text dictionary, when the payload is strings.
+    pub(crate) fn text_dict(&self) -> Option<&[String]> {
+        match &self.dict {
+            Dict::Int(_) => None,
+            Dict::Text(d) => Some(d),
+        }
+    }
+
+    /// Decoded value of one dictionary code.
+    pub(crate) fn value_of_code(&self, code: u32) -> Value {
+        match &self.dict {
+            Dict::Int(d) => Value::Int(d[code as usize]),
+            Dict::Text(d) => Value::Text(d[code as usize].clone()),
+        }
+    }
+
     /// Decodes to raw values.
     pub fn decode(&self) -> ColumnValues {
         match &self.dict {
@@ -126,8 +155,9 @@ impl DictionarySegment {
     }
 
     /// Resolves `pred` to an inclusive code interval `[lo, hi]`, or `None`
-    /// when no code can match.
-    fn code_interval(&self, pred: &ScanPredicate) -> Option<(u32, u32)> {
+    /// when no code can match. The kernel layer reuses this translation
+    /// for its batched code scans.
+    pub(crate) fn code_interval(&self, pred: &ScanPredicate) -> Option<(u32, u32)> {
         // Find, in the sorted dictionary, the interval of codes whose
         // values satisfy the predicate. All supported operators describe a
         // contiguous value interval, so the code interval is contiguous too.

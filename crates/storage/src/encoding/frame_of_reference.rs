@@ -51,6 +51,11 @@ impl ForSegment {
         self.base
     }
 
+    /// The per-row offset array; the kernel layer scans it directly.
+    pub(crate) fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
     /// Approximate memory footprint.
     pub fn memory_bytes(&self) -> usize {
         8 + self.offsets.len() * 4

@@ -44,6 +44,36 @@ pub struct ScanOutput {
     pub chunks_visited: u64,
     /// Chunks where an index answered the driving predicate.
     pub index_probes: u64,
+    /// Visited chunks whose driving selection ran on a batch kernel.
+    /// Together with [`ScanOutput::index_probes`] and
+    /// [`ScanOutput::chunks_scalar`] this partitions the visited chunks:
+    /// `chunks_visited == index_probes + chunks_kernel + chunks_scalar`.
+    pub chunks_kernel: u64,
+    /// Visited chunks whose driving selection fell back to the scalar
+    /// per-value path.
+    pub chunks_scalar: u64,
+    /// Batch-kernel invocations (driving filters, refines, aggregate
+    /// folds) across all chunks of the scan.
+    pub kernel_batches: u64,
+}
+
+/// Per-chunk access-path partition of one scan, predicted or executed:
+/// every chunk of the table lands in exactly one bucket. The executed
+/// partition comes from [`ScanOutput`] (`chunks_pruned`, `index_probes`,
+/// `chunks_kernel`, `chunks_scalar`);
+/// [`StorageEngine::predict_access_paths`] produces the same partition
+/// from statistics alone, and the soak asserts the two agree on every
+/// query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictedPaths {
+    /// Chunks min/max pruning skips.
+    pub pruned: u64,
+    /// Chunks where an index probe answers the driving predicate(s).
+    pub index: u64,
+    /// Chunks whose driving selection runs on a batch kernel.
+    pub kernel: u64,
+    /// Chunks whose driving selection falls back to the scalar path.
+    pub scalar: u64,
 }
 
 /// The in-memory storage engine.
@@ -58,6 +88,9 @@ pub struct StorageEngine {
     names: HashMap<String, TableId>,
     knobs: Knobs,
     params: SimCostParams,
+    /// Whether batch predicate/aggregation kernels drive covered scans
+    /// (on by default; the scalar path remains the semantic reference).
+    kernels: bool,
     /// Cached bytes resident on non-hot tiers (drives buffer-pool hit rates).
     nonhot_bytes: usize,
     /// Process-unique catalog identity, refreshed whenever the table set
@@ -87,14 +120,102 @@ impl StorageEngine {
             names: HashMap::new(),
             knobs: Knobs::default(),
             params,
+            kernels: true,
             nonhot_bytes: 0,
             catalog_token: next_catalog_token(),
         }
     }
 
+    /// Whether the vectorized kernel layer is enabled.
+    pub fn kernels_enabled(&self) -> bool {
+        self.kernels
+    }
+
+    /// Enables or disables the vectorized kernel layer. Results are
+    /// bit-identical either way (see [`crate::kernels`]); only the
+    /// execution strategy — and the kernel/scalar chunk counters —
+    /// change. Tests use this to diff the two paths.
+    pub fn set_kernels_enabled(&mut self, on: bool) {
+        self.kernels = on;
+    }
+
     /// The engine's catalog identity token (see field docs).
     pub fn catalog_token(&self) -> u64 {
         self.catalog_token
+    }
+
+    /// Predicts, from chunk statistics and the catalog alone, which
+    /// access path [`StorageEngine::scan_chunk`] takes on every chunk of
+    /// `table` for `predicates` — without executing anything. The
+    /// decision sequence is mirrored exactly: min/max prune, composite
+    /// probe, driving-predicate probe, batch kernel
+    /// ([`crate::kernels::covers_filter`] gated on the kernel switch),
+    /// scalar fallback. `predicted == executed` is therefore a checkable
+    /// invariant, and the soak asserts it per query against the
+    /// [`ScanOutput`] counters.
+    pub fn predict_access_paths(
+        &self,
+        table: TableId,
+        predicates: &[ScanPredicate],
+    ) -> Result<PredictedPaths> {
+        let table = self.table(table)?;
+        let mut out = PredictedPaths::default();
+        'chunks: for (_, chunk) in table.chunks() {
+            for p in predicates {
+                if !chunk.stats(p.column)?.can_match(p) {
+                    out.pruned += 1;
+                    continue 'chunks;
+                }
+            }
+            let remaining: Vec<&ScanPredicate> = predicates.iter().collect();
+            if composite_pair(chunk, &remaining)
+                .and_then(|(i, _)| chunk.index(remaining[i].column))
+                .is_some()
+            {
+                out.index += 1;
+                continue;
+            }
+            if remaining.is_empty() {
+                // Full-chunk selection: one batch emit when kernels are on.
+                if self.kernels {
+                    out.kernel += 1;
+                } else {
+                    out.scalar += 1;
+                }
+                continue;
+            }
+            let drive_pos = remaining
+                .iter()
+                .position(|p| {
+                    chunk.index(p.column).is_some_and(|idx| {
+                        !matches!(idx.kind(), crate::index::IndexKind::CompositeHash { .. })
+                            && idx.kind().supports(p.op)
+                            && chunk
+                                .stats(p.column)
+                                .map(|s| {
+                                    s.estimate_selectivity(p)
+                                        <= crate::scan::INDEX_SELECTIVITY_THRESHOLD
+                                })
+                                .unwrap_or(false)
+                    })
+                })
+                .unwrap_or(0);
+            let driving = remaining[drive_pos];
+            let probed = chunk.index(driving.column).is_some_and(|idx| {
+                !matches!(idx.kind(), crate::index::IndexKind::CompositeHash { .. })
+                    && idx.kind().supports(driving.op)
+            });
+            if probed {
+                out.index += 1;
+            } else if self.kernels
+                && crate::kernels::covers_filter(chunk.segment(driving.column)?, driving)
+            {
+                out.kernel += 1;
+            } else {
+                out.scalar += 1;
+            }
+        }
+        Ok(out)
     }
 
     /// Registers a table; names must be unique.
@@ -590,25 +711,27 @@ impl StorageEngine {
                     break;
                 }
                 let before = positions.len();
-                chunk.segment(p.column)?.refine(p, positions);
+                let seg = chunk.segment(p.column)?;
+                if self.kernels && crate::kernels::refine(seg, p, positions) {
+                    part.kernel_batches += 1;
+                } else {
+                    seg.refine(p, positions);
+                }
                 part.cost += Cost(before as f64 * self.params.refine_ms_per_row) * tier_mult;
             }
             part.rows_matched += positions.len() as u64;
             if let Some(agg) = aggregate {
-                part.cost += self.aggregate_positions(
-                    chunk,
-                    agg,
-                    group_by,
-                    positions,
-                    &mut part.agg,
-                    &mut part.groups,
-                )?;
+                let agg_cost =
+                    self.aggregate_positions(chunk, agg, group_by, positions, &mut part)?;
+                part.cost += agg_cost;
             }
             return Ok(part);
         }
 
         if remaining.is_empty() {
-            // Full-chunk selection.
+            // Full-chunk selection: one batch emit either way, so the
+            // chunk is classified with the kernel path when enabled.
+            part.kernel_chunk = self.kernels;
             positions.extend(0..chunk.rows() as u32);
             part.rows_scanned += chunk.rows() as u64;
             let (units, enc) = chunk
@@ -657,7 +780,12 @@ impl StorageEngine {
                     ) * tier_mult;
                 }
                 _ => {
-                    seg.filter(driving, positions);
+                    if self.kernels && crate::kernels::filter(seg, driving, positions) {
+                        part.kernel_chunk = true;
+                        part.kernel_batches += 1;
+                    } else {
+                        seg.filter(driving, positions);
+                    }
                     part.rows_scanned += chunk.rows() as u64;
                     part.cost += Cost(
                         seg.scan_units() as f64
@@ -673,21 +801,20 @@ impl StorageEngine {
                     break;
                 }
                 let before = positions.len();
-                chunk.segment(p.column)?.refine(p, positions);
+                let seg = chunk.segment(p.column)?;
+                if self.kernels && crate::kernels::refine(seg, p, positions) {
+                    part.kernel_batches += 1;
+                } else {
+                    seg.refine(p, positions);
+                }
                 part.cost += Cost(before as f64 * self.params.refine_ms_per_row) * tier_mult;
             }
         }
 
         part.rows_matched += positions.len() as u64;
         if let Some(agg) = aggregate {
-            part.cost += self.aggregate_positions(
-                chunk,
-                agg,
-                group_by,
-                positions,
-                &mut part.agg,
-                &mut part.groups,
-            )?;
+            let agg_cost = self.aggregate_positions(chunk, agg, group_by, positions, &mut part)?;
+            part.cost += agg_cost;
         }
         Ok(part)
     }
@@ -713,6 +840,9 @@ impl StorageEngine {
             chunks_pruned: 0,
             chunks_visited: 0,
             index_probes: 0,
+            chunks_kernel: 0,
+            chunks_scalar: 0,
+            kernel_batches: 0,
         };
         let mut agg_state = AggState::new(aggregate.map(|a| a.op));
         let mut group_state: BTreeMap<Value, AggState> = BTreeMap::new();
@@ -726,6 +856,16 @@ impl StorageEngine {
             out.rows_matched += part.rows_matched;
             out.rows_scanned += part.rows_scanned;
             out.index_probes += part.index_probes;
+            out.kernel_batches += part.kernel_batches;
+            // Access-path partition of the visited chunks: probe, batch
+            // kernel or scalar selection (at most one probe per chunk).
+            if part.index_probes == 0 {
+                if part.kernel_chunk {
+                    out.chunks_kernel += 1;
+                } else {
+                    out.chunks_scalar += 1;
+                }
+            }
             agg_state.merge(&part.agg);
             for (key, state) in part.groups {
                 group_state
@@ -752,29 +892,80 @@ impl StorageEngine {
     }
 
     /// Accumulates aggregate state for the matched positions of one
-    /// chunk, grouped or global, and returns the simulated cost charged.
+    /// chunk, grouped or global, into `part`, and returns the simulated
+    /// cost charged. The batched kernels produce bit-identical state to
+    /// the scalar loops (see [`crate::kernels`]); the charged cost is a
+    /// function of the positions alone, never of the execution strategy.
     fn aggregate_positions(
         &self,
         chunk: &crate::chunk::Chunk,
         agg: &Aggregate,
         group_by: Option<smdb_common::ColumnId>,
         positions: &[u32],
-        agg_state: &mut AggState,
-        group_state: &mut BTreeMap<Value, AggState>,
+        part: &mut ChunkPartial,
     ) -> Result<Cost> {
         match group_by {
             None => {
-                agg_state.consume(chunk, agg, positions)?;
+                let use_kernel = self.kernels
+                    && match part.agg.op {
+                        // COUNT touches no segment; the scalar path is
+                        // already one counter addition.
+                        None | Some(AggregateOp::Count) => false,
+                        Some(_) => crate::kernels::covers_accumulate(chunk.segment(agg.column)?),
+                    };
+                if use_kernel {
+                    let seg = chunk.segment(agg.column)?;
+                    let st = &mut part.agg;
+                    st.count += positions.len() as u64;
+                    crate::kernels::accumulate(
+                        seg,
+                        positions,
+                        &mut st.sum,
+                        &mut st.min,
+                        &mut st.max,
+                    );
+                    part.kernel_batches += 1;
+                } else {
+                    part.agg.consume(chunk, agg, positions)?;
+                }
                 Ok(Cost(positions.len() as f64 * self.params.agg_ms_per_row))
             }
             Some(g) => {
                 let group_seg = chunk.segment(g)?;
-                for &p in positions {
-                    let key = group_seg.value_at(p as usize);
-                    let state = group_state
-                        .entry(key)
-                        .or_insert_with(|| AggState::new(Some(agg.op)));
-                    state.consume(chunk, agg, &[p])?;
+                let agg_seg = if agg.op == AggregateOp::Count {
+                    None
+                } else {
+                    Some(chunk.segment(agg.column)?)
+                };
+                let mut batched = false;
+                if self.kernels {
+                    let mut accs: Vec<(Value, crate::kernels::GroupAcc)> = Vec::new();
+                    if crate::kernels::aggregate_grouped(group_seg, agg_seg, positions, &mut accs) {
+                        for (key, acc) in accs {
+                            part.groups.insert(
+                                key,
+                                AggState {
+                                    op: Some(agg.op),
+                                    sum: acc.sum,
+                                    count: acc.count,
+                                    min: acc.min,
+                                    max: acc.max,
+                                },
+                            );
+                        }
+                        part.kernel_batches += 1;
+                        batched = true;
+                    }
+                }
+                if !batched {
+                    for &p in positions {
+                        let key = group_seg.value_at(p as usize);
+                        let state = part
+                            .groups
+                            .entry(key)
+                            .or_insert_with(|| AggState::new(Some(agg.op)));
+                        state.consume(chunk, agg, &[p])?;
+                    }
                 }
                 Ok(Cost(
                     positions.len() as f64
@@ -871,6 +1062,11 @@ struct ChunkPartial {
     rows_matched: u64,
     rows_scanned: u64,
     index_probes: u64,
+    /// The driving selection ran on a batch kernel (never set when an
+    /// index probe answered the driving predicate).
+    kernel_chunk: bool,
+    /// Batch-kernel invocations while scanning this chunk.
+    kernel_batches: u64,
     /// The chunk's share of the simulated work.
     cost: Cost,
     /// Ungrouped aggregate state over this chunk's matches.
@@ -888,6 +1084,8 @@ impl ChunkPartial {
             rows_matched: 0,
             rows_scanned: 0,
             index_probes: 0,
+            kernel_chunk: false,
+            kernel_batches: 0,
             cost: Cost::ZERO,
             agg: AggState::new(op),
             groups: BTreeMap::new(),

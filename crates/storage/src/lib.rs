@@ -48,6 +48,7 @@ pub mod config;
 pub mod encoding;
 pub mod engine;
 pub mod index;
+pub mod kernels;
 pub mod memory;
 pub mod parallel;
 pub mod placement;
@@ -60,7 +61,7 @@ pub mod value;
 
 pub use config::{ConfigAction, ConfigInstance, ConfigSnapshot, KnobKind, Knobs};
 pub use encoding::EncodingKind;
-pub use engine::{ScanOutput, StorageEngine};
+pub use engine::{PredictedPaths, ScanOutput, StorageEngine};
 pub use index::IndexKind;
 pub use parallel::ScanPool;
 pub use placement::Tier;

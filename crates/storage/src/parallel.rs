@@ -21,10 +21,13 @@
 //!   deterministic critical-path model the cost estimators can mirror
 //!   and the bench gate can lock in.
 //!
-//! Observability: every executed morsel opens a `storage`/`morsel` span,
-//! the shared queue exports a `scan_pool.queue_depth` gauge, and
-//! `scan_pool.morsels_executed` / `scan_pool.jobs` counters tally pool
-//! traffic.
+//! Observability: every submitted job opens a `storage`/`scan_job` span
+//! carrying its morsel count, the shared queue exports a
+//! `scan_pool.queue_depth` gauge, and `scan_pool.morsels_executed` /
+//! `scan_pool.jobs` counters tally pool traffic. All three are
+//! deliberately job-granular on the hot path: a per-morsel span or
+//! per-morsel registry lookup costs a name hash plus a subscriber lock
+//! per morsel, which the soak measures as several percent of total wall.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -103,9 +106,27 @@ struct PoolShared {
     shutdown: AtomicBool,
 }
 
+/// Cached handles for the pool's registry metrics: resolving a metric
+/// by name costs a string allocation and a registry lock, so the hot
+/// path resolves each handle once per process.
+struct PoolMetrics {
+    jobs: Arc<smdb_obs::metrics::Counter>,
+    morsels_executed: Arc<smdb_obs::metrics::Counter>,
+    queue_depth: Arc<smdb_obs::metrics::Gauge>,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: std::sync::OnceLock<PoolMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| PoolMetrics {
+        jobs: smdb_obs::metrics::counter("scan_pool.jobs"),
+        morsels_executed: smdb_obs::metrics::counter("scan_pool.morsels_executed"),
+        queue_depth: smdb_obs::metrics::gauge("scan_pool.queue_depth"),
+    })
+}
+
 impl PoolShared {
     fn publish_depth(&self) {
-        smdb_obs::metrics::gauge("scan_pool.queue_depth").set(self.queue.len() as f64);
+        pool_metrics().queue_depth.set(self.queue.len() as f64);
     }
 }
 
@@ -142,9 +163,18 @@ impl std::fmt::Debug for ScanPool {
 }
 
 impl ScanPool {
-    /// A pool with `threads` total scan lanes (the submitter plus
+    /// A pool with `threads` total scan lanes (the submitter plus up to
     /// `threads - 1` helper threads). `threads <= 1` builds a pool with
     /// no helpers — callers should treat it as "scan inline".
+    ///
+    /// The *physical* helper count is additionally clamped to the host's
+    /// available parallelism: helpers beyond the core count can never
+    /// run concurrently, they only add a condvar wakeup and a context
+    /// switch to every job (ruinous when the whole pool shares one
+    /// core). The clamp is invisible to everything deterministic —
+    /// [`ScanPool::threads`] keeps reporting the configured lane count,
+    /// which is what the simulated latency model and the morsel
+    /// counters are derived from.
     pub fn new(threads: usize) -> Arc<ScanPool> {
         let threads = threads.max(1);
         let shared = Arc::new(PoolShared {
@@ -153,8 +183,12 @@ impl ScanPool {
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
         });
-        let mut helpers = Vec::with_capacity(threads - 1);
-        for i in 0..threads - 1 {
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(threads);
+        let physical = (threads - 1).min(host.saturating_sub(1));
+        let mut helpers = Vec::with_capacity(physical);
+        for i in 0..physical {
             let shared = Arc::clone(&shared);
             let builder = std::thread::Builder::new().name(format!("smdb-scan-{i}"));
             // A failed spawn (resource exhaustion) degrades to fewer
@@ -202,7 +236,8 @@ impl ScanPool {
             done: Mutex::new(false),
             done_cv: Condvar::new(),
         });
-        smdb_obs::metrics::counter("scan_pool.jobs").inc();
+        let _span = span!("storage", "scan_job", { morsels: morsels });
+        pool_metrics().jobs.inc();
         // One steal ticket per helper at most — a helper drains the
         // whole job once it holds a ticket.
         let tickets = self.helpers.len().min(morsels.saturating_sub(1));
@@ -241,14 +276,16 @@ impl Drop for ScanPool {
     }
 }
 
-/// Claims morsels from `job` until its cursor is exhausted.
+/// Claims morsels from `job` until its cursor is exhausted. The
+/// `morsels_executed` tally is batched into one counter add when the
+/// claim loop drains — per-morsel bookkeeping is kept to two atomics.
 fn work_on(job: &JobState) {
+    let mut executed = 0u64;
     loop {
         let i = job.cursor.fetch_add(1, Ordering::Relaxed);
         if i >= job.morsels {
-            return;
+            break;
         }
-        let _span = span!("storage", "morsel", { morsel: i });
         // SAFETY: `i < morsels` means this claim is unique and the
         // submitter is still blocked in `run`, keeping the task alive.
         let task = unsafe { &*job.task.0 };
@@ -256,12 +293,15 @@ fn work_on(job: &JobState) {
         if outcome.is_err() {
             job.panicked.store(true, Ordering::Relaxed);
         }
-        smdb_obs::metrics::counter("scan_pool.morsels_executed").inc();
+        executed += 1;
         if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             let mut done = lock_recover(&job.done);
             *done = true;
             job.done_cv.notify_all();
         }
+    }
+    if executed > 0 {
+        pool_metrics().morsels_executed.add(executed);
     }
 }
 
