@@ -9,6 +9,8 @@
 #                         # + concurrency audit -> target/ci/BENCH_*.json
 #                         # and AUDIT_concurrency.json, gated vs committed
 #   ./ci.sh soak          # online serving soak only -> BENCH_runtime.json
+#   ./ci.sh soak-mt       # sharded multi-tenant soak only
+#                         # -> BENCH_multitenant.json + TRAIL_mt.json
 #   ./ci.sh bench-gate    # regenerate benches into target/ci and compare
 #                         # against the committed BENCH_*.json baselines
 #   ./ci.sh bench-gate --update-baselines
@@ -88,6 +90,12 @@ run_soak() { # outdir
         --json "$1/BENCH_runtime.json" --trail "$1/TRAIL_soak.json"
 }
 
+run_soak_mt() { # outdir
+    cargo run --release -q -p smdb-bench --bin soak_mt -- \
+        --shards 4 --tenants 1200 --zipf 1.1 \
+        --json "$1/BENCH_multitenant.json" --trail "$1/TRAIL_mt.json"
+}
+
 check_trail() { # trail path
     cargo run -q -p smdb-lint -- --check-trail "$1"
 }
@@ -104,7 +112,8 @@ check_audit() { # audit path
 run_gate() { # candidate dir
     cargo run --release -q -p smdb-bench --bin bench_gate -- \
         --runtime BENCH_runtime.json "$1/BENCH_runtime.json" \
-        --tuning BENCH_tuning.json "$1/BENCH_tuning.json"
+        --tuning BENCH_tuning.json "$1/BENCH_tuning.json" \
+        --multitenant BENCH_multitenant.json "$1/BENCH_multitenant.json"
 }
 
 fresh_bench_and_gate() { # build fresh candidates into target/ci, gate them
@@ -112,6 +121,8 @@ fresh_bench_and_gate() { # build fresh candidates into target/ci, gate them
     step "experiments (e3-e5, calibration)" run_experiments "$CI_DIR"
     step "soak" run_soak "$CI_DIR"
     step "check-trail" check_trail "$CI_DIR/TRAIL_soak.json"
+    step "soak-mt" run_soak_mt "$CI_DIR"
+    step "check-trail-mt" check_trail "$CI_DIR/TRAIL_mt.json"
     step "bench-gate" run_gate "$CI_DIR"
 }
 
@@ -133,6 +144,11 @@ soak)
     step "soak" run_soak .
     echo "Soak CI green."
     ;;
+soak-mt)
+    step "build (release, soak_mt)" cargo build --release -p smdb-bench --bin soak_mt
+    step "soak-mt" run_soak_mt .
+    echo "Multi-tenant soak CI green."
+    ;;
 calibrate)
     step "build (release, calibrate)" cargo build --release -p smdb-bench --bin calibrate
     mkdir -p "$CI_DIR"
@@ -144,10 +160,12 @@ bench-gate)
     mkdir -p "$CI_DIR"
     step "experiments (e3-e5, calibration)" run_experiments "$CI_DIR"
     step "soak" run_soak "$CI_DIR"
+    step "soak-mt" run_soak_mt "$CI_DIR"
     if [[ "${2:-}" == "--update-baselines" ]]; then
         step "update-baselines" cp "$CI_DIR/BENCH_runtime.json" \
-            "$CI_DIR/BENCH_tuning.json" "$CI_DIR/TRAIL_soak.json" .
-        echo "Baselines updated from $CI_DIR — commit BENCH_*.json + TRAIL_soak.json."
+            "$CI_DIR/BENCH_tuning.json" "$CI_DIR/BENCH_multitenant.json" \
+            "$CI_DIR/TRAIL_soak.json" "$CI_DIR/TRAIL_mt.json" .
+        echo "Baselines updated from $CI_DIR — commit BENCH_*.json + TRAIL_*.json."
     else
         step "bench-gate" run_gate "$CI_DIR"
         echo "Bench gate green."
@@ -164,7 +182,7 @@ full)
     echo "CI green."
     ;;
 *)
-    echo "unknown mode '${MODE}' (valid: full quick soak bench-gate calibrate)" >&2
+    echo "unknown mode '${MODE}' (valid: full quick soak soak-mt bench-gate calibrate)" >&2
     exit 2
     ;;
 esac

@@ -43,10 +43,12 @@ fn main() {
         let (label, (metrics, exact)) = match flag.as_str() {
             "--runtime" => ("runtime", gate::runtime_specs()),
             "--tuning" => ("tuning", gate::tuning_specs()),
+            "--multitenant" => ("multitenant", gate::multitenant_specs()),
             other => {
                 eprintln!(
                     "bench-gate: unknown argument {other} \
-                     (usage: bench_gate [--runtime BASELINE CANDIDATE] [--tuning BASELINE CANDIDATE])"
+                     (usage: bench_gate [--runtime BASELINE CANDIDATE] \
+                     [--tuning BASELINE CANDIDATE] [--multitenant BASELINE CANDIDATE])"
                 );
                 std::process::exit(2);
             }
@@ -64,6 +66,9 @@ fn main() {
         report.extend(gate::compare(&baseline, &candidate, &metrics, &exact));
         if flag == "--tuning" {
             report.extend(gate::check_bounds(&candidate, &gate::tuning_bounds()));
+        }
+        if flag == "--multitenant" {
+            report.extend(gate::check_bounds(&candidate, &gate::multitenant_bounds()));
         }
         compared += 1;
     }

@@ -155,6 +155,78 @@ pub fn runtime_specs() -> (Vec<MetricSpec>, Vec<ExactSpec>) {
     (metrics, exact)
 }
 
+/// The multi-tenant sharded-soak gate (`BENCH_multitenant.json`).
+/// Simulated latencies, routing decisions and tuning traces are all
+/// seed-deterministic, so their tolerances only absorb model drift;
+/// `sustained_qps` is wall-clock and gets the same 25 % band as the
+/// single-engine soak. The digest, the digest-invariance witness (the
+/// N-shard scatter answering bit-identically to a 1-shard build) and
+/// the Organizer's budget-compliance flag must match exactly.
+pub fn multitenant_specs() -> (Vec<MetricSpec>, Vec<ExactSpec>) {
+    let metrics = vec![
+        MetricSpec {
+            section: "multitenant",
+            key: "sustained_qps",
+            direction: Direction::HigherIsBetter,
+            rel_tolerance: 0.25,
+        },
+        MetricSpec {
+            section: "multitenant",
+            key: "mean_tenant_p95_ms",
+            direction: Direction::LowerIsBetter,
+            rel_tolerance: 0.10,
+        },
+        MetricSpec {
+            section: "multitenant",
+            key: "shards_tuned",
+            direction: Direction::HigherIsBetter,
+            rel_tolerance: 0.34,
+        },
+        MetricSpec {
+            section: "multitenant",
+            key: "routed",
+            direction: Direction::HigherIsBetter,
+            rel_tolerance: 0.10,
+        },
+    ];
+    let exact = vec![
+        ExactSpec {
+            section: "multitenant",
+            key: "result_digest",
+        },
+        ExactSpec {
+            section: "multitenant",
+            key: "digest_invariant",
+        },
+        ExactSpec {
+            section: "multitenant",
+            key: "budget_ok_every_bucket",
+        },
+        ExactSpec {
+            section: "multitenant",
+            key: "errors",
+        },
+        ExactSpec {
+            section: "multitenant",
+            key: "wrong_results",
+        },
+    ];
+    (metrics, exact)
+}
+
+/// Absolute ceiling on the noisy-neighbor probe of
+/// `BENCH_multitenant.json`: quiet tenants sharing the hot tenant's
+/// shard must not pay more than 0.05 ms of extra p95 versus quiet
+/// tenants elsewhere. A ceiling, not a baseline comparison — tenant
+/// isolation has its own scale.
+pub fn multitenant_bounds() -> Vec<BoundSpec> {
+    vec![BoundSpec {
+        section: "multitenant",
+        key: "noisy_neighbor_delta_ms",
+        max: 0.05,
+    }]
+}
+
 /// The tuning-experiments gate (`BENCH_tuning.json`, quick-mode subset
 /// e3/e4/e5): cache hit rates and the warm-assessment speedup must not
 /// erode; branch-and-bound node counts are deterministic and get a

@@ -10,7 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use smdb_common::{Cost, LogicalTime, Result};
 use smdb_cost::{CalibratedCostModel, CostEstimator, WhatIf};
 use smdb_forecast::{
@@ -155,7 +155,11 @@ pub struct Driver {
     organizer: Organizer,
     kpis: KpiCollector,
     storage: ConfigStorage,
-    constraints: ConstraintSet,
+    /// Constraint set behind its own lock so an external arbiter (the
+    /// sharded Organizer splitting one memory budget across shards) can
+    /// retarget budgets between ticks. Tuning paths clone it up front
+    /// and never hold this lock across engine locks.
+    constraints: RwLock<ConstraintSet>,
     executor: Box<dyn Executor>,
     /// Online-learning cost model fed by every monitored execution.
     calibrated: Option<Arc<CalibratedCostModel>>,
@@ -198,9 +202,25 @@ impl Driver {
         &self.storage
     }
 
-    /// The constraint set.
-    pub fn constraints(&self) -> &ConstraintSet {
-        &self.constraints
+    /// A snapshot of the current constraint set.
+    pub fn constraints(&self) -> ConstraintSet {
+        self.constraints.read().clone()
+    }
+
+    /// Replaces the whole constraint set (takes effect at the next
+    /// tuning pass; in-flight passes keep the snapshot they started
+    /// with).
+    pub fn set_constraints(&self, constraints: ConstraintSet) {
+        *self.constraints.write() = constraints;
+    }
+
+    /// Retargets just the index memory budget — the lever a global
+    /// budget arbiter pulls per shard. The shard-local tuner enforces
+    /// the new value on its next proposal (crate-level `tuner` caps
+    /// proposals at `effective_index_budget` minus already-configured
+    /// index bytes).
+    pub fn set_index_memory_budget(&self, bytes: Option<i64>) {
+        self.constraints.write().index_memory_bytes = bytes;
     }
 
     /// The multi-feature tuner.
@@ -521,6 +541,9 @@ impl Driver {
         mode: TuningMode,
     ) -> Result<Option<TuningRunReport>> {
         let _span = span!("driver", "maybe_tune");
+        // Snapshot once, before any engine lock, so budget retargeting
+        // never races a pass midway and no lock-order edge forms.
+        let constraints = self.constraints();
         let forecast = self.forecast();
         let Some(expected) = forecast.expected() else {
             return Ok(None);
@@ -537,7 +560,7 @@ impl Driver {
             tick.bucket_cost,
             forecast_cost,
             &tick.kpis,
-            &self.constraints,
+            &constraints,
         ) else {
             return Ok(None);
         };
@@ -564,6 +587,9 @@ impl Driver {
         mode: TuningMode,
     ) -> Result<TuningRunReport> {
         let _span = span!("driver", "tune");
+        // Same snapshot discipline as `maybe_tune_with`: one clone up
+        // front, never the lock itself across engine access.
+        let constraints = self.constraints();
         if forecast.expected().is_none() {
             return Err(smdb_common::Error::invalid(
                 "cannot tune without an expected forecast",
@@ -583,15 +609,15 @@ impl Driver {
             let order_idx: Vec<usize> = match self.ordering_policy {
                 OrderingPolicy::Registration => (0..n).collect(),
                 OrderingPolicy::Impact => {
-                    let report =
-                        self.multi
-                            .analyze(&engine, &forecast, &base, &self.constraints)?;
+                    let report = self
+                        .multi
+                        .analyze(&engine, &forecast, &base, &constraints)?;
                     report.impact_order()
                 }
                 OrderingPolicy::LpOptimized => {
-                    let report =
-                        self.multi
-                            .analyze(&engine, &forecast, &base, &self.constraints)?;
+                    let report = self
+                        .multi
+                        .analyze(&engine, &forecast, &base, &constraints)?;
                     let solution = self.multi.lp_order(&report)?;
                     self.recorder.record(TrailEvent::IlpOrderChosen {
                         at,
@@ -615,13 +641,9 @@ impl Driver {
             for &idx in &order_idx {
                 let _span = span!("driver", "tune_feature");
                 let before = self.multi.what_if().cache_stats().unwrap_or_default();
-                let run = self.multi.tune_in_order(
-                    &engine,
-                    &forecast,
-                    &config,
-                    &self.constraints,
-                    &[idx],
-                )?;
+                let run =
+                    self.multi
+                        .tune_in_order(&engine, &forecast, &config, &constraints, &[idx])?;
                 let stats = self
                     .multi
                     .what_if()
@@ -865,7 +887,7 @@ impl DriverBuilder {
             organizer: Organizer::new(self.organizer_config),
             kpis: KpiCollector::new(self.kpi_bucket_capacity, 0.3),
             storage: ConfigStorage::new(),
-            constraints: self.constraints,
+            constraints: RwLock::new(self.constraints),
             executor: self
                 .executor
                 .unwrap_or_else(|| Box::new(SequentialExecutor::immediate())),

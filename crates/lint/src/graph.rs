@@ -9,9 +9,10 @@
 //! layer 3   query
 //! layer 4   cost   forecast   workload
 //! layer 5   core
-//! layer 6   runtime
-//! layer 7   bench
-//! layer 8   smdb (root facade)
+//! layer 6   shard
+//! layer 7   runtime
+//! layer 8   bench
+//! layer 9   smdb (root facade)
 //! outside   lint  (may use common + lp only; nothing may use lint)
 //! ```
 //!
@@ -41,9 +42,10 @@ const LAYERS: &[(&str, u32)] = &[
     ("forecast", 4),
     ("workload", 4),
     ("core", 5),
-    ("runtime", 6),
-    ("bench", 7),
-    ("smdb", 8),
+    ("shard", 6),
+    ("runtime", 7),
+    ("bench", 8),
+    ("smdb", 9),
 ];
 
 /// Crates `lint` may reference (it audits the others' *source*, not

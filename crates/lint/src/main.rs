@@ -188,8 +188,9 @@ fn run_check_trail(path: &std::path::Path) -> ExitCode {
     match smdb_lint::validate_trail(&doc) {
         Ok(summary) => {
             println!(
-                "{}: valid trail, {} events ({} decisions)",
+                "{}: valid smdb-trail/v{} trail, {} events ({} decisions)",
                 path.display(),
+                summary.schema_version,
                 summary.events,
                 summary.decisions
             );

@@ -123,8 +123,9 @@ pub fn registry() -> Vec<Rule> {
             description: "no unwrap/expect/panic!/todo!/unimplemented! in non-test library code",
             include: &["crates/", "src/"],
             // The bench harness is a reporting binary, not library code;
-            // vendor shims mirror external crates' own APIs.
-            exclude: &["crates/bench/"],
+            // vendor shims mirror external crates' own APIs. Integration
+            // tests are test code even without a `#[cfg(test)]` gate.
+            exclude: &["crates/bench/", "crates/shard/tests/"],
             skip_test_code: true,
             check: Check::Tokens(&[".unwrap()", ".expect(", "panic!", "todo!", "unimplemented!"]),
         },
@@ -173,11 +174,13 @@ pub fn registry() -> Vec<Rule> {
             description:
                 "no thread::spawn/Builder/scope outside the scan pool and the runtime worker pool",
             include: &["crates/", "src/"],
-            // The two designated thread seams: the morsel scheduler's
-            // helper pool and the serving runtime's scoped worker pool.
+            // The designated thread seams: the morsel scheduler's
+            // helper pool and the serving runtimes' scoped worker pools
+            // (single-engine and sharded multi-tenant).
             exclude: &[
                 "crates/storage/src/parallel.rs",
                 "crates/runtime/src/runtime.rs",
+                "crates/runtime/src/sharded.rs",
             ],
             skip_test_code: true,
             check: Check::Tokens(&["thread::spawn", "thread::Builder", "thread::scope"]),
@@ -190,7 +193,8 @@ pub fn registry() -> Vec<Rule> {
             // The paths whose output must be a pure function of input:
             // the decision trail and metrics export, cost fingerprints,
             // plan-cache snapshots, grouped aggregation, bench reports,
-            // and the serving runtime's trail emission.
+            // the serving runtimes' trail emission, and the sharded
+            // scatter-gather merge (bit-identity across shard counts).
             include: &[
                 "crates/obs/",
                 "crates/cost/",
@@ -198,6 +202,8 @@ pub fn registry() -> Vec<Rule> {
                 "crates/storage/src/engine.rs",
                 "crates/bench/src/report.rs",
                 "crates/runtime/src/runtime.rs",
+                "crates/runtime/src/sharded.rs",
+                "crates/shard/",
             ],
             exclude: &[],
             skip_test_code: true,

@@ -66,6 +66,14 @@ const EVENT_KINDS: &[(&str, &[(&str, FieldType)])] = &[
             ("cause", FieldType::Str),
         ],
     ),
+    (
+        "budget_rebalanced",
+        &[
+            ("budget_bytes", FieldType::U64),
+            ("used_bytes", FieldType::U64),
+            ("shares", FieldType::U64Array),
+        ],
+    ),
 ];
 
 #[derive(Debug, Clone, Copy)]
@@ -75,6 +83,7 @@ enum FieldType {
     Str,
     Bool,
     StrArray,
+    U64Array,
     NumMatrix,
 }
 
@@ -86,6 +95,7 @@ impl FieldType {
             FieldType::Str => "a string",
             FieldType::Bool => "a boolean",
             FieldType::StrArray => "an array of strings",
+            FieldType::U64Array => "an array of non-negative integers",
             FieldType::NumMatrix => "an array of number arrays",
         }
     }
@@ -99,6 +109,9 @@ impl FieldType {
             FieldType::StrArray => value
                 .as_array()
                 .is_some_and(|a| a.iter().all(|v| v.as_str().is_some())),
+            FieldType::U64Array => value
+                .as_array()
+                .is_some_and(|a| a.iter().all(|v| v.as_u64().is_some())),
             FieldType::NumMatrix => value.as_array().is_some_and(|rows| {
                 rows.iter().all(|row| {
                     row.as_array()
@@ -113,7 +126,24 @@ impl FieldType {
 /// export: top-level `capacity` / `dropped` / `events`, per event a
 /// strictly increasing `seq`, a known `event` kind, a numeric `at`, and
 /// that kind's required fields with the right types.
+///
+/// Two schema versions coexist. A document with no top-level `schema`
+/// field (or `"smdb-trail/v1"`) is **v1** — the single-engine trail,
+/// byte-compatible with every trail committed before sharding.
+/// `"smdb-trail/v2"` additionally allows an optional per-event `shard`
+/// attribution (shard-stamped and merged multi-recorder trails); the
+/// `shard` field in a v1 document is an error, so old consumers never
+/// see it unannounced.
 pub fn validate_trail(doc: &Json) -> Result<TrailSummary, String> {
+    let schema_version = match doc.get("schema") {
+        None => 1,
+        Some(s) => match s.as_str() {
+            Some("smdb-trail/v1") => 1,
+            Some("smdb-trail/v2") => 2,
+            Some(other) => return Err(format!("trail: unknown schema `{other}`")),
+            None => return Err("trail: `schema` must be a string".into()),
+        },
+    };
     let capacity = doc
         .get("capacity")
         .and_then(Json::as_u64)
@@ -163,6 +193,21 @@ pub fn validate_trail(doc: &Json) -> Result<TrailSummary, String> {
             .get("at")
             .and_then(Json::as_u64)
             .ok_or_else(|| format!("trail: event #{i} (seq {seq}): missing or non-integer `at`"))?;
+        match event.get("shard") {
+            None => {}
+            Some(_) if schema_version < 2 => {
+                return Err(format!(
+                    "trail: event #{i} (seq {seq}): `shard` requires smdb-trail/v2"
+                ));
+            }
+            Some(shard) => {
+                if shard.as_u64().is_none() {
+                    return Err(format!(
+                        "trail: event #{i} (seq {seq}): `shard` must be a non-negative integer"
+                    ));
+                }
+            }
+        }
         for (name, ty) in fields {
             let value = event.get(name).ok_or_else(|| {
                 format!("trail: event #{i} (seq {seq}, {kind}): missing field `{name}`")
@@ -181,6 +226,7 @@ pub fn validate_trail(doc: &Json) -> Result<TrailSummary, String> {
     Ok(TrailSummary {
         events: events.len(),
         decisions,
+        schema_version,
     })
 }
 
@@ -191,6 +237,8 @@ pub struct TrailSummary {
     pub events: usize,
     /// Events other than `bucket_closed` (the tuning decisions).
     pub decisions: usize,
+    /// Declared schema version (1 when the `schema` field is absent).
+    pub schema_version: u32,
 }
 
 #[cfg(test)]
@@ -229,9 +277,68 @@ mod tests {
             summary,
             TrailSummary {
                 events: 7,
-                decisions: 6
+                decisions: 6,
+                schema_version: 1,
             }
         );
+    }
+
+    #[test]
+    fn accepts_a_v2_trail_with_shard_attribution() {
+        let doc = parse(
+            r#"{
+              "schema": "smdb-trail/v2",
+              "capacity": 8,
+              "dropped": 0,
+              "events": [
+                {"seq": 0, "event": "tuning_triggered", "at": 1,
+                 "trigger": "SlaViolation", "shard": 2},
+                {"seq": 1, "event": "budget_rebalanced", "at": 2,
+                 "budget_bytes": 524288, "used_bytes": 131072,
+                 "shares": [262144, 262144]}
+              ]
+            }"#,
+        )
+        .expect("parses");
+        let summary = validate_trail(&doc).expect("valid v2");
+        assert_eq!(
+            summary,
+            TrailSummary {
+                events: 2,
+                decisions: 2,
+                schema_version: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_shard_attribution_outside_v2() {
+        let doc = parse(
+            r#"{"capacity": 4, "dropped": 0, "events": [
+                 {"seq": 0, "event": "actions_queued", "at": 1,
+                  "actions": 1, "shard": 0}]}"#,
+        )
+        .unwrap();
+        let err = validate_trail(&doc).unwrap_err();
+        assert!(err.contains("`shard` requires smdb-trail/v2"), "{err}");
+
+        let doc =
+            parse(r#"{"schema": "smdb-trail/v3", "capacity": 4, "dropped": 0, "events": []}"#)
+                .unwrap();
+        let err = validate_trail(&doc).unwrap_err();
+        assert!(err.contains("unknown schema"), "{err}");
+    }
+
+    #[test]
+    fn committed_v1_soak_trail_still_validates() {
+        // Backward compatibility: the baseline trail committed before
+        // the sharded engine existed must stay a valid (v1) document.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../TRAIL_soak.json");
+        let raw = std::fs::read_to_string(path).expect("committed TRAIL_soak.json exists");
+        let doc = parse(&raw).expect("parses");
+        let summary = validate_trail(&doc).expect("committed baseline validates");
+        assert_eq!(summary.schema_version, 1, "pre-sharding trail is v1");
+        assert!(summary.events > 0);
     }
 
     #[test]
@@ -321,6 +428,7 @@ mod tests {
             "slice_deferred",
             "instance_stored",
             "action_rolled_back",
+            "budget_rebalanced",
         ];
         assert_eq!(EVENT_KINDS.len(), kinds.len());
         for k in kinds {

@@ -83,6 +83,17 @@ pub enum TrailEvent {
         abandoned_actions: usize,
         cause: String,
     },
+    /// The global Organizer re-split one shared memory budget across
+    /// shards (constraint enforcement per paper §II, sharded): the total
+    /// budget, the index bytes actually configured across all shards
+    /// when the split was taken, and the per-shard shares in shard
+    /// order.
+    BudgetRebalanced {
+        at: u64,
+        budget_bytes: u64,
+        used_bytes: u64,
+        shares: Vec<u64>,
+    },
 }
 
 impl TrailEvent {
@@ -99,6 +110,7 @@ impl TrailEvent {
             TrailEvent::SliceDeferred { .. } => "slice_deferred",
             TrailEvent::InstanceStored { .. } => "instance_stored",
             TrailEvent::ActionRolledBack { .. } => "action_rolled_back",
+            TrailEvent::BudgetRebalanced { .. } => "budget_rebalanced",
         }
     }
 
@@ -220,17 +232,57 @@ impl TrailEvent {
                 ("abandoned_actions", num(*abandoned_actions)),
                 ("cause", Json::Str(cause.clone())),
             ],
+            TrailEvent::BudgetRebalanced {
+                at,
+                budget_bytes,
+                used_bytes,
+                shares,
+            } => vec![
+                ("at", Json::Num(*at as f64)),
+                ("budget_bytes", Json::Num(*budget_bytes as f64)),
+                ("used_bytes", Json::Num(*used_bytes as f64)),
+                (
+                    "shares",
+                    Json::Arr(shares.iter().map(|&s| Json::Num(s as f64)).collect()),
+                ),
+            ],
         }
     }
 
     /// The event as a JSON object (with its sequence number).
     pub fn to_json(&self, seq: u64) -> Json {
+        self.to_json_tagged(seq, None)
+    }
+
+    /// The event as a JSON object, optionally stamped with the shard it
+    /// came from (smdb-trail/v2; `None` keeps the v1 shape).
+    pub fn to_json_tagged(&self, seq: u64, shard: Option<u64>) -> Json {
         let mut fields = vec![
             ("seq", Json::Num(seq as f64)),
             ("event", Json::Str(self.kind().to_string())),
         ];
+        if let Some(shard) = shard {
+            fields.push(("shard", Json::Num(shard as f64)));
+        }
         fields.extend(self.json_fields());
         Json::obj(fields)
+    }
+
+    /// The event's logical bucket time.
+    pub fn at(&self) -> u64 {
+        match self {
+            TrailEvent::BucketClosed { at, .. }
+            | TrailEvent::TuningTriggered { at, .. }
+            | TrailEvent::CandidateAssessed { at, .. }
+            | TrailEvent::IlpOrderChosen { at, .. }
+            | TrailEvent::ActionsQueued { at, .. }
+            | TrailEvent::ActionsApplied { at, .. }
+            | TrailEvent::SliceApplied { at, .. }
+            | TrailEvent::SliceDeferred { at, .. }
+            | TrailEvent::InstanceStored { at, .. }
+            | TrailEvent::ActionRolledBack { at, .. }
+            | TrailEvent::BudgetRebalanced { at, .. } => *at,
+        }
     }
 }
 
@@ -246,6 +298,10 @@ struct RecorderInner {
 pub struct FlightRecorder {
     inner: Mutex<RecorderInner>,
     capacity: usize,
+    /// Shard this recorder belongs to. `Some` stamps every exported
+    /// event with a `shard` field and tags the trail smdb-trail/v2;
+    /// `None` keeps the original (v1) export byte-identical.
+    shard: Option<u64>,
     /// Dump to stderr when a rollback is recorded (on by default; tests
     /// asserting on stderr-free output can switch it off).
     auto_dump: std::sync::atomic::AtomicBool,
@@ -263,8 +319,22 @@ impl FlightRecorder {
         FlightRecorder {
             inner: Mutex::new(RecorderInner::default()),
             capacity: capacity.max(1),
+            shard: None,
             auto_dump: std::sync::atomic::AtomicBool::new(true),
         }
+    }
+
+    /// A recorder for one shard's driver: every exported event carries
+    /// `"shard": shard` and the trail is tagged smdb-trail/v2.
+    pub fn with_shard(capacity: usize, shard: u64) -> FlightRecorder {
+        let mut rec = FlightRecorder::new(capacity);
+        rec.shard = Some(shard);
+        rec
+    }
+
+    /// The shard this recorder is stamped with, if any.
+    pub fn shard(&self) -> Option<u64> {
+        self.shard
     }
 
     /// The configured ring capacity.
@@ -316,19 +386,59 @@ impl FlightRecorder {
         self.inner.lock().dropped
     }
 
-    /// The whole trail as JSON.
+    /// The whole trail as JSON. Shard-stamped recorders export
+    /// smdb-trail/v2 (a top-level `schema` tag plus per-event `shard`);
+    /// plain recorders keep the original v1 shape.
     pub fn to_json(&self) -> Json {
         let inner = self.inner.lock();
+        let mut fields = Vec::new();
+        if self.shard.is_some() {
+            fields.push(("schema", Json::Str("smdb-trail/v2".to_string())));
+        }
+        fields.push(("capacity", Json::Num(self.capacity as f64)));
+        fields.push(("dropped", Json::Num(inner.dropped as f64)));
+        fields.push((
+            "events",
+            Json::Arr(
+                inner
+                    .events
+                    .iter()
+                    .map(|(seq, e)| e.to_json_tagged(*seq, self.shard))
+                    .collect(),
+            ),
+        ));
+        Json::obj(fields)
+    }
+
+    /// Merges several recorders' trails into one smdb-trail/v2 document:
+    /// events interleave by (logical time, recorder order, local seq),
+    /// are re-sequenced 0.., and keep each source recorder's shard stamp
+    /// (events from unstamped recorders — the global Organizer — carry
+    /// no `shard` field). Capacity and dropped counts sum.
+    pub fn merged_json(recorders: &[&FlightRecorder]) -> Json {
+        let mut all: Vec<(u64, u64, usize, TrailEvent, Option<u64>)> = Vec::new();
+        let mut capacity = 0usize;
+        let mut dropped = 0u64;
+        for (order, rec) in recorders.iter().enumerate() {
+            capacity += rec.capacity;
+            dropped += rec.dropped();
+            for (seq, event) in rec.events() {
+                all.push((event.at(), seq, order, event, rec.shard));
+            }
+        }
+        all.sort_by_key(|(at, seq, order, _, _)| (*at, *order, *seq));
         Json::obj(vec![
-            ("capacity", Json::Num(self.capacity as f64)),
-            ("dropped", Json::Num(inner.dropped as f64)),
+            ("schema", Json::Str("smdb-trail/v2".to_string())),
+            ("capacity", Json::Num(capacity as f64)),
+            ("dropped", Json::Num(dropped as f64)),
             (
                 "events",
                 Json::Arr(
-                    inner
-                        .events
-                        .iter()
-                        .map(|(seq, e)| e.to_json(*seq))
+                    all.iter()
+                        .enumerate()
+                        .map(|(seq, (_, _, _, event, shard))| {
+                            event.to_json_tagged(seq as u64, *shard)
+                        })
                         .collect(),
                 ),
             ),
@@ -395,6 +505,73 @@ mod tests {
             events[2].1,
             TrailEvent::BucketClosed { at: 9, .. }
         ));
+    }
+
+    #[test]
+    fn shard_stamp_and_schema_tag() {
+        let plain = FlightRecorder::new(4);
+        plain.record(closed(0));
+        let v1 = plain.to_json();
+        assert!(v1.get("schema").is_none(), "v1 trails carry no schema tag");
+        assert!(v1.get("events").and_then(Json::as_array).unwrap()[0]
+            .get("shard")
+            .is_none());
+
+        let sharded = FlightRecorder::with_shard(4, 3);
+        sharded.record(closed(0));
+        let v2 = sharded.to_json();
+        assert_eq!(
+            v2.get("schema").and_then(Json::as_str),
+            Some("smdb-trail/v2")
+        );
+        assert_eq!(
+            v2.get("events").and_then(Json::as_array).unwrap()[0]
+                .get("shard")
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn merged_trail_interleaves_by_time_and_reseqs() {
+        let global = FlightRecorder::new(8);
+        let s0 = FlightRecorder::with_shard(8, 0);
+        let s1 = FlightRecorder::with_shard(8, 1);
+        s0.record(closed(0));
+        s1.record(closed(0));
+        global.record(TrailEvent::BudgetRebalanced {
+            at: 1,
+            budget_bytes: 1000,
+            used_bytes: 400,
+            shares: vec![600, 400],
+        });
+        s1.record(closed(2));
+        let merged = FlightRecorder::merged_json(&[&global, &s0, &s1]);
+        assert_eq!(
+            merged.get("schema").and_then(Json::as_str),
+            Some("smdb-trail/v2")
+        );
+        let events = merged.get("events").and_then(Json::as_array).unwrap();
+        assert_eq!(events.len(), 4);
+        // Re-sequenced 0.. and ordered by (at, recorder order).
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.get("seq").and_then(Json::as_u64), Some(i as u64));
+        }
+        assert_eq!(events[0].get("shard").and_then(Json::as_u64), Some(0));
+        assert_eq!(events[1].get("shard").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            events[2].get("event").and_then(Json::as_str),
+            Some("budget_rebalanced")
+        );
+        assert!(events[2].get("shard").is_none(), "global events unstamped");
+        assert_eq!(
+            events[2]
+                .get("shares")
+                .and_then(Json::as_array)
+                .map(|a| a.len()),
+            Some(2)
+        );
+        assert_eq!(events[3].get("shard").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

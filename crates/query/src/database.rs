@@ -109,8 +109,17 @@ impl Database {
         self.scan_pool.read().clone()
     }
 
-    /// Cumulative scan-dispatch counters, including the per-chunk
-    /// access-path partition (pruned / index / kernel / scalar).
+    /// Chunks per morsel configured via [`Database::set_scan_pool`].
+    pub fn morsel_chunks(&self) -> usize {
+        // ordering: relaxed config read; the value is a standalone
+        // granularity knob with no cross-field invariant.
+        self.morsel_chunks.load(Ordering::Relaxed)
+    }
+
+    /// Scan-dispatch counters accumulated since the last
+    /// [`Database::take_scan_stats`] (or ever, when nothing takes),
+    /// including the per-chunk access-path partition (pruned / index /
+    /// kernel / scalar).
     pub fn scan_stats(&self) -> ScanStats {
         // Relaxed loads throughout: independent statistics counters with
         // no cross-counter invariant a reader could rely on.
@@ -127,6 +136,32 @@ impl Database {
             chunks_kernel: read(&self.chunks_kernel),
             chunks_scalar: read(&self.chunks_scalar),
             kernel_batches: read(&self.kernel_batches),
+        }
+    }
+
+    /// Takes and resets the scan-dispatch counters — the per-bucket read
+    /// a control thread does at each bucket close. Each counter is
+    /// drained with a single atomic `swap(0)`: a load followed by a
+    /// separate zeroing store would lose any increment a worker slips in
+    /// between the two, so every count lands in exactly one take (the
+    /// sum of all takes plus a final [`Database::scan_stats`] equals the
+    /// true total). Counters are independent — a scan finishing
+    /// concurrently may straddle two takes, which no reader relies on.
+    pub fn take_scan_stats(&self) -> ScanStats {
+        fn take(counter: &AtomicU64) -> u64 {
+            // ordering: relaxed statistics drain; swap keeps each
+            // increment in exactly one take, see take_scan_stats.
+            counter.swap(0, Ordering::Relaxed)
+        }
+        ScanStats {
+            parallel_scans: take(&self.parallel_scans),
+            inline_scans: take(&self.inline_scans),
+            morsels: take(&self.morsels_dispatched),
+            chunks_pruned: take(&self.chunks_pruned),
+            chunks_index: take(&self.chunks_index),
+            chunks_kernel: take(&self.chunks_kernel),
+            chunks_scalar: take(&self.chunks_scalar),
+            kernel_batches: take(&self.kernel_batches),
         }
     }
 
@@ -190,17 +225,32 @@ impl Database {
                 )?,
             }
         };
+        self.note_scan_output(&output);
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        self.record_execution(query, output.sim_cost);
+        Ok(QueryRunResult { output, wall_ns })
+    }
+
+    /// Folds one finished scan's output into the dispatch counters.
+    /// [`Database::run_query`] calls this for scans it executes itself;
+    /// a scatter-gather executor that drives the engine through
+    /// [`StorageEngine::scan_partials`](smdb_storage::StorageEngine::scan_partials)
+    /// calls it so per-shard counters stay complete.
+    pub fn note_scan_output(&self, output: &ScanOutput) {
         if output.morsels > 0 {
+            // ordering: relaxed statistics add, see note_scan_output.
             self.parallel_scans.fetch_add(1, Ordering::Relaxed);
             self.morsels_dispatched
+                // ordering: relaxed statistics add, see note_scan_output.
                 .fetch_add(output.morsels, Ordering::Relaxed);
         } else {
+            // ordering: relaxed statistics add, see note_scan_output.
             self.inline_scans.fetch_add(1, Ordering::Relaxed);
         }
         // Pure statistics folded from the scan's own output after it
         // completed; no other thread orders against these counters.
         fn bump(counter: &AtomicU64, by: u64) {
-            // ordering: relaxed statistics add, see run_query.
+            // ordering: relaxed statistics add, see note_scan_output.
             counter.fetch_add(by, Ordering::Relaxed);
         }
         bump(&self.chunks_pruned, output.chunks_pruned);
@@ -208,13 +258,16 @@ impl Database {
         bump(&self.chunks_kernel, output.chunks_kernel);
         bump(&self.chunks_scalar, output.chunks_scalar);
         bump(&self.kernel_batches, output.kernel_batches);
-        let wall_ns = start.elapsed().as_nanos() as u64;
+    }
+
+    /// Records one execution of `query` at cost `cost` in the plan cache
+    /// when monitoring is on. Split out of [`Database::run_query`] so an
+    /// external executor (the sharded scatter-gather path) can account
+    /// work it routed to this database's engine.
+    pub fn record_execution(&self, query: &Query, cost: Cost) {
         if self.monitoring() {
-            self.plan_cache
-                .lock()
-                .record(query, output.sim_cost, self.now());
+            self.plan_cache.lock().record(query, cost, self.now());
         }
-        Ok(QueryRunResult { output, wall_ns })
     }
 
     /// Applies configuration actions under the engine write lock,
@@ -334,6 +387,47 @@ mod tests {
         db.set_scan_pool(None, 4);
         let again = db.run_query(&q(7)).unwrap().output;
         assert_eq!(again, baseline);
+    }
+
+    /// Regression test for the bucket-close read-then-zero race: the
+    /// old `scan_stats` offered no atomic reset, so a control thread
+    /// that loaded the counters and then stored zero would lose every
+    /// scan a worker finished between the two. `take_scan_stats` drains
+    /// with `swap(0)`, so concurrent takes and scans must conserve the
+    /// total: Σ(taken) + residual == queries actually run.
+    #[test]
+    fn take_scan_stats_loses_nothing_under_concurrent_takes() {
+        let db = db();
+        const WORKERS: usize = 4;
+        const PER_WORKER: u64 = 200;
+        let taken = std::thread::scope(|scope| {
+            for w in 0..WORKERS {
+                let db = Arc::clone(&db);
+                scope.spawn(move || {
+                    for i in 0..PER_WORKER {
+                        db.run_query(&q(((w as u64 + i) % 100) as i64)).unwrap();
+                    }
+                });
+            }
+            // The "control thread": drain repeatedly while workers scan.
+            let mut sum = ScanStats::default();
+            for _ in 0..50 {
+                let t = db.take_scan_stats();
+                sum.inline_scans += t.inline_scans;
+                sum.parallel_scans += t.parallel_scans;
+                sum.chunks_kernel += t.chunks_kernel;
+                sum.chunks_scalar += t.chunks_scalar;
+                std::thread::yield_now();
+            }
+            sum
+        });
+        let residual = db.take_scan_stats();
+        let total_scans = taken.inline_scans
+            + taken.parallel_scans
+            + residual.inline_scans
+            + residual.parallel_scans;
+        assert_eq!(total_scans, (WORKERS as u64) * PER_WORKER);
+        assert_eq!(db.scan_stats(), ScanStats::default());
     }
 
     #[test]

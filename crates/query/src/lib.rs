@@ -32,5 +32,5 @@ pub use database::{Database, QueryRunResult, ScanStats};
 pub use logical::LogicalTemplate;
 pub use plan_cache::{PlanCache, PlanCacheEntry};
 pub use query::Query;
-pub use session::{ResultOracle, Session, SessionStats};
+pub use session::{result_hash, ExpectedResult, ResultOracle, Session, SessionStats};
 pub use workload_spec::{WeightedQuery, Workload};

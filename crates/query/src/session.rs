@@ -31,7 +31,8 @@ pub struct ExpectedResult {
 }
 
 impl ExpectedResult {
-    fn of(output: &ScanOutput) -> ExpectedResult {
+    /// Captures the configuration-independent parts of one answer.
+    pub fn of(output: &ScanOutput) -> ExpectedResult {
         ExpectedResult {
             rows_matched: output.rows_matched,
             agg_value: output.agg_value,
@@ -40,8 +41,10 @@ impl ExpectedResult {
     }
 
     /// Whether `output` answers this expectation (row counts exact,
-    /// aggregates within float-reassociation tolerance).
-    fn accepts(&self, output: &ScanOutput) -> bool {
+    /// aggregates within float-reassociation tolerance). Public so the
+    /// sharded serving path can verify scatter-gather answers against
+    /// oracles it captured itself.
+    pub fn accepts(&self, output: &ScanOutput) -> bool {
         if output.rows_matched != self.rows_matched {
             return false;
         }
@@ -228,8 +231,10 @@ impl Session {
 /// Hash of one answer's configuration-independent parts. Aggregate
 /// *values* are excluded: physical reconfiguration may legally perturb
 /// float sums in the last bits (the oracle checks them with tolerance);
-/// the digest must be bit-stable across configurations.
-fn result_hash(query: &Query, output: &ScanOutput) -> u64 {
+/// the digest must be bit-stable across configurations. Public so the
+/// sharded serving path accumulates the *same* digest for the same
+/// answers — the shard-count-invariance witness.
+pub fn result_hash(query: &Query, output: &ScanOutput) -> u64 {
     let mut h = query
         .instance_fingerprint()
         .wrapping_mul(0x9E37_79B9_7F4A_7C15);

@@ -23,8 +23,10 @@
 
 pub mod fault;
 pub mod runtime;
+pub mod sharded;
 pub mod stream;
 
 pub use fault::{FaultInjectingExecutor, FaultPlan};
 pub use runtime::{Runtime, RuntimeConfig, SoakOutcome, TunerReport};
+pub use sharded::{MtSoakConfig, MtSoakOutcome, ShardedRuntime, TenantStats};
 pub use stream::{events_database, generate, BucketPlan, Phase, StreamConfig};

@@ -1,0 +1,190 @@
+//! Global budget arbitration across per-shard drivers.
+//!
+//! Each shard runs its own Driver (local KPI window, local tuner), but
+//! the index memory budget is a *global* constraint — exactly the
+//! Organizer's job in the paper (§II: "the organizer ... enforces
+//! constraints"). The [`BudgetArbiter`] is that global Organizer role:
+//! at every bucket boundary it re-splits one total budget into
+//! per-shard shares (proportional to each shard's recent work, with a
+//! floor so idle shards can still hold an index) and retargets each
+//! shard driver's `index_memory_bytes` constraint. Shard tuners enforce
+//! their share at proposal time, so the sum of configured index bytes
+//! can never exceed the total — which the arbiter verifies each time it
+//! runs and records in the trail as a `budget_rebalanced` event.
+
+use std::sync::Arc;
+
+use smdb_core::Driver;
+use smdb_obs::{FlightRecorder, TrailEvent};
+
+/// Outcome of one budget re-split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebalanceOutcome {
+    /// Per-shard index-memory shares, shard order; sums to ≤ the total.
+    pub shares: Vec<u64>,
+    /// Index bytes actually configured across all shards at the split.
+    pub used_bytes: u64,
+    /// Whether `used_bytes` respected the total budget.
+    pub within_budget: bool,
+}
+
+/// The global Organizer role: one index-memory budget split across
+/// shard drivers.
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetArbiter {
+    total_bytes: u64,
+    floor_bytes: u64,
+}
+
+impl BudgetArbiter {
+    /// An arbiter for `total_bytes` of index memory; every shard is
+    /// guaranteed at least `floor_bytes` (clamped so floors never
+    /// oversubscribe the total).
+    pub fn new(total_bytes: u64, floor_bytes: u64) -> BudgetArbiter {
+        BudgetArbiter {
+            total_bytes,
+            floor_bytes,
+        }
+    }
+
+    /// The total budget being arbitrated.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Splits the budget over `drivers` proportionally to `busy_ms`
+    /// (last-bucket work per shard; equal split when all idle), sets
+    /// each driver's index-memory constraint to its share, and records
+    /// the decision on `recorder`. Shares are deterministic: floors
+    /// first (never below the shard's already-configured index bytes),
+    /// then largest-remainder on the proportional split.
+    pub fn rebalance(
+        &self,
+        at: u64,
+        drivers: &[Arc<Driver>],
+        busy_ms: &[f64],
+        recorder: &FlightRecorder,
+    ) -> RebalanceOutcome {
+        let n = drivers.len();
+        if n == 0 {
+            return RebalanceOutcome {
+                shares: Vec::new(),
+                used_bytes: 0,
+                within_budget: true,
+            };
+        }
+        let floor = self.floor_bytes.min(self.total_bytes / n as u64);
+        // A share never shrinks below what its shard already holds: the
+        // per-shard tuner caps *new* proposals against its constraint
+        // but keeps existing indexes, so a share below configured bytes
+        // would oversubscribe the fleet at the next tuning pass. With
+        // shares ≥ configured, `Σ configured ≤ total` is inductive —
+        // each tuner can only grow to its share, and shares sum to the
+        // total.
+        let configured: Vec<u64> = drivers
+            .iter()
+            .map(|d| d.database().engine().memory_report().index_bytes as u64)
+            .collect();
+        let base: Vec<u64> = configured.iter().map(|&c| c.max(floor)).collect();
+        let assigned_base: u64 = base.iter().sum();
+        let distributable = self.total_bytes.saturating_sub(assigned_base);
+        let total_busy: f64 = busy_ms.iter().take(n).filter(|b| b.is_finite()).sum();
+        let mut shares: Vec<u64> = (0..n)
+            .map(|s| {
+                let weight = if total_busy > 0.0 {
+                    busy_ms.get(s).copied().unwrap_or(0.0).max(0.0) / total_busy
+                } else {
+                    1.0 / n as f64
+                };
+                base[s] + (distributable as f64 * weight).floor() as u64
+            })
+            .collect();
+        // Largest-remainder leftovers go to the busiest shards first
+        // (ties broken by shard index — deterministic).
+        let assigned: u64 = shares.iter().sum();
+        let mut leftover = self.total_bytes.saturating_sub(assigned);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let ba = busy_ms.get(a).copied().unwrap_or(0.0);
+            let bb = busy_ms.get(b).copied().unwrap_or(0.0);
+            bb.total_cmp(&ba).then(a.cmp(&b))
+        });
+        for &s in order.iter().cycle().take(n * 2) {
+            if leftover == 0 {
+                break;
+            }
+            shares[s] += 1;
+            leftover -= 1;
+        }
+        for (driver, &share) in drivers.iter().zip(&shares) {
+            driver.set_index_memory_budget(Some(share as i64));
+        }
+        let used_bytes: u64 = configured.iter().sum();
+        let within_budget = used_bytes <= self.total_bytes;
+        recorder.record(TrailEvent::BudgetRebalanced {
+            at,
+            budget_bytes: self.total_bytes,
+            used_bytes,
+            shares: shares.clone(),
+        });
+        RebalanceOutcome {
+            shares,
+            used_bytes,
+            within_budget,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smdb_query::Database;
+    use smdb_storage::value::ColumnValues;
+    use smdb_storage::{ColumnDef, DataType, Schema, StorageEngine, Table};
+
+    fn driver() -> Arc<Driver> {
+        let schema = Schema::new(vec![ColumnDef::new("k", DataType::Int)]).expect("schema");
+        let table =
+            Table::from_columns("t", schema, vec![ColumnValues::Int((0..100).collect())], 50)
+                .expect("table");
+        let mut engine = StorageEngine::default();
+        engine.create_table(table).expect("create");
+        Arc::new(Driver::builder(Database::new(engine)).build())
+    }
+
+    #[test]
+    fn shares_cover_the_budget_and_set_constraints() {
+        let drivers = vec![driver(), driver(), driver()];
+        let recorder = FlightRecorder::new(8);
+        let arbiter = BudgetArbiter::new(10_000, 1_000);
+        let outcome = arbiter.rebalance(3, &drivers, &[30.0, 10.0, 0.0], &recorder);
+        assert_eq!(outcome.shares.len(), 3);
+        assert_eq!(outcome.shares.iter().sum::<u64>(), 10_000, "fully assigned");
+        assert!(outcome.shares.iter().all(|&s| s >= 1_000), "floors hold");
+        assert!(outcome.shares[0] > outcome.shares[1], "busy gets more");
+        assert!(outcome.within_budget, "nothing configured yet");
+        for (d, &share) in drivers.iter().zip(&outcome.shares) {
+            assert_eq!(d.constraints().index_memory_bytes, Some(share as i64));
+        }
+        let events = recorder.events();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0].1,
+            TrailEvent::BudgetRebalanced {
+                at: 3,
+                budget_bytes: 10_000,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn idle_shards_split_evenly_and_floor_clamps() {
+        let drivers = vec![driver(), driver()];
+        let recorder = FlightRecorder::new(8);
+        // Floor larger than total/n clamps to total/n.
+        let outcome = BudgetArbiter::new(100, 90).rebalance(0, &drivers, &[0.0, 0.0], &recorder);
+        assert_eq!(outcome.shares.iter().sum::<u64>(), 100);
+        assert_eq!(outcome.shares[0], outcome.shares[1], "even when idle");
+    }
+}

@@ -1,0 +1,253 @@
+//! The multi-tenant fixture and its Zipfian query stream.
+//!
+//! Thousands of seeded tenants share one logical table, clustered by a
+//! sorted `tenant` column so range partitioning gives tenant locality
+//! (most tenant queries route to one shard) while chunk min/max pruning
+//! keeps per-query work small. Traffic is Zipf-skewed over tenants —
+//! the noisy-neighbor shape — with tenant *rank* mapped through a
+//! seeded permutation so the hot tenants land on different shards
+//! rather than all on shard 0.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use smdb_common::rng::{derive_seed, seeded_rng};
+use smdb_common::{ColumnId, Result};
+use smdb_query::Query;
+use smdb_storage::value::ColumnValues;
+use smdb_storage::{Aggregate, AggregateOp, ColumnDef, DataType, ScanPredicate, Schema};
+use smdb_workload::Zipf;
+
+use crate::partition::ShardSpec;
+use crate::sharded::{ShardedDatabase, SHARD_TABLE};
+
+/// Sorted tenant id — the clustering and routing column.
+pub const TENANT_COL: ColumnId = ColumnId(0);
+/// Point-lookup key within a tenant.
+pub const K_COL: ColumnId = ColumnId(1);
+/// Float measure the queries aggregate.
+pub const V_COL: ColumnId = ColumnId(2);
+/// Low-cardinality group key.
+pub const GRP_COL: ColumnId = ColumnId(3);
+/// Distinct values of the `k` column.
+pub const K_CARDINALITY: i64 = 97;
+/// Distinct values of the `grp` column.
+pub const GRP_CARDINALITY: i64 = 8;
+
+/// Multi-tenant fixture and traffic parameters.
+#[derive(Debug, Clone)]
+pub struct MultiTenantConfig {
+    /// Seeded tenants (the paper's "millions of users", scaled down).
+    pub tenants: usize,
+    /// Rows per tenant, contiguous because the tenant column is sorted.
+    pub rows_per_tenant: usize,
+    /// Chunk granularity of the logical table (and every shard table).
+    pub chunk_rows: usize,
+    /// Zipf skew exponent over tenant ranks (higher = hotter heads).
+    pub zipf_s: f64,
+    /// Per-mille of queries with no tenant predicate (forced scatter).
+    pub scatter_per_mille: u32,
+    /// Seed all tenant permutation and traffic derives from.
+    pub seed: u64,
+}
+
+impl Default for MultiTenantConfig {
+    fn default() -> Self {
+        MultiTenantConfig {
+            tenants: 1200,
+            rows_per_tenant: 40,
+            chunk_rows: 1000,
+            zipf_s: 1.1,
+            scatter_per_mille: 30,
+            seed: 42,
+        }
+    }
+}
+
+/// The fixture schema: `tenant, k, v, grp`.
+pub fn mt_schema() -> Result<Schema> {
+    Schema::new(vec![
+        ColumnDef::new("tenant", DataType::Int),
+        ColumnDef::new("k", DataType::Int),
+        ColumnDef::new("v", DataType::Float),
+        ColumnDef::new("grp", DataType::Int),
+    ])
+}
+
+/// The fixture data, tenant-sorted: `tenants × rows_per_tenant` rows.
+pub fn mt_columns(tenants: usize, rows_per_tenant: usize) -> Vec<ColumnValues> {
+    let rows = tenants * rows_per_tenant;
+    vec![
+        ColumnValues::Int((0..rows).map(|i| (i / rows_per_tenant) as i64).collect()),
+        ColumnValues::Int((0..rows).map(|i| (i as i64 * 31) % K_CARDINALITY).collect()),
+        ColumnValues::Float((0..rows).map(|i| ((i % 997) as f64) * 0.5).collect()),
+        ColumnValues::Int((0..rows).map(|i| i as i64 % GRP_CARDINALITY).collect()),
+    ]
+}
+
+/// Builds the sharded multi-tenant database for `spec`.
+pub fn build_sharded(cfg: &MultiTenantConfig, spec: &ShardSpec) -> Result<ShardedDatabase> {
+    ShardedDatabase::build(
+        "mt_events",
+        mt_schema()?,
+        mt_columns(cfg.tenants, cfg.rows_per_tenant),
+        cfg.chunk_rows,
+        spec,
+        Some(TENANT_COL),
+    )
+}
+
+/// One generated query: the query plus the tenant it targets (`None`
+/// for the global, scatter-bound templates).
+#[derive(Debug, Clone)]
+pub struct TenantQuery {
+    pub query: Query,
+    pub tenant: Option<i64>,
+}
+
+/// Seeded Zipfian traffic generator over tenants.
+#[derive(Debug)]
+pub struct TenantStream {
+    zipf: Zipf,
+    /// Rank → tenant id, a seeded shuffle: hot ranks spread over shards.
+    perm: Vec<i64>,
+    rng: StdRng,
+    scatter_per_mille: u32,
+}
+
+impl TenantStream {
+    /// A stream for `cfg`, deterministic in `cfg.seed`.
+    pub fn new(cfg: &MultiTenantConfig) -> TenantStream {
+        let mut rng = seeded_rng(derive_seed(cfg.seed, 0x7E2A));
+        let mut perm: Vec<i64> = (0..cfg.tenants as i64).collect();
+        // Fisher–Yates with the seeded rng.
+        for i in (1..perm.len()).rev() {
+            let j = rng.random_range(0..i + 1);
+            perm.swap(i, j);
+        }
+        TenantStream {
+            zipf: Zipf::new(cfg.tenants.max(1), cfg.zipf_s),
+            perm,
+            rng,
+            scatter_per_mille: cfg.scatter_per_mille,
+        }
+    }
+
+    /// The tenant of Zipf rank `rank` under the seeded permutation.
+    pub fn tenant_of_rank(&self, rank: usize) -> i64 {
+        self.perm[rank % self.perm.len().max(1)]
+    }
+
+    /// Draws the next query: mostly tenant point sums, some per-tenant
+    /// group-bys, and `scatter_per_mille` global group-bys with no
+    /// tenant predicate.
+    pub fn next_query(&mut self) -> TenantQuery {
+        let roll = self.rng.random_range(0..1000u32);
+        let k = self.rng.random_range(0..K_CARDINALITY);
+        if roll < self.scatter_per_mille {
+            return TenantQuery {
+                query: Query::new(
+                    SHARD_TABLE,
+                    "mt_events",
+                    vec![ScanPredicate::eq(K_COL, k)],
+                    Some(Aggregate::new(AggregateOp::Sum, V_COL)),
+                    "mt_global",
+                )
+                .with_group_by(GRP_COL),
+                tenant: None,
+            };
+        }
+        let rank = self.zipf.sample(&mut self.rng);
+        let tenant = self.tenant_of_rank(rank);
+        if roll % 10 == 9 {
+            TenantQuery {
+                query: Query::new(
+                    SHARD_TABLE,
+                    "mt_events",
+                    vec![ScanPredicate::eq(TENANT_COL, tenant)],
+                    Some(Aggregate::new(AggregateOp::Sum, V_COL)),
+                    "mt_grouped",
+                )
+                .with_group_by(GRP_COL),
+                tenant: Some(tenant),
+            }
+        } else {
+            TenantQuery {
+                query: Query::new(
+                    SHARD_TABLE,
+                    "mt_events",
+                    vec![
+                        ScanPredicate::eq(TENANT_COL, tenant),
+                        ScanPredicate::eq(K_COL, k),
+                    ],
+                    Some(Aggregate::new(AggregateOp::Sum, V_COL)),
+                    "mt_point",
+                ),
+                tenant: Some(tenant),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_seed_deterministic_and_skewed() {
+        let cfg = MultiTenantConfig {
+            tenants: 100,
+            ..MultiTenantConfig::default()
+        };
+        let mut a = TenantStream::new(&cfg);
+        let mut b = TenantStream::new(&cfg);
+        let mut counts = vec![0u32; cfg.tenants];
+        let mut scatters = 0u32;
+        for _ in 0..2000 {
+            let qa = a.next_query();
+            let qb = b.next_query();
+            assert_eq!(
+                qa.query.instance_fingerprint(),
+                qb.query.instance_fingerprint(),
+                "same seed, same stream"
+            );
+            match qa.tenant {
+                Some(t) => counts[t as usize] += 1,
+                None => scatters += 1,
+            }
+        }
+        assert!(scatters > 0, "some global queries scatter");
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|x, y| y.cmp(x));
+        assert!(
+            sorted[0] > sorted[sorted.len() / 2] * 3,
+            "Zipf head far hotter than the median: {sorted:?}"
+        );
+    }
+
+    #[test]
+    fn fixture_routes_and_answers_on_every_shard_count() {
+        let cfg = MultiTenantConfig {
+            tenants: 60,
+            rows_per_tenant: 10,
+            chunk_rows: 100,
+            ..MultiTenantConfig::default()
+        };
+        let mut stream = TenantStream::new(&cfg);
+        let dbs: Vec<ShardedDatabase> = [1, 2, 4]
+            .iter()
+            .map(|&n| build_sharded(&cfg, &ShardSpec::range(n)).expect("builds"))
+            .collect();
+        for _ in 0..200 {
+            let tq = stream.next_query();
+            let outs: Vec<_> = dbs
+                .iter()
+                .map(|db| db.run_query(&tq.query).expect("answers").output)
+                .collect();
+            for out in &outs[1..] {
+                assert_eq!(out.rows_matched, outs[0].rows_matched);
+                assert_eq!(out.agg_value, outs[0].agg_value);
+                assert_eq!(out.groups, outs[0].groups);
+            }
+        }
+    }
+}

@@ -530,15 +530,14 @@ impl StorageEngine {
         )
     }
 
-    /// Validates the query, picks the execution mode and dispatches.
-    fn scan_grouped_with(
+    /// Validates a scan's shape against `table_id`'s schema.
+    fn validate_scan(
         &self,
         table_id: TableId,
         predicates: &[ScanPredicate],
         aggregate: Option<&Aggregate>,
         group_by: Option<smdb_common::ColumnId>,
-        parallel: Option<(&crate::parallel::ScanPool, usize)>,
-    ) -> Result<ScanOutput> {
+    ) -> Result<()> {
         let table = self.table(table_id)?;
         if let Some(g) = group_by {
             table.schema().column(g)?;
@@ -554,7 +553,82 @@ impl StorageEngine {
                 table.schema().column(agg.column)?;
             }
         }
+        Ok(())
+    }
 
+    /// Computes the per-chunk partials of a scan *without* merging them —
+    /// the scatter half of a sharded scatter-gather execution. Each
+    /// element is one chunk's contribution, in chunk-index order; a
+    /// sharded executor collects partials from every shard, orders them
+    /// by global chunk index and folds them once with
+    /// [`StorageEngine::merge_scan_partials`], which reproduces the exact
+    /// combine tree of an unsharded scan — so every result field except
+    /// the latency model is bit-identical for any shard count. With
+    /// `parallel`, morsels are dispatched to the pool exactly as in
+    /// [`StorageEngine::scan_grouped_parallel`]; partial *values* are
+    /// independent of the execution mode.
+    pub fn scan_partials(
+        &self,
+        table_id: TableId,
+        predicates: &[ScanPredicate],
+        aggregate: Option<&Aggregate>,
+        group_by: Option<smdb_common::ColumnId>,
+        parallel: Option<(&crate::parallel::ScanPool, usize)>,
+    ) -> Result<Vec<ChunkPartial>> {
+        self.validate_scan(table_id, predicates, aggregate, group_by)?;
+        let table = self.table(table_id)?;
+        let chunks: Vec<&crate::chunk::Chunk> = table.chunks().map(|(_, c)| c).collect();
+        if let Some((pool, morsel_chunks)) = parallel {
+            let ranges = crate::parallel::morsel_ranges(chunks.len(), morsel_chunks);
+            if pool.threads() > 1 && ranges.len() > 1 {
+                let (partials, _) = self
+                    .partials_parallel(&chunks, predicates, aggregate, group_by, pool, &ranges)?;
+                return Ok(partials);
+            }
+        }
+        let mut positions: Vec<u32> = Vec::new();
+        let mut partials = Vec::with_capacity(chunks.len());
+        for chunk in &chunks {
+            partials.push(self.scan_chunk(
+                chunk,
+                predicates,
+                aggregate,
+                group_by,
+                &mut positions,
+            )?);
+        }
+        Ok(partials)
+    }
+
+    /// Folds partials — the caller's responsibility to order by global
+    /// chunk index — into one [`ScanOutput`], using the same combine tree
+    /// as every other execution mode. The returned latency equals the
+    /// summed work (the inline model); a sharded executor overrides
+    /// [`ScanOutput::sim_latency`] / [`ScanOutput::morsels`] with its own
+    /// lane model.
+    pub fn merge_scan_partials(
+        &self,
+        partials: Vec<ChunkPartial>,
+        aggregate: Option<&Aggregate>,
+        group_by: Option<smdb_common::ColumnId>,
+    ) -> ScanOutput {
+        let mut out = self.merge_partials(partials, aggregate, group_by);
+        out.sim_latency = out.sim_cost;
+        out.morsels = 0;
+        out
+    }
+
+    /// Validates the query, picks the execution mode and dispatches.
+    fn scan_grouped_with(
+        &self,
+        table_id: TableId,
+        predicates: &[ScanPredicate],
+        aggregate: Option<&Aggregate>,
+        group_by: Option<smdb_common::ColumnId>,
+        parallel: Option<(&crate::parallel::ScanPool, usize)>,
+    ) -> Result<ScanOutput> {
+        self.validate_scan(table_id, predicates, aggregate, group_by)?;
+        let table = self.table(table_id)?;
         let chunks: Vec<&crate::chunk::Chunk> = table.chunks().map(|(_, c)| c).collect();
         if let Some((pool, morsel_chunks)) = parallel {
             let ranges = crate::parallel::morsel_ranges(chunks.len(), morsel_chunks);
@@ -608,6 +682,31 @@ impl StorageEngine {
         pool: &crate::parallel::ScanPool,
         ranges: &[(usize, usize)],
     ) -> Result<ScanOutput> {
+        let (all, morsel_costs_ms) =
+            self.partials_parallel(chunks, predicates, aggregate, group_by, pool, ranges)?;
+        let mut out = self.merge_partials(all, aggregate, group_by);
+        let lanes = pool.threads().min(ranges.len());
+        out.sim_latency = crate::parallel::simulated_latency(
+            &morsel_costs_ms,
+            lanes,
+            self.params.morsel_dispatch_ms,
+        );
+        out.morsels = ranges.len() as u64;
+        Ok(out)
+    }
+
+    /// The dispatch half of a morsel-parallel scan: runs every morsel on
+    /// the pool and returns the per-chunk partials in chunk-index order
+    /// plus each morsel's summed cost (for the lane latency model).
+    fn partials_parallel(
+        &self,
+        chunks: &[&crate::chunk::Chunk],
+        predicates: &[ScanPredicate],
+        aggregate: Option<&Aggregate>,
+        group_by: Option<smdb_common::ColumnId>,
+        pool: &crate::parallel::ScanPool,
+        ranges: &[(usize, usize)],
+    ) -> Result<(Vec<ChunkPartial>, Vec<f64>)> {
         let slots: Vec<parking_lot::Mutex<Option<Result<Vec<ChunkPartial>>>>> = ranges
             .iter()
             .map(|_| parking_lot::Mutex::new(None))
@@ -644,15 +743,7 @@ impl StorageEngine {
             morsel_costs_ms.push(morsel.iter().map(|p| p.cost.ms()).sum::<f64>());
             all.extend(morsel);
         }
-        let mut out = self.merge_partials(all, aggregate, group_by);
-        let lanes = pool.threads().min(ranges.len());
-        out.sim_latency = crate::parallel::simulated_latency(
-            &morsel_costs_ms,
-            lanes,
-            self.params.morsel_dispatch_ms,
-        );
-        out.morsels = ranges.len() as u64;
-        Ok(out)
+        Ok((all, morsel_costs_ms))
     }
 
     /// Scans one chunk, returning its partial: counters, aggregate state
@@ -1053,9 +1144,14 @@ fn composite_pair(
 }
 
 /// One chunk's contribution to a scan. Partials are produced by
-/// [`StorageEngine::scan_chunk`] (on whichever thread ran the morsel) and
-/// folded by [`StorageEngine::merge_partials`] in chunk-index order.
-struct ChunkPartial {
+/// `StorageEngine::scan_chunk` (on whichever thread ran the morsel) and
+/// folded by `StorageEngine::merge_partials` in chunk-index order. The
+/// type is opaque outside the engine: a sharded executor obtains
+/// partials via [`StorageEngine::scan_partials`], orders them by global
+/// chunk index and hands them back to
+/// [`StorageEngine::merge_scan_partials`] — it never looks inside, so
+/// the combine tree stays the engine's alone.
+pub struct ChunkPartial {
     /// The chunk was eliminated by min/max statistics; only
     /// `cost` (the prune check) is meaningful.
     pruned: bool,
@@ -1078,6 +1174,18 @@ struct ChunkPartial {
 }
 
 impl ChunkPartial {
+    /// The chunk's share of the simulated work (prune check only when
+    /// the chunk was eliminated by statistics). A sharded executor sums
+    /// these per shard to drive its lane latency model.
+    pub fn cost(&self) -> Cost {
+        self.cost
+    }
+
+    /// Whether min/max statistics eliminated the chunk.
+    pub fn pruned(&self) -> bool {
+        self.pruned
+    }
+
     fn new(op: Option<AggregateOp>) -> Self {
         ChunkPartial {
             pruned: false,

@@ -61,7 +61,7 @@ pub mod value;
 
 pub use config::{ConfigAction, ConfigInstance, ConfigSnapshot, KnobKind, Knobs};
 pub use encoding::EncodingKind;
-pub use engine::{PredictedPaths, ScanOutput, StorageEngine};
+pub use engine::{ChunkPartial, PredictedPaths, ScanOutput, StorageEngine};
 pub use index::IndexKind;
 pub use parallel::ScanPool;
 pub use placement::Tier;
