@@ -11,6 +11,9 @@
 #   ./ci.sh soak          # online serving soak only -> BENCH_runtime.json
 #   ./ci.sh soak-mt       # sharded multi-tenant soak only
 #                         # -> BENCH_multitenant.json + TRAIL_mt.json
+#   ./ci.sh recover       # kill-and-recover soak against a hermetic
+#                         # target/ci store -> BENCH_recovery.json,
+#                         # gated vs the committed baseline
 #   ./ci.sh bench-gate    # regenerate benches into target/ci and compare
 #                         # against the committed BENCH_*.json baselines
 #   ./ci.sh bench-gate --update-baselines
@@ -96,6 +99,11 @@ run_soak_mt() { # outdir
         --json "$1/BENCH_multitenant.json" --trail "$1/TRAIL_mt.json"
 }
 
+run_recover() { # outdir -> BENCH_recovery.json (hermetic store in outdir)
+    cargo run --release -q -p smdb-bench --bin recover -- \
+        --dir "$1/recover_store" --json "$1/BENCH_recovery.json"
+}
+
 check_trail() { # trail path
     cargo run -q -p smdb-lint -- --check-trail "$1"
 }
@@ -113,7 +121,8 @@ run_gate() { # candidate dir
     cargo run --release -q -p smdb-bench --bin bench_gate -- \
         --runtime BENCH_runtime.json "$1/BENCH_runtime.json" \
         --tuning BENCH_tuning.json "$1/BENCH_tuning.json" \
-        --multitenant BENCH_multitenant.json "$1/BENCH_multitenant.json"
+        --multitenant BENCH_multitenant.json "$1/BENCH_multitenant.json" \
+        --recovery BENCH_recovery.json "$1/BENCH_recovery.json"
 }
 
 fresh_bench_and_gate() { # build fresh candidates into target/ci, gate them
@@ -123,6 +132,7 @@ fresh_bench_and_gate() { # build fresh candidates into target/ci, gate them
     step "check-trail" check_trail "$CI_DIR/TRAIL_soak.json"
     step "soak-mt" run_soak_mt "$CI_DIR"
     step "check-trail-mt" check_trail "$CI_DIR/TRAIL_mt.json"
+    step "recover" run_recover "$CI_DIR"
     step "bench-gate" run_gate "$CI_DIR"
 }
 
@@ -149,6 +159,14 @@ soak-mt)
     step "soak-mt" run_soak_mt .
     echo "Multi-tenant soak CI green."
     ;;
+recover)
+    step "build (release, recover)" cargo build --release -p smdb-bench --bin recover --bin bench_gate
+    mkdir -p "$CI_DIR"
+    step "recover" run_recover "$CI_DIR"
+    step "recover-gate" cargo run --release -q -p smdb-bench --bin bench_gate -- \
+        --recovery BENCH_recovery.json "$CI_DIR/BENCH_recovery.json"
+    echo "Recovery CI green."
+    ;;
 calibrate)
     step "build (release, calibrate)" cargo build --release -p smdb-bench --bin calibrate
     mkdir -p "$CI_DIR"
@@ -161,9 +179,11 @@ bench-gate)
     step "experiments (e3-e5, calibration)" run_experiments "$CI_DIR"
     step "soak" run_soak "$CI_DIR"
     step "soak-mt" run_soak_mt "$CI_DIR"
+    step "recover" run_recover "$CI_DIR"
     if [[ "${2:-}" == "--update-baselines" ]]; then
         step "update-baselines" cp "$CI_DIR/BENCH_runtime.json" \
             "$CI_DIR/BENCH_tuning.json" "$CI_DIR/BENCH_multitenant.json" \
+            "$CI_DIR/BENCH_recovery.json" \
             "$CI_DIR/TRAIL_soak.json" "$CI_DIR/TRAIL_mt.json" .
         echo "Baselines updated from $CI_DIR — commit BENCH_*.json + TRAIL_*.json."
     else
@@ -182,7 +202,7 @@ full)
     echo "CI green."
     ;;
 *)
-    echo "unknown mode '${MODE}' (valid: full quick soak soak-mt bench-gate calibrate)" >&2
+    echo "unknown mode '${MODE}' (valid: full quick soak soak-mt recover bench-gate calibrate)" >&2
     exit 2
     ;;
 esac

@@ -44,11 +44,13 @@ fn main() {
             "--runtime" => ("runtime", gate::runtime_specs()),
             "--tuning" => ("tuning", gate::tuning_specs()),
             "--multitenant" => ("multitenant", gate::multitenant_specs()),
+            "--recovery" => ("recovery", gate::recovery_specs()),
             other => {
                 eprintln!(
                     "bench-gate: unknown argument {other} \
                      (usage: bench_gate [--runtime BASELINE CANDIDATE] \
-                     [--tuning BASELINE CANDIDATE] [--multitenant BASELINE CANDIDATE])"
+                     [--tuning BASELINE CANDIDATE] [--multitenant BASELINE CANDIDATE] \
+                     [--recovery BASELINE CANDIDATE])"
                 );
                 std::process::exit(2);
             }
@@ -69,6 +71,9 @@ fn main() {
         }
         if flag == "--multitenant" {
             report.extend(gate::check_bounds(&candidate, &gate::multitenant_bounds()));
+        }
+        if flag == "--recovery" {
+            report.extend(gate::check_bounds(&candidate, &gate::recovery_bounds()));
         }
         compared += 1;
     }

@@ -227,6 +227,60 @@ pub fn multitenant_bounds() -> Vec<BoundSpec> {
     }]
 }
 
+/// The kill-and-recover gate (`BENCH_recovery.json`). Everything the
+/// durability layer does is seed-deterministic — the WAL replay length,
+/// the bucket serving resumes at, the resumed digest — so those gate
+/// exactly. Write amplification is the snapshot-cadence KPI and gets a
+/// narrow band; the recovery time itself is wall-clock and is bounded
+/// by an absolute RTO ceiling instead ([`recovery_bounds`]).
+pub fn recovery_specs() -> (Vec<MetricSpec>, Vec<ExactSpec>) {
+    let metrics = vec![MetricSpec {
+        section: "recover",
+        key: "write_amplification",
+        direction: Direction::LowerIsBetter,
+        rel_tolerance: 0.25,
+    }];
+    let exact = vec![
+        ExactSpec {
+            section: "recover",
+            key: "digest_match",
+        },
+        ExactSpec {
+            section: "recover",
+            key: "errors",
+        },
+        ExactSpec {
+            section: "recover",
+            key: "wrong_results",
+        },
+        ExactSpec {
+            section: "recover",
+            key: "replayed_records",
+        },
+        ExactSpec {
+            section: "recover",
+            key: "dropped_records",
+        },
+        ExactSpec {
+            section: "recover",
+            key: "resumed_at_bucket",
+        },
+    ];
+    (metrics, exact)
+}
+
+/// Absolute ceiling on the recovery time (read + decode + replay +
+/// restore, excluding resumed serving): the measured RTO must stay
+/// under 1.5 s regardless of where the baseline sits — recovery that
+/// got slower along with its baseline is still a worse database.
+pub fn recovery_bounds() -> Vec<BoundSpec> {
+    vec![BoundSpec {
+        section: "recover",
+        key: "recovery_ms",
+        max: 1_500.0,
+    }]
+}
+
 /// The tuning-experiments gate (`BENCH_tuning.json`, quick-mode subset
 /// e3/e4/e5): cache hit rates and the warm-assessment speedup must not
 /// erode; branch-and-bound node counts are deterministic and get a

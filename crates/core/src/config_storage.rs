@@ -13,7 +13,7 @@ use smdb_storage::{ConfigAction, ConfigInstance, ConfigSnapshot};
 use crate::feature::FeatureKind;
 
 /// One stored (applied) configuration instance with its tuning context.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StoredInstance {
     pub applied_at: LogicalTime,
     /// The feature whose tuning produced this instance (None for
@@ -46,7 +46,7 @@ pub struct DecisionFeedback {
 
 /// One recorded rollback: a reconfiguration failed mid-application and
 /// the system was restored to the last good stored instance.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RollbackRecord {
     pub at: LogicalTime,
     /// The actions that were abandoned (failed or still queued).

@@ -22,6 +22,7 @@ use smdb_storage::ConfigInstance;
 
 use crate::config_storage::{ConfigStorage, RollbackRecord, StoredInstance};
 use crate::constraints::ConstraintSet;
+use crate::durability::{DurabilityManager, PendingReconfigState, RecoveredState, ServingState};
 use crate::executor::{ExecutionReport, Executor, SequentialExecutor};
 use crate::feature::FeatureKind;
 use crate::kpi::{KpiCollector, KpiSnapshot};
@@ -179,6 +180,9 @@ pub struct Driver {
     /// Flight recorder every tuning decision lands in (bounded ring;
     /// exportable as JSON, dumped on rollback when auto-dump is on).
     recorder: Arc<FlightRecorder>,
+    /// WAL + snapshot manager; `None` keeps the in-memory path free of
+    /// durability overhead.
+    durability: Option<Arc<DurabilityManager>>,
 }
 
 impl Driver {
@@ -242,6 +246,11 @@ impl Driver {
     /// The flight recorder holding the recent decision trail.
     pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
         &self.recorder
+    }
+
+    /// The durability manager, when this driver persists its state.
+    pub fn durability(&self) -> Option<&Arc<DurabilityManager>> {
+        self.durability.as_ref()
     }
 
     /// Label of the configuration a rollback would restore right now:
@@ -423,7 +432,7 @@ impl Driver {
             // the feedback loop (and the rollback target) see it.
             if let Some(pr) = self.pending_reconfig.lock().take() {
                 let actions = pr.actions.len();
-                self.storage.store(StoredInstance {
+                let instance = StoredInstance {
                     applied_at: self.db.now(),
                     feature: None,
                     config: pr.final_config,
@@ -432,7 +441,11 @@ impl Driver {
                     reconfiguration_cost: pr.accrued_cost,
                     observed_before: pr.observed_before,
                     observed_after: None,
-                });
+                };
+                if let Some(d) = &self.durability {
+                    d.log_instance_stored(&instance)?;
+                }
+                self.storage.store(instance);
                 self.kpis.reset_latencies();
                 self.recorder.record(TrailEvent::InstanceStored {
                     at: at.raw(),
@@ -471,12 +484,16 @@ impl Driver {
             engine.current_config().diff(&target)
         };
         let cost = self.db.apply_config_atomic(&undo)?;
-        self.storage.record_rollback(RollbackRecord {
+        let record = RollbackRecord {
             at: self.db.now(),
             abandoned_actions: abandoned.clone(),
             restored_config: target,
             cause: cause.to_string(),
-        });
+        };
+        if let Some(d) = &self.durability {
+            d.log_rollback(&record)?;
+        }
+        self.storage.record_rollback(record);
         self.kpis.reset_latencies();
         smdb_obs::metrics::counter("driver.rollbacks").inc();
         self.recorder.record(TrailEvent::ActionRolledBack {
@@ -513,6 +530,199 @@ impl Driver {
     /// Produces the current forecast from the observed history.
     pub fn forecast(&self) -> ForecastSet {
         self.predictor.predict(&self.history.lock())
+    }
+
+    /// Captures the complete serving state at a bucket boundary —
+    /// everything a boundary WAL record carries. `bucket` is the number
+    /// of buckets fully served and `stats` the cumulative session
+    /// statistics the serving runtime accumulated.
+    pub fn export_serving_state(
+        &self,
+        bucket: u64,
+        stats: &smdb_query::SessionStats,
+    ) -> ServingState {
+        let config = smdb_storage::ConfigSnapshot::from(&self.db.engine().current_config());
+        let plan_cache = self
+            .db
+            .plan_cache()
+            .snapshot()
+            .into_iter()
+            .map(|e| {
+                (
+                    e.example,
+                    e.executions,
+                    e.total_cost,
+                    e.first_seen,
+                    e.last_seen,
+                )
+            })
+            .collect();
+        // Locks are taken one at a time in the driver's canonical order
+        // (history, last_bucket_cost, pending_actions, pending_reconfig)
+        // so boundary export cannot deadlock against the tuning thread.
+        let history = self.history.lock().export_state();
+        let last_bucket_cost = *self.last_bucket_cost.lock();
+        let pending_actions = self.pending_actions.lock().clone();
+        let pending_reconfig =
+            self.pending_reconfig
+                .lock()
+                .as_ref()
+                .map(|pr| PendingReconfigState {
+                    final_config: smdb_storage::ConfigSnapshot::from(&pr.final_config),
+                    actions: pr.actions.clone(),
+                    predicted_cost: pr.predicted_cost,
+                    observed_before: pr.observed_before,
+                    accrued_cost: pr.accrued_cost,
+                });
+        let c = &self.counters;
+        let counters = [
+            &c.buckets_closed,
+            &c.tunings_run,
+            &c.actions_applied,
+            &c.actions_deferred,
+            &c.apply_failures,
+        ]
+        // ordering: relaxed snapshot of independent statistic counters.
+        .map(|counter| counter.load(Ordering::Relaxed));
+        ServingState {
+            bucket,
+            stats: stats.clone(),
+            clock: self.db.now().raw(),
+            config,
+            kpi: self.kpis.export_state(),
+            history,
+            plan_cache,
+            organizer_last_tuning: self.organizer.last_tuning().map(|t| t.raw()),
+            organizer_paused: self.organizer.is_paused(),
+            last_bucket_cost,
+            pending_actions,
+            pending_reconfig,
+            counters,
+        }
+    }
+
+    /// Logs a bucket boundary to the WAL and, when the snapshot cadence
+    /// fires, takes a full snapshot. No-op without a durability manager.
+    pub fn persist_boundary(&self, bucket: u64, stats: &smdb_query::SessionStats) -> Result<()> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        let state = self.export_serving_state(bucket, stats);
+        d.log_boundary(&state)?;
+        if d.should_snapshot(bucket) {
+            self.persist_snapshot_inner(d, &state)?;
+        }
+        Ok(())
+    }
+
+    /// Takes a full snapshot right now (e.g. the run-start snapshot a
+    /// durable run writes before serving). No-op without a durability
+    /// manager.
+    pub fn persist_snapshot(&self, bucket: u64, stats: &smdb_query::SessionStats) -> Result<()> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        let state = self.export_serving_state(bucket, stats);
+        self.persist_snapshot_inner(d, &state)
+    }
+
+    fn persist_snapshot_inner(
+        &self,
+        d: &Arc<DurabilityManager>,
+        state: &ServingState,
+    ) -> Result<()> {
+        let instances = self.storage.snapshot();
+        let rollbacks = self.storage.rollbacks();
+        let (wal_records, bytes) = {
+            let engine = self.db.engine();
+            d.take_snapshot(state, &engine, &instances, &rollbacks)?
+        };
+        self.recorder.record(TrailEvent::SnapshotTaken {
+            at: state.clock,
+            bucket: state.bucket,
+            wal_records,
+            bytes,
+        });
+        Ok(())
+    }
+
+    /// Restores this (freshly built) driver from recovered durable
+    /// state: re-applies the persisted configuration to the engine,
+    /// reinstates the stored instances and rollbacks, and restores the
+    /// whole serving state (clock, KPIs, history, plan cache, organizer,
+    /// pending tuning, counters). The engine must already hold the
+    /// recovered tables at the default configuration. Records a
+    /// `recovered` trail event.
+    pub fn restore_from_recovery(&self, rec: &RecoveredState) -> Result<()> {
+        let target = ConfigInstance::from(&rec.serving.config);
+        let redo = {
+            let engine = self.db.engine();
+            engine.current_config().diff(&target)
+        };
+        if !redo.is_empty() {
+            self.db.apply_config_atomic(&redo)?;
+        }
+        for inst in &rec.instances {
+            self.storage.store(inst.clone());
+        }
+        for rb in &rec.rollbacks {
+            self.storage.record_rollback(rb.clone());
+        }
+        self.restore_serving_state(&rec.serving);
+        smdb_obs::metrics::counter("driver.recoveries").inc();
+        self.recorder.record(TrailEvent::Recovered {
+            at: self.db.now().raw(),
+            bucket: rec.serving.bucket,
+            replayed_records: rec.replayed_records,
+            dropped_records: rec.dropped_records,
+        });
+        Ok(())
+    }
+
+    fn restore_serving_state(&self, state: &ServingState) {
+        self.db.restore_clock(LogicalTime(state.clock));
+        self.kpis.restore_state(state.kpi.clone());
+        *self.history.lock() = WorkloadHistory::restore_state(state.history.clone());
+        {
+            let mut cache = self.db.plan_cache();
+            cache.clear();
+            for (example, executions, total_cost, first_seen, last_seen) in &state.plan_cache {
+                cache.restore_entry(
+                    example.clone(),
+                    *executions,
+                    *total_cost,
+                    *first_seen,
+                    *last_seen,
+                );
+            }
+        }
+        if let Some(t) = state.organizer_last_tuning {
+            self.organizer.record_tuning(LogicalTime(t));
+        }
+        if state.organizer_paused {
+            self.organizer.pause();
+        }
+        *self.last_bucket_cost.lock() = state.last_bucket_cost;
+        *self.pending_actions.lock() = state.pending_actions.clone();
+        *self.pending_reconfig.lock() = state.pending_reconfig.as_ref().map(|p| PendingReconfig {
+            final_config: ConfigInstance::from(&p.final_config),
+            actions: p.actions.clone(),
+            predicted_cost: p.predicted_cost,
+            observed_before: p.observed_before,
+            accrued_cost: p.accrued_cost,
+        });
+        let [buckets, tunings, applied, deferred, failures] = state.counters;
+        let c = &self.counters;
+        for (counter, value) in [
+            (&c.buckets_closed, buckets),
+            (&c.tunings_run, tunings),
+            (&c.actions_applied, applied),
+            (&c.actions_deferred, deferred),
+            (&c.apply_failures, failures),
+        ] {
+            // ordering: relaxed counter restore; recovery is single-threaded.
+            counter.store(value, Ordering::Relaxed);
+        }
     }
 
     /// Checks the organizer and, when it fires, runs a full tuning pass
@@ -699,7 +909,11 @@ impl Driver {
 
         // Feedback loop: complete the previous instance, store this one.
         let observed_before = tick.kpis.mean_response;
-        self.storage.complete_latest(observed_before);
+        if self.storage.complete_latest(observed_before) {
+            if let Some(d) = &self.durability {
+                d.log_instance_completed(observed_before)?;
+            }
+        }
         let predicted_cost = {
             let engine = self.db.engine();
             let expected = forecast.expected().ok_or_else(|| {
@@ -727,7 +941,7 @@ impl Driver {
                 actions: actions.len(),
             });
         } else if report.applied > 0 {
-            self.storage.store(StoredInstance {
+            let instance = StoredInstance {
                 applied_at: now,
                 feature: None,
                 config: final_config,
@@ -736,7 +950,11 @@ impl Driver {
                 reconfiguration_cost: report.reconfiguration_cost,
                 observed_before,
                 observed_after: None,
-            });
+            };
+            if let Some(d) = &self.durability {
+                d.log_instance_stored(&instance)?;
+            }
+            self.storage.store(instance);
             self.kpis.reset_latencies();
             self.recorder.record(TrailEvent::ActionsApplied {
                 at,
@@ -778,6 +996,7 @@ pub struct DriverBuilder {
     ordering_policy: OrderingPolicy,
     kpi_bucket_capacity: Cost,
     recorder: Option<Arc<FlightRecorder>>,
+    durability: Option<Arc<DurabilityManager>>,
 }
 
 impl DriverBuilder {
@@ -795,6 +1014,7 @@ impl DriverBuilder {
             ordering_policy: OrderingPolicy::Registration,
             kpi_bucket_capacity: Cost(1000.0),
             recorder: None,
+            durability: None,
         }
     }
 
@@ -867,6 +1087,14 @@ impl DriverBuilder {
         self
     }
 
+    /// Persists the driver's state through a durability manager (WAL +
+    /// snapshots). Without one, nothing is ever written — the in-memory
+    /// path carries no durability overhead.
+    pub fn durability(mut self, manager: Arc<DurabilityManager>) -> Self {
+        self.durability = Some(manager);
+        self
+    }
+
     /// Assembles the driver.
     pub fn build(self) -> Driver {
         let estimator = self.estimator.unwrap_or_else(|| {
@@ -901,6 +1129,7 @@ impl DriverBuilder {
             recorder: self
                 .recorder
                 .unwrap_or_else(|| Arc::new(FlightRecorder::new(512))),
+            durability: self.durability,
         }
     }
 }

@@ -1,0 +1,1146 @@
+//! The driver's durability layer: WAL + snapshots of the serving state.
+//!
+//! A durable run logs every tuning-state transition to an append-only
+//! WAL (`smdb_durable::Wal`) and periodically writes a full snapshot —
+//! raw table data, the applied configuration, the tuned `ConfigStorage`
+//! instances and the whole serving state (KPI windows, workload history,
+//! plan cache, organizer, counters). Recovery replays the WAL tail over
+//! the latest valid snapshot, so a restart resumes with the *tuned*
+//! physical design instead of re-tuning from cold.
+//!
+//! WAL record bodies are tagged:
+//!
+//! | tag | record              | written by                          |
+//! |-----|---------------------|-------------------------------------|
+//! | 1   | `Boundary`          | control thread, after each barrier  |
+//! | 2   | `InstanceStored`    | feedback loop (tune / drain)        |
+//! | 3   | `InstanceCompleted` | feedback loop (`complete_latest`)   |
+//! | 4   | `Rollback`          | failed-apply rollback               |
+//!
+//! The serving runtime's ack rendezvous guarantees all tuner-thread
+//! records for tick *t* land before the control thread appends boundary
+//! *t+1*, so the WAL record order — like the decision trail — is
+//! deterministic for a given seed.
+//!
+//! Snapshot cadence is the durability layer's tunable: frequent
+//! snapshots shorten recovery (fewer records to replay — a lower RTO)
+//! but multiply write amplification, since each snapshot rewrites the
+//! full state the WAL describes incrementally. [`DurabilityStats`]
+//! surfaces both sides as KPIs.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use smdb_common::{ColumnId, Cost, Error, LogicalTime, Result, TableId};
+use smdb_durable::{ByteReader, ByteWriter, Persistence, SnapshotStore, Wal};
+use smdb_forecast::{TemplateHistory, WorkloadHistoryState};
+use smdb_query::{Query, SessionStats};
+use smdb_storage::persist as storage_persist;
+use smdb_storage::{
+    Aggregate, AggregateOp, ConfigAction, ConfigSnapshot, PredicateOp, ScanPredicate,
+    StorageEngine, Table, Value,
+};
+
+use crate::config_storage::{RollbackRecord, StoredInstance};
+use crate::feature::FeatureKind;
+use crate::kpi::KpiState;
+
+/// Blob name of the write-ahead log.
+pub const WAL_NAME: &str = "wal.log";
+/// Name prefix of snapshot blobs.
+pub const SNAPSHOT_PREFIX: &str = "snap-";
+/// Format version tag at the head of every snapshot payload.
+const SNAPSHOT_VERSION: u8 = 1;
+
+const TAG_BOUNDARY: u8 = 1;
+const TAG_INSTANCE_STORED: u8 = 2;
+const TAG_INSTANCE_COMPLETED: u8 = 3;
+const TAG_ROLLBACK: u8 = 4;
+
+/// Durability tunables.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Take a full snapshot every N buckets (0 disables periodic
+    /// snapshots; the run-start snapshot is always written). Lower
+    /// values shorten recovery, higher values cut write amplification.
+    pub snapshot_every_buckets: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            snapshot_every_buckets: 8,
+        }
+    }
+}
+
+/// Write-side KPIs of the durability layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DurabilityStats {
+    /// WAL records appended this run.
+    pub wal_records: u64,
+    /// WAL bytes appended this run.
+    pub wal_bytes: u64,
+    /// Snapshots taken this run.
+    pub snapshots_taken: u64,
+    /// Snapshot bytes written this run.
+    pub snapshot_bytes: u64,
+    /// Write amplification: total durable bytes per WAL byte. 1.0 means
+    /// pure logging; each snapshot pushes it up — the cadence trade-off.
+    pub write_amplification: f64,
+}
+
+#[derive(Debug, Default)]
+struct ManagerState {
+    next_seq: u64,
+    wal_records: u64,
+    wal_bytes: u64,
+    snapshots_taken: u64,
+    snapshot_bytes: u64,
+}
+
+/// Owns the WAL and the snapshot store of one durable run.
+pub struct DurabilityManager {
+    persistence: Arc<dyn Persistence>,
+    wal: Wal,
+    snapshots: SnapshotStore,
+    config: DurabilityConfig,
+    state: Mutex<ManagerState>,
+}
+
+impl std::fmt::Debug for DurabilityManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurabilityManager")
+            .field("config", &self.config)
+            .field("state", &self.state.lock())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DurabilityManager {
+    /// A manager over an empty (or to-be-overwritten) log.
+    pub fn new(persistence: Arc<dyn Persistence>, config: DurabilityConfig) -> Self {
+        Self::with_next_seq(persistence, config, 0)
+    }
+
+    /// A manager resuming after recovery: `next_seq` is the number of
+    /// valid WAL records already on disk (appends continue after them).
+    pub fn with_next_seq(
+        persistence: Arc<dyn Persistence>,
+        config: DurabilityConfig,
+        next_seq: u64,
+    ) -> Self {
+        DurabilityManager {
+            persistence,
+            wal: Wal::new(WAL_NAME),
+            snapshots: SnapshotStore::new(SNAPSHOT_PREFIX),
+            config,
+            state: Mutex::new(ManagerState {
+                next_seq,
+                ..ManagerState::default()
+            }),
+        }
+    }
+
+    /// The durability configuration.
+    pub fn config(&self) -> &DurabilityConfig {
+        &self.config
+    }
+
+    /// The backing persistence.
+    pub fn persistence(&self) -> &Arc<dyn Persistence> {
+        &self.persistence
+    }
+
+    /// Whether the cadence calls for a snapshot after `bucket` completed
+    /// buckets (run-start snapshots are requested explicitly).
+    pub fn should_snapshot(&self, bucket: u64) -> bool {
+        let every = self.config.snapshot_every_buckets;
+        every > 0 && bucket > 0 && bucket % every == 0
+    }
+
+    /// Write-side statistics for KPI reporting.
+    pub fn stats(&self) -> DurabilityStats {
+        let s = self.state.lock();
+        let total = s.wal_bytes + s.snapshot_bytes;
+        DurabilityStats {
+            wal_records: s.wal_records,
+            wal_bytes: s.wal_bytes,
+            snapshots_taken: s.snapshots_taken,
+            snapshot_bytes: s.snapshot_bytes,
+            write_amplification: if s.wal_bytes > 0 {
+                total as f64 / s.wal_bytes as f64
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Total valid WAL records (the next record's sequence number).
+    pub fn wal_records(&self) -> u64 {
+        self.state.lock().next_seq
+    }
+
+    fn append(&self, body: &[u8]) -> Result<()> {
+        let mut state = self.state.lock();
+        let seq = state.next_seq;
+        let bytes = self.wal.append(self.persistence.as_ref(), seq, body)?;
+        state.next_seq += 1;
+        state.wal_records += 1;
+        state.wal_bytes += bytes;
+        smdb_obs::metrics::counter("durable.wal_records").inc();
+        Ok(())
+    }
+
+    /// Logs a bucket-boundary serving state.
+    pub fn log_boundary(&self, state: &ServingState) -> Result<()> {
+        let mut w = ByteWriter::new();
+        w.u8(TAG_BOUNDARY);
+        write_serving_state(&mut w, state);
+        self.append(&w.into_bytes())
+    }
+
+    /// Logs a newly stored configuration instance.
+    pub fn log_instance_stored(&self, instance: &StoredInstance) -> Result<()> {
+        let mut w = ByteWriter::new();
+        w.u8(TAG_INSTANCE_STORED);
+        write_stored_instance(&mut w, instance);
+        self.append(&w.into_bytes())
+    }
+
+    /// Logs the feedback loop completing the latest open instance.
+    pub fn log_instance_completed(&self, observed_after: Cost) -> Result<()> {
+        let mut w = ByteWriter::new();
+        w.u8(TAG_INSTANCE_COMPLETED);
+        w.f64(observed_after.0);
+        self.append(&w.into_bytes())
+    }
+
+    /// Logs a rollback to the last good configuration.
+    pub fn log_rollback(&self, record: &RollbackRecord) -> Result<()> {
+        let mut w = ByteWriter::new();
+        w.u8(TAG_ROLLBACK);
+        write_rollback_record(&mut w, record);
+        self.append(&w.into_bytes())
+    }
+
+    /// Writes a full snapshot (version = `serving.bucket`) superseding
+    /// all WAL records so far. Returns `(wal_records_superseded, bytes)`.
+    pub fn take_snapshot(
+        &self,
+        serving: &ServingState,
+        engine: &StorageEngine,
+        instances: &[StoredInstance],
+        rollbacks: &[RollbackRecord],
+    ) -> Result<(u64, u64)> {
+        let wal_records = self.state.lock().next_seq;
+        let mut w = ByteWriter::new();
+        w.u8(SNAPSHOT_VERSION);
+        w.u64(wal_records);
+        write_serving_state(&mut w, serving);
+        let tables: Vec<&Table> = engine.tables().map(|(_, t)| t).collect();
+        w.usize(tables.len());
+        for table in tables {
+            storage_persist::write_table(&mut w, table)?;
+        }
+        w.usize(instances.len());
+        for inst in instances {
+            write_stored_instance(&mut w, inst);
+        }
+        w.usize(rollbacks.len());
+        for rb in rollbacks {
+            write_rollback_record(&mut w, rb);
+        }
+        let bytes =
+            self.snapshots
+                .write(self.persistence.as_ref(), serving.bucket, &w.into_bytes())?;
+        let mut state = self.state.lock();
+        state.snapshots_taken += 1;
+        state.snapshot_bytes += bytes;
+        smdb_obs::metrics::counter("durable.snapshots").inc();
+        Ok((wal_records, bytes))
+    }
+}
+
+/// Everything recovery reconstructs from the durable store.
+#[derive(Debug)]
+pub struct RecoveredState {
+    /// The serving state at the last valid boundary.
+    pub serving: ServingState,
+    /// Raw tables, in id order, ready for `StorageEngine::create_table`.
+    pub tables: Vec<Table>,
+    /// Stored configuration instances, snapshot state plus WAL replay.
+    pub instances: Vec<StoredInstance>,
+    /// Recorded rollbacks, snapshot state plus WAL replay.
+    pub rollbacks: Vec<RollbackRecord>,
+    /// WAL records replayed over the snapshot.
+    pub replayed_records: u64,
+    /// WAL records dropped after the last valid prefix.
+    pub dropped_records: u64,
+    /// Total valid WAL records — the resumed manager's next sequence.
+    pub wal_records: u64,
+}
+
+/// Reads the durable store back: latest valid snapshot plus the valid
+/// WAL tail. Returns `Ok(None)` when no valid snapshot exists (nothing
+/// was ever persisted, or every snapshot is corrupt — there is no base
+/// state to replay onto). A corrupt WAL tail is truncated in place so
+/// subsequent appends extend the valid prefix.
+pub fn recover(p: &dyn Persistence, _config: &DurabilityConfig) -> Result<Option<RecoveredState>> {
+    let snapshots = SnapshotStore::new(SNAPSHOT_PREFIX);
+    let Some((_, payload)) = snapshots.latest_valid(p)? else {
+        return Ok(None);
+    };
+    let mut r = ByteReader::new(&payload);
+    let version = r.u8()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(Error::invalid(format!(
+            "unsupported snapshot version {version}"
+        )));
+    }
+    let wal_records_at_snapshot = r.u64()?;
+    let mut serving = read_serving_state(&mut r)?;
+    let n = r.usize()?;
+    let mut tables = Vec::with_capacity(n.min(1 << 10));
+    for _ in 0..n {
+        tables.push(storage_persist::read_table(&mut r)?);
+    }
+    let n = r.usize()?;
+    let mut instances = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        instances.push(read_stored_instance(&mut r)?);
+    }
+    let n = r.usize()?;
+    let mut rollbacks = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        rollbacks.push(read_rollback_record(&mut r)?);
+    }
+
+    // Replay the WAL tail over the snapshot: records the snapshot
+    // already covers are skipped by sequence number.
+    let raw = p.read(WAL_NAME)?.unwrap_or_default();
+    let wal = smdb_durable::read_prefix(&raw);
+    let mut replayed = 0u64;
+    for record in &wal.records {
+        if record.seq < wal_records_at_snapshot {
+            continue;
+        }
+        replay_record(&record.body, &mut serving, &mut instances, &mut rollbacks)?;
+        replayed += 1;
+    }
+    if wal.dropped_bytes > 0 {
+        // Degrade to the last valid prefix: future appends must extend
+        // it, not a corrupt tail.
+        p.write_atomic(WAL_NAME, &raw[..wal.valid_bytes as usize])?;
+    }
+    Ok(Some(RecoveredState {
+        serving,
+        tables,
+        instances,
+        rollbacks,
+        replayed_records: replayed,
+        dropped_records: wal.dropped_records,
+        wal_records: wal.records.len() as u64,
+    }))
+}
+
+fn replay_record(
+    body: &[u8],
+    serving: &mut ServingState,
+    instances: &mut Vec<StoredInstance>,
+    rollbacks: &mut Vec<RollbackRecord>,
+) -> Result<()> {
+    let mut r = ByteReader::new(body);
+    match r.u8()? {
+        TAG_BOUNDARY => *serving = read_serving_state(&mut r)?,
+        TAG_INSTANCE_STORED => instances.push(read_stored_instance(&mut r)?),
+        TAG_INSTANCE_COMPLETED => {
+            let after = Cost(r.f64()?);
+            // Mirror `ConfigStorage::complete_latest`.
+            if let Some(inst) = instances
+                .iter_mut()
+                .rev()
+                .find(|i| i.observed_after.is_none())
+            {
+                inst.observed_after = Some(after);
+            }
+        }
+        TAG_ROLLBACK => rollbacks.push(read_rollback_record(&mut r)?),
+        other => return Err(Error::invalid(format!("unknown WAL record tag {other}"))),
+    }
+    Ok(())
+}
+
+/// A deferred tuning's context, flattened for serialization (the
+/// driver-internal form holds the same fields).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingReconfigState {
+    /// The configuration once the drain completes.
+    pub final_config: ConfigSnapshot,
+    /// The full action list of the tuning.
+    pub actions: Vec<ConfigAction>,
+    /// Predicted workload cost after the change.
+    pub predicted_cost: Cost,
+    /// Mean observed response before the change.
+    pub observed_before: Cost,
+    /// Reconfiguration cost accrued over completed slices.
+    pub accrued_cost: Cost,
+}
+
+/// The driver's complete serving state at one bucket boundary — what a
+/// boundary WAL record carries and recovery restores.
+#[derive(Debug, Clone)]
+pub struct ServingState {
+    /// Buckets fully served (serving resumes at this bucket index).
+    pub bucket: u64,
+    /// Cumulative merged session statistics.
+    pub stats: SessionStats,
+    /// The database's logical clock.
+    pub clock: u64,
+    /// The applied configuration.
+    pub config: ConfigSnapshot,
+    /// KPI collector windows.
+    pub kpi: KpiState,
+    /// Workload history.
+    pub history: WorkloadHistoryState,
+    /// Plan-cache entries: `(example, executions, total_cost, first_seen,
+    /// last_seen)` — templates and ranks are recomputed on restore.
+    pub plan_cache: Vec<(Query, u64, Cost, LogicalTime, LogicalTime)>,
+    /// Organizer: when the last tuning ran.
+    pub organizer_last_tuning: Option<u64>,
+    /// Organizer: whether tuning is paused (cooldown).
+    pub organizer_paused: bool,
+    /// Observed cost of the last closed bucket.
+    pub last_bucket_cost: Cost,
+    /// Actions still queued for barrier drains.
+    pub pending_actions: Vec<ConfigAction>,
+    /// In-flight deferred tuning, if any.
+    pub pending_reconfig: Option<PendingReconfigState>,
+    /// Driver counters: buckets_closed, tunings_run, actions_applied,
+    /// actions_deferred, apply_failures.
+    pub counters: [u64; 5],
+}
+
+// ---------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------
+
+fn write_value(w: &mut ByteWriter, v: &Value) {
+    match v {
+        Value::Int(x) => {
+            w.u8(0);
+            w.i64(*x);
+        }
+        Value::Float(x) => {
+            w.u8(1);
+            w.f64(*x);
+        }
+        Value::Text(s) => {
+            w.u8(2);
+            w.str(s);
+        }
+    }
+}
+
+fn read_value(r: &mut ByteReader) -> Result<Value> {
+    Ok(match r.u8()? {
+        0 => Value::Int(r.i64()?),
+        1 => Value::Float(r.f64()?),
+        2 => Value::Text(r.str()?),
+        other => return Err(Error::invalid(format!("unknown value tag {other}"))),
+    })
+}
+
+fn write_predicate(w: &mut ByteWriter, p: &ScanPredicate) {
+    w.u32(u32::from(p.column.0));
+    w.u8(match p.op {
+        PredicateOp::Eq => 0,
+        PredicateOp::Lt => 1,
+        PredicateOp::Le => 2,
+        PredicateOp::Gt => 3,
+        PredicateOp::Ge => 4,
+        PredicateOp::Between => 5,
+    });
+    write_value(w, &p.value);
+    match &p.upper {
+        Some(upper) => {
+            w.bool(true);
+            write_value(w, upper);
+        }
+        None => w.bool(false),
+    }
+}
+
+fn read_predicate(r: &mut ByteReader) -> Result<ScanPredicate> {
+    let column =
+        ColumnId(u16::try_from(r.u32()?).map_err(|_| Error::invalid("column id overflow"))?);
+    let op = match r.u8()? {
+        0 => PredicateOp::Eq,
+        1 => PredicateOp::Lt,
+        2 => PredicateOp::Le,
+        3 => PredicateOp::Gt,
+        4 => PredicateOp::Ge,
+        5 => PredicateOp::Between,
+        other => return Err(Error::invalid(format!("unknown predicate op {other}"))),
+    };
+    let value = read_value(r)?;
+    let upper = if r.bool()? {
+        Some(read_value(r)?)
+    } else {
+        None
+    };
+    Ok(ScanPredicate {
+        column,
+        op,
+        value,
+        upper,
+    })
+}
+
+fn write_query(w: &mut ByteWriter, q: &Query) {
+    w.u32(q.table().0);
+    w.str(q.table_name());
+    w.usize(q.predicates().len());
+    for p in q.predicates() {
+        write_predicate(w, p);
+    }
+    match q.aggregate() {
+        Some(agg) => {
+            w.bool(true);
+            w.u8(match agg.op {
+                AggregateOp::Count => 0,
+                AggregateOp::Sum => 1,
+                AggregateOp::Avg => 2,
+                AggregateOp::Min => 3,
+                AggregateOp::Max => 4,
+            });
+            w.u32(u32::from(agg.column.0));
+        }
+        None => w.bool(false),
+    }
+    match q.group_by() {
+        Some(col) => {
+            w.bool(true);
+            w.u32(u32::from(col.0));
+        }
+        None => w.bool(false),
+    }
+    w.str(q.label());
+}
+
+fn read_query(r: &mut ByteReader) -> Result<Query> {
+    let table = TableId(r.u32()?);
+    let table_name = r.str()?;
+    let n = r.usize()?;
+    let mut predicates = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        predicates.push(read_predicate(r)?);
+    }
+    let aggregate = if r.bool()? {
+        let op = match r.u8()? {
+            0 => AggregateOp::Count,
+            1 => AggregateOp::Sum,
+            2 => AggregateOp::Avg,
+            3 => AggregateOp::Min,
+            4 => AggregateOp::Max,
+            other => return Err(Error::invalid(format!("unknown aggregate op {other}"))),
+        };
+        let column =
+            ColumnId(u16::try_from(r.u32()?).map_err(|_| Error::invalid("column id overflow"))?);
+        Some(Aggregate { op, column })
+    } else {
+        None
+    };
+    let group_by = if r.bool()? {
+        Some(ColumnId(
+            u16::try_from(r.u32()?).map_err(|_| Error::invalid("column id overflow"))?,
+        ))
+    } else {
+        None
+    };
+    let label = r.str()?;
+    let mut q = Query::new(table, table_name, predicates, aggregate, label);
+    if let Some(col) = group_by {
+        q = q.with_group_by(col);
+    }
+    Ok(q)
+}
+
+fn write_feature(w: &mut ByteWriter, f: Option<FeatureKind>) {
+    match f {
+        None => w.u8(0),
+        Some(FeatureKind::Indexing) => w.u8(1),
+        Some(FeatureKind::Compression) => w.u8(2),
+        Some(FeatureKind::Placement) => w.u8(3),
+        Some(FeatureKind::BufferPool) => w.u8(4),
+    }
+}
+
+fn read_feature(r: &mut ByteReader) -> Result<Option<FeatureKind>> {
+    Ok(match r.u8()? {
+        0 => None,
+        1 => Some(FeatureKind::Indexing),
+        2 => Some(FeatureKind::Compression),
+        3 => Some(FeatureKind::Placement),
+        4 => Some(FeatureKind::BufferPool),
+        other => return Err(Error::invalid(format!("unknown feature tag {other}"))),
+    })
+}
+
+fn write_stored_instance(w: &mut ByteWriter, inst: &StoredInstance) {
+    w.u64(inst.applied_at.raw());
+    write_feature(w, inst.feature);
+    storage_persist::write_config_snapshot(w, &ConfigSnapshot::from(&inst.config));
+    storage_persist::write_actions(w, &inst.actions);
+    w.f64(inst.predicted_cost.0);
+    w.f64(inst.reconfiguration_cost.0);
+    w.f64(inst.observed_before.0);
+    w.opt_f64(inst.observed_after.map(|c| c.0));
+}
+
+fn read_stored_instance(r: &mut ByteReader) -> Result<StoredInstance> {
+    Ok(StoredInstance {
+        applied_at: LogicalTime(r.u64()?),
+        feature: read_feature(r)?,
+        config: (&storage_persist::read_config_snapshot(r)?).into(),
+        actions: storage_persist::read_actions(r)?,
+        predicted_cost: Cost(r.f64()?),
+        reconfiguration_cost: Cost(r.f64()?),
+        observed_before: Cost(r.f64()?),
+        observed_after: r.opt_f64()?.map(Cost),
+    })
+}
+
+fn write_rollback_record(w: &mut ByteWriter, rb: &RollbackRecord) {
+    w.u64(rb.at.raw());
+    storage_persist::write_actions(w, &rb.abandoned_actions);
+    storage_persist::write_config_snapshot(w, &ConfigSnapshot::from(&rb.restored_config));
+    w.str(&rb.cause);
+}
+
+fn read_rollback_record(r: &mut ByteReader) -> Result<RollbackRecord> {
+    Ok(RollbackRecord {
+        at: LogicalTime(r.u64()?),
+        abandoned_actions: storage_persist::read_actions(r)?,
+        restored_config: (&storage_persist::read_config_snapshot(r)?).into(),
+        cause: r.str()?,
+    })
+}
+
+fn write_session_stats(w: &mut ByteWriter, s: &SessionStats) {
+    w.u64(s.session_id);
+    w.u64(s.queries);
+    w.u64(s.errors);
+    w.u64(s.wrong_results);
+    w.f64(s.busy.0);
+    w.u64(s.morsels);
+    w.u64(s.result_digest);
+}
+
+fn read_session_stats(r: &mut ByteReader) -> Result<SessionStats> {
+    Ok(SessionStats {
+        session_id: r.u64()?,
+        queries: r.u64()?,
+        errors: r.u64()?,
+        wrong_results: r.u64()?,
+        busy: Cost(r.f64()?),
+        morsels: r.u64()?,
+        result_digest: r.u64()?,
+    })
+}
+
+fn write_kpi_state(w: &mut ByteWriter, k: &KpiState) {
+    w.usize(k.closed.len());
+    for bucket in &k.closed {
+        w.usize(bucket.len());
+        for &x in bucket {
+            w.f64(x);
+        }
+    }
+    w.usize(k.utilization.len());
+    for &x in &k.utilization {
+        w.f64(x);
+    }
+    w.usize(k.memory.len());
+    for &x in &k.memory {
+        w.usize(x);
+    }
+    w.usize(k.bucket_queries.len());
+    for &x in &k.bucket_queries {
+        w.u64(x);
+    }
+    w.u64(k.queries_total);
+    w.bool(k.utilization_stale);
+}
+
+fn read_kpi_state(r: &mut ByteReader) -> Result<KpiState> {
+    let n = r.usize()?;
+    let mut closed = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        let m = r.usize()?;
+        let mut bucket = Vec::with_capacity(m.min(1 << 16));
+        for _ in 0..m {
+            bucket.push(r.f64()?);
+        }
+        closed.push(bucket);
+    }
+    let n = r.usize()?;
+    let mut utilization = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        utilization.push(r.f64()?);
+    }
+    let n = r.usize()?;
+    let mut memory = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        memory.push(r.usize()?);
+    }
+    let n = r.usize()?;
+    let mut bucket_queries = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        bucket_queries.push(r.u64()?);
+    }
+    Ok(KpiState {
+        closed,
+        utilization,
+        memory,
+        bucket_queries,
+        queries_total: r.u64()?,
+        utilization_stale: r.bool()?,
+    })
+}
+
+fn write_history_state(w: &mut ByteWriter, h: &WorkloadHistoryState) {
+    w.usize(h.templates.len());
+    for (fp, th) in &h.templates {
+        w.u64(*fp);
+        write_query(w, &th.example);
+        w.usize(th.buckets.len());
+        for (&bucket, &count) in &th.buckets {
+            w.u64(bucket);
+            w.f64(count);
+        }
+        w.f64(th.mean_cost.0);
+        w.f64(th.total);
+    }
+    w.usize(h.last_totals.len());
+    for &(fp, exec, cost) in &h.last_totals {
+        w.u64(fp);
+        w.u64(exec);
+        w.f64(cost.0);
+    }
+    match h.span {
+        Some((lo, hi)) => {
+            w.bool(true);
+            w.u64(lo);
+            w.u64(hi);
+        }
+        None => w.bool(false),
+    }
+}
+
+fn read_history_state(r: &mut ByteReader) -> Result<WorkloadHistoryState> {
+    let n = r.usize()?;
+    let mut templates = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let fp = r.u64()?;
+        let example = read_query(r)?;
+        let m = r.usize()?;
+        let mut buckets = std::collections::BTreeMap::new();
+        for _ in 0..m {
+            let bucket = r.u64()?;
+            let count = r.f64()?;
+            buckets.insert(bucket, count);
+        }
+        let mean_cost = Cost(r.f64()?);
+        let total = r.f64()?;
+        templates.push((
+            fp,
+            TemplateHistory {
+                example,
+                buckets,
+                mean_cost,
+                total,
+            },
+        ));
+    }
+    let n = r.usize()?;
+    let mut last_totals = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let fp = r.u64()?;
+        let exec = r.u64()?;
+        let cost = Cost(r.f64()?);
+        last_totals.push((fp, exec, cost));
+    }
+    let span = if r.bool()? {
+        let lo = r.u64()?;
+        let hi = r.u64()?;
+        Some((lo, hi))
+    } else {
+        None
+    };
+    Ok(WorkloadHistoryState {
+        templates,
+        last_totals,
+        span,
+    })
+}
+
+fn write_pending_reconfig(w: &mut ByteWriter, p: &PendingReconfigState) {
+    storage_persist::write_config_snapshot(w, &p.final_config);
+    storage_persist::write_actions(w, &p.actions);
+    w.f64(p.predicted_cost.0);
+    w.f64(p.observed_before.0);
+    w.f64(p.accrued_cost.0);
+}
+
+fn read_pending_reconfig(r: &mut ByteReader) -> Result<PendingReconfigState> {
+    Ok(PendingReconfigState {
+        final_config: storage_persist::read_config_snapshot(r)?,
+        actions: storage_persist::read_actions(r)?,
+        predicted_cost: Cost(r.f64()?),
+        observed_before: Cost(r.f64()?),
+        accrued_cost: Cost(r.f64()?),
+    })
+}
+
+fn write_serving_state(w: &mut ByteWriter, s: &ServingState) {
+    w.u64(s.bucket);
+    write_session_stats(w, &s.stats);
+    w.u64(s.clock);
+    storage_persist::write_config_snapshot(w, &s.config);
+    write_kpi_state(w, &s.kpi);
+    write_history_state(w, &s.history);
+    w.usize(s.plan_cache.len());
+    for (example, executions, total_cost, first_seen, last_seen) in &s.plan_cache {
+        write_query(w, example);
+        w.u64(*executions);
+        w.f64(total_cost.0);
+        w.u64(first_seen.raw());
+        w.u64(last_seen.raw());
+    }
+    w.opt_u64(s.organizer_last_tuning);
+    w.bool(s.organizer_paused);
+    w.f64(s.last_bucket_cost.0);
+    storage_persist::write_actions(w, &s.pending_actions);
+    match &s.pending_reconfig {
+        Some(p) => {
+            w.bool(true);
+            write_pending_reconfig(w, p);
+        }
+        None => w.bool(false),
+    }
+    for &c in &s.counters {
+        w.u64(c);
+    }
+}
+
+fn read_serving_state(r: &mut ByteReader) -> Result<ServingState> {
+    let bucket = r.u64()?;
+    let stats = read_session_stats(r)?;
+    let clock = r.u64()?;
+    let config = storage_persist::read_config_snapshot(r)?;
+    let kpi = read_kpi_state(r)?;
+    let history = read_history_state(r)?;
+    let n = r.usize()?;
+    let mut plan_cache = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let example = read_query(r)?;
+        let executions = r.u64()?;
+        let total_cost = Cost(r.f64()?);
+        let first_seen = LogicalTime(r.u64()?);
+        let last_seen = LogicalTime(r.u64()?);
+        plan_cache.push((example, executions, total_cost, first_seen, last_seen));
+    }
+    let organizer_last_tuning = r.opt_u64()?;
+    let organizer_paused = r.bool()?;
+    let last_bucket_cost = Cost(r.f64()?);
+    let pending_actions = storage_persist::read_actions(r)?;
+    let pending_reconfig = if r.bool()? {
+        Some(read_pending_reconfig(r)?)
+    } else {
+        None
+    };
+    let mut counters = [0u64; 5];
+    for c in &mut counters {
+        *c = r.u64()?;
+    }
+    Ok(ServingState {
+        bucket,
+        stats,
+        clock,
+        config,
+        kpi,
+        history,
+        plan_cache,
+        organizer_last_tuning,
+        organizer_paused,
+        last_bucket_cost,
+        pending_actions,
+        pending_reconfig,
+        counters,
+    })
+}
+
+/// Encodes one serving state (test/bench helper; the manager frames it
+/// into WAL records internally).
+pub fn encode_serving_state(state: &ServingState) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    write_serving_state(&mut w, state);
+    w.into_bytes()
+}
+
+/// Decodes a serving state encoded by [`encode_serving_state`].
+pub fn decode_serving_state(bytes: &[u8]) -> Result<ServingState> {
+    let mut r = ByteReader::new(bytes);
+    let state = read_serving_state(&mut r)?;
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smdb_common::ChunkColumnRef;
+    use smdb_durable::MemPersistence;
+    use smdb_storage::ConfigInstance;
+
+    fn sample_query() -> Query {
+        Query::new(
+            TableId(0),
+            "events",
+            vec![
+                ScanPredicate {
+                    column: ColumnId(0),
+                    op: PredicateOp::Between,
+                    value: Value::Int(4),
+                    upper: Some(Value::Int(9)),
+                },
+                ScanPredicate {
+                    column: ColumnId(2),
+                    op: PredicateOp::Eq,
+                    value: Value::Text("eu".into()),
+                    upper: None,
+                },
+            ],
+            Some(Aggregate {
+                op: AggregateOp::Sum,
+                column: ColumnId(1),
+            }),
+            "range",
+        )
+        .with_group_by(ColumnId(2))
+    }
+
+    fn sample_instance() -> StoredInstance {
+        let mut config = ConfigInstance::default();
+        config
+            .indexes
+            .insert(ChunkColumnRef::new(0, 0, 1), smdb_storage::IndexKind::Hash);
+        config.knobs.buffer_pool_mb = 128.0;
+        StoredInstance {
+            applied_at: LogicalTime(7),
+            feature: Some(FeatureKind::Indexing),
+            config,
+            actions: vec![ConfigAction::CreateIndex {
+                target: ChunkColumnRef::new(0, 0, 1),
+                kind: smdb_storage::IndexKind::Hash,
+            }],
+            predicted_cost: Cost(10.5),
+            reconfiguration_cost: Cost(2.25),
+            observed_before: Cost(20.0),
+            observed_after: None,
+        }
+    }
+
+    fn sample_state() -> ServingState {
+        ServingState {
+            bucket: 9,
+            stats: SessionStats {
+                session_id: 0,
+                queries: 512,
+                errors: 0,
+                wrong_results: 0,
+                busy: Cost(123.5),
+                morsels: 7,
+                result_digest: 0xDEAD_BEEF_CAFE_F00D,
+            },
+            clock: 9,
+            config: ConfigSnapshot::from(&ConfigInstance::default()),
+            kpi: KpiState {
+                closed: vec![vec![1.0, 2.0], vec![0.5]],
+                utilization: vec![0.4, 0.1],
+                memory: vec![4096],
+                bucket_queries: vec![300, 212],
+                queries_total: 512,
+                utilization_stale: false,
+            },
+            history: WorkloadHistoryState {
+                templates: vec![(
+                    42,
+                    TemplateHistory {
+                        example: sample_query(),
+                        buckets: [(3, 5.0), (4, 2.0)].into_iter().collect(),
+                        mean_cost: Cost(1.5),
+                        total: 7.0,
+                    },
+                )],
+                last_totals: vec![(42, 7, Cost(10.5))],
+                span: Some((3, 5)),
+            },
+            plan_cache: vec![(
+                sample_query(),
+                7,
+                Cost(10.5),
+                LogicalTime(3),
+                LogicalTime(4),
+            )],
+            organizer_last_tuning: Some(6),
+            organizer_paused: true,
+            last_bucket_cost: Cost(55.0),
+            pending_actions: vec![ConfigAction::SetKnob {
+                knob: smdb_storage::KnobKind::BufferPoolMb,
+                value: 96.0,
+            }],
+            pending_reconfig: Some(PendingReconfigState {
+                final_config: ConfigSnapshot::from(&ConfigInstance::default()),
+                actions: vec![],
+                predicted_cost: Cost(9.0),
+                observed_before: Cost(11.0),
+                accrued_cost: Cost(0.5),
+            }),
+            counters: [9, 2, 5, 3, 1],
+        }
+    }
+
+    #[test]
+    fn serving_state_roundtrips_byte_identically() {
+        let state = sample_state();
+        let bytes = encode_serving_state(&state);
+        let back = decode_serving_state(&bytes).unwrap();
+        assert_eq!(encode_serving_state(&back), bytes);
+        assert_eq!(back.stats.result_digest, state.stats.result_digest);
+        assert_eq!(back.plan_cache.len(), 1);
+        assert_eq!(
+            back.plan_cache[0].0.instance_fingerprint(),
+            state.plan_cache[0].0.instance_fingerprint(),
+            "recomputed fingerprints must match"
+        );
+        assert_eq!(back.counters, state.counters);
+    }
+
+    #[test]
+    fn manager_logs_and_recovers_boundary_tail() {
+        let p: Arc<dyn Persistence> = Arc::new(MemPersistence::new());
+        let config = DurabilityConfig::default();
+        let manager = DurabilityManager::new(Arc::clone(&p), config.clone());
+        let engine = StorageEngine::default();
+        let mut state = sample_state();
+        state.bucket = 0;
+        manager.take_snapshot(&state, &engine, &[], &[]).unwrap();
+        let inst = sample_instance();
+        manager.log_instance_stored(&inst).unwrap();
+        manager.log_instance_completed(Cost(12.5)).unwrap();
+        state.bucket = 1;
+        manager.log_boundary(&state).unwrap();
+        let rb = RollbackRecord {
+            at: LogicalTime(2),
+            abandoned_actions: vec![],
+            restored_config: ConfigInstance::default(),
+            cause: "test".into(),
+        };
+        manager.log_rollback(&rb).unwrap();
+
+        let rec = recover(p.as_ref(), &config).unwrap().expect("recoverable");
+        assert_eq!(rec.serving.bucket, 1);
+        assert_eq!(rec.replayed_records, 4);
+        assert_eq!(rec.dropped_records, 0);
+        assert_eq!(rec.instances.len(), 1);
+        assert_eq!(rec.instances[0].observed_after, Some(Cost(12.5)));
+        assert_eq!(rec.rollbacks.len(), 1);
+        assert_eq!(rec.rollbacks[0].cause, "test");
+        // Instance round-trips byte-identically.
+        let mut w = ByteWriter::new();
+        write_stored_instance(&mut w, &rec.instances[0]);
+        let mut expected = sample_instance();
+        expected.observed_after = Some(Cost(12.5));
+        let mut w2 = ByteWriter::new();
+        write_stored_instance(&mut w2, &expected);
+        assert_eq!(w.into_bytes(), w2.into_bytes());
+    }
+
+    #[test]
+    fn recover_truncates_corrupt_wal_tail() {
+        let mem = Arc::new(MemPersistence::new());
+        let p: Arc<dyn Persistence> = mem.clone();
+        let config = DurabilityConfig::default();
+        let manager = DurabilityManager::new(Arc::clone(&p), config.clone());
+        let engine = StorageEngine::default();
+        let mut state = sample_state();
+        state.bucket = 0;
+        manager.take_snapshot(&state, &engine, &[], &[]).unwrap();
+        state.bucket = 1;
+        manager.log_boundary(&state).unwrap();
+        state.bucket = 2;
+        manager.log_boundary(&state).unwrap();
+        // Tear the last record.
+        mem.mutate(WAL_NAME, |b| {
+            let cut = b.len() - 7;
+            b.truncate(cut);
+        })
+        .unwrap();
+        let rec = recover(p.as_ref(), &config).unwrap().expect("recoverable");
+        assert_eq!(rec.serving.bucket, 1, "degraded to the last valid prefix");
+        assert_eq!(rec.dropped_records, 1);
+        assert_eq!(rec.wal_records, 1);
+        // The corrupt tail was truncated: a resumed manager's appends
+        // extend the valid prefix.
+        let resumed = DurabilityManager::with_next_seq(Arc::clone(&p), config.clone(), 1);
+        state.bucket = 2;
+        resumed.log_boundary(&state).unwrap();
+        let rec = recover(p.as_ref(), &config).unwrap().expect("recoverable");
+        assert_eq!(rec.serving.bucket, 2);
+        assert_eq!(rec.dropped_records, 0);
+    }
+
+    #[test]
+    fn no_snapshot_means_nothing_to_recover() {
+        let p = MemPersistence::new();
+        assert!(recover(&p, &DurabilityConfig::default()).unwrap().is_none());
+    }
+
+    #[test]
+    fn stats_track_write_amplification() {
+        let p: Arc<dyn Persistence> = Arc::new(MemPersistence::new());
+        let manager = DurabilityManager::new(Arc::clone(&p), DurabilityConfig::default());
+        let engine = StorageEngine::default();
+        let state = sample_state();
+        manager.log_boundary(&state).unwrap();
+        let wal_only = manager.stats();
+        assert_eq!(wal_only.wal_records, 1);
+        assert!((wal_only.write_amplification - 1.0).abs() < 1e-12);
+        manager.take_snapshot(&state, &engine, &[], &[]).unwrap();
+        let with_snap = manager.stats();
+        assert_eq!(with_snap.snapshots_taken, 1);
+        assert!(with_snap.write_amplification > 1.0);
+    }
+
+    #[test]
+    fn cadence_gates_snapshots() {
+        let manager = DurabilityManager::new(
+            Arc::new(MemPersistence::new()),
+            DurabilityConfig {
+                snapshot_every_buckets: 4,
+            },
+        );
+        assert!(!manager.should_snapshot(0));
+        assert!(!manager.should_snapshot(3));
+        assert!(manager.should_snapshot(4));
+        assert!(manager.should_snapshot(8));
+        let off = DurabilityManager::new(
+            Arc::new(MemPersistence::new()),
+            DurabilityConfig {
+                snapshot_every_buckets: 0,
+            },
+        );
+        assert!(!off.should_snapshot(4));
+    }
+}

@@ -337,6 +337,39 @@ impl KpiCollector {
         }
     }
 
+    /// The collector's windows as a serializable value. Taken at a bucket
+    /// boundary (the only place the durability layer calls it) the open
+    /// bucket is empty, so the state is a pure function of the closed
+    /// sample multisets — arrival-order-independent like every other
+    /// boundary statistic.
+    pub fn export_state(&self) -> KpiState {
+        let inner = self.inner.lock();
+        KpiState {
+            closed: inner.closed.iter().cloned().collect(),
+            utilization: inner.utilization.iter().copied().collect(),
+            memory: inner.memory.iter().copied().collect(),
+            bucket_queries: inner.bucket_queries.iter().copied().collect(),
+            queries_total: inner.queries_total,
+            utilization_stale: inner.utilization_stale,
+        }
+    }
+
+    /// Reinstates exported windows (recovery; any open-bucket samples are
+    /// discarded, matching the bucket-boundary export).
+    pub fn restore_state(&self, state: KpiState) {
+        let mut inner = self.inner.lock();
+        inner.closed_len = state.closed.iter().map(Vec::len).sum();
+        inner.closed = state.closed.into();
+        inner.open.clear();
+        inner.utilization = state.utilization.into();
+        inner.memory = state.memory.into();
+        inner.bucket_queries = state.bucket_queries.into();
+        inner.queries_total = state.queries_total;
+        inner.open_bucket_queries = 0;
+        inner.open_bucket_morsels = 0;
+        inner.utilization_stale = state.utilization_stale;
+    }
+
     /// Clears the latency window (used after reconfigurations so the
     /// feedback loop compares before/after cleanly). Also marks the
     /// utilization and throughput figures stale: until the next bucket
@@ -350,6 +383,24 @@ impl KpiCollector {
         inner.open.clear();
         inner.utilization_stale = true;
     }
+}
+
+/// A [`KpiCollector`]'s windows flattened for serialization (taken and
+/// restored at bucket boundaries, where the open bucket is empty).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KpiState {
+    /// Closed latency buckets, oldest first, each sorted.
+    pub closed: Vec<Vec<f64>>,
+    /// Per-bucket utilization history, oldest first.
+    pub utilization: Vec<f64>,
+    /// Memory samples, oldest first.
+    pub memory: Vec<usize>,
+    /// Queries served per closed bucket, oldest first.
+    pub bucket_queries: Vec<u64>,
+    /// Total queries observed.
+    pub queries_total: u64,
+    /// Whether a reset left the utilization figures stale.
+    pub utilization_stale: bool,
 }
 
 /// The `ceil(n·p)`-th smallest element of a sorted slice (0.0 if empty)
@@ -538,6 +589,26 @@ mod tests {
         // the first sample of bucket 4.
         let p_min = k.percentile_response(0.0);
         assert_eq!(p_min.ms(), (4 * 1024) as f64);
+    }
+
+    #[test]
+    fn export_restore_roundtrips_at_bucket_boundary() {
+        let k = KpiCollector::new(Cost(100.0), 0.3);
+        for i in 1..=50 {
+            k.record_query(Cost(i as f64));
+        }
+        k.record_memory(2048);
+        k.end_bucket_accumulated();
+        let state = k.export_state();
+        let restored = KpiCollector::new(Cost(100.0), 0.3);
+        restored.restore_state(state.clone());
+        assert_eq!(restored.snapshot(), k.snapshot());
+        assert_eq!(restored.export_state(), state);
+        // Staleness survives the round trip.
+        k.reset_latencies();
+        let stale = KpiCollector::new(Cost(100.0), 0.3);
+        stale.restore_state(k.export_state());
+        assert_eq!(stale.current_utilization(), None);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod candidate;
 pub mod config_storage;
 pub mod constraints;
 pub mod driver;
+pub mod durability;
 pub mod enumerator;
 pub mod executor;
 pub mod feature;
@@ -46,6 +47,10 @@ pub use constraints::ConstraintSet;
 pub use driver::{
     BucketReport, Driver, DriverBuilder, OrderingPolicy, RollbackReport, TuningRunReport,
     TuningState, TuningTick,
+};
+pub use durability::{
+    recover, DurabilityConfig, DurabilityManager, DurabilityStats, PendingReconfigState,
+    RecoveredState, ServingState,
 };
 pub use enumerator::Enumerator;
 pub use executor::{ExecutionReport, ExecutionStrategy, Executor, SequentialExecutor};

@@ -1,0 +1,301 @@
+//! A minimal binary codec for durable state.
+//!
+//! Everything durable is encoded with these two types, by hand, in
+//! little-endian order. Floats travel as their IEEE-754 bit patterns
+//! ([`f64::to_bits`]) so round-trips are bit-exact — the recovery tests
+//! assert byte-identical re-encoding, which text formats cannot provide
+//! for `f64`. There is no reflection and no schema language: each layer
+//! writes and reads its own fields in a fixed order, and a version tag
+//! at the container level (WAL record tag, snapshot magic) gates layout
+//! evolution.
+
+use smdb_common::{Error, Result};
+
+/// Appends primitive values to a growing byte buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// The bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `i64`, little-endian.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f64` as its bit pattern (bit-exact round-trip).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a `bool` as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Writes a `usize` as `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Writes length-prefixed raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes an `Option<u64>` as a presence byte plus payload.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    /// Writes an `Option<f64>` as a presence byte plus payload.
+    pub fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.f64(x);
+            }
+            None => self.u8(0),
+        }
+    }
+}
+
+/// Reads primitive values back out of an encoded buffer.
+///
+/// Every read is bounds-checked and returns
+/// [`Error::InvalidArgument`](smdb_common::Error::InvalidArgument) on a
+/// truncated or malformed buffer — decoding corrupt durable state must
+/// degrade to an error, never panic.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps a byte slice for reading from the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// Whether the whole buffer has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| {
+                Error::invalid(format!(
+                    "truncated durable record: wanted {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.remaining()
+                ))
+            })?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64> {
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `bool` byte (must be 0 or 1).
+    pub fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(Error::invalid(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    /// Reads a `usize` written as `u64`, checked against the platform.
+    pub fn usize(&mut self) -> Result<usize> {
+        usize::try_from(self.u64()?).map_err(|_| Error::invalid("usize overflows platform"))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::invalid("invalid UTF-8 in durable string"))
+    }
+
+    /// Reads length-prefixed raw bytes.
+    pub fn bytes(&mut self) -> Result<Vec<u8>> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads an `Option<u64>`.
+    pub fn opt_u64(&mut self) -> Result<Option<u64>> {
+        Ok(if self.bool()? {
+            Some(self.u64()?)
+        } else {
+            None
+        })
+    }
+
+    /// Reads an `Option<f64>`.
+    pub fn opt_f64(&mut self) -> Result<Option<f64>> {
+        Ok(if self.bool()? {
+            Some(self.f64()?)
+        } else {
+            None
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX);
+        w.i64(-42);
+        w.f64(-0.0);
+        w.f64(f64::NAN);
+        w.bool(true);
+        w.usize(12345);
+        w.str("héllo");
+        w.bytes(&[1, 2, 3]);
+        w.opt_u64(Some(9));
+        w.opt_u64(None);
+        w.opt_f64(Some(2.5));
+        w.opt_f64(None);
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.f64().unwrap().is_nan());
+        assert!(r.bool().unwrap());
+        assert_eq!(r.usize().unwrap(), 12345);
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.bytes().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.opt_u64().unwrap(), Some(9));
+        assert_eq!(r.opt_u64().unwrap(), None);
+        assert_eq!(r.opt_f64().unwrap(), Some(2.5));
+        assert_eq!(r.opt_f64().unwrap(), None);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_reads_error_without_panicking() {
+        let mut w = ByteWriter::new();
+        w.u64(1);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..3]);
+        assert!(r.u64().is_err());
+        // A huge declared string length must not allocate or panic.
+        let mut w = ByteWriter::new();
+        w.u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.str().is_err());
+        assert!(ByteReader::new(&bytes).bytes().is_err());
+    }
+
+    #[test]
+    fn invalid_bool_and_utf8_are_errors() {
+        let mut r = ByteReader::new(&[2]);
+        assert!(r.bool().is_err());
+        let mut w = ByteWriter::new();
+        w.bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        assert!(ByteReader::new(&bytes).str().is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Torn-write fault injection.
+//!
+//! [`TornWritePersistence`] wraps any backend and sabotages one append:
+//! at the planned attempt index it writes a truncated, bit-flipped or
+//! duplicated version of the record and then *fails* the call — the
+//! moment a real system would have lost power mid-write. The recovery
+//! tests drive a workload into the wrapper, let the fault fire, and
+//! assert that recovery degrades to the last valid WAL prefix instead
+//! of panicking. The attempt-indexed plan mirrors the PR 3
+//! `FaultInjectingExecutor` rollback machinery, so crash points are
+//! deterministic and enumerable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use smdb_common::{Error, Result};
+
+use crate::persist::Persistence;
+
+/// How the sabotaged append mangles its record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TornWriteKind {
+    /// Only the first `offset` bytes of the record reach the backend.
+    Truncate,
+    /// The full record is written with one bit flipped at `offset`
+    /// (clamped to the record; offsets inside the checksum field model
+    /// a corrupted header, offsets in the payload a corrupted body).
+    FlipByte,
+    /// The record is written twice — a replayed tail the reader must
+    /// reject via its sequence check.
+    DuplicateTail,
+}
+
+impl TornWriteKind {
+    /// All kinds, for property tests sweeping the fault matrix.
+    pub const ALL: [TornWriteKind; 3] = [
+        TornWriteKind::Truncate,
+        TornWriteKind::FlipByte,
+        TornWriteKind::DuplicateTail,
+    ];
+
+    /// Stable short name for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TornWriteKind::Truncate => "truncate",
+            TornWriteKind::FlipByte => "flip_byte",
+            TornWriteKind::DuplicateTail => "duplicate_tail",
+        }
+    }
+}
+
+/// When and how to tear a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornWritePlan {
+    /// Zero-based append attempt to sabotage; `None` disables injection.
+    pub failing_attempt: Option<usize>,
+    /// The corruption to apply.
+    pub kind: TornWriteKind,
+    /// Byte offset within the record the corruption anchors at.
+    pub offset: usize,
+}
+
+impl TornWritePlan {
+    /// A plan that never fires.
+    pub fn none() -> Self {
+        TornWritePlan {
+            failing_attempt: None,
+            kind: TornWriteKind::Truncate,
+            offset: 0,
+        }
+    }
+
+    /// Tears append number `attempt` with `kind` at `offset`.
+    pub fn tearing(attempt: usize, kind: TornWriteKind, offset: usize) -> Self {
+        TornWritePlan {
+            failing_attempt: Some(attempt),
+            kind,
+            offset,
+        }
+    }
+}
+
+/// A `Persistence` wrapper that injects one torn write.
+#[derive(Debug)]
+pub struct TornWritePersistence<P> {
+    inner: P,
+    plan: TornWritePlan,
+    appends: AtomicUsize,
+    injected: AtomicUsize,
+}
+
+impl<P: Persistence> TornWritePersistence<P> {
+    /// Wraps `inner` with a fault plan.
+    pub fn new(inner: P, plan: TornWritePlan) -> Self {
+        TornWritePersistence {
+            inner,
+            plan,
+            appends: AtomicUsize::new(0),
+            injected: AtomicUsize::new(0),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Appends attempted so far (including the sabotaged one).
+    pub fn appends(&self) -> usize {
+        // ordering: relaxed statistics read; counters are independent.
+        self.appends.load(Ordering::Relaxed)
+    }
+
+    /// Faults actually injected (0 or 1).
+    pub fn injected(&self) -> usize {
+        // ordering: relaxed statistics read; counters are independent.
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    fn corrupt(&self, data: &[u8]) -> Vec<u8> {
+        match self.plan.kind {
+            TornWriteKind::Truncate => data[..self.plan.offset.min(data.len())].to_vec(),
+            TornWriteKind::FlipByte => {
+                let mut out = data.to_vec();
+                if let Some(byte) = out.get_mut(self.plan.offset.min(data.len().saturating_sub(1)))
+                {
+                    *byte ^= 0x20;
+                }
+                out
+            }
+            TornWriteKind::DuplicateTail => {
+                let mut out = data.to_vec();
+                out.extend_from_slice(data);
+                out
+            }
+        }
+    }
+}
+
+impl<P: Persistence> Persistence for TornWritePersistence<P> {
+    fn append(&self, name: &str, data: &[u8]) -> Result<()> {
+        // ordering: relaxed attempt counter; fetch_add claims each index once.
+        let attempt = self.appends.fetch_add(1, Ordering::Relaxed);
+        if self.plan.failing_attempt == Some(attempt) {
+            // ordering: relaxed statistics add, see injected().
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            let torn = self.corrupt(data);
+            if !torn.is_empty() {
+                self.inner.append(name, &torn)?;
+            }
+            return Err(Error::Configuration(format!(
+                "torn write injected: append {attempt} {} at offset {}",
+                self.plan.kind.label(),
+                self.plan.offset
+            )));
+        }
+        self.inner.append(name, data)
+    }
+
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>> {
+        self.inner.read(name)
+    }
+
+    fn write_atomic(&self, name: &str, data: &[u8]) -> Result<()> {
+        self.inner.write_atomic(name, data)
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        self.inner.list()
+    }
+
+    fn remove(&self, name: &str) -> Result<()> {
+        self.inner.remove(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist::MemPersistence;
+    use crate::wal::Wal;
+
+    fn torn_wal(kind: TornWriteKind, offset: usize) -> TornWritePersistence<MemPersistence> {
+        let p = TornWritePersistence::new(
+            MemPersistence::new(),
+            TornWritePlan::tearing(2, kind, offset),
+        );
+        let wal = Wal::new("wal.log");
+        for (i, body) in [b"aaaa", b"bbbb", b"cccc"].iter().enumerate() {
+            let r = wal.append(&p, i as u64, *body);
+            if i == 2 {
+                assert!(r.is_err(), "fault must fail the append");
+            } else {
+                r.unwrap();
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn truncate_fault_leaves_valid_prefix() {
+        let p = torn_wal(TornWriteKind::Truncate, 5);
+        assert_eq!(p.injected(), 1);
+        let r = Wal::new("wal.log").read(&p).unwrap();
+        assert_eq!(r.records.len(), 2);
+        assert_eq!(r.dropped_records, 1);
+    }
+
+    #[test]
+    fn flip_fault_leaves_valid_prefix() {
+        // Offset 9 lands in the payload (seq field) of the torn frame.
+        let p = torn_wal(TornWriteKind::FlipByte, 9);
+        let r = Wal::new("wal.log").read(&p).unwrap();
+        assert_eq!(r.records.len(), 2);
+        assert_eq!(r.dropped_records, 1);
+    }
+
+    #[test]
+    fn duplicate_fault_replays_nothing_extra() {
+        let p = torn_wal(TornWriteKind::DuplicateTail, 0);
+        let r = Wal::new("wal.log").read(&p).unwrap();
+        // The first copy of record 2 is intact and in sequence; only
+        // its duplicate is rejected.
+        assert_eq!(r.records.len(), 3);
+        assert_eq!(r.dropped_records, 1);
+    }
+
+    #[test]
+    fn plan_none_never_fires() {
+        let p = TornWritePersistence::new(MemPersistence::new(), TornWritePlan::none());
+        let wal = Wal::new("wal.log");
+        for i in 0..10u64 {
+            wal.append(&p, i, b"x").unwrap();
+        }
+        assert_eq!(p.injected(), 0);
+        assert_eq!(p.appends(), 10);
+        assert_eq!(wal.read(&p).unwrap().records.len(), 10);
+    }
+
+    #[test]
+    fn truncate_to_zero_writes_nothing() {
+        let p = TornWritePersistence::new(
+            MemPersistence::new(),
+            TornWritePlan::tearing(0, TornWriteKind::Truncate, 0),
+        );
+        assert!(Wal::new("wal.log").append(&p, 0, b"body").is_err());
+        assert_eq!(p.inner().read("wal.log").unwrap(), None);
+    }
+}

@@ -111,6 +111,54 @@ impl WorkloadHistory {
         keys.sort_unstable();
         keys.into_iter().map(move |k| (k, &self.templates[&k]))
     }
+
+    /// The full history as a deterministic, serializable value (sorted by
+    /// fingerprint — the hash-map iteration order never leaks out).
+    pub fn export_state(&self) -> WorkloadHistoryState {
+        let mut templates: Vec<(u64, TemplateHistory)> = self
+            .templates
+            .iter()
+            .map(|(&fp, th)| (fp, th.clone()))
+            .collect();
+        templates.sort_by_key(|(fp, _)| *fp);
+        let mut last_totals: Vec<(u64, u64, Cost)> = self
+            .last_totals
+            .iter()
+            .map(|(&fp, &(exec, cost))| (fp, exec, cost))
+            .collect();
+        last_totals.sort_by_key(|(fp, _, _)| *fp);
+        WorkloadHistoryState {
+            templates,
+            last_totals,
+            span: self.span,
+        }
+    }
+
+    /// Rebuilds a history from exported state.
+    pub fn restore_state(state: WorkloadHistoryState) -> Self {
+        WorkloadHistory {
+            templates: state.templates.into_iter().collect(),
+            last_totals: state
+                .last_totals
+                .into_iter()
+                .map(|(fp, exec, cost)| (fp, (exec, cost)))
+                .collect(),
+            span: state.span,
+        }
+    }
+}
+
+/// A [`WorkloadHistory`] flattened for serialization: plain sorted
+/// vectors instead of hash maps, so encoding is deterministic.
+#[derive(Debug, Clone)]
+pub struct WorkloadHistoryState {
+    /// `(template fingerprint, history)`, sorted by fingerprint.
+    pub templates: Vec<(u64, TemplateHistory)>,
+    /// `(template fingerprint, cumulative executions, cumulative cost)`
+    /// at the previous snapshot, sorted by fingerprint.
+    pub last_totals: Vec<(u64, u64, Cost)>,
+    /// First and last observed bucket.
+    pub span: Option<(u64, u64)>,
 }
 
 #[cfg(test)]

@@ -31,6 +31,6 @@ pub mod scenario;
 
 pub use analyzer::WorkloadAnalyzer;
 pub use ensemble::{EnsembleAnalyzer, HoltSmoothing};
-pub use history::WorkloadHistory;
+pub use history::{TemplateHistory, WorkloadHistory, WorkloadHistoryState};
 pub use predictor::{PredictorConfig, WorkloadPredictor};
 pub use scenario::{ForecastSet, ScenarioKind, WorkloadScenario};

@@ -5,14 +5,15 @@
 //! ```text
 //! layer 0   common
 //! layer 1   obs
-//! layer 2   storage   lp
-//! layer 3   query
-//! layer 4   cost   forecast   workload
-//! layer 5   core
-//! layer 6   shard
-//! layer 7   runtime
-//! layer 8   bench
-//! layer 9   smdb (root facade)
+//! layer 2   durable   lp
+//! layer 3   storage
+//! layer 4   query
+//! layer 5   cost   forecast   workload
+//! layer 6   core
+//! layer 7   shard
+//! layer 8   runtime
+//! layer 9   bench
+//! layer 10  smdb (root facade)
 //! outside   lint  (may use common + lp only; nothing may use lint)
 //! ```
 //!
@@ -35,17 +36,18 @@ use crate::scan::ScannedFile;
 const LAYERS: &[(&str, u32)] = &[
     ("common", 0),
     ("obs", 1),
-    ("storage", 2),
+    ("durable", 2),
     ("lp", 2),
-    ("query", 3),
-    ("cost", 4),
-    ("forecast", 4),
-    ("workload", 4),
-    ("core", 5),
-    ("shard", 6),
-    ("runtime", 7),
-    ("bench", 8),
-    ("smdb", 9),
+    ("storage", 3),
+    ("query", 4),
+    ("cost", 5),
+    ("forecast", 5),
+    ("workload", 5),
+    ("core", 6),
+    ("shard", 7),
+    ("runtime", 8),
+    ("bench", 9),
+    ("smdb", 10),
 ];
 
 /// Crates `lint` may reference (it audits the others' *source*, not

@@ -188,9 +188,9 @@ fn run_check_trail(path: &std::path::Path) -> ExitCode {
     match smdb_lint::validate_trail(&doc) {
         Ok(summary) => {
             println!(
-                "{}: valid smdb-trail/v{} trail, {} events ({} decisions)",
+                "{}: valid {} trail, {} events ({} decisions)",
                 path.display(),
-                summary.schema_version,
+                summary.schema_label(),
                 summary.events,
                 summary.decisions
             );

@@ -74,7 +74,27 @@ const EVENT_KINDS: &[(&str, &[(&str, FieldType)])] = &[
             ("shares", FieldType::U64Array),
         ],
     ),
+    (
+        "snapshot_taken",
+        &[
+            ("bucket", FieldType::U64),
+            ("wal_records", FieldType::U64),
+            ("bytes", FieldType::U64),
+        ],
+    ),
+    (
+        "recovered",
+        &[
+            ("bucket", FieldType::U64),
+            ("replayed_records", FieldType::U64),
+            ("dropped_records", FieldType::U64),
+        ],
+    ),
 ];
+
+/// Kinds introduced by smdb-trail/v2.1; older documents must not
+/// contain them, so pre-durability consumers never see them unannounced.
+const V2_1_KINDS: &[&str] = &["snapshot_taken", "recovered"];
 
 #[derive(Debug, Clone, Copy)]
 enum FieldType {
@@ -127,19 +147,22 @@ impl FieldType {
 /// strictly increasing `seq`, a known `event` kind, a numeric `at`, and
 /// that kind's required fields with the right types.
 ///
-/// Two schema versions coexist. A document with no top-level `schema`
+/// Three schema versions coexist. A document with no top-level `schema`
 /// field (or `"smdb-trail/v1"`) is **v1** — the single-engine trail,
 /// byte-compatible with every trail committed before sharding.
 /// `"smdb-trail/v2"` additionally allows an optional per-event `shard`
 /// attribution (shard-stamped and merged multi-recorder trails); the
 /// `shard` field in a v1 document is an error, so old consumers never
-/// see it unannounced.
+/// see it unannounced. `"smdb-trail/v2.1"` additionally allows the
+/// durability event kinds (`snapshot_taken` / `recovered`); those kinds
+/// in a lower-versioned document are an error for the same reason.
 pub fn validate_trail(doc: &Json) -> Result<TrailSummary, String> {
     let schema_version = match doc.get("schema") {
         None => 1,
         Some(s) => match s.as_str() {
             Some("smdb-trail/v1") => 1,
             Some("smdb-trail/v2") => 2,
+            Some("smdb-trail/v2.1") => 3,
             Some(other) => return Err(format!("trail: unknown schema `{other}`")),
             None => return Err("trail: `schema` must be a string".into()),
         },
@@ -189,6 +212,11 @@ pub fn validate_trail(doc: &Json) -> Result<TrailSummary, String> {
             .find(|(k, _)| *k == kind)
             .map(|(_, fields)| *fields)
             .ok_or_else(|| format!("trail: event #{i} (seq {seq}): unknown kind `{kind}`"))?;
+        if schema_version < 3 && V2_1_KINDS.contains(&kind) {
+            return Err(format!(
+                "trail: event #{i} (seq {seq}): `{kind}` requires smdb-trail/v2.1"
+            ));
+        }
         event
             .get("at")
             .and_then(Json::as_u64)
@@ -239,6 +267,18 @@ pub struct TrailSummary {
     pub decisions: usize,
     /// Declared schema version (1 when the `schema` field is absent).
     pub schema_version: u32,
+}
+
+impl TrailSummary {
+    /// The wire name of the declared schema (the internal version
+    /// counter is ordinal — v2.1 is version 3).
+    pub fn schema_label(&self) -> &'static str {
+        match self.schema_version {
+            1 => "smdb-trail/v1",
+            2 => "smdb-trail/v2",
+            _ => "smdb-trail/v2.1",
+        }
+    }
 }
 
 #[cfg(test)]
@@ -327,6 +367,64 @@ mod tests {
                 .unwrap();
         let err = validate_trail(&doc).unwrap_err();
         assert!(err.contains("unknown schema"), "{err}");
+    }
+
+    #[test]
+    fn accepts_a_v2_1_trail_with_durability_events() {
+        let doc = parse(
+            r#"{
+              "schema": "smdb-trail/v2.1",
+              "capacity": 8,
+              "dropped": 0,
+              "events": [
+                {"seq": 0, "event": "snapshot_taken", "at": 4,
+                 "bucket": 4, "wal_records": 9, "bytes": 2048},
+                {"seq": 1, "event": "recovered", "at": 7,
+                 "bucket": 7, "replayed_records": 3, "dropped_records": 1},
+                {"seq": 2, "event": "tuning_triggered", "at": 8,
+                 "trigger": "SlaViolation", "shard": 0}
+              ]
+            }"#,
+        )
+        .expect("parses");
+        let summary = validate_trail(&doc).expect("valid v2.1");
+        assert_eq!(
+            summary,
+            TrailSummary {
+                events: 3,
+                decisions: 3,
+                schema_version: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_durability_kinds_below_v2_1() {
+        // v1 (no schema tag) must not smuggle in recovery events …
+        let doc = parse(
+            r#"{"capacity": 4, "dropped": 0, "events": [
+                 {"seq": 0, "event": "recovered", "at": 1,
+                  "bucket": 1, "replayed_records": 0, "dropped_records": 0}]}"#,
+        )
+        .unwrap();
+        let err = validate_trail(&doc).unwrap_err();
+        assert!(
+            err.contains("`recovered` requires smdb-trail/v2.1"),
+            "{err}"
+        );
+
+        // … and neither may an explicit v2 document.
+        let doc = parse(
+            r#"{"schema": "smdb-trail/v2", "capacity": 4, "dropped": 0, "events": [
+                 {"seq": 0, "event": "snapshot_taken", "at": 1,
+                  "bucket": 1, "wal_records": 2, "bytes": 64}]}"#,
+        )
+        .unwrap();
+        let err = validate_trail(&doc).unwrap_err();
+        assert!(
+            err.contains("`snapshot_taken` requires smdb-trail/v2.1"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -429,6 +527,8 @@ mod tests {
             "instance_stored",
             "action_rolled_back",
             "budget_rebalanced",
+            "snapshot_taken",
+            "recovered",
         ];
         assert_eq!(EVENT_KINDS.len(), kinds.len());
         for k in kinds {

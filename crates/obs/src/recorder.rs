@@ -94,6 +94,24 @@ pub enum TrailEvent {
         used_bytes: u64,
         shares: Vec<u64>,
     },
+    /// A durability snapshot of the full serving state was taken
+    /// (smdb-trail/v2.1): the bucket it covers, how many WAL records it
+    /// supersedes, and the stored blob size.
+    SnapshotTaken {
+        at: u64,
+        bucket: u64,
+        wal_records: u64,
+        bytes: u64,
+    },
+    /// The driver recovered from durable state (smdb-trail/v2.1): the
+    /// bucket serving resumes after, WAL records replayed over the
+    /// snapshot, and records dropped to reach the last valid prefix.
+    Recovered {
+        at: u64,
+        bucket: u64,
+        replayed_records: u64,
+        dropped_records: u64,
+    },
 }
 
 impl TrailEvent {
@@ -111,7 +129,18 @@ impl TrailEvent {
             TrailEvent::InstanceStored { .. } => "instance_stored",
             TrailEvent::ActionRolledBack { .. } => "action_rolled_back",
             TrailEvent::BudgetRebalanced { .. } => "budget_rebalanced",
+            TrailEvent::SnapshotTaken { .. } => "snapshot_taken",
+            TrailEvent::Recovered { .. } => "recovered",
         }
+    }
+
+    /// Whether this is a durability event, introduced by smdb-trail/v2.1
+    /// (earlier trail documents keep their original schema tags).
+    pub fn is_recovery(&self) -> bool {
+        matches!(
+            self,
+            TrailEvent::SnapshotTaken { .. } | TrailEvent::Recovered { .. }
+        )
     }
 
     /// Whether this is a tuning-thread *decision* (everything except
@@ -246,6 +275,28 @@ impl TrailEvent {
                     Json::Arr(shares.iter().map(|&s| Json::Num(s as f64)).collect()),
                 ),
             ],
+            TrailEvent::SnapshotTaken {
+                at,
+                bucket,
+                wal_records,
+                bytes,
+            } => vec![
+                ("at", Json::Num(*at as f64)),
+                ("bucket", Json::Num(*bucket as f64)),
+                ("wal_records", Json::Num(*wal_records as f64)),
+                ("bytes", Json::Num(*bytes as f64)),
+            ],
+            TrailEvent::Recovered {
+                at,
+                bucket,
+                replayed_records,
+                dropped_records,
+            } => vec![
+                ("at", Json::Num(*at as f64)),
+                ("bucket", Json::Num(*bucket as f64)),
+                ("replayed_records", Json::Num(*replayed_records as f64)),
+                ("dropped_records", Json::Num(*dropped_records as f64)),
+            ],
         }
     }
 
@@ -281,7 +332,9 @@ impl TrailEvent {
             | TrailEvent::SliceDeferred { at, .. }
             | TrailEvent::InstanceStored { at, .. }
             | TrailEvent::ActionRolledBack { at, .. }
-            | TrailEvent::BudgetRebalanced { at, .. } => *at,
+            | TrailEvent::BudgetRebalanced { at, .. }
+            | TrailEvent::SnapshotTaken { at, .. }
+            | TrailEvent::Recovered { at, .. } => *at,
         }
     }
 }
@@ -388,11 +441,17 @@ impl FlightRecorder {
 
     /// The whole trail as JSON. Shard-stamped recorders export
     /// smdb-trail/v2 (a top-level `schema` tag plus per-event `shard`);
-    /// plain recorders keep the original v1 shape.
+    /// plain recorders keep the original v1 shape. Trails containing
+    /// durability events (snapshot_taken / recovered) are tagged
+    /// smdb-trail/v2.1, which introduces those kinds — so pre-existing
+    /// v1/v2 documents stay byte-identical.
     pub fn to_json(&self) -> Json {
         let inner = self.inner.lock();
         let mut fields = Vec::new();
-        if self.shard.is_some() {
+        let has_recovery = inner.events.iter().any(|(_, e)| e.is_recovery());
+        if has_recovery {
+            fields.push(("schema", Json::Str("smdb-trail/v2.1".to_string())));
+        } else if self.shard.is_some() {
             fields.push(("schema", Json::Str("smdb-trail/v2".to_string())));
         }
         fields.push(("capacity", Json::Num(self.capacity as f64)));
@@ -427,8 +486,13 @@ impl FlightRecorder {
             }
         }
         all.sort_by_key(|(at, seq, order, _, _)| (*at, *order, *seq));
+        let schema = if all.iter().any(|(_, _, _, e, _)| e.is_recovery()) {
+            "smdb-trail/v2.1"
+        } else {
+            "smdb-trail/v2"
+        };
         Json::obj(vec![
-            ("schema", Json::Str("smdb-trail/v2".to_string())),
+            ("schema", Json::Str(schema.to_string())),
             ("capacity", Json::Num(capacity as f64)),
             ("dropped", Json::Num(dropped as f64)),
             (
@@ -572,6 +636,39 @@ mod tests {
             Some(2)
         );
         assert_eq!(events[3].get("shard").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn recovery_events_bump_schema_to_v2_1() {
+        let rec = FlightRecorder::new(8);
+        rec.record(closed(0));
+        assert!(rec.to_json().get("schema").is_none());
+        rec.record(TrailEvent::SnapshotTaken {
+            at: 1,
+            bucket: 0,
+            wal_records: 3,
+            bytes: 128,
+        });
+        assert_eq!(
+            rec.to_json().get("schema").and_then(Json::as_str),
+            Some("smdb-trail/v2.1")
+        );
+        rec.record(TrailEvent::Recovered {
+            at: 2,
+            bucket: 1,
+            replayed_records: 2,
+            dropped_records: 1,
+        });
+        let events = rec.to_json();
+        let events = events.get("events").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            events[2].get("event").and_then(Json::as_str),
+            Some("recovered")
+        );
+        assert_eq!(
+            events[2].get("dropped_records").and_then(Json::as_u64),
+            Some(1)
+        );
     }
 
     #[test]

@@ -201,6 +201,13 @@ impl Database {
         LogicalTime(self.clock.fetch_add(1, Ordering::Relaxed) + 1)
     }
 
+    /// Sets the logical clock to `at` — recovery only, so a restored
+    /// database resumes bucket numbering where the crashed run stopped.
+    pub fn restore_clock(&self, at: LogicalTime) {
+        // ordering: relaxed clock restore; recovery is single-threaded.
+        self.clock.store(at.0, Ordering::Relaxed);
+    }
+
     /// Executes a query: scans the engine and, when monitoring is on,
     /// records the execution in the plan cache.
     pub fn run_query(&self, query: &Query) -> Result<QueryRunResult> {

@@ -165,6 +165,37 @@ impl PlanCache {
         self.entries.get(&fingerprint)
     }
 
+    /// Reinstates one entry from durable state: the template and the
+    /// representative's rank are recomputed from `example`, so a
+    /// restored cache is indistinguishable from one that only ever saw
+    /// the surviving instances.
+    pub fn restore_entry(
+        &mut self,
+        example: Query,
+        executions: u64,
+        total_cost: Cost,
+        first_seen: LogicalTime,
+        last_seen: LogicalTime,
+    ) {
+        let fp = example.fingerprint();
+        if self.entries.len() >= self.max_entries && !self.entries.contains_key(&fp) {
+            self.evict_lru();
+        }
+        let rank = example_rank(&example);
+        self.entries.insert(
+            fp,
+            PlanCacheEntry {
+                template: example.template(),
+                example_rank: rank,
+                example,
+                executions,
+                total_cost,
+                first_seen,
+                last_seen,
+            },
+        );
+    }
+
     /// A point-in-time snapshot of all entries (cloned, so the predictor
     /// can analyse without holding the cache lock).
     pub fn snapshot(&self) -> Vec<PlanCacheEntry> {

@@ -22,11 +22,13 @@
 //! merged result digest is identical for any worker count.
 
 pub mod fault;
+pub mod recover;
 pub mod runtime;
 pub mod sharded;
 pub mod stream;
 
 pub use fault::{FaultInjectingExecutor, FaultPlan};
-pub use runtime::{Runtime, RuntimeConfig, SoakOutcome, TunerReport};
+pub use recover::{recover_and_resume, recover_runtime, RecoverOutcome};
+pub use runtime::{KillSpec, Runtime, RuntimeConfig, SoakOutcome, TunerReport};
 pub use sharded::{MtSoakConfig, MtSoakOutcome, ShardedRuntime, TenantStats};
 pub use stream::{events_database, generate, BucketPlan, Phase, StreamConfig};

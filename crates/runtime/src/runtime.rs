@@ -32,7 +32,10 @@ use std::sync::mpsc;
 use std::sync::Arc;
 
 use smdb_common::{Cost, Error, Result};
-use smdb_core::{ConstraintSet, Driver, FeatureKind, OrganizerConfig, TuningState, TuningTick};
+use smdb_core::{
+    ConstraintSet, Driver, DurabilityManager, DurabilityStats, FeatureKind, OrganizerConfig,
+    TuningState, TuningTick,
+};
 use smdb_obs::span;
 use smdb_query::{Database, Query, ResultOracle, Session, SessionStats};
 
@@ -126,6 +129,37 @@ pub struct SoakOutcome {
     pub tuned_mean: Cost,
     /// p95 response over the last heavy bucket (tuned).
     pub tuned_p95: Cost,
+    /// Durability write KPIs (WAL records/bytes, snapshots, write
+    /// amplification); `None` for in-memory runs.
+    pub durability: Option<DurabilityStats>,
+}
+
+/// Where a kill-and-recover run hard-stops: after serving the first
+/// `after_queries` queries of bucket `bucket`, before the bucket closes
+/// or any boundary is logged — a crash mid-bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillSpec {
+    /// Plan index of the bucket to die in.
+    pub bucket: usize,
+    /// Queries of that bucket served before the stop.
+    pub after_queries: usize,
+}
+
+/// How a run enters the serving loop: fresh from bucket 0, or resumed
+/// from a recovered boundary.
+#[derive(Debug, Clone, Default)]
+struct RunControl {
+    /// First plan index to serve.
+    start_bucket: usize,
+    /// Cumulative stats carried over from the recovered boundary.
+    initial_stats: SessionStats,
+    /// Re-send the restored boundary's tick before serving: the
+    /// decision that was in flight when the run died is re-made from the
+    /// identical restored state, so the resumed run's tuning sequence
+    /// matches the uninterrupted one.
+    resume_tick: bool,
+    /// Hard-stop point (kill-and-recover soak).
+    kill: Option<KillSpec>,
 }
 
 /// The serving runtime: a database, its driver, and the fault-injecting
@@ -141,23 +175,42 @@ impl Runtime {
     /// Wires a driver (indexing + compression, low-utilization-gated
     /// fault-injecting executor) around `db`.
     pub fn new(db: Arc<Database>, config: RuntimeConfig) -> Runtime {
+        Self::build(db, config, None)
+    }
+
+    /// Like [`Runtime::new`], but the driver persists its state through
+    /// `durability` (WAL + snapshots) so a killed run can recover.
+    pub fn new_durable(
+        db: Arc<Database>,
+        config: RuntimeConfig,
+        durability: Arc<DurabilityManager>,
+    ) -> Runtime {
+        Self::build(db, config, Some(durability))
+    }
+
+    fn build(
+        db: Arc<Database>,
+        config: RuntimeConfig,
+        durability: Option<Arc<DurabilityManager>>,
+    ) -> Runtime {
         let executor = FaultInjectingExecutor::during_low_utilization(config.fault_plan.clone());
-        let driver = Arc::new(
-            Driver::builder(db.clone())
-                .features(vec![FeatureKind::Indexing, FeatureKind::Compression])
-                .executor(Box::new(executor.clone()))
-                .organizer(OrganizerConfig {
-                    cost_delta_threshold: config.cost_delta_threshold,
-                    min_interval: config.min_tuning_interval,
-                    require_low_utilization: false,
-                })
-                .constraints(ConstraintSet {
-                    sla_p95_response: config.sla_p95,
-                    ..ConstraintSet::none()
-                })
-                .kpi_bucket_capacity(config.bucket_capacity)
-                .build(),
-        );
+        let mut builder = Driver::builder(db.clone())
+            .features(vec![FeatureKind::Indexing, FeatureKind::Compression])
+            .executor(Box::new(executor.clone()))
+            .organizer(OrganizerConfig {
+                cost_delta_threshold: config.cost_delta_threshold,
+                min_interval: config.min_tuning_interval,
+                require_low_utilization: false,
+            })
+            .constraints(ConstraintSet {
+                sla_p95_response: config.sla_p95,
+                ..ConstraintSet::none()
+            })
+            .kpi_bucket_capacity(config.bucket_capacity);
+        if let Some(d) = durability {
+            builder = builder.durability(d);
+        }
+        let driver = Arc::new(builder.build());
         if config.scan_threads > 1 {
             db.set_scan_pool(
                 Some(smdb_storage::ScanPool::new(config.scan_threads)),
@@ -187,15 +240,76 @@ impl Runtime {
     /// Serves the whole plan. Returns the merged statistics, the final
     /// tuning state and cold-vs-tuned latency figures.
     pub fn run(&self, plan: &[BucketPlan]) -> Result<SoakOutcome> {
+        self.run_range(plan, RunControl::default())?
+            .ok_or_else(|| Error::invalid("run without a kill spec cannot be killed"))
+    }
+
+    /// Serves the plan until the kill point, then hard-stops: the bucket
+    /// is left unclosed, no boundary is logged, and nothing is flushed —
+    /// exactly the state a crash mid-bucket leaves behind. The runtime
+    /// (and its driver) must be discarded afterwards; recovery builds a
+    /// fresh one from the durable store.
+    pub fn run_killed(&self, plan: &[BucketPlan], kill: KillSpec) -> Result<()> {
+        if kill.bucket >= plan.len() {
+            return Err(Error::invalid("kill bucket beyond the plan"));
+        }
+        match self.run_range(
+            plan,
+            RunControl {
+                kill: Some(kill),
+                ..RunControl::default()
+            },
+        )? {
+            None => Ok(()),
+            Some(_) => Err(Error::invalid("kill point was never reached")),
+        }
+    }
+
+    /// Resumes serving at `start_bucket` with the recovered cumulative
+    /// `stats` — the driver must already hold the restored state (see
+    /// [`crate::recover`]). Re-sends the restored boundary's tick first,
+    /// so the tuning decision that was in flight at the crash is re-made
+    /// from the identical state.
+    pub fn run_resumed(
+        &self,
+        plan: &[BucketPlan],
+        start_bucket: u64,
+        stats: SessionStats,
+    ) -> Result<SoakOutcome> {
+        self.run_range(
+            plan,
+            RunControl {
+                start_bucket: start_bucket as usize,
+                initial_stats: stats,
+                resume_tick: true,
+                kill: None,
+            },
+        )?
+        .ok_or_else(|| Error::invalid("resumed run cannot be killed"))
+    }
+
+    /// The serving loop. Returns `None` when the run died at its kill
+    /// point, `Some(outcome)` when the plan completed.
+    fn run_range(&self, plan: &[BucketPlan], control: RunControl) -> Result<Option<SoakOutcome>> {
         let oracle = Arc::new(ResultOracle::capture(
             &self.db,
             plan.iter().flat_map(|b| b.queries.iter()),
         )?);
 
-        let mut total = SessionStats::default();
+        let mut total = control.initial_stats.clone();
         let mut bucket_latencies: Vec<(Phase, Vec<f64>)> = Vec::with_capacity(plan.len());
         let mut buckets_served = 0usize;
         let mut barrier = BarrierState::default();
+        let mut killed = false;
+
+        // A fresh durable run starts with a full snapshot (version 0), so
+        // recovery has a base whatever the crash point. A resumed run
+        // already has one.
+        if let Some(d) = self.driver.durability() {
+            if control.start_bucket == 0 && d.wal_records() == 0 {
+                self.driver.persist_snapshot(0, &total)?;
+            }
+        }
 
         let mut tuner_report = std::thread::scope(|scope| -> Result<TunerReport> {
             // Capacity 1: the control thread may serve at most one bucket
@@ -208,8 +322,24 @@ impl Runtime {
                 scope.spawn(move || tuner_loop(&driver, &config, &tick_rx, &ack_tx))
             };
             let mut in_flight = false;
-            for bucket in plan {
+            if control.resume_tick && control.start_bucket > 0 {
+                // The boundary record is written from exactly the state
+                // its tick is built from, so this tick equals the one the
+                // dying run had in flight.
+                if tick_tx.send(Some(self.driver.tick())).is_ok() {
+                    in_flight = true;
+                }
+            }
+            for (idx, bucket) in plan.iter().enumerate().skip(control.start_bucket) {
                 let _span = span!("runtime", "bucket", { queries: bucket.queries.len() });
+                if let Some(kill) = control.kill.filter(|k| k.bucket == idx) {
+                    // Crash mid-bucket: serve a prefix, then stop dead —
+                    // no ack, no close, no boundary record.
+                    let n = kill.after_queries.min(bucket.queries.len());
+                    let _ = self.serve_bucket(&bucket.queries[..n], &oracle)?;
+                    killed = true;
+                    break;
+                }
                 let (stats, latencies) = self.serve_bucket(&bucket.queries, &oracle)?;
                 total.merge(&stats);
                 bucket_latencies.push((bucket.phase, latencies));
@@ -229,6 +359,10 @@ impl Runtime {
                 // Barrier: apply whatever the tuning thread queued, in
                 // budgeted slices, strictly between buckets.
                 self.barrier_drain(&mut barrier)?;
+                // Boundary record first, tick second, both from the same
+                // settled state: recovery restores the boundary and
+                // re-sends the identical tick.
+                self.driver.persist_boundary((idx + 1) as u64, &total)?;
                 // The drain may have reset the KPI window — build the tick
                 // the tuning thread sees only now.
                 if tick_tx.send(Some(self.driver.tick())).is_err() {
@@ -246,6 +380,9 @@ impl Runtime {
         })?;
         tuner_report.drained = barrier.drained;
         tuner_report.failures_handled = barrier.failures_handled;
+        if killed {
+            return Ok(None);
+        }
 
         // Post-workload cooldown: idle buckets drain whatever is still
         // queued so the run ends with a settled configuration.
@@ -263,7 +400,7 @@ impl Runtime {
 
         let (cold_mean, cold_p95) = heavy_metrics(&bucket_latencies, true);
         let (tuned_mean, tuned_p95) = heavy_metrics(&bucket_latencies, false);
-        Ok(SoakOutcome {
+        Ok(Some(SoakOutcome {
             stats: total,
             buckets_served,
             tuning: self.driver.tuning_state(),
@@ -274,7 +411,8 @@ impl Runtime {
             cold_p95,
             tuned_mean,
             tuned_p95,
-        })
+            durability: self.driver.durability().map(|d| d.stats()),
+        }))
     }
 
     /// One barrier drain step: applies a budgeted slice of queued

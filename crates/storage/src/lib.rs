@@ -51,6 +51,7 @@ pub mod index;
 pub mod kernels;
 pub mod memory;
 pub mod parallel;
+pub mod persist;
 pub mod placement;
 pub mod scan;
 pub mod schema;

@@ -70,6 +70,7 @@
 pub use smdb_common as common;
 pub use smdb_core as core;
 pub use smdb_cost as cost;
+pub use smdb_durable as durable;
 pub use smdb_forecast as forecast;
 pub use smdb_lp as lp;
 pub use smdb_obs as obs;

@@ -4,16 +4,15 @@
 //! at the bottom exercise the full online loop — worker pool, live
 //! tuning thread, injected apply failures and rollback.
 
+mod harness;
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use smdb::common::json::Json;
-use smdb::common::{ChunkColumnRef, ColumnId, Cost, TableId};
+use smdb::common::{ChunkColumnRef, ColumnId, TableId};
 use smdb::obs::TrailEvent;
 use smdb::query::{Database, Query};
-use smdb::runtime::{
-    events_database, generate, BucketPlan, FaultPlan, Runtime, RuntimeConfig, StreamConfig,
-};
 use smdb::storage::value::ColumnValues;
 use smdb::storage::{
     ColumnDef, ConfigAction, DataType, IndexKind, ScanPredicate, Schema, StorageEngine, Table,
@@ -168,35 +167,12 @@ fn monitoring_is_thread_safe_under_contention() {
     assert_eq!(db.plan_cache().get(fp).expect("entry").executions, 800);
 }
 
-/// The bench `soak` binary's fixture, reused verbatim so the tier-1
-/// gate and `BENCH_runtime.json` measure the same scenario.
-fn soak_fixture() -> (Arc<Database>, Vec<BucketPlan>) {
-    let (db, table) = events_database(24, 1_000).expect("fixture builds");
-    let stream = StreamConfig {
-        buckets: 40,
-        ..StreamConfig::default()
-    };
-    (db, generate(table, 24_000, &stream))
-}
-
-fn soak_runtime(db: Arc<Database>, workers: usize) -> Runtime {
-    Runtime::new(
-        db,
-        RuntimeConfig {
-            workers,
-            bucket_capacity: Cost(800.0),
-            slice_budget: 6,
-            fault_plan: FaultPlan::failing_attempts([0, 1, 2]),
-            sla_p95: Some(Cost(1.0)),
-            ..RuntimeConfig::default()
-        },
-    )
-}
-
 #[test]
 fn runtime_soak_tunes_online_and_rolls_back_injected_failures() {
-    let (db, plan) = soak_fixture();
-    let runtime = soak_runtime(Arc::clone(&db), 4);
+    // The bench `soak` binary's fixture, reused verbatim so the tier-1
+    // gate and `BENCH_runtime.json` measure the same scenario.
+    let (db, plan) = harness::bench_soak();
+    let runtime = harness::soak_runtime(Arc::clone(&db), 4);
     runtime.driver().flight_recorder().set_auto_dump(false);
     let outcome = runtime.run(&plan).expect("soak survives its faults");
 
@@ -299,22 +275,14 @@ fn runtime_soak_tunes_online_and_rolls_back_injected_failures() {
 fn runtime_soak_results_are_identical_across_worker_counts() {
     // Smaller stream, same machinery: the merged digest must not depend
     // on how the bucket is partitioned over threads.
-    let fixture = || {
-        let (db, table) = events_database(6, 500).expect("fixture builds");
-        let stream = StreamConfig {
-            buckets: 10,
-            heavy_queries: 60,
-            light_queries: 8,
-            heavy_len: 3,
-            light_len: 2,
-            ..StreamConfig::default()
-        };
-        (db, generate(table, 3_000, &stream))
-    };
-    let (db2, plan) = fixture();
-    let (db4, _) = fixture();
-    let two = soak_runtime(db2, 2).run(&plan).expect("2-worker soak runs");
-    let four = soak_runtime(db4, 4).run(&plan).expect("4-worker soak runs");
+    let (db2, plan) = harness::small_soak();
+    let (db4, _) = harness::small_soak();
+    let two = harness::soak_runtime(db2, 2)
+        .run(&plan)
+        .expect("2-worker soak runs");
+    let four = harness::soak_runtime(db4, 4)
+        .run(&plan)
+        .expect("4-worker soak runs");
     assert_eq!(two.stats.queries, four.stats.queries);
     assert_eq!(two.stats.wrong_results + four.stats.wrong_results, 0);
     assert_eq!(

@@ -6,49 +6,25 @@
 //! decision subsequence must not depend on how many workers served the
 //! buckets.
 
+mod harness;
+
 use std::sync::Arc;
 
 use smdb::common::Cost;
 use smdb::core::driver::{Driver, OrderingPolicy};
 use smdb::core::FeatureKind;
 use smdb::obs::{PanicDump, TrailEvent};
-use smdb::query::Database;
-use smdb::runtime::{
-    events_database, generate, BucketPlan, FaultPlan, Runtime, RuntimeConfig, StreamConfig,
-};
+use smdb::runtime::{FaultPlan, Runtime};
 
-/// The small soak fixture from `tests/concurrency_and_failures.rs`, with
-/// one injected apply failure so the trail contains a rollback.
-fn fixture() -> (Arc<Database>, Vec<BucketPlan>) {
-    let (db, table) = events_database(6, 500).expect("fixture builds");
-    let stream = StreamConfig {
-        buckets: 10,
-        heavy_queries: 60,
-        light_queries: 8,
-        heavy_len: 3,
-        light_len: 2,
-        ..StreamConfig::default()
-    };
-    (db, generate(table, 3_000, &stream))
-}
-
-fn soak_runtime(db: Arc<Database>, workers: usize) -> Runtime {
-    Runtime::new(
-        db,
-        RuntimeConfig {
-            workers,
-            bucket_capacity: Cost(500.0),
-            slice_budget: 6,
-            fault_plan: FaultPlan::failing_attempts([0]),
-            sla_p95: Some(Cost(1.0)),
-            ..RuntimeConfig::default()
-        },
-    )
+/// The shared small soak fixture, served with one injected apply
+/// failure so the trail contains a rollback.
+fn soak_runtime(db: Arc<smdb::query::Database>, workers: usize) -> Runtime {
+    harness::soak_runtime_with(db, workers, Cost(500.0), FaultPlan::failing_attempts([0]))
 }
 
 /// Runs the fixture soak and returns the trail (events + JSON export).
 fn run_soak(workers: usize) -> (Vec<(u64, TrailEvent)>, String) {
-    let (db, plan) = fixture();
+    let (db, plan) = harness::small_soak();
     let runtime = soak_runtime(db, workers);
     let recorder = Arc::clone(runtime.driver().flight_recorder());
     recorder.set_auto_dump(false);
@@ -109,7 +85,7 @@ fn decision_subsequence_is_worker_count_invariant() {
 
 #[test]
 fn lp_ordering_decision_records_objective_and_dependence() {
-    let (db, plan) = fixture();
+    let (db, plan) = harness::small_soak();
     let driver = Driver::builder(db)
         .features(vec![FeatureKind::Indexing, FeatureKind::Compression])
         .ordering_policy(OrderingPolicy::LpOptimized)

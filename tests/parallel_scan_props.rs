@@ -4,13 +4,15 @@
 //! never starve light queries (caller-helps-first scheduling bounds
 //! their tail latency).
 
+mod harness;
+
 use std::sync::Arc;
 
 use proptest::prelude::*;
 
 use smdb::common::{ColumnId, Cost, TableId};
 use smdb::query::{Database, Query};
-use smdb::runtime::{events_database, generate, Runtime, RuntimeConfig, StreamConfig};
+use smdb::runtime::{Runtime, RuntimeConfig};
 use smdb::storage::value::ColumnValues;
 use smdb::storage::{
     Aggregate, AggregateOp, ColumnDef, DataType, PredicateOp, ScanPool, ScanPredicate, Schema,
@@ -140,24 +142,10 @@ proptest! {
 /// for every scan-thread count and morsel size.
 #[test]
 fn soak_digest_is_scan_thread_and_morsel_invariant() {
-    let plan = {
-        let (_, table) = events_database(12, 600).expect("fixture builds");
-        generate(
-            table,
-            7_000,
-            &StreamConfig {
-                buckets: 8,
-                heavy_queries: 40,
-                light_queries: 6,
-                heavy_len: 3,
-                light_len: 2,
-                ..StreamConfig::default()
-            },
-        )
-    };
+    let (_, plan) = harness::medium_soak();
     let mut digests = Vec::new();
     for (scan_threads, morsel_chunks) in [(1, 1), (2, 1), (4, 16), (4, 0)] {
-        let (db, _) = events_database(12, 600).expect("fixture builds");
+        let (db, _) = harness::medium_soak();
         let outcome = Runtime::new(
             db,
             RuntimeConfig {
